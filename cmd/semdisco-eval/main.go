@@ -1,0 +1,101 @@
+// Command semdisco-eval scores a ranked run against relevance judgments
+// with the paper's metric battery (MAP, MRR, NDCG@{5,10,15,20}) and,
+// given a second run, tests the MAP difference for statistical
+// significance with a paired randomization test.
+//
+// Usage:
+//
+//	semdisco-eval -qrels qrels.txt -run run.txt
+//	semdisco-eval -qrels qrels.txt -run a.txt -run2 b.txt
+//
+// File formats are TREC: qrels lines are "qid 0 docid grade"; run lines
+// are "qid Q0 docid rank score tag" (a 4-field variant is accepted).
+// cmd/semdisco-datagen emits a compatible qrels file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"semdisco/internal/eval"
+)
+
+func main() {
+	var (
+		qrelsPath = flag.String("qrels", "", "TREC qrels file (required)")
+		runPath   = flag.String("run", "", "TREC run file (required)")
+		run2Path  = flag.String("run2", "", "second run for a significance test")
+		perQuery  = flag.Bool("per-query", false, "also print per-query AP")
+		rounds    = flag.Int("rounds", 10000, "randomization rounds for the significance test")
+		seed      = flag.Int64("seed", 1, "randomization seed")
+	)
+	flag.Parse()
+	if *qrelsPath == "" || *runPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	qrels := mustQrels(*qrelsPath)
+	run := mustRun(*runPath)
+
+	rep := eval.Evaluate(qrels, run)
+	fmt.Printf("queries: %d\n", rep.Queries)
+	fmt.Printf("MAP:     %.4f\n", rep.MAP)
+	fmt.Printf("MRR:     %.4f\n", rep.MRR)
+	for _, k := range eval.Cutoffs {
+		fmt.Printf("NDCG@%-2d: %.4f\n", k, rep.NDCG[k])
+	}
+	if *perQuery {
+		for _, q := range qrels.Queries() {
+			fmt.Printf("  %-24s AP=%.4f RR=%.4f\n", q,
+				eval.AveragePrecision(qrels[q], run[q]),
+				eval.ReciprocalRank(qrels[q], run[q]))
+		}
+	}
+
+	if *run2Path != "" {
+		run2 := mustRun(*run2Path)
+		rep2 := eval.Evaluate(qrels, run2)
+		diff, p := eval.Significance(qrels, run, run2, eval.APMetric, *rounds, *seed)
+		fmt.Printf("\nrun2 MAP: %.4f\n", rep2.MAP)
+		fmt.Printf("ΔMAP (run − run2): %+.4f, p = %.4f (paired randomization, %d rounds)\n",
+			diff, p, *rounds)
+		if p < 0.05 {
+			fmt.Println("difference is significant at α = 0.05")
+		} else {
+			fmt.Println("difference is NOT significant at α = 0.05")
+		}
+	}
+}
+
+func mustQrels(path string) eval.Qrels {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	qrels, err := eval.ParseQrels(f)
+	if err != nil {
+		fatal("%v", err)
+	}
+	return qrels
+}
+
+func mustRun(path string) eval.Run {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	run, err := eval.ParseRun(f)
+	if err != nil {
+		fatal("%v", err)
+	}
+	return run
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "semdisco-eval: "+format+"\n", args...)
+	os.Exit(1)
+}

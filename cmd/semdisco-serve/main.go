@@ -1,0 +1,89 @@
+// Command semdisco-serve hosts a discovery engine over HTTP.
+//
+// Usage:
+//
+//	semdisco-serve -dir ./tables -addr :8080           # index CSVs, serve
+//	semdisco-serve -load engine.bin -addr :8080        # serve a saved engine
+//
+// The JSON API is documented in internal/httpapi. Only embeddings are
+// held in the index, so serving it does not expose raw table contents
+// beyond relation identifiers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"semdisco"
+	"semdisco/internal/httpapi"
+)
+
+func main() {
+	var (
+		dir      = flag.String("dir", "", "directory of *.csv files to index")
+		loadPath = flag.String("load", "", "saved engine file (alternative to -dir)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		method   = flag.String("method", "cts", "search method when indexing: cts, anns or exs")
+		dim      = flag.Int("dim", 256, "embedding dimensionality when indexing")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *dir == "" && *loadPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var (
+		eng *semdisco.Engine
+		err error
+	)
+	if *loadPath != "" {
+		f, ferr := os.Open(*loadPath)
+		if ferr != nil {
+			log.Fatalf("semdisco-serve: %v", ferr)
+		}
+		eng, err = semdisco.LoadEngine(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("semdisco-serve: loading engine: %v", err)
+		}
+	} else {
+		fed, ferr := semdisco.LoadDir(*dir)
+		if ferr != nil {
+			log.Fatalf("semdisco-serve: %v", ferr)
+		}
+		var m semdisco.Method
+		switch strings.ToLower(*method) {
+		case "cts":
+			m = semdisco.CTS
+		case "anns":
+			m = semdisco.ANNS
+		case "exs":
+			m = semdisco.ExS
+		default:
+			log.Fatalf("semdisco-serve: unknown method %q", *method)
+		}
+		start := time.Now()
+		eng, err = semdisco.Open(fed, semdisco.Config{Method: m, Dim: *dim, Seed: *seed})
+		if err != nil {
+			log.Fatalf("semdisco-serve: building index: %v", err)
+		}
+		fmt.Printf("indexed %d values with %v in %v\n",
+			eng.NumValues(), m, time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.New(eng),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("serving %v engine on %s\n", eng.Method(), *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("semdisco-serve: %v", err)
+	}
+}

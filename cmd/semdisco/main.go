@@ -1,0 +1,141 @@
+// Command semdisco searches a directory of CSV tables by semantic matching.
+//
+// Usage:
+//
+//	semdisco -dir ./tables -q "covid vaccines europe" [-method cts] [-k 10]
+//
+// Every *.csv file in -dir becomes one relation (first record is the
+// header). The index is built in-process on startup; with -interactive the
+// command then reads one query per line from stdin. -save persists the
+// built engine and -load restores one instead of re-indexing.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"semdisco"
+)
+
+func main() {
+	var (
+		dir         = flag.String("dir", "", "directory of *.csv files to index (required)")
+		query       = flag.String("q", "", "keyword query")
+		method      = flag.String("method", "cts", "search method: cts, anns or exs")
+		k           = flag.Int("k", 10, "number of results")
+		dim         = flag.Int("dim", 256, "embedding dimensionality")
+		seed        = flag.Int64("seed", 1, "random seed for deterministic indexing")
+		threshold   = flag.Float64("h", 0, "similarity threshold (paper's h)")
+		interactive = flag.Bool("interactive", false, "read queries from stdin after indexing")
+		savePath    = flag.String("save", "", "write the built engine to this file")
+		loadPath    = flag.String("load", "", "restore an engine from this file instead of indexing -dir")
+	)
+	flag.Parse()
+	if (*dir == "" && *loadPath == "") || (*query == "" && !*interactive && *savePath == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var eng *semdisco.Engine
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		start := time.Now()
+		eng, err = semdisco.LoadEngine(f)
+		f.Close()
+		if err != nil {
+			fatal("loading engine: %v", err)
+		}
+		fmt.Printf("restored %v engine (%d values) in %v\n",
+			eng.Method(), eng.NumValues(), time.Since(start).Round(time.Millisecond))
+	} else {
+		fed, err := semdisco.LoadDir(*dir)
+		if err != nil {
+			fatal("loading %s: %v", *dir, err)
+		}
+		if fed.Len() == 0 {
+			fatal("no CSV tables found in %s", *dir)
+		}
+		fmt.Printf("loaded %d relations from %s\n", fed.Len(), *dir)
+
+		var m semdisco.Method
+		switch strings.ToLower(*method) {
+		case "cts":
+			m = semdisco.CTS
+		case "anns":
+			m = semdisco.ANNS
+		case "exs":
+			m = semdisco.ExS
+		default:
+			fatal("unknown method %q (want cts, anns or exs)", *method)
+		}
+
+		start := time.Now()
+		eng, err = semdisco.Open(fed, semdisco.Config{
+			Method:    m,
+			Dim:       *dim,
+			Seed:      *seed,
+			Threshold: float32(*threshold),
+		})
+		if err != nil {
+			fatal("building index: %v", err)
+		}
+		fmt.Printf("indexed %d values with %v in %v\n", eng.NumValues(), m, time.Since(start).Round(time.Millisecond))
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := eng.Save(f); err != nil {
+			fatal("saving engine: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("saving engine: %v", err)
+		}
+		fmt.Printf("saved engine to %s\n", *savePath)
+	}
+
+	if *query != "" {
+		runQuery(eng, *query, *k)
+	}
+	if *interactive {
+		sc := bufio.NewScanner(os.Stdin)
+		fmt.Print("query> ")
+		for sc.Scan() {
+			q := strings.TrimSpace(sc.Text())
+			if q != "" {
+				runQuery(eng, q, *k)
+			}
+			fmt.Print("query> ")
+		}
+	}
+}
+
+func runQuery(eng *semdisco.Engine, q string, k int) {
+	start := time.Now()
+	matches, err := eng.Search(q, k)
+	if err != nil {
+		fatal("search: %v", err)
+	}
+	elapsed := time.Since(start)
+	if len(matches) == 0 {
+		fmt.Println("no matches")
+		return
+	}
+	for i, m := range matches {
+		fmt.Printf("%2d. %-30s %.4f\n", i+1, m.RelationID, m.Score)
+	}
+	fmt.Printf("(%d matches in %v)\n", len(matches), elapsed.Round(time.Microsecond))
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "semdisco: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+package semdisco
+
+import (
+	"fmt"
+
+	"semdisco/internal/columns"
+	"semdisco/internal/embed"
+)
+
+// ColumnRef identifies a column within a federation.
+type ColumnRef = columns.ColumnRef
+
+// ColumnMatch is one column-discovery result: the candidate column, its
+// relatedness score, and (for joinability) the exact value containment.
+type ColumnMatch = columns.Match
+
+// ColumnIndex finds unionable and joinable columns across a federation —
+// the column-level counterpart of Engine's table-level discovery. Build it
+// once per federation; searches are cheap.
+type ColumnIndex struct {
+	ix *columns.Index
+}
+
+// OpenColumns profiles every column of the federation. The Config's Dim,
+// Seed, Lexicon and IDF are honored the same way Open honors them;
+// Method/threshold fields are ignored.
+func OpenColumns(fed *Federation, cfg Config) (*ColumnIndex, error) {
+	if fed == nil || fed.Len() == 0 {
+		return nil, fmt.Errorf("semdisco: empty federation")
+	}
+	idf := cfg.IDF
+	if idf == nil {
+		idf = statsIDF(federationStats(fed))
+	}
+	model := embed.New(embed.Config{
+		Dim:     cfg.Dim,
+		Seed:    cfg.Seed,
+		Lexicon: cfg.Lexicon,
+		IDF:     idf,
+	})
+	ix, err := columns.BuildIndex(fed, model, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &ColumnIndex{ix: ix}, nil
+}
+
+// NumColumns reports how many columns are profiled.
+func (ci *ColumnIndex) NumColumns() int { return ci.ix.NumColumns() }
+
+// Unionable returns the k columns most unionable with the named column:
+// columns holding values of the same semantic type in other relations.
+func (ci *ColumnIndex) Unionable(relationID, column string, k int) ([]ColumnMatch, error) {
+	p, ok := ci.ix.Profile(ColumnRef{RelationID: relationID, Column: column})
+	if !ok {
+		return nil, fmt.Errorf("semdisco: column %s.%s not indexed", relationID, column)
+	}
+	return ci.ix.Unionable(p, k)
+}
+
+// Joinable returns the k best join candidates for the named column,
+// ranked by a blend of exact value containment and semantic similarity.
+func (ci *ColumnIndex) Joinable(relationID, column string, k int) ([]ColumnMatch, error) {
+	p, ok := ci.ix.Profile(ColumnRef{RelationID: relationID, Column: column})
+	if !ok {
+		return nil, fmt.Errorf("semdisco: column %s.%s not indexed", relationID, column)
+	}
+	return ci.ix.Joinable(p, k)
+}
+
+// JoinableValues finds join candidates for an ad-hoc column that is not
+// part of the federation (e.g. from the user's own seed table).
+func (ci *ColumnIndex) JoinableValues(name string, values []string, k int) ([]ColumnMatch, error) {
+	p := ci.ix.ProfileColumn("", name, values)
+	return ci.ix.Joinable(p, k)
+}
+
+// UnionableValues finds unionable candidates for an ad-hoc column.
+func (ci *ColumnIndex) UnionableValues(name string, values []string, k int) ([]ColumnMatch, error) {
+	p := ci.ix.ProfileColumn("", name, values)
+	return ci.ix.Unionable(p, k)
+}

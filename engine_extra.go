@@ -1,0 +1,212 @@
+package semdisco
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"semdisco/internal/core"
+	"semdisco/internal/embed"
+	"semdisco/internal/text"
+)
+
+// Add indexes one more relation without rebuilding the engine. For CTS the
+// relation's values join existing clusters (nearest medoid); after heavy
+// growth, rebuild with Open to re-optimize the clustering. Add must not
+// race with Search.
+func (e *Engine) Add(r *Relation) error {
+	app, ok := e.searcher.(core.Appender)
+	if !ok {
+		return fmt.Errorf("semdisco: %v does not support incremental adds", e.Method())
+	}
+	if err := app.AddRelation(r); err != nil {
+		return err
+	}
+	e.relSource[r.ID] = r.Source
+	return nil
+}
+
+// Contribution is one value's share of a match, as reported by Explain.
+type Contribution = core.Contribution
+
+// Explanation decomposes one relation's match into per-value evidence.
+type Explanation = core.Explanation
+
+// Explain reports why a relation matches a query: the top-n attribute
+// values by contribution to the relation's score. This decomposability is
+// a direct benefit of value-level embedding — table-level embeddings
+// cannot attribute a match to specific cells.
+func (e *Engine) Explain(query, relationID string, topN int) (*Explanation, error) {
+	return e.emb.Explain(query, relationID, topN)
+}
+
+// SearchWithFeedback runs pseudo-relevance feedback (Rocchio): an initial
+// search retrieves a few top relations, their embedding centroids expand
+// the query, and the expanded query is searched. Useful for very short
+// queries that lack context on their own.
+func (e *Engine) SearchWithFeedback(query string, k int) ([]Match, error) {
+	return core.SearchPRF(e.searcher, e.emb, query, k, core.PRFOptions{})
+}
+
+// SearchSources restricts a search to relations belonging to any of the
+// named federation members — "find COVID tables, but only from WHO or
+// ECDC". An empty source list returns no matches.
+func (e *Engine) SearchSources(query string, k int, sources ...string) ([]Match, error) {
+	fs, ok := e.searcher.(core.FilteredSearcher)
+	if !ok {
+		return nil, fmt.Errorf("semdisco: %v does not support filtered search", e.Method())
+	}
+	allowed := make(map[string]struct{}, len(sources))
+	for _, s := range sources {
+		allowed[s] = struct{}{}
+	}
+	return fs.SearchFiltered(query, k, func(relID string) bool {
+		_, ok := allowed[e.relSource[relID]]
+		return ok
+	})
+}
+
+// DatasetMatch is one dataset-level discovery result: the paper's §3
+// generalization from single-relation datasets to multi-relation ones. A
+// dataset is identified by its relations' Source; its score is the best
+// member relation's score, and Relations lists the members that matched.
+type DatasetMatch struct {
+	Source    string
+	Score     float32
+	Relations []Match
+}
+
+// SearchDatasets ranks datasets (groups of relations sharing a Source) for
+// the query and returns at most k of them, best first. Internally it
+// over-fetches relations (4k, bounded by the corpus) and groups them.
+func (e *Engine) SearchDatasets(query string, k int) ([]DatasetMatch, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	fetch := 4 * k
+	if n := len(e.emb.RelIDs); fetch > n {
+		fetch = n
+	}
+	matches, err := e.Search(query, fetch)
+	if err != nil {
+		return nil, err
+	}
+	grouped := make(map[string]*DatasetMatch)
+	var order []string
+	for _, m := range matches {
+		src := e.relSource[m.RelationID]
+		g, ok := grouped[src]
+		if !ok {
+			g = &DatasetMatch{Source: src, Score: m.Score}
+			grouped[src] = g
+			order = append(order, src)
+		}
+		if m.Score > g.Score {
+			g.Score = m.Score
+		}
+		g.Relations = append(g.Relations, m)
+	}
+	out := make([]DatasetMatch, 0, len(order))
+	for _, src := range order {
+		out = append(out, *grouped[src])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// enginePersist is the gob envelope of a saved engine. Custom IDF
+// functions cannot be serialized; engines built with Config.IDF refuse to
+// Save.
+type enginePersist struct {
+	Version   int
+	Method    Method
+	Dim       int
+	Seed      int64
+	Threshold float32
+	ExS       ExSOptions
+	ANNS      ANNSOptions
+	CTS       CTSOptions
+	Lexicon   *Lexicon
+	Stats     *text.CorpusStats
+	RelSource map[string]string
+	// EmbBlob carries the embedded federation (core.Embedded.Persist).
+	EmbBlob []byte
+}
+
+// Save writes the engine so LoadEngine can restore it without re-encoding
+// any value. The search index itself (HNSW graphs, clusters) is rebuilt
+// deterministically on load from the stored vectors and the original seed.
+// Engines configured with a custom IDF function cannot be saved.
+func (e *Engine) Save(w io.Writer) error {
+	if e.cfg.IDF != nil {
+		return fmt.Errorf("semdisco: engines with a custom IDF function cannot be saved")
+	}
+	var embBlob bytes.Buffer
+	if err := e.emb.Persist(&embBlob); err != nil {
+		return fmt.Errorf("semdisco: save: %w", err)
+	}
+	return gob.NewEncoder(w).Encode(enginePersist{
+		Version:   1,
+		Method:    e.cfg.Method,
+		Dim:       e.cfg.Dim,
+		Seed:      e.cfg.Seed,
+		Threshold: e.cfg.Threshold,
+		ExS:       e.cfg.ExS,
+		ANNS:      e.cfg.ANNS,
+		CTS:       e.cfg.CTS,
+		Lexicon:   e.cfg.Lexicon,
+		Stats:     e.stats,
+		RelSource: e.relSource,
+		EmbBlob:   embBlob.Bytes(),
+	})
+}
+
+// LoadEngine restores an engine written by Save. Value embeddings are read
+// back verbatim; the method's index structures are rebuilt.
+func LoadEngine(r io.Reader) (*Engine, error) {
+	var p enginePersist
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("semdisco: load: %w", err)
+	}
+	if p.Version != 1 {
+		return nil, fmt.Errorf("semdisco: unsupported engine version %d", p.Version)
+	}
+	cfg := Config{
+		Method:    p.Method,
+		Dim:       p.Dim,
+		Seed:      p.Seed,
+		Threshold: p.Threshold,
+		ExS:       p.ExS,
+		ANNS:      p.ANNS,
+		CTS:       p.CTS,
+		Lexicon:   p.Lexicon,
+	}
+	var idf func(string) float64
+	if p.Stats != nil {
+		idf = statsIDF(p.Stats)
+	}
+	model := embed.New(embed.Config{
+		Dim:     cfg.Dim,
+		Seed:    cfg.Seed,
+		Lexicon: cfg.Lexicon,
+		IDF:     idf,
+	})
+	emb, err := core.RestoreEmbedded(bytes.NewReader(p.EmbBlob), model)
+	if err != nil {
+		return nil, err
+	}
+	s, err := buildSearcher(cfg, emb)
+	if err != nil {
+		return nil, err
+	}
+	if p.RelSource == nil {
+		p.RelSource = make(map[string]string)
+	}
+	return &Engine{cfg: cfg, model: model, emb: emb, searcher: s,
+		stats: p.Stats, relSource: p.RelSource}, nil
+}

@@ -1,0 +1,247 @@
+package semdisco
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEngineAdd(t *testing.T) {
+	for _, m := range []Method{ExS, ANNS, CTS} {
+		eng, err := Open(vaccineFederation(t), Config{
+			Method: m, Dim: 256, Seed: 5, Lexicon: vaccineLexicon(),
+			CTS: CTSOptions{MinClusterSize: 4, UMAPEpochs: 40},
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		err = eng.Add(&Relation{
+			ID: "flu", Source: "WHO",
+			Columns: []string{"Region", "Season", "Strain"},
+			Rows: [][]string{
+				{"Europe", "2023", "influenza H1N1"},
+				{"Asia", "2023", "influenza H3N2"},
+			},
+		})
+		if err != nil {
+			t.Fatalf("%v: Add: %v", m, err)
+		}
+		got, err := eng.Search("influenza strains", 2)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(got) == 0 || got[0].RelationID != "flu" {
+			t.Fatalf("%v: added relation not retrievable: %v", m, got)
+		}
+	}
+}
+
+func TestEngineSearchDatasets(t *testing.T) {
+	eng, err := Open(vaccineFederation(t), Config{
+		Method: ExS, Dim: 96, Seed: 6, Lexicon: vaccineLexicon(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.SearchDatasets("COVID vaccines", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("datasets=%d: %+v", len(got), got)
+	}
+	// Best datasets for a vaccine query are the health sources.
+	for _, d := range got {
+		if d.Source == "USGS" {
+			t.Fatalf("minerals source ranked top-2: %+v", got)
+		}
+		if len(d.Relations) == 0 {
+			t.Fatalf("dataset %s has no member relations", d.Source)
+		}
+	}
+	if got[0].Score < got[1].Score {
+		t.Fatal("datasets not sorted by score")
+	}
+	if r, err := eng.SearchDatasets("x", 0); err != nil || r != nil {
+		t.Fatal("k=0 should return nothing")
+	}
+}
+
+func TestEngineSaveLoad(t *testing.T) {
+	for _, m := range []Method{ExS, ANNS, CTS} {
+		eng, err := Open(vaccineFederation(t), Config{
+			Method: m, Dim: 96, Seed: 7, Lexicon: vaccineLexicon(),
+			CTS: CTSOptions{MinClusterSize: 4, UMAPEpochs: 40},
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		var buf bytes.Buffer
+		if err := eng.Save(&buf); err != nil {
+			t.Fatalf("%v: Save: %v", m, err)
+		}
+		loaded, err := LoadEngine(&buf)
+		if err != nil {
+			t.Fatalf("%v: LoadEngine: %v", m, err)
+		}
+		if loaded.Method() != m {
+			t.Fatalf("%v: method lost", m)
+		}
+		// Same query: same ranked relations (scores bit-identical for ExS;
+		// index rebuilds are seeded so ANNS/CTS agree too).
+		a, err := eng.Search("COVID", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Search("COVID", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%v: result counts differ: %v vs %v", m, a, b)
+		}
+		for i := range a {
+			if a[i].RelationID != b[i].RelationID {
+				t.Fatalf("%v: rankings differ: %v vs %v", m, a, b)
+			}
+		}
+		// Loaded engines keep dataset grouping.
+		ds, err := loaded.SearchDatasets("COVID", 2)
+		if err != nil || len(ds) == 0 {
+			t.Fatalf("%v: SearchDatasets after load: %v %v", m, ds, err)
+		}
+	}
+}
+
+func TestEngineSaveRejectsCustomIDF(t *testing.T) {
+	eng, err := Open(vaccineFederation(t), Config{
+		Method: ExS, Dim: 64, Seed: 8,
+		IDF: func(string) float64 { return 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Save(&bytes.Buffer{}); err == nil {
+		t.Fatal("custom-IDF engine must refuse to save")
+	}
+}
+
+func TestLoadEngineRejectsGarbage(t *testing.T) {
+	if _, err := LoadEngine(strings.NewReader("not an engine")); err == nil {
+		t.Fatal("garbage must not load")
+	}
+}
+
+func TestEngineSearchSources(t *testing.T) {
+	for _, m := range []Method{ExS, ANNS, CTS} {
+		eng, err := Open(vaccineFederation(t), Config{
+			Method: m, Dim: 128, Seed: 9, Lexicon: vaccineLexicon(),
+			CTS: CTSOptions{MinClusterSize: 4, UMAPEpochs: 40},
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		got, err := eng.SearchSources("COVID", 5, "WHO", "CDC")
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(got) == 0 {
+			t.Fatalf("%v: filtered search empty", m)
+		}
+		for _, match := range got {
+			if match.RelationID != "who" && match.RelationID != "cdc" {
+				t.Fatalf("%v: filter leaked relation %s", m, match.RelationID)
+			}
+		}
+		// Unknown source: nothing.
+		none, err := eng.SearchSources("COVID", 5, "NOPE")
+		if err != nil || len(none) != 0 {
+			t.Fatalf("%v: unknown source gave %v, %v", m, none, err)
+		}
+	}
+}
+
+func TestEngineSearchWithFeedback(t *testing.T) {
+	eng, err := Open(vaccineFederation(t), Config{
+		Method: ExS, Dim: 128, Seed: 12, Lexicon: vaccineLexicon(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.SearchWithFeedback("COVID", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("feedback search returned nothing")
+	}
+	for _, m := range got {
+		if m.RelationID == "minerals" {
+			t.Fatalf("feedback drifted to minerals: %v", got)
+		}
+	}
+}
+
+func TestOpenColumnsPublicAPI(t *testing.T) {
+	ci, err := OpenColumns(vaccineFederation(t), Config{Dim: 128, Seed: 13, Lexicon: vaccineLexicon()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.NumColumns() == 0 {
+		t.Fatal("no columns profiled")
+	}
+	if _, err := ci.Unionable("who", "Vaccine", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ci.Joinable("nope", "Vaccine", 2); err == nil {
+		t.Fatal("unknown column must error")
+	}
+	if _, err := OpenColumns(NewFederation(), Config{}); err == nil {
+		t.Fatal("empty federation must error")
+	}
+	adhoc, err := ci.UnionableValues("shots", []string{"Comirnaty"}, 2)
+	if err != nil || len(adhoc) == 0 {
+		t.Fatalf("ad-hoc unionable: %v %v", adhoc, err)
+	}
+}
+
+func TestEngineExplain(t *testing.T) {
+	eng, err := Open(vaccineFederation(t), Config{
+		Method: ExS, Dim: 128, Seed: 14, Lexicon: vaccineLexicon(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := eng.Explain("COVID", "ecdc", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Top) == 0 || exp.Top[0].Value == "" {
+		t.Fatalf("explanation=%+v", exp)
+	}
+}
+
+func TestEngineConcurrentSearch(t *testing.T) {
+	eng, err := Open(vaccineFederation(t), Config{
+		Method: ANNS, Dim: 96, Seed: 15, Lexicon: vaccineLexicon(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			queries := []string{"COVID", "vaccine europe", "minerals", "football stadium"}
+			for i := 0; i < 25; i++ {
+				if _, err := eng.Search(queries[(w+i)%len(queries)], 3); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,104 @@
+// The §5.3 case study: for the query "Climate Change Effects Europe 2020",
+// exhaustive search dilutes relevance by averaging over every attribute
+// (tables about global climate or other years creep up), while CTS
+// descends only into the clusters around the query's meaning. This example
+// hand-builds that scenario and prints each method's ranking. Run with:
+//
+//	go run ./examples/casestudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semdisco"
+)
+
+func main() {
+	lex := semdisco.NewLexicon()
+	climate := lex.AddSynonyms("climate", "warming", "temperature", "emissions")
+	lex.Add(climate, "greenhouse")
+	lex.AddSynonyms("europe", "european", "EU")
+	effects := lex.AddSynonyms("effects", "impacts", "consequences")
+	lex.Add(effects, "heatwave")
+	lex.Add(effects, "drought")
+	lex.Add(effects, "flooding")
+	lex.AddSynonyms("football", "league", "striker")
+	lex.AddSynonyms("finance", "revenue", "profit")
+
+	fed := semdisco.NewFederation()
+	add := func(id, caption string, cols []string, rows [][]string) {
+		if err := fed.Add(&semdisco.Relation{
+			ID: id, Source: "portal", Caption: caption, Columns: cols, Rows: rows,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The target: Europe, 2020, climate effects.
+	add("climate-eu-2020", "climate impacts europe 2020",
+		[]string{"Country", "Year", "Effect", "Severity"},
+		[][]string{
+			{"Germany", "2020", "heatwave", "high"},
+			{"Spain", "2020", "drought", "high"},
+			{"Netherlands", "2020", "flooding", "medium"},
+			{"Italy", "2020", "heatwave", "high"},
+		})
+	// Near misses: right topic, wrong region or year.
+	add("climate-global-2015", "global warming trends 2015",
+		[]string{"Region", "Year", "Temperature Anomaly"},
+		[][]string{
+			{"Global", "2015", "0.9"},
+			{"Arctic", "2015", "2.1"},
+			{"Tropics", "2015", "0.5"},
+		})
+	add("climate-eu-1990", "european emissions 1990",
+		[]string{"Country", "Year", "Emissions"},
+		[][]string{
+			{"France", "1990", "540"},
+			{"Poland", "1990", "470"},
+		})
+	// A diluted table: one climate row drowned in sports rows.
+	add("mixed-almanac", "2020 almanac",
+		[]string{"Subject", "Entry", "Detail"},
+		[][]string{
+			{"football", "league winners", "striker of the year"},
+			{"football", "transfer records", "midfield"},
+			{"finance", "revenue tables", "profit margins"},
+			{"climate", "europe heatwave", "2020"},
+			{"football", "stadium openings", "capacity"},
+		})
+	// Irrelevant.
+	add("football-2020", "football league 2020",
+		[]string{"Club", "Points", "Striker"},
+		[][]string{
+			{"Ajax", "88", "Tadic"},
+			{"Inter", "91", "Lukaku"},
+		})
+
+	const query = "Climate Change Effects Europe 2020"
+	for _, m := range []semdisco.Method{semdisco.ExS, semdisco.ANNS, semdisco.CTS} {
+		eng, err := semdisco.Open(fed, semdisco.Config{
+			Method:  m,
+			Dim:     256,
+			Seed:    3,
+			Lexicon: lex,
+			CTS:     semdisco.CTSOptions{MinClusterSize: 4, TopClusters: 3},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		matches, err := eng.Search(query, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4s:", m)
+		for _, match := range matches {
+			fmt.Printf("  %s (%.3f)", match.RelationID, match.Score)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nExpected: every method ranks climate-eu-2020 first; ExS lets the")
+	fmt.Println("diluted mixed-almanac and off-year tables score closer to the top,")
+	fmt.Println("while CTS's cluster targeting keeps the gap wide (§5.3).")
+}

@@ -1,0 +1,97 @@
+// Column-level discovery: find joinable and unionable columns across a
+// federation — the companion problem to table discovery (the paper's
+// related work: Josie, DeepJoin, TUS/Santos). Run with:
+//
+//	go run ./examples/columns
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semdisco"
+)
+
+func main() {
+	fed := semdisco.NewFederation()
+	add := func(r *semdisco.Relation) {
+		if err := fed.Add(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	add(&semdisco.Relation{
+		ID: "gdp", Source: "econ-portal",
+		Columns: []string{"Country", "Year", "GDP"},
+		Rows: [][]string{
+			{"Germany", "2022", "4200"},
+			{"France", "2022", "3100"},
+			{"Spain", "2022", "1600"},
+		},
+	})
+	add(&semdisco.Relation{
+		ID: "population", Source: "census-portal",
+		Columns: []string{"Nation", "Inhabitants"},
+		Rows: [][]string{
+			{"Germany", "83000000"},
+			{"France", "68000000"},
+			{"Portugal", "10000000"},
+		},
+	})
+	add(&semdisco.Relation{
+		ID: "who-vaccines", Source: "WHO",
+		Columns: []string{"Region", "Vaccine"},
+		Rows: [][]string{
+			{"Europe", "Comirnaty"},
+			{"Asia", "CoronaVac"},
+		},
+	})
+	add(&semdisco.Relation{
+		ID: "ecdc-vaccines", Source: "ECDC",
+		Columns: []string{"Country", "Trade Name"},
+		Rows: [][]string{
+			{"Germany", "Pfizer-BioNTech"},
+			{"France", "AstraZeneca"},
+		},
+	})
+
+	lex := semdisco.NewLexicon()
+	lex.AddSynonyms("vaccine", "Comirnaty", "CoronaVac", "Pfizer-BioNTech", "AstraZeneca", "trade name")
+	lex.AddSynonyms("country", "nation", "Germany", "France", "Spain", "Portugal")
+
+	ci, err := semdisco.OpenColumns(fed, semdisco.Config{Dim: 256, Seed: 3, Lexicon: lex})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %d columns\n\n", ci.NumColumns())
+
+	// Joinability: which columns share keys with gdp.Country?
+	joins, err := ci.Joinable("gdp", "Country", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("join candidates for gdp.Country:")
+	for _, m := range joins {
+		fmt.Printf("  %-28s score=%.3f containment=%.2f\n", m.Ref, m.Score, m.Containment)
+	}
+
+	// Unionability: which columns hold the same semantic type as the WHO
+	// vaccine names — even with zero overlapping values?
+	unions, err := ci.Unionable("who-vaccines", "Vaccine", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nunion candidates for who-vaccines.Vaccine:")
+	for _, m := range unions {
+		fmt.Printf("  %-28s score=%.3f\n", m.Ref, m.Score)
+	}
+
+	// Ad-hoc: the user brings their own seed column.
+	adhoc, err := ci.JoinableValues("Land", []string{"Germany", "France", "Austria"}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\njoin candidates for an ad-hoc column {Germany, France, Austria}:")
+	for _, m := range adhoc {
+		fmt.Printf("  %-28s score=%.3f containment=%.2f\n", m.Ref, m.Score, m.Containment)
+	}
+}

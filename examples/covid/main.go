@@ -1,0 +1,110 @@
+// The paper's Figure 1 motivating example: Sarah searches "COVID" across
+// the WHO, CDC and ECDC platforms. A syntactic search finds only ECDC (the
+// only table containing the literal string); semantic matching finds all
+// three, because the encoder knows "Comirnaty", "mRNA" and
+// "Pfizer-BioNTech" are COVID-vaccine vocabulary. Run with:
+//
+//	go run ./examples/covid
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"semdisco"
+)
+
+func main() {
+	fed := semdisco.NewFederation()
+	add := func(r *semdisco.Relation) {
+		if err := fed.Add(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	add(&semdisco.Relation{
+		ID: "WHO", Source: "WHO",
+		Columns: []string{"Region", "Date", "Vaccine", "Dosage"},
+		Rows: [][]string{
+			{"North America", "2021-01-01", "Comirnaty", "First"},
+			{"Europe", "2021-02-01", "Vaxzevria", "Second"},
+			{"Asia", "2021-03-01", "CoronaVac", "First"},
+			{"Africa", "2021-04-01", "Covaxin", "Second"},
+		},
+	})
+	add(&semdisco.Relation{
+		ID: "CDC", Source: "CDC",
+		Columns: []string{"State", "Date", "Immunogen", "Manufacturer"},
+		Rows: [][]string{
+			{"California", "2021-01-01", "mRNA", "Moderna"},
+			{"Texas", "2021-02-01", "Vector Virus", "Janssen"},
+			{"Florida", "2021-03-01", "mRNA", "Pfizer"},
+			{"New York", "2021-04-01", "Protein Subunit", "Novavax"},
+		},
+	})
+	add(&semdisco.Relation{
+		ID: "ECDC", Source: "ECDC",
+		Columns: []string{"Country", "Date", "Trade Name", "Disease"},
+		Rows: [][]string{
+			{"Germany", "2021-01-01", "Pfizer-BioNTech", "COVID-19"},
+			{"France", "2021-02-01", "AstraZeneca", "COVID-19"},
+			{"Spain", "2021-03-01", "Moderna", "COVID-19"},
+			{"Italy", "2021-04-01", "Pfizer-BioNTech", "COVID-19"},
+		},
+	})
+	// Distractors Sarah is not interested in.
+	add(&semdisco.Relation{
+		ID: "STADIUMS", Source: "UEFA",
+		Columns: []string{"Club", "Stadium", "Capacity"},
+		Rows: [][]string{
+			{"Ajax", "Johan Cruyff Arena", "54990"},
+			{"Bayern", "Allianz Arena", "75000"},
+		},
+	})
+
+	const query = "COVID"
+
+	// 1. What Sarah's keyword search does today: literal substring match.
+	fmt.Printf("keyword search for %q finds:", query)
+	for _, r := range fed.Relations() {
+		if strings.Contains(strings.ToLower(r.Text()), strings.ToLower(query)) {
+			fmt.Printf(" %s", r.ID)
+		}
+	}
+	fmt.Println("  ← misses WHO and CDC")
+
+	// 2. Semantic matching with vaccine-domain knowledge in the lexicon
+	// (the role S-BERT's pretraining plays in the paper).
+	lex := semdisco.NewLexicon()
+	covid := lex.AddSynonyms("COVID", "COVID-19", "coronavirus", "SARS-CoV-2")
+	for _, term := range []string{
+		"Comirnaty", "Vaxzevria", "CoronaVac", "Covaxin",
+		"mRNA", "Vector Virus", "Protein Subunit",
+		"Pfizer-BioNTech", "AstraZeneca",
+	} {
+		lex.Add(covid, term)
+	}
+	lex.AddSynonyms("vaccine", "immunogen", "vaccination", "dosage")
+
+	for _, method := range []semdisco.Method{semdisco.ExS, semdisco.ANNS, semdisco.CTS} {
+		eng, err := semdisco.Open(fed, semdisco.Config{
+			Method:  method,
+			Dim:     256,
+			Seed:    42,
+			Lexicon: lex,
+			CTS:     semdisco.CTSOptions{MinClusterSize: 4},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		matches, err := eng.Search(query, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4s finds:", method)
+		for _, m := range matches {
+			fmt.Printf(" %s(%.3f)", m.RelationID, m.Score)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,65 @@
+// Federation-scale example: generate a synthetic multi-source corpus (the
+// EDP-like profile), build all three engines over it, and compare their
+// answers and latency on the same queries — a miniature of the paper's
+// performance evaluation. Run with:
+//
+//	go run ./examples/federation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"semdisco"
+	"semdisco/internal/corpus"
+)
+
+func main() {
+	p := corpus.EDP()
+	p.NumRelations = 150
+	p.QueriesPerClass = 3
+	c := corpus.Generate(p)
+	fmt.Printf("federation: %d relations from sources %v\n",
+		c.Federation.Len(), c.Federation.Sources())
+
+	engines := map[semdisco.Method]*semdisco.Engine{}
+	for _, m := range []semdisco.Method{semdisco.ExS, semdisco.ANNS, semdisco.CTS} {
+		start := time.Now()
+		eng, err := semdisco.Open(c.Federation, semdisco.Config{
+			Method:  m,
+			Dim:     256,
+			Seed:    7,
+			Lexicon: c.Lexicon,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("built %-4s index over %d values in %v\n",
+			m, eng.NumValues(), time.Since(start).Round(time.Millisecond))
+		engines[m] = eng
+	}
+
+	for _, q := range c.QueriesOf(corpus.Short) {
+		fmt.Printf("\nquery %q (topic %d):\n", q.Text, q.Topic)
+		for _, m := range []semdisco.Method{semdisco.ExS, semdisco.ANNS, semdisco.CTS} {
+			start := time.Now()
+			matches, err := engines[m].Search(q.Text, 5)
+			if err != nil {
+				log.Fatal(err)
+			}
+			elapsed := time.Since(start)
+			hits := 0
+			for _, match := range matches {
+				if c.PrimaryTopic[match.RelationID] == q.Topic {
+					hits++
+				}
+			}
+			fmt.Printf("  %-4s %8v  on-topic %d/%d:", m, elapsed.Round(time.Microsecond), hits, len(matches))
+			for _, match := range matches {
+				fmt.Printf(" %s", match.RelationID)
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Quickstart: build a tiny federation in code, open a CTS engine and run a
+// semantic keyword search. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semdisco"
+)
+
+func main() {
+	fed := semdisco.NewFederation()
+	must(fed.Add(&semdisco.Relation{
+		ID:      "employees",
+		Source:  "hr",
+		Caption: "Staff directory",
+		Columns: []string{"Name", "Role", "Office"},
+		Rows: [][]string{
+			{"Ada", "Engineer", "Utrecht"},
+			{"Grace", "Researcher", "Trento"},
+			{"Edsger", "Engineer", "Austin"},
+		},
+	}))
+	must(fed.Add(&semdisco.Relation{
+		ID:      "vehicles",
+		Source:  "fleet",
+		Caption: "Company fleet",
+		Columns: []string{"Model", "Kind", "Year"},
+		Rows: [][]string{
+			{"Transit", "van", "2019"},
+			{"Model 3", "automobile", "2021"},
+		},
+	}))
+
+	// A lexicon is how domain knowledge enters the encoder: synonyms share
+	// a concept and therefore embed near each other.
+	lex := semdisco.NewLexicon()
+	lex.AddSynonyms("car", "automobile", "vehicle", "van")
+	lex.AddSynonyms("staff", "employee", "engineer", "researcher")
+
+	eng, err := semdisco.Open(fed, semdisco.Config{
+		Method:  semdisco.CTS,
+		Dim:     256,
+		Seed:    1,
+		Lexicon: lex,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, q := range []string{"cars", "staff members"} {
+		matches, err := eng.Search(q, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %q:\n", q)
+		for _, m := range matches {
+			fmt.Printf("  %-10s score=%.3f\n", m.RelationID, m.Score)
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

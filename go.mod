@@ -1,0 +1,3 @@
+module semdisco
+
+go 1.22

@@ -1,0 +1,102 @@
+package baselines
+
+import (
+	"sort"
+	"strings"
+
+	"semdisco/internal/core"
+	"semdisco/internal/text"
+	"semdisco/internal/vec"
+)
+
+// AdH is the Ad-Hoc Table Retrieval baseline (Chen et al.): a BERT-style
+// encoder reads the table's context, header and a selected subset of rows,
+// under a hard input-window limit (BERT's 512 tokens). Content selectors
+// pick the rows most lexically similar to the query; whatever does not fit
+// the window is truncated — the failure mode the paper repeatedly observes
+// ("token length constraints led to truncation of relevant data").
+//
+// The encoder runs per query-table pair, as the real cross-encoding system
+// does, which is why AdH's query latency grows linearly with corpus size.
+type AdH struct {
+	ctx *Context
+	// window is the token limit; 512 in the original system.
+	window int
+}
+
+// NewAdH builds the baseline. window 0 selects 512.
+func NewAdH(ctx *Context, window int) *AdH {
+	if window == 0 {
+		window = 512
+	}
+	return &AdH{ctx: ctx, window: window}
+}
+
+// Name implements core.Searcher.
+func (a *AdH) Name() string { return "AdH" }
+
+// Search implements core.Searcher.
+func (a *AdH) Search(query string, k int) ([]core.Match, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	qEmb := a.ctx.Model.Encode(query)
+	qToks := queryTokens(query)
+	top := vec.NewTopK(k)
+	for i, d := range a.ctx.docs {
+		selected := a.selectContent(qToks, d)
+		emb := a.ctx.Model.EncodeTokens(selected)
+		top.Push(i, vec.Dot(qEmb, emb))
+	}
+	ranked := top.Sorted()
+	out := make([]core.Match, len(ranked))
+	for i, r := range ranked {
+		out[i] = core.Match{RelationID: a.ctx.docs[r.ID].id, Score: r.Score}
+	}
+	return out, nil
+}
+
+// selectContent builds the encoder input: context and header always, then
+// rows ranked by lexical overlap with the query, all truncated to the
+// window.
+func (a *AdH) selectContent(qToks []string, d *relDoc) []string {
+	qSet := make(map[string]struct{}, len(qToks))
+	for _, t := range qToks {
+		qSet[t] = struct{}{}
+	}
+	var toks []string
+	for _, s := range []string{d.rel.PageTitle, d.rel.Caption} {
+		toks = append(toks, text.Tokenize(s)...)
+	}
+	for _, c := range d.rel.Columns {
+		toks = append(toks, text.Tokenize(c)...)
+	}
+	// Rank rows by stemmed-token overlap with the query; stable order keeps
+	// the selection deterministic.
+	type rowScore struct {
+		idx     int
+		overlap int
+	}
+	rows := make([]rowScore, d.rel.NumRows())
+	for r := range rows {
+		rows[r].idx = r
+		for _, cell := range d.rel.Rows[r] {
+			for _, tok := range stemFilter(cell) {
+				if _, hit := qSet[tok]; hit {
+					rows[r].overlap++
+				}
+			}
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].overlap > rows[j].overlap })
+	for _, rs := range rows {
+		if len(toks) >= a.window {
+			break
+		}
+		toks = append(toks, text.Tokenize(strings.Join(d.rel.Rows[rs.idx], " "))...)
+	}
+	if len(toks) > a.window {
+		toks = toks[:a.window]
+	}
+	return toks
+}

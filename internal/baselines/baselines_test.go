@@ -1,0 +1,228 @@
+package baselines
+
+import (
+	"testing"
+
+	"semdisco/internal/core"
+	"semdisco/internal/corpus"
+	"semdisco/internal/eval"
+)
+
+// testCorpus is shared across baseline tests (generation is deterministic).
+func testCorpus(t testing.TB) (*corpus.Corpus, *Context) {
+	t.Helper()
+	p := corpus.WikiTables()
+	p.NumRelations = 100
+	p.NumTopics = 8
+	p.QueriesPerClass = 5
+	p.JudgedPerQuery = 20
+	c := corpus.Generate(p)
+	model := c.NewEncoder(128, 3)
+	return c, NewContext(c.Federation, model)
+}
+
+func allBaselines(ctx *Context) []core.Searcher {
+	return []core.Searcher{
+		NewMDR(ctx, MDROptions{}),
+		NewWS(ctx),
+		NewTCS(ctx, 1),
+		NewAdH(ctx, 0),
+		NewTML(ctx, 0),
+	}
+}
+
+func trainQueries(c *corpus.Corpus) map[string]string {
+	qs := map[string]string{}
+	for _, q := range c.Queries {
+		qs[q.ID] = q.Text
+	}
+	return qs
+}
+
+func runOf(t *testing.T, s core.Searcher, queries []corpus.Query, k int) eval.Run {
+	t.Helper()
+	run := eval.Run{}
+	for _, q := range queries {
+		ms, err := s.Search(q.Text, k)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		ids := make([]string, len(ms))
+		for i, m := range ms {
+			ids[i] = m.RelationID
+		}
+		run[q.ID] = ids
+	}
+	return run
+}
+
+func TestBaselinesReturnRankedResults(t *testing.T) {
+	_, ctx := testCorpus(t)
+	for _, s := range allBaselines(ctx) {
+		got, err := s.Search("some query words", 5)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(got) != 5 {
+			t.Fatalf("%s returned %d results", s.Name(), len(got))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Score > got[i-1].Score {
+				t.Fatalf("%s: scores not descending", s.Name())
+			}
+		}
+		if r, err := s.Search("x", 0); err != nil || r != nil {
+			t.Fatalf("%s: k=0 should return nothing", s.Name())
+		}
+	}
+}
+
+func TestBaselinesBeatRandom(t *testing.T) {
+	c, ctx := testCorpus(t)
+	queries := c.QueriesOf(corpus.Moderate)
+	// Expected MAP of a random ranking ≈ fraction of relevant relations,
+	// which is well under 0.15 for this corpus.
+	for _, s := range allBaselines(ctx) {
+		rep := eval.Evaluate(c.Qrels, runOf(t, s, queries, 20))
+		if rep.MAP < 0.1 {
+			t.Errorf("%s MAP=%.3f — no better than noise", s.Name(), rep.MAP)
+		}
+		t.Logf("%s: MAP=%.3f NDCG@10=%.3f", s.Name(), rep.MAP, rep.NDCG[10])
+	}
+}
+
+func TestTrainingImprovesWS(t *testing.T) {
+	c, ctx := testCorpus(t)
+	queries := c.QueriesOf(corpus.Moderate)
+	ws := NewWS(ctx)
+	before := eval.Evaluate(c.TestQrels, runOf(t, ws, queries, 20)).MAP
+	ws.Train(trainQueries(c), c.TrainQrels)
+	after := eval.Evaluate(c.TestQrels, runOf(t, ws, queries, 20)).MAP
+	t.Logf("WS MAP before=%.3f after=%.3f", before, after)
+	if after < before-0.05 {
+		t.Errorf("training made WS much worse: %.3f -> %.3f", before, after)
+	}
+}
+
+func TestTrainingImprovesTCS(t *testing.T) {
+	c, ctx := testCorpus(t)
+	queries := c.QueriesOf(corpus.Moderate)
+	tcs := NewTCS(ctx, 5)
+	before := eval.Evaluate(c.TestQrels, runOf(t, tcs, queries, 20)).MAP
+	tcs.Train(trainQueries(c), c.TrainQrels)
+	after := eval.Evaluate(c.TestQrels, runOf(t, tcs, queries, 20)).MAP
+	t.Logf("TCS MAP before=%.3f after=%.3f", before, after)
+	if after < before-0.05 {
+		t.Errorf("training made TCS much worse: %.3f -> %.3f", before, after)
+	}
+}
+
+func TestMDRTuneDoesNotRegress(t *testing.T) {
+	c, ctx := testCorpus(t)
+	queries := c.QueriesOf(corpus.Moderate)
+	mdr := NewMDR(ctx, MDROptions{})
+	before := eval.Evaluate(c.TrainQrels, runOf(t, mdr, queries, 20)).MAP
+	mdr.Tune(trainQueries(c), c.TrainQrels)
+	after := eval.Evaluate(c.TrainQrels, runOf(t, mdr, queries, 20)).MAP
+	if after < before-1e-9 {
+		t.Errorf("Tune regressed its own objective: %.4f -> %.4f", before, after)
+	}
+	w := mdr.Weights()
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("weights not normalized: %v", w)
+	}
+}
+
+func TestTMLWindowDegradesLongQueries(t *testing.T) {
+	// With a tiny window, long queries leave almost no room for the table;
+	// quality must drop relative to a generous window.
+	c, _ := testCorpus(t)
+	model := c.NewEncoder(128, 3)
+	ctx := NewContext(c.Federation, model)
+	long := c.QueriesOf(corpus.Long)
+
+	small := NewTML(ctx, 160) // long queries are ~80-140 tokens + 64 overhead
+	big := NewTML(ctx, 4096)
+	mapSmall := eval.Evaluate(c.Qrels, runOf(t, small, long, 20)).MAP
+	mapBig := eval.Evaluate(c.Qrels, runOf(t, big, long, 20)).MAP
+	t.Logf("TML long-query MAP: window=160 %.3f, window=4096 %.3f", mapSmall, mapBig)
+	if mapSmall >= mapBig {
+		t.Errorf("small window should hurt long queries: %.3f >= %.3f", mapSmall, mapBig)
+	}
+}
+
+func TestAdHSelectsOverlappingRows(t *testing.T) {
+	c, ctx := testCorpus(t)
+	adh := NewAdH(ctx, 32) // harsh window forces selection to matter
+	q := c.QueriesOf(corpus.Short)[0]
+	got, err := adh.Search(q.Text, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no results under harsh window")
+	}
+}
+
+func TestRandomForest(t *testing.T) {
+	// y = 3*x0 + noise-free threshold on x1: the forest must fit better
+	// than predicting the mean.
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		x0 := float64(i%10) / 10
+		x1 := float64((i / 10) % 2)
+		xs = append(xs, []float64{x0, x1, float64(i % 3)})
+		ys = append(ys, 3*x0+2*x1)
+	}
+	f := trainForest(xs, ys, forestConfig{Seed: 1})
+	var sse, ssm float64
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	for i, x := range xs {
+		d := f.predict(x) - ys[i]
+		sse += d * d
+		m := ys[i] - mean
+		ssm += m * m
+	}
+	if sse > ssm*0.2 {
+		t.Fatalf("forest fit too weak: SSE=%.3f vs SSM=%.3f", sse, ssm)
+	}
+}
+
+func TestRidgeRegressionRecoversLinear(t *testing.T) {
+	// y = 2*x0 - x1 + 0.5
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 50; i++ {
+		x0 := float64(i) / 10
+		x1 := float64(i%7) / 3
+		xs = append(xs, []float64{x0, x1})
+		ys = append(ys, 2*x0-x1+0.5)
+	}
+	w := ridgeRegression(xs, ys, 1e-6)
+	if len(w) != 3 {
+		t.Fatalf("weights=%v", w)
+	}
+	for i, want := range []float64{2, -1, 0.5} {
+		if diff := w[i] - want; diff > 0.01 || diff < -0.01 {
+			t.Fatalf("w[%d]=%.4f want %.4f", i, w[i], want)
+		}
+	}
+}
+
+func TestEmptyQuery(t *testing.T) {
+	_, ctx := testCorpus(t)
+	for _, s := range allBaselines(ctx) {
+		if _, err := s.Search("", 5); err != nil {
+			t.Fatalf("%s: empty query must not error: %v", s.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package baselines implements the five comparison systems of the paper's
+// evaluation (§5, "Base Methods"): Multi-field Document Ranking (MDR),
+// WebTable System (WS), Table Contextual Search (TCS), Ad-Hoc Table
+// Retrieval (AdH) and Table Meets LLM (TML). Each satisfies core.Searcher
+// so the experiment harness can run them interchangeably with ExS/ANNS/CTS.
+//
+// The baselines deliberately differ in what they are allowed to see:
+// MDR and WS are purely lexical (stemmed term matching), TCS adds word
+// embeddings via early fusion, and AdH/TML use the semantic encoder but
+// through a hard token window that truncates large tables — each method's
+// published strength and failure mode.
+package baselines
+
+import (
+	"semdisco/internal/embed"
+	"semdisco/internal/table"
+	"semdisco/internal/text"
+)
+
+// field identifies the document fields multi-field rankers score
+// separately.
+type field int
+
+const (
+	fieldPage field = iota
+	fieldSection
+	fieldCaption
+	fieldHeader
+	fieldBody
+	numFields
+)
+
+var fieldNames = [numFields]string{"page", "section", "caption", "header", "body"}
+
+// relDoc is the tokenized view of one relation.
+type relDoc struct {
+	id     string
+	rel    *table.Relation
+	tokens [numFields][]string       // stemmed, stopword-filtered
+	counts [numFields]map[string]int // term frequency per field
+	length [numFields]int
+	all    map[string]int // merged term frequencies
+	allLen int
+}
+
+// Context precomputes everything the baselines share: tokenized fields,
+// per-field collection statistics and the table-level text used by the
+// encoder-based methods.
+type Context struct {
+	Fed   *table.Federation
+	Model *embed.Model
+
+	docs       []*relDoc
+	fieldStats [numFields]*text.CorpusStats
+	allStats   *text.CorpusStats
+}
+
+// NewContext tokenizes the federation once for all baselines.
+func NewContext(fed *table.Federation, model *embed.Model) *Context {
+	ctx := &Context{Fed: fed, Model: model, allStats: &text.CorpusStats{}}
+	for f := range ctx.fieldStats {
+		ctx.fieldStats[f] = &text.CorpusStats{}
+	}
+	for _, r := range fed.Relations() {
+		d := &relDoc{id: r.ID, rel: r, all: make(map[string]int)}
+		fieldText := [numFields]string{
+			fieldPage:    r.PageTitle,
+			fieldSection: r.SectionTitle,
+			fieldCaption: r.Caption,
+		}
+		for _, c := range r.Columns {
+			fieldText[fieldHeader] += c + " "
+		}
+		for _, v := range r.Values() {
+			fieldText[fieldBody] += v + " "
+		}
+		for f := field(0); f < numFields; f++ {
+			toks := stemFilter(fieldText[f])
+			d.tokens[f] = toks
+			d.length[f] = len(toks)
+			d.counts[f] = make(map[string]int, len(toks))
+			for _, t := range toks {
+				d.counts[f][t]++
+				d.all[t]++
+				d.allLen++
+			}
+			ctx.fieldStats[f].AddDocument(toks)
+		}
+		allToks := make([]string, 0, d.allLen)
+		for f := field(0); f < numFields; f++ {
+			allToks = append(allToks, d.tokens[f]...)
+		}
+		ctx.allStats.AddDocument(allToks)
+		ctx.docs = append(ctx.docs, d)
+	}
+	return ctx
+}
+
+// NumRelations returns the corpus size.
+func (ctx *Context) NumRelations() int { return len(ctx.docs) }
+
+// queryTokens stems and filters a keyword query.
+func queryTokens(q string) []string { return stemFilter(q) }
+
+func stemFilter(s string) []string {
+	raw := text.RemoveStopwords(text.Tokenize(s))
+	out := make([]string, len(raw))
+	for i, t := range raw {
+		out[i] = text.Stem(t)
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// randomForest is a CART-based bagged regression forest — the learning-to-
+// rank model the TCS baseline uses ("uses Random Forest regression for
+// ranking").
+type randomForest struct {
+	trees []*cartNode
+}
+
+// forestConfig controls training.
+type forestConfig struct {
+	NumTrees    int // default 30
+	MaxDepth    int // default 6
+	MinLeaf     int // default 3
+	FeatureFrac float64
+	Seed        int64
+}
+
+type cartNode struct {
+	// Leaf prediction when left == nil.
+	value float64
+	// Split: feature index and threshold; samples with x[feature] <= t go
+	// left.
+	feature     int
+	threshold   float64
+	left, right *cartNode
+}
+
+// trainForest fits the forest on samples xs with targets ys.
+func trainForest(xs [][]float64, ys []float64, cfg forestConfig) *randomForest {
+	if cfg.NumTrees == 0 {
+		cfg.NumTrees = 30
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 6
+	}
+	if cfg.MinLeaf == 0 {
+		cfg.MinLeaf = 3
+	}
+	if cfg.FeatureFrac == 0 {
+		cfg.FeatureFrac = 0.7
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &randomForest{}
+	n := len(xs)
+	for t := 0; t < cfg.NumTrees; t++ {
+		// Bootstrap sample.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		f.trees = append(f.trees, growTree(xs, ys, idx, cfg, rng, 0))
+	}
+	return f
+}
+
+// predict averages the trees.
+func (f *randomForest) predict(x []float64) float64 {
+	var s float64
+	for _, t := range f.trees {
+		s += t.eval(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+func (n *cartNode) eval(x []float64) float64 {
+	for n.left != nil {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+func growTree(xs [][]float64, ys []float64, idx []int, cfg forestConfig, rng *rand.Rand, depth int) *cartNode {
+	mean, variance := meanVar(ys, idx)
+	node := &cartNode{value: mean}
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf || variance < 1e-12 {
+		return node
+	}
+	numFeat := len(xs[0])
+	tryFeat := int(math.Ceil(cfg.FeatureFrac * float64(numFeat)))
+	perm := rng.Perm(numFeat)[:tryFeat]
+
+	bestGain := 0.0
+	bestFeat, bestThresh := -1, 0.0
+	vals := make([]float64, len(idx))
+	for _, feat := range perm {
+		for i, s := range idx {
+			vals[i] = xs[s][feat]
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		// Candidate thresholds: midpoints between distinct consecutive
+		// values (at most 16, evenly spread), which handles discrete and
+		// heavily-tied features that quantile positions would skip.
+		var boundaries []float64
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i] != sorted[i-1] {
+				boundaries = append(boundaries, (sorted[i]+sorted[i-1])/2)
+			}
+		}
+		step := 1
+		if len(boundaries) > 16 {
+			step = len(boundaries) / 16
+		}
+		for bi := 0; bi < len(boundaries); bi += step {
+			t := boundaries[bi]
+			gain := splitGain(xs, ys, idx, feat, t, cfg.MinLeaf)
+			if gain > bestGain {
+				bestGain, bestFeat, bestThresh = gain, feat, t
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return node
+	}
+	var li, ri []int
+	for _, s := range idx {
+		if xs[s][bestFeat] <= bestThresh {
+			li = append(li, s)
+		} else {
+			ri = append(ri, s)
+		}
+	}
+	node.feature = bestFeat
+	node.threshold = bestThresh
+	node.left = growTree(xs, ys, li, cfg, rng, depth+1)
+	node.right = growTree(xs, ys, ri, cfg, rng, depth+1)
+	return node
+}
+
+// splitGain is the variance reduction of a candidate split; 0 when either
+// side is below the leaf minimum.
+func splitGain(xs [][]float64, ys []float64, idx []int, feat int, thresh float64, minLeaf int) float64 {
+	var nl, nr float64
+	var sl, sr, ql, qr float64
+	for _, s := range idx {
+		y := ys[s]
+		if xs[s][feat] <= thresh {
+			nl++
+			sl += y
+			ql += y * y
+		} else {
+			nr++
+			sr += y
+			qr += y * y
+		}
+	}
+	if int(nl) < minLeaf || int(nr) < minLeaf {
+		return 0
+	}
+	total := sl + sr
+	n := nl + nr
+	varTotal := (ql + qr) - total*total/n
+	varLeft := ql - sl*sl/nl
+	varRight := qr - sr*sr/nr
+	return varTotal - varLeft - varRight
+}
+
+func meanVar(ys []float64, idx []int) (mean, variance float64) {
+	if len(idx) == 0 {
+		return 0, 0
+	}
+	for _, s := range idx {
+		mean += ys[s]
+	}
+	mean /= float64(len(idx))
+	for _, s := range idx {
+		d := ys[s] - mean
+		variance += d * d
+	}
+	variance /= float64(len(idx))
+	return mean, variance
+}

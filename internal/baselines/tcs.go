@@ -1,0 +1,277 @@
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"semdisco/internal/core"
+	"semdisco/internal/eval"
+	"semdisco/internal/vec"
+)
+
+// TCS is the Table Contextual Search baseline (Zhang & Balog): query-table
+// pairs are mapped into several semantic spaces — lexical (TF-IDF), word-
+// embedding early fusion, and late-fusion table embeddings — whose
+// similarity scores feed a Random Forest regressor. The early-fusion
+// space compares every query token vector against every table token
+// vector, which is what makes TCS the slowest baseline at query time (the
+// shape Figure 3 reports).
+type TCS struct {
+	ctx *Context
+	// tableEmb is the late-fusion table-level embedding per doc.
+	tableEmb [][]float32
+	// bodyVocab is the distinct body+caption token list per doc, for early
+	// fusion.
+	bodyVocab [][]string
+	forest    *randomForest
+	seed      int64
+}
+
+const tcsNumFeatures = 7
+
+// NewTCS precomputes table embeddings and vocabularies; call Train to fit
+// the ranking forest on judged pairs (untrained, it falls back to the mean
+// of its feature scores).
+func NewTCS(ctx *Context, seed int64) *TCS {
+	t := &TCS{ctx: ctx, seed: seed}
+	for _, d := range ctx.docs {
+		t.tableEmb = append(t.tableEmb, ctx.Model.Encode(d.rel.Text()))
+		t.bodyVocab = append(t.bodyVocab, fusionVocab(ctx, d))
+	}
+	return t
+}
+
+// fusionVocabCap bounds the per-table vocabulary used in early fusion; the
+// original system compares against every term, but the quadratic cost only
+// needs the most informative terms to preserve the ranking signal.
+const fusionVocabCap = 64
+
+// fusionQueryCap bounds the distinct query tokens used in early fusion.
+const fusionQueryCap = 32
+
+// fusionVocab returns the table's body+caption tokens, deduplicated and
+// truncated to the highest-TF·IDF fusionVocabCap entries.
+func fusionVocab(ctx *Context, d *relDoc) []string {
+	type tokenWeight struct {
+		tok string
+		w   float64
+	}
+	seen := map[string]struct{}{}
+	var tws []tokenWeight
+	for _, f := range []field{fieldBody, fieldCaption} {
+		for _, tok := range d.tokens[f] {
+			if _, dup := seen[tok]; dup {
+				continue
+			}
+			seen[tok] = struct{}{}
+			tws = append(tws, tokenWeight{tok, float64(d.all[tok]) * ctx.allStats.IDF(tok)})
+		}
+	}
+	sort.SliceStable(tws, func(i, j int) bool { return tws[i].w > tws[j].w })
+	if len(tws) > fusionVocabCap {
+		tws = tws[:fusionVocabCap]
+	}
+	out := make([]string, len(tws))
+	for i, tw := range tws {
+		out[i] = tw.tok
+	}
+	return out
+}
+
+// Name implements core.Searcher.
+func (t *TCS) Name() string { return "TCS" }
+
+// Search implements core.Searcher.
+func (t *TCS) Search(query string, k int) ([]core.Match, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	qToks := queryTokens(query)
+	qEmb := t.ctx.Model.Encode(query)
+	top := vec.NewTopK(k)
+	feats := make([]float64, tcsNumFeatures)
+	for i := range t.ctx.docs {
+		t.features(qToks, qEmb, i, feats)
+		top.Push(i, float32(t.predict(feats)))
+	}
+	ranked := top.Sorted()
+	out := make([]core.Match, len(ranked))
+	for i, r := range ranked {
+		out[i] = core.Match{RelationID: t.ctx.docs[r.ID].id, Score: r.Score}
+	}
+	return out, nil
+}
+
+// features fills the multi-space similarity vector for one pair.
+func (t *TCS) features(qToks []string, qEmb []float32, docIdx int, dst []float64) {
+	d := t.ctx.docs[docIdx]
+	// Space 1: TF-IDF cosine over the merged document.
+	dst[0] = tfidfCosine(t.ctx, qToks, d)
+	// Space 2: late fusion — cosine of query embedding and table embedding.
+	dst[1] = float64(vec.Dot(qEmb, t.tableEmb[docIdx]))
+	// Spaces 3-5: early fusion — aggregate pairwise token similarities.
+	early := t.earlyFusion(qToks, docIdx)
+	dst[2], dst[3], dst[4] = early[0], early[1], early[2]
+	// Space 6: query coverage.
+	cover := 0.0
+	for _, tok := range qToks {
+		if d.all[tok] > 0 {
+			cover++
+		}
+	}
+	if len(qToks) > 0 {
+		dst[5] = cover / float64(len(qToks))
+	}
+	// Space 7: BM25 over the merged document.
+	dst[6] = bm25(t.ctx, qToks, d)
+}
+
+// earlyFusion returns (mean, max, mean-of-max) over the |q|×|vocab| token
+// similarity matrix — the expensive all-pairs comparison.
+func (t *TCS) earlyFusion(qToks []string, docIdx int) [3]float64 {
+	vocab := t.bodyVocab[docIdx]
+	if len(qToks) == 0 || len(vocab) == 0 {
+		return [3]float64{}
+	}
+	// Deduplicate and cap the query side of the fusion matrix.
+	seen := make(map[string]struct{}, len(qToks))
+	unique := make([]string, 0, len(qToks))
+	for _, q := range qToks {
+		if _, dup := seen[q]; dup {
+			continue
+		}
+		seen[q] = struct{}{}
+		unique = append(unique, q)
+		if len(unique) == fusionQueryCap {
+			break
+		}
+	}
+	qToks = unique
+	var sum, best, sumOfMax float64
+	count := 0
+	for _, q := range qToks {
+		qv := t.ctx.Model.TokenVec(q)
+		rowMax := -1.0
+		for _, tok := range vocab {
+			s := float64(vec.Dot(qv, t.ctx.Model.TokenVec(tok)))
+			sum += s
+			count++
+			if s > rowMax {
+				rowMax = s
+			}
+			if s > best {
+				best = s
+			}
+		}
+		sumOfMax += rowMax
+	}
+	return [3]float64{sum / float64(count), best, sumOfMax / float64(len(qToks))}
+}
+
+func (t *TCS) predict(feats []float64) float64 {
+	if t.forest != nil {
+		return t.forest.predict(feats)
+	}
+	// Untrained fallback: equal-weight combination.
+	var s float64
+	for _, f := range feats {
+		s += f
+	}
+	return s / float64(len(feats))
+}
+
+// tcsTrainCap bounds the judged pairs used for forest training; beyond a
+// few hundred pairs the fit stops changing while feature extraction keeps
+// costing.
+const tcsTrainCap = 800
+
+// Train fits the Random Forest on the judged pairs (subsampled
+// deterministically beyond tcsTrainCap) with the grade as target.
+func (t *TCS) Train(queries map[string]string, qrels eval.Qrels) {
+	byID := make(map[string]int, len(t.ctx.docs))
+	for i, d := range t.ctx.docs {
+		byID[d.id] = i
+	}
+	type pair struct {
+		qid, rel string
+		grade    int
+	}
+	var pairs []pair
+	for _, qid := range qrels.Queries() {
+		if _, ok := queries[qid]; !ok {
+			continue
+		}
+		judged := qrels[qid]
+		rels := make([]string, 0, len(judged))
+		for rel := range judged {
+			rels = append(rels, rel)
+		}
+		sort.Strings(rels)
+		for _, rel := range rels {
+			pairs = append(pairs, pair{qid, rel, judged[rel]})
+		}
+	}
+	if len(pairs) > tcsTrainCap {
+		stride := len(pairs) / tcsTrainCap
+		var sub []pair
+		for i := 0; i < len(pairs) && len(sub) < tcsTrainCap; i += stride {
+			sub = append(sub, pairs[i])
+		}
+		pairs = sub
+	}
+	var xs [][]float64
+	var ys []float64
+	qCache := map[string]struct {
+		toks []string
+		emb  []float32
+	}{}
+	for _, pr := range pairs {
+		di, ok := byID[pr.rel]
+		if !ok {
+			continue
+		}
+		qc, ok := qCache[pr.qid]
+		if !ok {
+			qc.toks = queryTokens(queries[pr.qid])
+			qc.emb = t.ctx.Model.Encode(queries[pr.qid])
+			qCache[pr.qid] = qc
+		}
+		feats := make([]float64, tcsNumFeatures)
+		t.features(qc.toks, qc.emb, di, feats)
+		xs = append(xs, feats)
+		ys = append(ys, float64(pr.grade))
+	}
+	if len(xs) >= 20 {
+		t.forest = trainForest(xs, ys, forestConfig{Seed: t.seed})
+	}
+}
+
+// tfidfCosine computes the cosine between TF-IDF vectors of the query and
+// the merged document, without materializing either.
+func tfidfCosine(ctx *Context, qToks []string, d *relDoc) float64 {
+	if len(qToks) == 0 || d.allLen == 0 {
+		return 0
+	}
+	qtf := map[string]float64{}
+	for _, t := range qToks {
+		qtf[t]++
+	}
+	var dot, qNorm float64
+	for t, tf := range qtf {
+		idf := ctx.allStats.IDF(t)
+		qw := tf * idf
+		qNorm += qw * qw
+		if dtf := d.all[t]; dtf > 0 {
+			dot += qw * float64(dtf) * idf
+		}
+	}
+	var dNorm float64
+	for t, tf := range d.all {
+		w := float64(tf) * ctx.allStats.IDF(t)
+		dNorm += w * w
+	}
+	if qNorm == 0 || dNorm == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(qNorm) * math.Sqrt(dNorm))
+}

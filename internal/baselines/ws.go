@@ -1,0 +1,210 @@
+package baselines
+
+import (
+	"math"
+
+	"semdisco/internal/core"
+	"semdisco/internal/eval"
+	"semdisco/internal/vec"
+)
+
+// WS is the WebTable System baseline (Cafarella et al.): hand-crafted
+// query-table features combined by a linear regression model trained on
+// judged pairs — the classic pre-neural table-ranking recipe.
+type WS struct {
+	ctx *Context
+	// numericFrac is precomputed per doc.
+	numericFrac []float64
+	weights     []float64 // one per feature + bias
+}
+
+const wsNumFeatures = 8
+
+// NewWS builds the baseline with sensible untrained weights (coverage-
+// dominated); call Train to fit them on judged pairs.
+func NewWS(ctx *Context) *WS {
+	w := &WS{ctx: ctx, numericFrac: make([]float64, len(ctx.docs))}
+	for i, d := range ctx.docs {
+		w.numericFrac[i] = d.rel.NumericFraction()
+	}
+	w.weights = []float64{1.0, 0.6, 0.6, 0.5, 0.02, 0.02, 0, 0.3, 0}
+	return w
+}
+
+// Name implements core.Searcher.
+func (w *WS) Name() string { return "WS" }
+
+// Search implements core.Searcher.
+func (w *WS) Search(query string, k int) ([]core.Match, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	qToks := queryTokens(query)
+	top := vec.NewTopK(k)
+	feats := make([]float64, wsNumFeatures)
+	for i := range w.ctx.docs {
+		w.features(qToks, i, feats)
+		top.Push(i, float32(w.predict(feats)))
+	}
+	ranked := top.Sorted()
+	out := make([]core.Match, len(ranked))
+	for i, r := range ranked {
+		out[i] = core.Match{RelationID: w.ctx.docs[r.ID].id, Score: r.Score}
+	}
+	return out, nil
+}
+
+// features fills dst with the hand-crafted feature vector.
+func (w *WS) features(qToks []string, docIdx int, dst []float64) {
+	d := w.ctx.docs[docIdx]
+	if len(qToks) == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	var coverBody, coverHeader, coverCtx, tfBody float64
+	for _, t := range qToks {
+		if d.counts[fieldBody][t] > 0 {
+			coverBody++
+			tfBody += float64(d.counts[fieldBody][t])
+		}
+		if d.counts[fieldHeader][t] > 0 {
+			coverHeader++
+		}
+		if d.counts[fieldPage][t] > 0 || d.counts[fieldSection][t] > 0 || d.counts[fieldCaption][t] > 0 {
+			coverCtx++
+		}
+	}
+	nq := float64(len(qToks))
+	dst[0] = coverBody / nq
+	dst[1] = coverHeader / nq
+	dst[2] = coverCtx / nq
+	if d.length[fieldBody] > 0 {
+		dst[3] = tfBody / float64(d.length[fieldBody])
+	} else {
+		dst[3] = 0
+	}
+	dst[4] = math.Log1p(float64(d.rel.NumRows()))
+	dst[5] = math.Log1p(float64(d.rel.NumCols()))
+	dst[6] = w.numericFrac[docIdx]
+	dst[7] = bm25(w.ctx, qToks, d)
+}
+
+func (w *WS) predict(feats []float64) float64 {
+	s := w.weights[wsNumFeatures] // bias
+	for i, f := range feats {
+		s += w.weights[i] * f
+	}
+	return s
+}
+
+// Train fits the linear model by ridge regression over every judged
+// (query, relation) pair, with the relevance grade as target.
+func (w *WS) Train(queries map[string]string, qrels eval.Qrels) {
+	byID := make(map[string]int, len(w.ctx.docs))
+	for i, d := range w.ctx.docs {
+		byID[d.id] = i
+	}
+	var xs [][]float64
+	var ys []float64
+	for qid, judged := range qrels {
+		qText, ok := queries[qid]
+		if !ok {
+			continue
+		}
+		qToks := queryTokens(qText)
+		for relID, grade := range judged {
+			di, ok := byID[relID]
+			if !ok {
+				continue
+			}
+			feats := make([]float64, wsNumFeatures)
+			w.features(qToks, di, feats)
+			xs = append(xs, feats)
+			ys = append(ys, float64(grade))
+		}
+	}
+	if len(xs) > wsNumFeatures {
+		w.weights = ridgeRegression(xs, ys, 0.1)
+	}
+}
+
+// bm25 scores the query against the merged document with k1=1.2, b=0.75.
+func bm25(ctx *Context, qToks []string, d *relDoc) float64 {
+	const k1, b = 1.2, 0.75
+	n := ctx.allStats.DocCount()
+	avgLen := float64(ctx.allStats.CollectionLen()) / math.Max(1, float64(n))
+	var s float64
+	dl := float64(d.allLen)
+	for _, t := range qToks {
+		tf := float64(d.all[t])
+		if tf == 0 {
+			continue
+		}
+		df := float64(ctx.allStats.DocFreq(t))
+		idf := math.Log(1 + (float64(n)-df+0.5)/(df+0.5))
+		s += idf * tf * (k1 + 1) / (tf + k1*(1-b+b*dl/math.Max(1, avgLen)))
+	}
+	return s
+}
+
+// ridgeRegression solves min ‖Xw − y‖² + λ‖w‖² with an intercept appended
+// as the last weight, via the normal equations and Gaussian elimination.
+func ridgeRegression(xs [][]float64, ys []float64, lambda float64) []float64 {
+	nf := len(xs[0]) + 1 // + bias
+	a := make([][]float64, nf)
+	for i := range a {
+		a[i] = make([]float64, nf+1)
+	}
+	row := make([]float64, nf)
+	for s := range xs {
+		copy(row, xs[s])
+		row[nf-1] = 1 // bias column
+		for i := 0; i < nf; i++ {
+			for j := 0; j < nf; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			a[i][nf] += row[i] * ys[s]
+		}
+	}
+	for i := 0; i < nf-1; i++ { // do not regularize the intercept
+		a[i][i] += lambda
+	}
+	return solveGauss(a)
+}
+
+// solveGauss solves the augmented system in place with partial pivoting.
+func solveGauss(a [][]float64) []float64 {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		if math.Abs(a[col][col]) < 1e-12 {
+			continue // singular direction: leave weight at 0
+		}
+		inv := 1 / a[col][col]
+		for j := col; j <= n; j++ {
+			a[col][j] *= inv
+		}
+		for r := 0; r < n; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for j := col; j <= n; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = a[i][n]
+	}
+	return out
+}

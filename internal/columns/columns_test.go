@@ -1,0 +1,199 @@
+package columns
+
+import (
+	"testing"
+
+	"semdisco/internal/embed"
+	"semdisco/internal/table"
+)
+
+// testFederation has a known join key (country names shared between two
+// tables) and a known unionable pair (two vaccine columns from different
+// sources with disjoint surface values but a shared concept).
+func testFederation(t *testing.T) (*table.Federation, *embed.Model) {
+	t.Helper()
+	fed := table.NewFederation()
+	add := func(r *table.Relation) {
+		if err := fed.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(&table.Relation{
+		ID: "gdp", Source: "econ",
+		Columns: []string{"Country", "GDP"},
+		Rows: [][]string{
+			{"Germany", "4200"}, {"France", "3100"}, {"Spain", "1600"},
+			{"Italy", "2100"}, {"Poland", "720"},
+		},
+	})
+	add(&table.Relation{
+		ID: "population", Source: "census",
+		Columns: []string{"Nation", "People"},
+		Rows: [][]string{
+			{"Germany", "83"}, {"France", "68"}, {"Spain", "47"},
+			{"Netherlands", "18"}, {"Belgium", "12"},
+		},
+	})
+	add(&table.Relation{
+		ID: "who-vaccines", Source: "WHO",
+		Columns: []string{"Region", "Vaccine"},
+		Rows: [][]string{
+			{"Europe", "Comirnaty"}, {"Asia", "CoronaVac"},
+		},
+	})
+	add(&table.Relation{
+		ID: "ecdc-vaccines", Source: "ECDC",
+		Columns: []string{"Country", "Trade Name"},
+		Rows: [][]string{
+			{"Germany", "Pfizer-BioNTech"}, {"France", "AstraZeneca"},
+		},
+	})
+	add(&table.Relation{
+		ID: "minerals", Source: "USGS",
+		Columns: []string{"Mineral", "Hardness"},
+		Rows: [][]string{
+			{"Quartz", "7"}, {"Talc", "1"}, {"Gypsum", "2"},
+		},
+	})
+
+	lex := embed.NewLexicon()
+	vaccines := lex.AddSynonyms("vaccine", "Comirnaty", "CoronaVac", "Pfizer-BioNTech", "AstraZeneca")
+	lex.Add(vaccines, "trade name")
+	countries := lex.AddSynonyms("country", "nation")
+	lex.Add(countries, "Germany")
+	lex.Add(countries, "France")
+	lex.Add(countries, "Spain")
+	lex.Add(countries, "Italy")
+	lex.Add(countries, "Poland")
+	lex.Add(countries, "Netherlands")
+	lex.Add(countries, "Belgium")
+	model := embed.New(embed.Config{Dim: 192, Seed: 5, Lexicon: lex})
+	return fed, model
+}
+
+func buildTestIndex(t *testing.T) *Index {
+	t.Helper()
+	fed, model := testFederation(t)
+	ix, err := BuildIndex(fed, model, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestBuildIndexProfilesEveryColumn(t *testing.T) {
+	ix := buildTestIndex(t)
+	if ix.NumColumns() != 10 {
+		t.Fatalf("columns=%d want 10", ix.NumColumns())
+	}
+	p, ok := ix.Profile(ColumnRef{RelationID: "gdp", Column: "Country"})
+	if !ok {
+		t.Fatal("gdp.Country missing")
+	}
+	if len(p.Distinct) != 5 || p.Rows != 5 {
+		t.Fatalf("profile=%+v", p)
+	}
+	if p.NumericFraction != 0 {
+		t.Fatalf("Country numeric fraction %v", p.NumericFraction)
+	}
+	gdpCol, _ := ix.Profile(ColumnRef{RelationID: "gdp", Column: "GDP"})
+	if gdpCol.NumericFraction != 1 {
+		t.Fatalf("GDP numeric fraction %v", gdpCol.NumericFraction)
+	}
+}
+
+func TestJoinableFindsSharedKeys(t *testing.T) {
+	ix := buildTestIndex(t)
+	q, _ := ix.Profile(ColumnRef{RelationID: "gdp", Column: "Country"})
+	got, err := ix.Joinable(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no join candidates")
+	}
+	best := got[0]
+	if best.Ref.RelationID != "population" || best.Ref.Column != "Nation" {
+		t.Fatalf("best join candidate %v, want population.Nation (got %+v)", best.Ref, got)
+	}
+	// 3 of gdp's 5 countries appear in population.
+	if best.Containment < 0.59 || best.Containment > 0.61 {
+		t.Fatalf("containment=%v want 0.6", best.Containment)
+	}
+	// Never propose a column from the same relation.
+	for _, m := range got {
+		if m.Ref.RelationID == "gdp" {
+			t.Fatalf("self-join proposed: %v", m.Ref)
+		}
+	}
+}
+
+func TestUnionableFindsSemanticTypeAcrossSources(t *testing.T) {
+	ix := buildTestIndex(t)
+	q, _ := ix.Profile(ColumnRef{RelationID: "who-vaccines", Column: "Vaccine"})
+	got, err := ix.Unionable(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no union candidates")
+	}
+	// The ECDC trade-name column holds the same semantic type with zero
+	// surface overlap; it must rank first.
+	if got[0].Ref.RelationID != "ecdc-vaccines" || got[0].Ref.Column != "Trade Name" {
+		t.Fatalf("best union candidate %v (all: %+v)", got[0].Ref, got)
+	}
+	// Minerals must not outrank it.
+	for i, m := range got {
+		if m.Ref.RelationID == "minerals" && i == 0 {
+			t.Fatal("mineral column ranked most unionable with vaccines")
+		}
+	}
+}
+
+func TestProfileColumnAdHoc(t *testing.T) {
+	ix := buildTestIndex(t)
+	q := ix.ProfileColumn("seed", "Land", []string{"Germany", "France", "Austria"})
+	got, err := ix.Joinable(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("ad-hoc column found nothing")
+	}
+	// Germany and France appear in gdp.Country, population.Nation and
+	// ecdc-vaccines.Country (containment ⅔ each); any of those is a
+	// correct best candidate. Hardness/GDP columns are not.
+	if got[0].Containment < 0.6 {
+		t.Fatalf("ad-hoc best candidate %v containment=%v", got[0].Ref, got[0].Containment)
+	}
+	if got[0].Ref.Column == "Hardness" || got[0].Ref.Column == "GDP" {
+		t.Fatalf("numeric column proposed as country join: %v", got[0].Ref)
+	}
+}
+
+func TestKZeroAndEmptyColumn(t *testing.T) {
+	ix := buildTestIndex(t)
+	q, _ := ix.Profile(ColumnRef{RelationID: "gdp", Column: "Country"})
+	if got, err := ix.Unionable(q, 0); err != nil || got != nil {
+		t.Fatal("k=0 must return nothing")
+	}
+	empty := ix.ProfileColumn("seed", "Empty", nil)
+	if empty.Embedding == nil {
+		t.Fatal("empty column must still embed (header only)")
+	}
+	if _, err := ix.Joinable(empty, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainment(t *testing.T) {
+	a := map[string]struct{}{"x": {}, "y": {}}
+	b := map[string]struct{}{"y": {}, "z": {}}
+	if got := containment(a, b); got != 0.5 {
+		t.Fatalf("containment=%v", got)
+	}
+	if got := containment(map[string]struct{}{}, b); got != 0 {
+		t.Fatalf("empty containment=%v", got)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"semdisco/internal/vectordb"
+)
+
+// ANNS is the Approximate Nearest Neighbors Search of §4.2 / Algorithm 2:
+// value vectors live in a vector database collection, optionally compressed
+// with Product Quantization, indexed with HNSW; a query retrieves the
+// nearest value vectors and scores each relation by the average similarity
+// of its retrieved vectors.
+type ANNS struct {
+	emb       *Embedded
+	coll      *vectordb.Collection
+	threshold float32
+	fanout    int
+	efSearch  int
+}
+
+// ANNSOptions configures ANNS.
+type ANNSOptions struct {
+	// Threshold is the paper's h.
+	Threshold float32
+	// Fanout is how many value vectors the index retrieves per query before
+	// grouping by relation; defaults to 32·k at query time when zero.
+	Fanout int
+	// EfSearch is the HNSW beam width; defaults to 128.
+	EfSearch int
+	// M and EfConstruction tune the HNSW graph (see hnsw.Config).
+	M, EfConstruction int
+	// DisablePQ turns off Product Quantization (used by the ablation; the
+	// paper's configuration keeps it on).
+	DisablePQ bool
+	// PQTrainSize, PQM, PQK tune the quantizer (see vectordb.PQConfig).
+	PQTrainSize, PQM, PQK int
+	// Seed drives index construction.
+	Seed int64
+}
+
+// NewANNS builds the vector-database index over the embedded federation.
+func NewANNS(emb *Embedded, opt ANNSOptions) (*ANNS, error) {
+	if opt.EfSearch == 0 {
+		opt.EfSearch = 128
+	}
+	cfg := vectordb.CollectionConfig{
+		Dim:            emb.Enc.Dim(),
+		Metric:         vectordb.Cosine,
+		M:              opt.M,
+		EfConstruction: opt.EfConstruction,
+		EfSearch:       opt.EfSearch,
+		Seed:           opt.Seed,
+	}
+	if !opt.DisablePQ {
+		pqM := opt.PQM
+		if pqM == 0 {
+			// 4-dim subspaces with 256 centroids: 192 bytes per 768-d
+			// vector (16× compression) with quantization error small
+			// enough that ranking quality tracks the uncompressed index.
+			pqM = emb.Enc.Dim() / 4
+			if pqM < 1 {
+				pqM = 1
+			}
+			for emb.Enc.Dim()%pqM != 0 {
+				pqM--
+			}
+		}
+		pqK := opt.PQK
+		if pqK == 0 {
+			pqK = 256
+		}
+		train := opt.PQTrainSize
+		if train == 0 {
+			train = 512
+		}
+		cfg.PQ = &vectordb.PQConfig{M: pqM, K: pqK, TrainSize: train}
+	}
+	db := vectordb.New()
+	coll, err := db.CreateCollection("values", cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: anns: %w", err)
+	}
+	for i, v := range emb.Values {
+		payload := map[string]string{"vi": strconv.Itoa(i)}
+		if _, err := coll.Insert(v.Vec, payload); err != nil {
+			return nil, fmt.Errorf("core: anns insert: %w", err)
+		}
+	}
+	return &ANNS{
+		emb:       emb,
+		coll:      coll,
+		threshold: opt.Threshold,
+		fanout:    opt.Fanout,
+		efSearch:  opt.EfSearch,
+	}, nil
+}
+
+// Name implements Searcher.
+func (s *ANNS) Name() string { return "ANNS" }
+
+// Search implements Searcher: Algorithm 2, step 2.
+func (s *ANNS) Search(query string, k int) ([]Match, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	q := s.emb.Enc.Encode(query)
+	fanout := s.fanout
+	if fanout == 0 {
+		fanout = 32 * k
+	}
+	ef := s.efSearch
+	if ef < fanout {
+		ef = fanout
+	}
+	hits, err := s.coll.Search(q, fanout, ef, nil)
+	if err != nil {
+		return nil, err
+	}
+	n := s.emb.NumRelations()
+	sums := make([]float32, n)
+	hitCount := make([]float32, n)
+	for _, h := range hits {
+		vi, err := strconv.Atoi(h.Payload["vi"])
+		if err != nil || vi < 0 || vi >= len(s.emb.Values) {
+			return nil, fmt.Errorf("core: anns: corrupt payload %q", h.Payload["vi"])
+		}
+		v := &s.emb.Values[vi]
+		if h.Score > 0 {
+			sums[v.Rel] += v.Weight * h.Score
+		}
+		hitCount[v.Rel]++
+	}
+	return rankRelations(s.emb.RelIDs, sums, hitCount, s.emb.TotalWeight, s.threshold, k), nil
+}
+
+// Stats exposes the underlying collection's storage statistics.
+func (s *ANNS) Stats() vectordb.Stats { return s.coll.Stats() }

@@ -1,0 +1,203 @@
+// Package core implements the paper's contribution: semantic dataset
+// discovery over a federation of relations via value-level embeddings, with
+// the three search strategies of §4 — Exhaustive Search (ExS), Approximate
+// Nearest Neighbors Search (ANNS) and Clustered Targeted Search (CTS) —
+// behind one Searcher interface.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"semdisco/internal/embed"
+	"semdisco/internal/table"
+	"semdisco/internal/vec"
+)
+
+// Match is one ranked discovery result.
+type Match struct {
+	RelationID string
+	Score      float32
+}
+
+// Searcher is the common contract of every discovery method in this repo,
+// including the baselines: rank the federation's relations for a keyword
+// query and return at most k matches, best first.
+type Searcher interface {
+	// Name returns the method's short name as used in the paper's tables
+	// ("ExS", "ANNS", "CTS", "MDR", …).
+	Name() string
+	// Search ranks relations for the query.
+	Search(query string, k int) ([]Match, error)
+}
+
+// Aggregator folds the per-value similarity scores of one relation into a
+// single relation score. The paper averages (§4.1); §5.3 discusses how
+// averaging dilutes relevance, which motivates the ablation variants.
+type Aggregator int
+
+const (
+	// AggMean averages all value scores (the paper's choice).
+	AggMean Aggregator = iota
+	// AggMax takes the best value score.
+	AggMax
+	// AggTopM averages only the m best value scores.
+	AggTopM
+)
+
+func (a Aggregator) String() string {
+	switch a {
+	case AggMean:
+		return "mean"
+	case AggMax:
+		return "max"
+	case AggTopM:
+		return "topM"
+	default:
+		return fmt.Sprintf("agg(%d)", int(a))
+	}
+}
+
+// valueRef is one embedded attribute value of a relation. Values are
+// deduplicated per relation and carry their multiplicity as Weight, so the
+// weighted mean equals the paper's average over every attribute occurrence.
+type valueRef struct {
+	Rel    int32
+	Weight float32
+	Vec    []float32
+}
+
+// Embedded is a federation with every attribute value (plus the caption,
+// per the paper's WikiTables consolidation) embedded as a unit vector. It
+// is the shared substrate the three searchers are built on; building it is
+// the index-time cost, queries never re-embed the data.
+type Embedded struct {
+	Enc    embed.Encoder
+	RelIDs []string
+	Values []valueRef
+	// PerRel[i] indexes Values belonging to relation i.
+	PerRel [][]int32
+	// TotalWeight[i] is the summed multiplicity of relation i's values.
+	TotalWeight []float32
+	// valueTexts[i] is the original text of Values[i], kept for Explain.
+	valueTexts []string
+}
+
+// EmbedFederation embeds every relation's cell values and caption with enc,
+// in parallel. Deterministic: output order depends only on input order.
+func EmbedFederation(fed *table.Federation, enc embed.Encoder) *Embedded {
+	rels := fed.Relations()
+	e := &Embedded{
+		Enc:         enc,
+		RelIDs:      make([]string, len(rels)),
+		PerRel:      make([][]int32, len(rels)),
+		TotalWeight: make([]float32, len(rels)),
+	}
+
+	type relValues struct {
+		texts   []string
+		weights []float32
+	}
+	prepared := make([]relValues, len(rels))
+	for i, r := range rels {
+		e.RelIDs[i] = r.ID
+		counts := make(map[string]float32)
+		for _, v := range r.Values() {
+			if v == "" {
+				continue
+			}
+			counts[v]++
+		}
+		if r.Caption != "" {
+			counts[r.Caption]++
+		}
+		texts := make([]string, 0, len(counts))
+		for v := range counts {
+			texts = append(texts, v)
+		}
+		sort.Strings(texts)
+		weights := make([]float32, len(texts))
+		for j, v := range texts {
+			weights[j] = counts[v]
+		}
+		prepared[i] = relValues{texts: texts, weights: weights}
+	}
+
+	// Encode relations in parallel; assembly stays in input order.
+	encoded := make([][][]float32, len(rels))
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	jobs := make(chan int, len(rels))
+	for i := range rels {
+		jobs <- i
+	}
+	close(jobs)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				vecs := make([][]float32, len(prepared[i].texts))
+				for j, t := range prepared[i].texts {
+					vecs[j] = enc.Encode(t)
+				}
+				encoded[i] = vecs
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := range rels {
+		for j := range prepared[i].texts {
+			idx := int32(len(e.Values))
+			e.Values = append(e.Values, valueRef{
+				Rel:    int32(i),
+				Weight: prepared[i].weights[j],
+				Vec:    encoded[i][j],
+			})
+			e.valueTexts = append(e.valueTexts, prepared[i].texts[j])
+			e.PerRel[i] = append(e.PerRel[i], idx)
+			e.TotalWeight[i] += prepared[i].weights[j]
+		}
+	}
+	return e
+}
+
+// NumValues returns the number of embedded (deduplicated) values.
+func (e *Embedded) NumValues() int { return len(e.Values) }
+
+// NumRelations returns the number of relations.
+func (e *Embedded) NumRelations() int { return len(e.RelIDs) }
+
+// rankRelations converts an accumulation of weighted hit sums per relation
+// into a ranked, thresholded, truncated result list. The denominator is
+// the relation's total value weight: a value the index did not retrieve
+// contributes its (near-zero) similarity as zero, so the score is the
+// paper's "average of the similarity scores of the vectors of the
+// relation" with the long tail truncated at zero — which is also what
+// keeps a relation that surfaced on one lucky hit from outranking a
+// relation with broad topical evidence. Relations with no hits at all are
+// omitted.
+func rankRelations(ids []string, sums, hits, totalWeight []float32, threshold float32, k int) []Match {
+	scored := make([]vec.Scored, 0, len(ids))
+	for i := range ids {
+		if hits[i] <= 0 || totalWeight[i] <= 0 {
+			continue
+		}
+		scored = append(scored, vec.Scored{ID: i, Score: sums[i] / totalWeight[i]})
+	}
+	vec.SortScoredDesc(scored)
+	out := make([]Match, 0, k)
+	for _, s := range scored {
+		if s.Score < threshold {
+			break // list is sorted descending; nothing below passes
+		}
+		out = append(out, Match{RelationID: ids[s.ID], Score: s.Score})
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"semdisco/internal/embed"
+	"semdisco/internal/table"
+)
+
+func newRelation(id, topic string) *table.Relation {
+	return &table.Relation{
+		ID:      id,
+		Source:  "src",
+		Columns: []string{"A", "B"},
+		Rows:    [][]string{{topic + " alpha", topic + " beta"}, {topic + " gamma", "42"}},
+	}
+}
+
+func TestAddRelationAllMethods(t *testing.T) {
+	fed := table.NewFederation()
+	for i := 0; i < 10; i++ {
+		fed.Add(newRelation(string(rune('a'+i)), "filler"))
+	}
+	model := embed.New(embed.Config{Dim: 64, Seed: 1})
+
+	build := func() []Searcher {
+		emb := EmbedFederation(fed, model)
+		anns, err := NewANNS(emb, ANNSOptions{Seed: 1, DisablePQ: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Separate embeddings per searcher so Adds do not interfere.
+		emb2 := EmbedFederation(fed, model)
+		cts, err := NewCTS(emb2, CTSOptions{Seed: 1, MinClusterSize: 4, UMAPEpochs: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		emb3 := EmbedFederation(fed, model)
+		return []Searcher{NewExS(emb3, ExSOptions{}), anns, cts}
+	}
+
+	for _, s := range build() {
+		app, ok := s.(Appender)
+		if !ok {
+			t.Fatalf("%s does not implement Appender", s.Name())
+		}
+		if err := app.AddRelation(newRelation("new-zebra", "zebra savanna wildlife")); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		got, err := s.Search("zebra wildlife", 3)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(got) == 0 || got[0].RelationID != "new-zebra" {
+			t.Fatalf("%s: added relation not found: %v", s.Name(), got)
+		}
+		// Duplicate IDs must be rejected.
+		if err := app.AddRelation(newRelation("new-zebra", "x")); err == nil {
+			t.Fatalf("%s: duplicate id accepted", s.Name())
+		}
+		// Invalid relations must be rejected.
+		if err := app.AddRelation(&table.Relation{}); err == nil {
+			t.Fatalf("%s: invalid relation accepted", s.Name())
+		}
+	}
+}
+
+func TestEmbeddedPersistRestore(t *testing.T) {
+	fed := table.NewFederation()
+	fed.Add(newRelation("r1", "solar panels energy"))
+	fed.Add(newRelation("r2", "marine biology fish"))
+	model := embed.New(embed.Config{Dim: 48, Seed: 9})
+	emb := EmbedFederation(fed, model)
+
+	var buf bytes.Buffer
+	if err := emb.Persist(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreEmbedded(bytes.NewReader(buf.Bytes()), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumValues() != emb.NumValues() || restored.NumRelations() != emb.NumRelations() {
+		t.Fatal("shape lost")
+	}
+	// A searcher over the restored embedding must agree with the original.
+	a, _ := NewExS(emb, ExSOptions{}).Search("solar energy", 2)
+	b, _ := NewExS(restored, ExSOptions{}).Search("solar energy", 2)
+	if len(a) != len(b) {
+		t.Fatal("result lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("restored searcher differs: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestRestoreEmbeddedValidation(t *testing.T) {
+	model := embed.New(embed.Config{Dim: 48, Seed: 9})
+	if _, err := RestoreEmbedded(bytes.NewReader([]byte("junk")), model); err == nil {
+		t.Fatal("garbage must not restore")
+	}
+	// Dim mismatch.
+	fed := table.NewFederation()
+	fed.Add(newRelation("r1", "anything"))
+	emb := EmbedFederation(fed, model)
+	var buf bytes.Buffer
+	emb.Persist(&buf)
+	other := embed.New(embed.Config{Dim: 32, Seed: 9})
+	if _, err := RestoreEmbedded(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("dim mismatch must fail")
+	}
+}

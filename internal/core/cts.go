@@ -1,0 +1,345 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"semdisco/internal/hdbscan"
+	"semdisco/internal/umap"
+	"semdisco/internal/vec"
+	"semdisco/internal/vectordb"
+)
+
+// CTS is the Clustered Targeted Search of §4.3 / Algorithm 3, the paper's
+// central contribution. Index time: value vectors are reduced with UMAP,
+// clustered with HDBSCAN, each cluster gets a medoid and its own vector-
+// database collection. Query time: the query is compared against the
+// medoids (in the original embedding space — medoids are real data points,
+// so the query needs no reduction), the top clusters are selected, and the
+// ANNS procedure runs only inside those clusters.
+type CTS struct {
+	emb *Embedded
+	// medoidVecs[c] is cluster c's medoid in the original embedding space.
+	medoidVecs [][]float32
+	// clusterColl[c] is the per-cluster collection ("we store each cluster
+	// in a vector database, where each collection contains unique data
+	// points").
+	clusterColl []*vectordb.Collection
+	clusterOf   []int // value index -> cluster
+	threshold   float32
+	topClusters int
+	fanout      int
+	efSearch    int
+}
+
+// Reduction selects CTS's dimensionality-reduction stage.
+type Reduction int
+
+const (
+	// ReduceUMAP is the paper's choice.
+	ReduceUMAP Reduction = iota
+	// ReducePCA is the ablation alternative.
+	ReducePCA
+	// ReduceNone clusters in the original space (ablation).
+	ReduceNone
+)
+
+func (r Reduction) String() string {
+	switch r {
+	case ReduceUMAP:
+		return "umap"
+	case ReducePCA:
+		return "pca"
+	case ReduceNone:
+		return "none"
+	default:
+		return fmt.Sprintf("reduction(%d)", int(r))
+	}
+}
+
+// CTSOptions configures CTS.
+type CTSOptions struct {
+	// Threshold is the paper's h.
+	Threshold float32
+	// TopClusters is how many clusters the query descends into; the
+	// default adapts to the clustering: max(8, 15% of the cluster count),
+	// so the targeted fraction of the corpus stays comparable as corpora
+	// and cluster granularities vary.
+	TopClusters int
+	// Reduction selects the reducer; default ReduceUMAP.
+	Reduction Reduction
+	// ReducedDim is the UMAP/PCA output dimension; default 16.
+	ReducedDim int
+	// MinClusterSize is HDBSCAN's granularity; default 8.
+	MinClusterSize int
+	// SampleCap bounds the O(n²) HDBSCAN run: when the corpus has more
+	// value vectors, clustering runs on a stride sample and the remaining
+	// points are assigned to the nearest medoid in reduced space (the
+	// standard approximate-predict scheme). Default 4096.
+	SampleCap int
+	// UMAPEpochs caps layout optimization; 0 uses umap defaults.
+	UMAPEpochs int
+	// Fanout is value hits retrieved per query across the selected
+	// clusters; defaults to 32·k at query time.
+	Fanout int
+	// EfSearch is the per-cluster HNSW beam width; default 96.
+	EfSearch int
+	// M, EfConstruction tune the per-cluster HNSW graphs.
+	M, EfConstruction int
+	// Seed drives reduction, clustering and index construction.
+	Seed int64
+}
+
+// NewCTS builds the clustered index. Building is the expensive phase
+// (reduce + cluster + per-cluster graphs); queries afterwards only touch
+// medoids and the selected clusters.
+func NewCTS(emb *Embedded, opt CTSOptions) (*CTS, error) {
+	if opt.ReducedDim == 0 {
+		opt.ReducedDim = 16
+	}
+	if opt.MinClusterSize == 0 {
+		opt.MinClusterSize = 8
+	}
+	if opt.SampleCap == 0 {
+		opt.SampleCap = 4096
+	}
+	if opt.EfSearch == 0 {
+		opt.EfSearch = 96
+	}
+	n := len(emb.Values)
+	if n == 0 {
+		return nil, fmt.Errorf("core: cts: empty federation")
+	}
+
+	points := make([][]float32, n)
+	for i := range emb.Values {
+		points[i] = emb.Values[i].Vec
+	}
+
+	// 1. Dimensionality reduction.
+	var reduced [][]float32
+	switch opt.Reduction {
+	case ReducePCA:
+		reduced = umap.PCA(points, opt.ReducedDim, opt.Seed)
+	case ReduceNone:
+		reduced = points
+	default:
+		reduced = umap.Fit(points, umap.Config{
+			NComponents: opt.ReducedDim,
+			NEpochs:     opt.UMAPEpochs,
+			Seed:        opt.Seed,
+		})
+	}
+
+	// 2. HDBSCAN on (a sample of) the reduced vectors.
+	sampleIdx := strideSample(n, opt.SampleCap)
+	samplePts := make([][]float32, len(sampleIdx))
+	for i, gi := range sampleIdx {
+		samplePts[i] = reduced[gi]
+	}
+	res := hdbscan.Cluster(samplePts, hdbscan.Config{MinClusterSize: opt.MinClusterSize})
+
+	// 3. Medoids in reduced and original space. Degenerate clusterings
+	// (zero clusters) collapse to a single cluster around the global
+	// medoid so that CTS remains total.
+	var medoidGlobal []int
+	if res.NumClusters == 0 {
+		medoidGlobal = []int{globalMedoid(reduced, sampleIdx)}
+	} else {
+		medoidGlobal = make([]int, res.NumClusters)
+		for c, mi := range res.Medoids {
+			medoidGlobal[c] = sampleIdx[mi]
+		}
+	}
+	numClusters := len(medoidGlobal)
+	medoidReduced := make([][]float32, numClusters)
+	medoidVecs := make([][]float32, numClusters)
+	for c, gi := range medoidGlobal {
+		medoidReduced[c] = reduced[gi]
+		medoidVecs[c] = points[gi]
+	}
+
+	// 4. Assign every value to a cluster: sampled points keep their label
+	// (noise included — it routes to the nearest medoid), everything else
+	// goes to the nearest medoid in reduced space.
+	clusterOf := make([]int, n)
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	if res.NumClusters > 0 {
+		for si, gi := range sampleIdx {
+			clusterOf[gi] = res.Labels[si]
+		}
+	}
+	for i := 0; i < n; i++ {
+		if clusterOf[i] >= 0 {
+			continue
+		}
+		best, bestD := 0, float32(math.MaxFloat32)
+		for c := range medoidReduced {
+			if d := vec.L2Sq(reduced[i], medoidReduced[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		clusterOf[i] = best
+	}
+
+	// 5. One collection per cluster.
+	db := vectordb.New()
+	colls := make([]*vectordb.Collection, numClusters)
+	for c := range colls {
+		coll, err := db.CreateCollection(fmt.Sprintf("cluster-%d", c), vectordb.CollectionConfig{
+			Dim:            emb.Enc.Dim(),
+			Metric:         vectordb.Cosine,
+			M:              opt.M,
+			EfConstruction: opt.EfConstruction,
+			EfSearch:       opt.EfSearch,
+			Seed:           opt.Seed + int64(c),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: cts: %w", err)
+		}
+		colls[c] = coll
+	}
+	for i, v := range emb.Values {
+		payload := map[string]string{"vi": strconv.Itoa(i)}
+		if _, err := colls[clusterOf[i]].Insert(v.Vec, payload); err != nil {
+			return nil, fmt.Errorf("core: cts insert: %w", err)
+		}
+	}
+
+	topClusters := opt.TopClusters
+	if topClusters == 0 {
+		topClusters = numClusters * 15 / 100
+		if topClusters < 8 {
+			topClusters = 8
+		}
+	}
+	return &CTS{
+		emb:         emb,
+		medoidVecs:  medoidVecs,
+		clusterColl: colls,
+		clusterOf:   clusterOf,
+		threshold:   opt.Threshold,
+		topClusters: topClusters,
+		fanout:      opt.Fanout,
+		efSearch:    opt.EfSearch,
+	}, nil
+}
+
+// Name implements Searcher.
+func (s *CTS) Name() string { return "CTS" }
+
+// NumClusters reports how many clusters the index holds.
+func (s *CTS) NumClusters() int { return len(s.medoidVecs) }
+
+// ClusterOf exposes the value-to-cluster assignment for diagnostics.
+func (s *CTS) ClusterOf(valueIdx int) int { return s.clusterOf[valueIdx] }
+
+// Search implements Searcher: Algorithm 3's query phase.
+func (s *CTS) Search(query string, k int) ([]Match, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	return s.searchEncoded(s.emb.Enc.Encode(query), k)
+}
+
+// searchEncoded runs the cluster walk for an already-encoded query vector.
+func (s *CTS) searchEncoded(q []float32, k int) ([]Match, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	// Rank clusters by medoid similarity (original space; medoids are data
+	// points, so the query needs no reduction).
+	top := vec.NewTopK(minInt(s.topClusters, len(s.medoidVecs)))
+	for c, m := range s.medoidVecs {
+		top.Push(c, vec.Dot(q, m))
+	}
+	selected := top.Sorted()
+
+	fanout := s.fanout
+	if fanout == 0 {
+		fanout = 32 * k
+	}
+	perCluster := fanout / len(selected)
+	if perCluster < k {
+		perCluster = k
+	}
+	ef := s.efSearch
+	if ef < perCluster {
+		ef = perCluster
+	}
+
+	n := s.emb.NumRelations()
+	sums := make([]float32, n)
+	hitCount := make([]float32, n)
+	for _, sc := range selected {
+		coll := s.clusterColl[sc.ID]
+		// Beams wider than the cluster only add heap overhead.
+		pc, pcEf := perCluster, ef
+		if l := coll.Len(); pc > l {
+			pc = l
+			if pcEf > l {
+				pcEf = l
+			}
+		}
+		hits, err := coll.Search(q, pc, pcEf, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, h := range hits {
+			vi, err := strconv.Atoi(h.Payload["vi"])
+			if err != nil || vi < 0 || vi >= len(s.emb.Values) {
+				return nil, fmt.Errorf("core: cts: corrupt payload %q", h.Payload["vi"])
+			}
+			v := &s.emb.Values[vi]
+			if h.Score > 0 {
+				sums[v.Rel] += v.Weight * h.Score
+			}
+			hitCount[v.Rel]++
+		}
+	}
+	return rankRelations(s.emb.RelIDs, sums, hitCount, s.emb.TotalWeight, s.threshold, k), nil
+}
+
+// strideSample returns up to cap evenly spaced indices of [0, n).
+func strideSample(n, cap int) []int {
+	if n <= cap {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, 0, cap)
+	stride := float64(n) / float64(cap)
+	for i := 0; i < cap; i++ {
+		out = append(out, int(float64(i)*stride))
+	}
+	return out
+}
+
+// globalMedoid returns the sampled point closest to the centroid of the
+// reduced space.
+func globalMedoid(reduced [][]float32, sampleIdx []int) int {
+	centroid := make([]float32, len(reduced[0]))
+	for _, gi := range sampleIdx {
+		vec.Add(centroid, reduced[gi])
+	}
+	vec.Scale(centroid, 1/float32(len(sampleIdx)))
+	best, bestD := sampleIdx[0], float32(math.MaxFloat32)
+	for _, gi := range sampleIdx {
+		if d := vec.L2Sq(reduced[gi], centroid); d < bestD {
+			best, bestD = gi, d
+		}
+	}
+	return best
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

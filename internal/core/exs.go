@@ -1,0 +1,162 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"semdisco/internal/vec"
+)
+
+// ExS is the Exhaustive Search of §4.1 / Algorithm 1: every value vector of
+// every relation is compared against the query vector; per-relation scores
+// are the aggregate (by default the average) of the value similarities.
+// It is exact and complete, and its query cost is linear in the total
+// number of embedded values — the scalability ceiling the other two
+// methods exist to break.
+type ExS struct {
+	emb       *Embedded
+	threshold float32
+	agg       Aggregator
+	topM      int
+	parallel  bool
+}
+
+// ExSOptions configures ExS.
+type ExSOptions struct {
+	// Threshold is the paper's h: relations scoring below it are filtered
+	// out. Zero keeps everything with a non-negative score.
+	Threshold float32
+	// Aggregator selects how value scores fold into a relation score;
+	// default AggMean (the paper's averaging).
+	Aggregator Aggregator
+	// TopM is the m for AggTopM; default 5.
+	TopM int
+	// Parallel scans relations on all cores; default true. The benchmarks
+	// disable it to measure the single-threaded scan the paper reports.
+	Parallel *bool
+}
+
+// NewExS builds an exhaustive searcher over the embedded federation.
+func NewExS(emb *Embedded, opt ExSOptions) *ExS {
+	if opt.TopM == 0 {
+		opt.TopM = 5
+	}
+	parallel := true
+	if opt.Parallel != nil {
+		parallel = *opt.Parallel
+	}
+	return &ExS{
+		emb:       emb,
+		threshold: opt.Threshold,
+		agg:       opt.Aggregator,
+		topM:      opt.TopM,
+		parallel:  parallel,
+	}
+}
+
+// Name implements Searcher.
+func (s *ExS) Name() string { return "ExS" }
+
+// Search implements Searcher: Algorithm 1.
+func (s *ExS) Search(query string, k int) ([]Match, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	return s.searchEncoded(s.emb.Enc.Encode(query), k)
+}
+
+// searchEncoded ranks relations for an already-encoded query vector.
+func (s *ExS) searchEncoded(q []float32, k int) ([]Match, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	n := s.emb.NumRelations()
+	scores := make([]float32, n)
+
+	scoreRange := func(lo, hi int) {
+		for rel := lo; rel < hi; rel++ {
+			scores[rel] = s.scoreRelation(q, rel)
+		}
+	}
+	if s.parallel && n > 64 {
+		workers := runtime.GOMAXPROCS(0)
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				scoreRange(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		scoreRange(0, n)
+	}
+
+	scored := make([]vec.Scored, n)
+	for i := range scores {
+		scored[i] = vec.Scored{ID: i, Score: scores[i]}
+	}
+	vec.SortScoredDesc(scored)
+	out := make([]Match, 0, k)
+	for _, sc := range scored {
+		if sc.Score < s.threshold {
+			break
+		}
+		out = append(out, Match{RelationID: s.emb.RelIDs[sc.ID], Score: sc.Score})
+		if len(out) == k {
+			break
+		}
+	}
+	return out, nil
+}
+
+// scoreRelation folds the similarities of one relation's values.
+func (s *ExS) scoreRelation(q []float32, rel int) float32 {
+	idxs := s.emb.PerRel[rel]
+	if len(idxs) == 0 {
+		return 0
+	}
+	switch s.agg {
+	case AggMax:
+		best := float32(-1)
+		for _, vi := range idxs {
+			if sim := vec.Dot(q, s.emb.Values[vi].Vec); sim > best {
+				best = sim
+			}
+		}
+		return best
+	case AggTopM:
+		sims := make([]float32, 0, len(idxs))
+		for _, vi := range idxs {
+			sims = append(sims, vec.Dot(q, s.emb.Values[vi].Vec))
+		}
+		sort.Slice(sims, func(i, j int) bool { return sims[i] > sims[j] })
+		m := s.topM
+		if m > len(sims) {
+			m = len(sims)
+		}
+		var sum float32
+		for _, x := range sims[:m] {
+			sum += x
+		}
+		return sum / float32(m)
+	default: // AggMean: multiplicity-weighted mean = paper's plain average
+		var sum float32
+		for _, vi := range idxs {
+			v := &s.emb.Values[vi]
+			sum += v.Weight * vec.Dot(q, v.Vec)
+		}
+		return sum / s.emb.TotalWeight[rel]
+	}
+}

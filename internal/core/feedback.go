@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"semdisco/internal/vec"
+)
+
+// vectorSearcher is the internal contract PRF needs: rank relations for an
+// arbitrary query vector. All three methods satisfy it.
+type vectorSearcher interface {
+	searchVec(q []float32, k int) ([]Match, error)
+}
+
+// searchVec implements vectorSearcher for ExS.
+func (s *ExS) searchVec(q []float32, k int) ([]Match, error) {
+	return s.searchEncoded(q, k)
+}
+
+// searchVec implements vectorSearcher for ANNS.
+func (s *ANNS) searchVec(q []float32, k int) ([]Match, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	fanout := s.fanout
+	if fanout == 0 {
+		fanout = 32 * k
+	}
+	ef := s.efSearch
+	if ef < fanout {
+		ef = fanout
+	}
+	hits, err := s.coll.Search(q, fanout, ef, nil)
+	if err != nil {
+		return nil, err
+	}
+	return s.foldHits(hits, k)
+}
+
+// searchVec implements vectorSearcher for CTS by re-entering the cluster
+// walk with the given vector.
+func (s *CTS) searchVec(q []float32, k int) ([]Match, error) {
+	return s.searchEncoded(q, k)
+}
+
+// PRFOptions tunes pseudo-relevance feedback.
+type PRFOptions struct {
+	// FeedbackDocs is how many top relations feed back; default 3.
+	FeedbackDocs int
+	// Alpha weighs the original query, Beta the feedback centroid
+	// (Rocchio); defaults 1.0 and 0.5.
+	Alpha, Beta float32
+}
+
+// SearchPRF runs Rocchio-style pseudo-relevance feedback on top of any of
+// the three methods: an initial search retrieves FeedbackDocs relations,
+// their value-embedding centroids are averaged into a feedback vector, and
+// the expanded query α·q + β·centroid is searched again. This is the
+// classic query-expansion extension of embedding retrieval; it helps
+// exactly where the paper's §5.3 analysis says short queries lack context.
+func SearchPRF(s Searcher, emb *Embedded, query string, k int, opt PRFOptions) ([]Match, error) {
+	vs, ok := s.(vectorSearcher)
+	if !ok {
+		return nil, fmt.Errorf("core: %s does not support vector search", s.Name())
+	}
+	if opt.FeedbackDocs == 0 {
+		opt.FeedbackDocs = 3
+	}
+	if opt.Alpha == 0 {
+		opt.Alpha = 1.0
+	}
+	if opt.Beta == 0 {
+		opt.Beta = 0.5
+	}
+	q := emb.Enc.Encode(query)
+	initial, err := vs.searchVec(q, opt.FeedbackDocs)
+	if err != nil {
+		return nil, err
+	}
+	if len(initial) == 0 {
+		return vs.searchVec(q, k)
+	}
+	relIdx := make(map[string]int, len(emb.RelIDs))
+	for i, id := range emb.RelIDs {
+		relIdx[id] = i
+	}
+	centroid := make([]float32, emb.Enc.Dim())
+	for _, m := range initial {
+		ri, ok := relIdx[m.RelationID]
+		if !ok {
+			continue
+		}
+		// The relation's own centroid: weighted mean of its value vectors.
+		relCentroid := make([]float32, emb.Enc.Dim())
+		for _, vi := range emb.PerRel[ri] {
+			v := &emb.Values[vi]
+			vec.AddScaled(relCentroid, v.Weight, v.Vec)
+		}
+		vec.Normalize(relCentroid)
+		vec.Add(centroid, relCentroid)
+	}
+	vec.Normalize(centroid)
+
+	expanded := make([]float32, emb.Enc.Dim())
+	vec.AddScaled(expanded, opt.Alpha, q)
+	vec.AddScaled(expanded, opt.Beta, centroid)
+	vec.Normalize(expanded)
+	return vs.searchVec(expanded, k)
+}

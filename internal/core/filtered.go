@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"semdisco/internal/vec"
+	"semdisco/internal/vectordb"
+)
+
+// FilteredSearcher is implemented by searchers that can restrict a query
+// to a subset of relations — e.g. "only datasets from the WHO and ECDC
+// members of the federation". All three methods implement it.
+type FilteredSearcher interface {
+	// SearchFiltered ranks only relations accepted by allow. A nil allow
+	// behaves like Search.
+	SearchFiltered(query string, k int, allow func(relationID string) bool) ([]Match, error)
+}
+
+// allowedSet precomputes the relation indices accepted by allow.
+func (e *Embedded) allowedSet(allow func(string) bool) map[int32]struct{} {
+	if allow == nil {
+		return nil
+	}
+	set := make(map[int32]struct{})
+	for i, id := range e.RelIDs {
+		if allow(id) {
+			set[int32(i)] = struct{}{}
+		}
+	}
+	return set
+}
+
+// SearchFiltered implements FilteredSearcher for the exhaustive scan.
+func (s *ExS) SearchFiltered(query string, k int, allow func(string) bool) ([]Match, error) {
+	if allow == nil {
+		return s.Search(query, k)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	set := s.emb.allowedSet(allow)
+	q := s.emb.Enc.Encode(query)
+	scored := make([]vec.Scored, 0, len(set))
+	for rel := range set {
+		scored = append(scored, vec.Scored{ID: int(rel), Score: s.scoreRelation(q, int(rel))})
+	}
+	vec.SortScoredDesc(scored)
+	out := make([]Match, 0, k)
+	for _, sc := range scored {
+		if sc.Score < s.threshold {
+			break
+		}
+		out = append(out, Match{RelationID: s.emb.RelIDs[sc.ID], Score: sc.Score})
+		if len(out) == k {
+			break
+		}
+	}
+	return out, nil
+}
+
+// payloadRelFilter builds a vectordb payload filter accepting points whose
+// value belongs to an allowed relation.
+func payloadRelFilter(emb *Embedded, set map[int32]struct{}) vectordb.Filter {
+	return func(p map[string]string) bool {
+		vi, err := strconv.Atoi(p["vi"])
+		if err != nil || vi < 0 || vi >= len(emb.Values) {
+			return false
+		}
+		_, ok := set[emb.Values[vi].Rel]
+		return ok
+	}
+}
+
+// SearchFiltered implements FilteredSearcher for ANNS: the restriction is
+// pushed into the vector database as a payload filter, so the graph walk
+// routes through rejected points but never returns them.
+func (s *ANNS) SearchFiltered(query string, k int, allow func(string) bool) ([]Match, error) {
+	if allow == nil {
+		return s.Search(query, k)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	set := s.emb.allowedSet(allow)
+	if len(set) == 0 {
+		return nil, nil
+	}
+	q := s.emb.Enc.Encode(query)
+	fanout := s.fanout
+	if fanout == 0 {
+		fanout = 32 * k
+	}
+	ef := s.efSearch
+	if ef < fanout {
+		ef = fanout
+	}
+	hits, err := s.coll.Search(q, fanout, ef, payloadRelFilter(s.emb, set))
+	if err != nil {
+		return nil, err
+	}
+	return s.foldHits(hits, k)
+}
+
+// foldHits groups value hits into ranked relations (shared by Search and
+// SearchFiltered).
+func (s *ANNS) foldHits(hits []vectordb.Result, k int) ([]Match, error) {
+	n := s.emb.NumRelations()
+	sums := make([]float32, n)
+	hitCount := make([]float32, n)
+	for _, h := range hits {
+		vi, err := strconv.Atoi(h.Payload["vi"])
+		if err != nil || vi < 0 || vi >= len(s.emb.Values) {
+			return nil, fmt.Errorf("core: anns: corrupt payload %q", h.Payload["vi"])
+		}
+		v := &s.emb.Values[vi]
+		if h.Score > 0 {
+			sums[v.Rel] += v.Weight * h.Score
+		}
+		hitCount[v.Rel]++
+	}
+	return rankRelations(s.emb.RelIDs, sums, hitCount, s.emb.TotalWeight, s.threshold, k), nil
+}
+
+// SearchFiltered implements FilteredSearcher for CTS: cluster selection is
+// unchanged (medoids summarize the whole corpus) and the per-cluster
+// searches carry the payload filter.
+func (s *CTS) SearchFiltered(query string, k int, allow func(string) bool) ([]Match, error) {
+	if allow == nil {
+		return s.Search(query, k)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	set := s.emb.allowedSet(allow)
+	if len(set) == 0 {
+		return nil, nil
+	}
+	q := s.emb.Enc.Encode(query)
+	top := vec.NewTopK(minInt(s.topClusters, len(s.medoidVecs)))
+	for c, m := range s.medoidVecs {
+		top.Push(c, vec.Dot(q, m))
+	}
+	selected := top.Sorted()
+
+	fanout := s.fanout
+	if fanout == 0 {
+		fanout = 32 * k
+	}
+	perCluster := fanout / len(selected)
+	if perCluster < k {
+		perCluster = k
+	}
+	ef := s.efSearch
+	if ef < perCluster {
+		ef = perCluster
+	}
+	filter := payloadRelFilter(s.emb, set)
+
+	n := s.emb.NumRelations()
+	sums := make([]float32, n)
+	hitCount := make([]float32, n)
+	for _, sc := range selected {
+		coll := s.clusterColl[sc.ID]
+		pc, pcEf := perCluster, ef
+		if l := coll.Len(); pc > l {
+			pc = l
+			if pcEf > l {
+				pcEf = l
+			}
+		}
+		hits, err := coll.Search(q, pc, pcEf, filter)
+		if err != nil {
+			return nil, err
+		}
+		for _, h := range hits {
+			vi, err := strconv.Atoi(h.Payload["vi"])
+			if err != nil || vi < 0 || vi >= len(s.emb.Values) {
+				return nil, fmt.Errorf("core: cts: corrupt payload %q", h.Payload["vi"])
+			}
+			v := &s.emb.Values[vi]
+			if h.Score > 0 {
+				sums[v.Rel] += v.Weight * h.Score
+			}
+			hitCount[v.Rel]++
+		}
+	}
+	return rankRelations(s.emb.RelIDs, sums, hitCount, s.emb.TotalWeight, s.threshold, k), nil
+}

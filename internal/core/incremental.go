@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"semdisco/internal/table"
+	"semdisco/internal/vec"
+)
+
+// Appender is implemented by searchers that support adding relations after
+// the index is built. All three methods implement it; CTS assigns new
+// values to existing clusters rather than re-clustering (see
+// CTS.AddRelation). Adding must not race with Search.
+type Appender interface {
+	AddRelation(r *table.Relation) error
+}
+
+// AddRelation embeds one more relation into the federation and returns its
+// internal index. The relation's ID must be new.
+func (e *Embedded) AddRelation(r *table.Relation) (int, error) {
+	if err := r.Validate(); err != nil {
+		return 0, err
+	}
+	for _, id := range e.RelIDs {
+		if id == r.ID {
+			return 0, fmt.Errorf("core: relation %q already indexed", r.ID)
+		}
+	}
+	relIdx := len(e.RelIDs)
+	e.RelIDs = append(e.RelIDs, r.ID)
+	e.PerRel = append(e.PerRel, nil)
+	e.TotalWeight = append(e.TotalWeight, 0)
+
+	counts := make(map[string]float32)
+	for _, v := range r.Values() {
+		if v == "" {
+			continue
+		}
+		counts[v]++
+	}
+	if r.Caption != "" {
+		counts[r.Caption]++
+	}
+	texts := make([]string, 0, len(counts))
+	for v := range counts {
+		texts = append(texts, v)
+	}
+	sort.Strings(texts)
+	for _, t := range texts {
+		idx := int32(len(e.Values))
+		e.Values = append(e.Values, valueRef{
+			Rel:    int32(relIdx),
+			Weight: counts[t],
+			Vec:    e.Enc.Encode(t),
+		})
+		e.valueTexts = append(e.valueTexts, t)
+		e.PerRel[relIdx] = append(e.PerRel[relIdx], idx)
+		e.TotalWeight[relIdx] += counts[t]
+	}
+	return relIdx, nil
+}
+
+// AddRelation implements Appender: ExS needs no index maintenance beyond
+// the shared embedding.
+func (s *ExS) AddRelation(r *table.Relation) error {
+	_, err := s.emb.AddRelation(r)
+	return err
+}
+
+// AddRelation implements Appender: new value vectors are inserted into the
+// vector database, extending the HNSW graph (and encoding through the
+// trained quantizer when PQ is active).
+func (s *ANNS) AddRelation(r *table.Relation) error {
+	before := len(s.emb.Values)
+	if _, err := s.emb.AddRelation(r); err != nil {
+		return err
+	}
+	for i := before; i < len(s.emb.Values); i++ {
+		payload := map[string]string{"vi": fmt.Sprint(i)}
+		if _, err := s.coll.Insert(s.emb.Values[i].Vec, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddRelation implements Appender: each new value joins the cluster whose
+// medoid it is closest to in the original embedding space. This is the
+// standard approximate-predict compromise — the UMAP+HDBSCAN structure is
+// not recomputed, so after heavy growth a rebuild (NewCTS) re-optimizes
+// the clustering.
+func (s *CTS) AddRelation(r *table.Relation) error {
+	before := len(s.emb.Values)
+	if _, err := s.emb.AddRelation(r); err != nil {
+		return err
+	}
+	for i := before; i < len(s.emb.Values); i++ {
+		v := s.emb.Values[i].Vec
+		best, bestSim := 0, float32(-2)
+		for c, m := range s.medoidVecs {
+			if sim := vec.Dot(v, m); sim > bestSim {
+				best, bestSim = c, sim
+			}
+		}
+		s.clusterOf = append(s.clusterOf, best)
+		payload := map[string]string{"vi": fmt.Sprint(i)}
+		if _, err := s.clusterColl[best].Insert(v, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}

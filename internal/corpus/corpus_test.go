@@ -1,0 +1,262 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"semdisco/internal/text"
+	"semdisco/internal/vec"
+)
+
+// tinyProfile keeps generation fast in tests.
+func tinyProfile() Profile {
+	p := WikiTables()
+	p.NumRelations = 80
+	p.NumTopics = 8
+	p.QueriesPerClass = 4
+	p.JudgedPerQuery = 20
+	return p
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(tinyProfile())
+	b := Generate(tinyProfile())
+	if a.Federation.Len() != b.Federation.Len() {
+		t.Fatal("relation counts differ")
+	}
+	ra := a.Federation.Relations()[7]
+	rb := b.Federation.Relations()[7]
+	if ra.Text() != rb.Text() {
+		t.Fatal("same seed produced different relations")
+	}
+	if a.Queries[3].Text != b.Queries[3].Text {
+		t.Fatal("same seed produced different queries")
+	}
+}
+
+func TestRelationShapes(t *testing.T) {
+	p := tinyProfile()
+	c := Generate(p)
+	if c.Federation.Len() != p.NumRelations {
+		t.Fatalf("relations=%d want %d", c.Federation.Len(), p.NumRelations)
+	}
+	for _, r := range c.Federation.Relations() {
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if r.NumCols() < p.ColsMin || r.NumCols() > p.ColsMax {
+			t.Fatalf("cols=%d outside [%d,%d]", r.NumCols(), p.ColsMin, p.ColsMax)
+		}
+		if r.NumRows() < p.RowsMin || r.NumRows() > p.RowsMax {
+			t.Fatalf("rows=%d outside bounds", r.NumRows())
+		}
+		if r.Caption == "" || r.PageTitle == "" {
+			t.Fatal("missing context fields")
+		}
+	}
+}
+
+func TestNumericFractionApproximate(t *testing.T) {
+	p := tinyProfile()
+	p.NumRelations = 200
+	c := Generate(p)
+	var frac float64
+	for _, r := range c.Federation.Relations() {
+		frac += r.NumericFraction()
+	}
+	frac /= float64(c.Federation.Len())
+	if frac < p.NumericFraction-0.08 || frac > p.NumericFraction+0.08 {
+		t.Fatalf("numeric fraction %.3f, profile %.3f", frac, p.NumericFraction)
+	}
+}
+
+func TestEDPMoreNumericThanWikiTables(t *testing.T) {
+	w := Generate(tinyProfile())
+	ep := EDP()
+	ep.NumRelations = 80
+	ep.QueriesPerClass = 4
+	e := Generate(ep)
+	numFrac := func(c *Corpus) float64 {
+		var f float64
+		for _, r := range c.Federation.Relations() {
+			f += r.NumericFraction()
+		}
+		return f / float64(c.Federation.Len())
+	}
+	if numFrac(e) <= numFrac(w) {
+		t.Fatalf("EDP %.3f should be more numeric than WikiTables %.3f", numFrac(e), numFrac(w))
+	}
+}
+
+func TestQueryClasses(t *testing.T) {
+	c := Generate(tinyProfile())
+	if len(c.Queries) != 12 {
+		t.Fatalf("queries=%d", len(c.Queries))
+	}
+	for _, q := range c.Queries {
+		n := len(text.Tokenize(q.Text))
+		switch q.Class {
+		case Short:
+			if n > 3 {
+				t.Fatalf("short query %q has %d keywords", q.Text, n)
+			}
+		case Moderate:
+			if n <= 3 || n > 30 {
+				t.Fatalf("moderate query has %d keywords", n)
+			}
+		case Long:
+			if n <= 30 || n > 300 {
+				t.Fatalf("long query has %d keywords", n)
+			}
+		}
+	}
+	if len(c.QueriesOf(Short)) != 4 || len(c.QueriesOf(Long)) != 4 {
+		t.Fatal("QueriesOf miscounts")
+	}
+}
+
+func TestQrelsStructure(t *testing.T) {
+	c := Generate(tinyProfile())
+	totalPairs := 0
+	for _, q := range c.Queries {
+		judged := c.Qrels[q.ID]
+		if len(judged) == 0 {
+			t.Fatalf("query %s has no judgments", q.ID)
+		}
+		totalPairs += len(judged)
+		relevant := 0
+		for relID, grade := range judged {
+			if grade < 0 || grade > 2 {
+				t.Fatalf("grade %d", grade)
+			}
+			if grade == 2 && c.PrimaryTopic[relID] != q.Topic {
+				t.Fatal("grade-2 relation has wrong primary topic")
+			}
+			if grade >= 1 {
+				relevant++
+			}
+		}
+		if relevant == 0 {
+			t.Fatalf("query %s has no relevant relations", q.ID)
+		}
+	}
+	// Train/test split partitions the pairs.
+	trainPairs, testPairs := 0, 0
+	for _, m := range c.TrainQrels {
+		trainPairs += len(m)
+	}
+	for _, m := range c.TestQrels {
+		testPairs += len(m)
+	}
+	if trainPairs+testPairs != totalPairs {
+		t.Fatalf("split loses pairs: %d + %d != %d", trainPairs, testPairs, totalPairs)
+	}
+	ratio := float64(trainPairs) / float64(totalPairs)
+	if ratio < 0.55 || ratio > 0.68 {
+		t.Fatalf("train ratio %.3f, want ≈ 0.615", ratio)
+	}
+}
+
+func TestSemanticsBeatSurface(t *testing.T) {
+	// The defining corpus property: a query is semantically close to
+	// relations of its topic even when surface overlap is absent, and the
+	// encoder (armed with the corpus lexicon) sees it.
+	c := Generate(tinyProfile())
+	model := c.NewEncoder(128, 1)
+	q := c.Queries[0]
+	qv := model.Encode(q.Text)
+
+	var onTopic, offTopic []float32
+	for _, r := range c.Federation.Relations() {
+		sim := vec.Cosine(qv, model.Encode(r.Caption+" "+strings.Join(r.Values()[:8], " ")))
+		if c.PrimaryTopic[r.ID] == q.Topic {
+			onTopic = append(onTopic, sim)
+		} else {
+			offTopic = append(offTopic, sim)
+		}
+	}
+	if len(onTopic) == 0 {
+		t.Fatal("no on-topic relations")
+	}
+	mean := func(xs []float32) float64 {
+		var s float64
+		for _, x := range xs {
+			s += float64(x)
+		}
+		return s / float64(len(xs))
+	}
+	if mean(onTopic) <= mean(offTopic)+0.02 {
+		t.Fatalf("on-topic %.4f not above off-topic %.4f", mean(onTopic), mean(offTopic))
+	}
+}
+
+func TestLexicalOverlapExistsButPartial(t *testing.T) {
+	// SharedTermProb must leave lexical methods some signal: at least one
+	// query term should literally appear in some on-topic relation, but
+	// not in most of them.
+	c := Generate(tinyProfile())
+	hits, onTopicRelations := 0, 0
+	for _, q := range c.QueriesOf(Moderate) {
+		qTokens := map[string]struct{}{}
+		for _, tok := range text.Tokenize(q.Text) {
+			qTokens[tok] = struct{}{}
+		}
+		for _, r := range c.Federation.Relations() {
+			if c.PrimaryTopic[r.ID] != q.Topic {
+				continue
+			}
+			onTopicRelations++
+			overlap := false
+			for _, tok := range text.Tokenize(r.Text()) {
+				if _, ok := qTokens[tok]; ok {
+					overlap = true
+					break
+				}
+			}
+			if overlap {
+				hits++
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no lexical overlap at all: baselines would collapse to zero")
+	}
+	if hits == onTopicRelations {
+		t.Fatal("every on-topic relation overlaps lexically: no room for semantics to win")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := WikiTables()
+	if got := p.Scaled(0.1).NumRelations; got != 60 {
+		t.Fatalf("Scaled(0.1)=%d", got)
+	}
+	if got := p.Scaled(0.0001).NumRelations; got != 1 {
+		t.Fatalf("Scaled floor=%d", got)
+	}
+}
+
+func TestSourcesCoverAllRelations(t *testing.T) {
+	c := Generate(tinyProfile())
+	if got := len(c.Federation.Sources()); got != len(tinyProfile().Sources) {
+		t.Fatalf("sources=%d", got)
+	}
+}
+
+func TestWordGen(t *testing.T) {
+	g := newWordGen(1)
+	seen := map[string]struct{}{}
+	for i := 0; i < 500; i++ {
+		w := g.word()
+		if len(w) < 4 {
+			t.Fatalf("word too short: %q", w)
+		}
+		if _, dup := seen[w]; dup {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = struct{}{}
+	}
+	if p := g.phrase(3); len(strings.Fields(p)) != 3 {
+		t.Fatalf("phrase=%q", p)
+	}
+}

@@ -1,0 +1,431 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"semdisco/internal/embed"
+	"semdisco/internal/eval"
+	"semdisco/internal/table"
+	"semdisco/internal/text"
+)
+
+// QueryClass is the paper's query-length taxonomy.
+type QueryClass int
+
+const (
+	// Short queries have at most 3 keywords.
+	Short QueryClass = iota
+	// Moderate queries have up to 30 keywords.
+	Moderate
+	// Long queries have more than 30 (up to 300) keywords.
+	Long
+)
+
+func (c QueryClass) String() string {
+	switch c {
+	case Short:
+		return "short"
+	case Moderate:
+		return "moderate"
+	case Long:
+		return "long"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// QuerySubset mirrors the paper's two query provenances: QS-1 (topics
+// suggested by web users via Mechanical Turk, per Cafarella et al.) and
+// QS-2 (structured-data queries from Google Squared's logs, per Venetis et
+// al.). Generated queries alternate between the subsets.
+type QuerySubset int
+
+const (
+	// QS1 is the web-user subset.
+	QS1 QuerySubset = iota
+	// QS2 is the query-log subset.
+	QS2
+)
+
+func (s QuerySubset) String() string {
+	if s == QS1 {
+		return "QS-1"
+	}
+	return "QS-2"
+}
+
+// Query is one generated keyword query with its ground-truth topic.
+type Query struct {
+	ID     string
+	Text   string
+	Class  QueryClass
+	Subset QuerySubset
+	Topic  int
+}
+
+// Corpus bundles a generated federation with its ground truth.
+type Corpus struct {
+	Profile    Profile
+	Federation *table.Federation
+	// Lexicon carries the concept structure (synonym sets across source
+	// verbalizations); it configures the semantic encoder.
+	Lexicon *embed.Lexicon
+	Queries []Query
+	// Qrels holds every judged query-relation pair; TrainQrels and
+	// TestQrels partition it the way the paper splits its 3,117 pairs into
+	// 1,918 tuning and 1,199 evaluation pairs.
+	Qrels      eval.Qrels
+	TrainQrels eval.Qrels
+	TestQrels  eval.Qrels
+	// PrimaryTopic and SecondaryTopics expose each relation's ground truth.
+	PrimaryTopic    map[string]int
+	SecondaryTopics map[string][]int
+
+	stats *text.CorpusStats
+}
+
+// concept holds all verbalizations of one synonym set.
+type concept struct {
+	canonical string
+	bySource  map[string]string
+	query     string
+}
+
+var genericColumns = []string{"Name", "Region", "Date", "Code", "Category", "Value", "Status", "Type"}
+
+// Generate builds a corpus from the profile. The result is a pure function
+// of the profile (including its Seed).
+func Generate(p Profile) *Corpus {
+	rng := rand.New(rand.NewSource(p.Seed))
+	words := newWordGen(p.Seed ^ 0x77777777)
+
+	// 1. Topic/concept vocabulary with per-source and query verbalizations.
+	lex := embed.NewLexicon()
+	topics := make([][]concept, p.NumTopics)
+	for t := range topics {
+		// Each topic is a parent concept; its member concepts embed with a
+		// shared topical component, giving the embedding space the
+		// neighborhood structure a pretrained encoder would have.
+		topicID := lex.NewConcept()
+		topics[t] = make([]concept, p.ConceptsPerTopic)
+		for ci := range topics[t] {
+			c := concept{
+				canonical: words.phrase(1 + rng.Intn(2)),
+				bySource:  make(map[string]string, len(p.Sources)),
+			}
+			id := lex.AddSynonyms(c.canonical)
+			lex.SetParent(id, topicID)
+			verbalize := func() string {
+				if rng.Float64() < p.SharedTermProb {
+					return c.canonical
+				}
+				v := words.phrase(1 + rng.Intn(2))
+				lex.Add(id, v)
+				return v
+			}
+			for _, s := range p.Sources {
+				c.bySource[s] = verbalize()
+			}
+			c.query = verbalize()
+			topics[t][ci] = c
+		}
+	}
+
+	// 2. Shared filler vocabulary (topic-free noise), OOV to the lexicon.
+	filler := make([]string, p.FillerVocabSize)
+	for i := range filler {
+		filler[i] = words.word()
+	}
+	fillerPick := func() string { return filler[rng.Intn(len(filler))] }
+
+	cor := &Corpus{
+		Profile:         p,
+		Federation:      table.NewFederation(),
+		Lexicon:         lex,
+		Qrels:           eval.Qrels{},
+		TrainQrels:      eval.Qrels{},
+		TestQrels:       eval.Qrels{},
+		PrimaryTopic:    make(map[string]int),
+		SecondaryTopics: make(map[string][]int),
+	}
+
+	// 3. Relations. Topics are assigned by a shuffled round-robin so every
+	// subset prefix (the SD/MD partitions) still covers all topics.
+	topicOrder := rng.Perm(p.NumTopics)
+	for i := 0; i < p.NumRelations; i++ {
+		source := p.Sources[i%len(p.Sources)]
+		primary := topicOrder[i%p.NumTopics]
+		var secondary []int
+		if rng.Float64() < 0.5 {
+			secondary = append(secondary, rng.Intn(p.NumTopics))
+		}
+		if rng.Float64() < 0.2 {
+			secondary = append(secondary, rng.Intn(p.NumTopics))
+		}
+		rel := cor.genRelation(rng, words, topics, fillerPick, i, source, primary, secondary)
+		if err := cor.Federation.Add(rel); err != nil {
+			panic(fmt.Sprintf("corpus: %v", err)) // ids are generated unique
+		}
+		cor.PrimaryTopic[rel.ID] = primary
+		cor.SecondaryTopics[rel.ID] = secondary
+	}
+
+	// 4. Queries, 3 length classes.
+	cor.genQueries(rng, topics, fillerPick)
+
+	// 5. Graded judgments and the train/test pair split.
+	cor.genQrels(rng)
+
+	// 6. Corpus statistics for IDF weighting in the encoder.
+	cor.stats = &text.CorpusStats{}
+	for _, r := range cor.Federation.Relations() {
+		cor.stats.AddDocument(stemTokens(r.Text()))
+	}
+	return cor
+}
+
+func (cor *Corpus) genRelation(rng *rand.Rand, words *wordGen, topics [][]concept,
+	fillerPick func() string, idx int, source string, primary int, secondary []int) *table.Relation {
+
+	p := cor.Profile
+	nCols := p.ColsMin + rng.Intn(p.ColsMax-p.ColsMin+1)
+	nRows := p.RowsMin + rng.Intn(p.RowsMax-p.RowsMin+1)
+
+	pickTopic := func() int {
+		if len(secondary) > 0 && rng.Float64() < 0.3 {
+			return secondary[rng.Intn(len(secondary))]
+		}
+		return primary
+	}
+	topicalTerm := func(t int) string {
+		c := topics[t][rng.Intn(len(topics[t]))]
+		return c.bySource[source]
+	}
+
+	cols := make([]string, nCols)
+	for c := range cols {
+		if c < 2 {
+			// Lead columns named after the table's subject matter.
+			cols[c] = topics[primary][c%len(topics[primary])].bySource[source]
+		} else {
+			cols[c] = genericColumns[rng.Intn(len(genericColumns))]
+		}
+	}
+	rows := make([][]string, nRows)
+	for r := range rows {
+		row := make([]string, nCols)
+		for c := range row {
+			switch {
+			case rng.Float64() < p.NumericFraction:
+				row[c] = numericCell(rng)
+			case rng.Float64() < 0.55:
+				row[c] = topicalTerm(pickTopic())
+			default:
+				row[c] = fillerPick()
+				if rng.Float64() < 0.3 {
+					row[c] += " " + fillerPick()
+				}
+			}
+		}
+		rows[r] = row
+	}
+	caption := topicalTerm(primary) + " " + fillerPick()
+	pageTitle := topicalTerm(primary) + " " + topicalTerm(pickTopic())
+	return &table.Relation{
+		ID:           fmt.Sprintf("%s-%04d", p.Name, idx),
+		Source:       source,
+		PageTitle:    pageTitle,
+		SectionTitle: fillerPick(),
+		Caption:      caption,
+		Columns:      cols,
+		Rows:         rows,
+	}
+}
+
+func numericCell(rng *rand.Rand) string {
+	switch rng.Intn(3) {
+	case 0:
+		return fmt.Sprint(1900 + rng.Intn(125)) // year
+	case 1:
+		return fmt.Sprint(rng.Intn(10000)) // quantity
+	default:
+		return fmt.Sprintf("%d.%02d", rng.Intn(100), rng.Intn(100)) // measure
+	}
+}
+
+// genQueries creates QueriesPerClass queries per length class. Queries use
+// the query-side verbalization of concepts, which only coincides with a
+// table's surface terms when SharedTermProb fired on both sides.
+func (cor *Corpus) genQueries(rng *rand.Rand, topics [][]concept, fillerPick func() string) {
+	p := cor.Profile
+	perm := rng.Perm(p.NumTopics)
+	qi := 0
+	for _, class := range []QueryClass{Short, Moderate, Long} {
+		for q := 0; q < p.QueriesPerClass; q++ {
+			topic := perm[qi%p.NumTopics]
+			qi++
+			cs := topics[topic]
+			var terms []string
+			switch class {
+			case Short:
+				// 1-2 concept terms, truncated to at most 3 keywords (a
+				// concept term may itself be a two-word phrase).
+				n := 1 + rng.Intn(2)
+				var kws []string
+				for i := 0; i < n; i++ {
+					kws = append(kws, strings.Fields(cs[rng.Intn(len(cs))].query)...)
+				}
+				if len(kws) > 3 {
+					kws = kws[:3]
+				}
+				terms = kws
+			case Moderate:
+				// All concepts of the topic plus light filler; full-sentence
+				// length (≤ 30 keywords).
+				for _, c := range cs {
+					terms = append(terms, c.query)
+				}
+				for i := 0; i < 4+rng.Intn(6); i++ {
+					terms = append(terms, fillerPick())
+				}
+			case Long:
+				// Full-text query: topic terms repeated in context, heavy
+				// filler, and bleed-over from other topics (which is what
+				// makes long queries noisier and harder, as in the paper).
+				for rep := 0; rep < 2; rep++ {
+					for _, c := range cs {
+						terms = append(terms, c.query)
+					}
+				}
+				for i := 0; i < 30+rng.Intn(40); i++ {
+					terms = append(terms, fillerPick())
+				}
+				for i := 0; i < 2; i++ {
+					other := rng.Intn(p.NumTopics)
+					terms = append(terms, topics[other][rng.Intn(len(topics[other]))].query)
+				}
+			}
+			rng.Shuffle(len(terms), func(i, j int) { terms[i], terms[j] = terms[j], terms[i] })
+			cor.Queries = append(cor.Queries, Query{
+				ID:     fmt.Sprintf("%s-q-%s-%02d", p.Name, class, q),
+				Text:   strings.Join(terms, " "),
+				Class:  class,
+				Subset: QuerySubset(q % 2),
+				Topic:  topic,
+			})
+		}
+	}
+}
+
+// genQrels grades every (query, relation) pair by topic overlap — 2 when
+// the relation's primary topic matches the query, 1 when a secondary topic
+// does — and samples irrelevant pairs to reach JudgedPerQuery judgments,
+// then splits all pairs into train/test the way the paper does.
+func (cor *Corpus) genQrels(rng *rand.Rand) {
+	type pair struct {
+		query, rel string
+		grade      int
+	}
+	var pairs []pair
+	for _, q := range cor.Queries {
+		judged := map[string]struct{}{}
+		for _, r := range cor.Federation.Relations() {
+			grade := 0
+			if cor.PrimaryTopic[r.ID] == q.Topic {
+				grade = 2
+			} else {
+				for _, s := range cor.SecondaryTopics[r.ID] {
+					if s == q.Topic {
+						grade = 1
+						break
+					}
+				}
+			}
+			if grade > 0 {
+				pairs = append(pairs, pair{q.ID, r.ID, grade})
+				judged[r.ID] = struct{}{}
+			}
+		}
+		// Pad with explicitly-judged irrelevant pairs.
+		rels := cor.Federation.Relations()
+		for attempts := 0; len(judged) < cor.Profile.JudgedPerQuery && attempts < 10*cor.Profile.JudgedPerQuery; attempts++ {
+			r := rels[rng.Intn(len(rels))]
+			if _, dup := judged[r.ID]; dup {
+				continue
+			}
+			judged[r.ID] = struct{}{}
+			pairs = append(pairs, pair{q.ID, r.ID, 0})
+		}
+	}
+	for _, pr := range pairs {
+		cor.Qrels.Add(pr.query, pr.rel, pr.grade)
+	}
+	// Deterministic split ≈ 61.5% train / 38.5% test (1,918 : 1,199).
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].query != pairs[j].query {
+			return pairs[i].query < pairs[j].query
+		}
+		return pairs[i].rel < pairs[j].rel
+	})
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	cut := len(pairs) * 1918 / 3117
+	for i, pr := range pairs {
+		if i < cut {
+			cor.TrainQrels.Add(pr.query, pr.rel, pr.grade)
+		} else {
+			cor.TestQrels.Add(pr.query, pr.rel, pr.grade)
+		}
+	}
+}
+
+// QueriesOf returns the queries of one length class.
+func (cor *Corpus) QueriesOf(class QueryClass) []Query {
+	var out []Query
+	for _, q := range cor.Queries {
+		if q.Class == class {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// QueriesOfSubset returns the queries of one provenance subset.
+func (cor *Corpus) QueriesOfSubset(subset QuerySubset) []Query {
+	var out []Query
+	for _, q := range cor.Queries {
+		if q.Subset == subset {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// IDF exposes the corpus inverse document frequency of a raw token, for
+// encoder pooling weights.
+func (cor *Corpus) IDF(token string) float64 {
+	return cor.stats.IDF(text.Stem(token))
+}
+
+// NewEncoder builds the semantic encoder configured for this corpus: the
+// corpus lexicon supplies concepts and corpus statistics supply IDF
+// weights. dim 0 selects the paper's 768.
+func (cor *Corpus) NewEncoder(dim int, seed int64) *embed.Model {
+	return embed.New(embed.Config{
+		Dim:     dim,
+		Seed:    seed,
+		Lexicon: cor.Lexicon,
+		IDF:     cor.IDF,
+	})
+}
+
+func stemTokens(s string) []string {
+	toks := text.Tokenize(s)
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = text.Stem(t)
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package corpus
+
+// Profile parameterizes corpus generation. The two presets mirror the
+// paper's corpora at laptop scale; Scale adjusts relation counts without
+// changing the topical structure.
+type Profile struct {
+	// Name tags relation ids and the corpus.
+	Name string
+	// NumRelations is the total number of relations at Scale 1.0.
+	NumRelations int
+	// NumTopics is the number of latent topics relations draw from.
+	NumTopics int
+	// ConceptsPerTopic is how many synonym sets each topic owns.
+	ConceptsPerTopic int
+	// Sources are the federation members; each verbalizes concepts its own
+	// way.
+	Sources []string
+	// NumericFraction is the probability a body cell is numeric (the paper
+	// reports 26.9% for WikiTables, 55.3% for EDP).
+	NumericFraction float64
+	// SharedTermProb is the probability a source (or the query vocabulary)
+	// uses the concept's canonical surface form instead of its own variant.
+	// It controls how much signal purely lexical methods get.
+	SharedTermProb float64
+	// RowsMin/RowsMax and ColsMin/ColsMax bound table shapes.
+	RowsMin, RowsMax int
+	ColsMin, ColsMax int
+	// FillerVocabSize is the size of the shared non-topical vocabulary that
+	// pads cells, captions and long queries.
+	FillerVocabSize int
+	// QueriesPerClass is the number of queries per length class (short,
+	// moderate, long). The paper uses 60 queries total, 20 per class.
+	QueriesPerClass int
+	// JudgedPerQuery is roughly how many query-relation pairs are judged
+	// per query (the paper has 3,117 pairs over 60 queries ≈ 52).
+	JudgedPerQuery int
+	// Seed drives every random choice.
+	Seed int64
+}
+
+// WikiTables returns the WikiTables-like profile: many mid-sized textual
+// tables with captions and page context.
+func WikiTables() Profile {
+	return Profile{
+		Name:             "wikitables",
+		NumRelations:     600,
+		NumTopics:        40,
+		ConceptsPerTopic: 6,
+		Sources:          []string{"wiki-en", "wiki-list", "wiki-info", "wiki-stat"},
+		NumericFraction:  0.269,
+		SharedTermProb:   0.35,
+		RowsMin:          4, RowsMax: 12,
+		ColsMin: 3, ColsMax: 5,
+		FillerVocabSize: 400,
+		QueriesPerClass: 20,
+		JudgedPerQuery:  52,
+		Seed:            7,
+	}
+}
+
+// EDP returns the European-Data-Portal-like profile: a smaller corpus of
+// numeric-heavy datasets with textual descriptions.
+func EDP() Profile {
+	return Profile{
+		Name:             "edp",
+		NumRelations:     240,
+		NumTopics:        24,
+		ConceptsPerTopic: 5,
+		Sources:          []string{"edp-de", "edp-fr", "edp-nl", "edp-it", "edp-es"},
+		NumericFraction:  0.553,
+		SharedTermProb:   0.35,
+		RowsMin:          6, RowsMax: 16,
+		ColsMin: 3, ColsMax: 6,
+		FillerVocabSize: 250,
+		QueriesPerClass: 20,
+		JudgedPerQuery:  52,
+		Seed:            11,
+	}
+}
+
+// Scaled returns a copy of p with the relation count multiplied by f
+// (≥ 1 relation). The topic count scales along (floor 8) so that
+// relevance *density* — relevant relations per query — stays comparable
+// across scales; the SD/MD/LD partitions within one corpus then behave
+// the way the paper's partitions do.
+func (p Profile) Scaled(f float64) Profile {
+	n := int(float64(p.NumRelations)*f + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	p.NumRelations = n
+	if f < 1 {
+		t := int(float64(p.NumTopics)*f + 0.5)
+		if t < 8 {
+			t = 8
+		}
+		if t < p.NumTopics {
+			p.NumTopics = t
+		}
+	}
+	return p
+}

@@ -1,0 +1,249 @@
+package embed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"semdisco/internal/vec"
+)
+
+func newTestModel(t testing.TB) *Model {
+	t.Helper()
+	lex := NewLexicon()
+	lex.AddSynonyms("Comirnaty", "Pfizer-BioNTech", "BNT162b2", "tozinameran")
+	lex.AddSynonyms("COVID", "coronavirus", "SARS-CoV-2", "covid19")
+	lex.AddSynonyms("car", "automobile", "vehicle")
+	lex.AddSynonyms("climate", "weather", "meteorological")
+	return New(Config{Dim: 128, Seed: 42, Lexicon: lex})
+}
+
+func TestEncodeUnitNorm(t *testing.T) {
+	m := newTestModel(t)
+	for _, s := range []string{"covid vaccine dosage", "a", "", "the of and", "2021-01-01", "日本語"} {
+		v := m.Encode(s)
+		if len(v) != 128 {
+			t.Fatalf("dim=%d", len(v))
+		}
+		n := vec.Norm(v)
+		if math.Abs(float64(n)-1) > 1e-4 {
+			t.Fatalf("Encode(%q) norm=%v want 1", s, n)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a := newTestModel(t)
+	b := newTestModel(t)
+	s := "Beijing Olympics medal table"
+	va, vb := a.Encode(s), b.Encode(s)
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatal("two identically-configured models disagree")
+		}
+	}
+}
+
+func TestSeedChangesEmbedding(t *testing.T) {
+	a := New(Config{Dim: 64, Seed: 1})
+	b := New(Config{Dim: 64, Seed: 2})
+	if vec.Cosine(a.Encode("hello world"), b.Encode("hello world")) > 0.5 {
+		t.Fatal("different seeds should give unrelated embeddings")
+	}
+}
+
+func TestSynonymsAreClose(t *testing.T) {
+	m := newTestModel(t)
+	synonym := vec.Cosine(m.Encode("Comirnaty"), m.Encode("Pfizer-BioNTech"))
+	unrelated := vec.Cosine(m.Encode("Comirnaty"), m.Encode("automobile"))
+	if synonym < 0.4 {
+		t.Fatalf("synonym cosine=%v, want >= 0.4", synonym)
+	}
+	if unrelated > 0.25 {
+		t.Fatalf("unrelated cosine=%v, want <= 0.25", unrelated)
+	}
+	if synonym <= unrelated+0.2 {
+		t.Fatalf("synonym (%v) must clearly dominate unrelated (%v)", synonym, unrelated)
+	}
+}
+
+func TestInflectionMatches(t *testing.T) {
+	m := newTestModel(t)
+	got := vec.Cosine(m.Encode("vaccines"), m.Encode("vaccine"))
+	if got < 0.9 {
+		t.Fatalf("inflected cosine=%v, want >= 0.9", got)
+	}
+}
+
+func TestSentenceOverlapOrdering(t *testing.T) {
+	m := newTestModel(t)
+	q := m.Encode("covid vaccine europe")
+	near := m.Encode("coronavirus vaccine germany")   // synonym overlap
+	far := m.Encode("stadium capacity football club") // none
+	if vec.Cosine(q, near) <= vec.Cosine(q, far) {
+		t.Fatalf("semantic overlap must beat none: near=%v far=%v",
+			vec.Cosine(q, near), vec.Cosine(q, far))
+	}
+}
+
+func TestNumericGradedSimilarity(t *testing.T) {
+	m := newTestModel(t)
+	y2020 := m.Encode("2020")
+	y2021 := m.Encode("2021")
+	y37 := m.Encode("37")
+	word := m.Encode("giraffe")
+	sameEra := vec.Cosine(y2020, y2021)
+	diffMagnitude := vec.Cosine(y2020, y37)
+	nonNumeric := vec.Cosine(y2020, word)
+	if !(sameEra > diffMagnitude && diffMagnitude > nonNumeric) {
+		t.Fatalf("numeric similarity not graded: %v > %v > %v expected",
+			sameEra, diffMagnitude, nonNumeric)
+	}
+	if sameEra < 0.6 {
+		t.Fatalf("adjacent years too dissimilar: %v", sameEra)
+	}
+}
+
+func TestStopwordsIgnored(t *testing.T) {
+	m := newTestModel(t)
+	a := m.Encode("the covid vaccine")
+	b := m.Encode("covid vaccine")
+	if got := vec.Cosine(a, b); got < 0.999 {
+		t.Fatalf("stopwords changed the embedding: cosine=%v", got)
+	}
+}
+
+func TestStopwordOnlyInput(t *testing.T) {
+	m := newTestModel(t)
+	v := m.Encode("the of and")
+	if vec.Norm(v) == 0 {
+		t.Fatal("stopword-only input produced a zero vector")
+	}
+}
+
+func TestEmptyNotZero(t *testing.T) {
+	m := newTestModel(t)
+	if vec.Norm(m.Encode("")) == 0 {
+		t.Fatal("empty input produced a zero vector")
+	}
+}
+
+func TestNoLexiconStillWorks(t *testing.T) {
+	m := New(Config{Dim: 64, Seed: 7})
+	same := vec.Cosine(m.Encode("vaccination"), m.Encode("vaccinations"))
+	diff := vec.Cosine(m.Encode("vaccination"), m.Encode("zebra"))
+	if same <= diff {
+		t.Fatalf("lexical model ordering broken: same=%v diff=%v", same, diff)
+	}
+}
+
+func TestEncodeAllMatchesEncode(t *testing.T) {
+	m := newTestModel(t)
+	ss := []string{"alpha", "beta", "covid vaccine", "", "2020"}
+	batch := m.EncodeAll(ss)
+	for i, s := range ss {
+		single := m.Encode(s)
+		for j := range single {
+			if batch[i][j] != single[j] {
+				t.Fatalf("EncodeAll[%d] != Encode(%q)", i, s)
+			}
+		}
+	}
+}
+
+func TestTruncatingEncoder(t *testing.T) {
+	m := newTestModel(t)
+	long := "covid vaccine europe germany france spain italy dosage manufacturer trade name"
+	full := m.Encode(long)
+	tr := Truncating{M: m, MaxTokens: 2}
+	cut := tr.Encode(long)
+	if vec.Cosine(full, cut) > 0.999 {
+		t.Fatal("truncation had no effect")
+	}
+	// Truncated must equal encoding the prefix.
+	prefix := m.Encode("covid vaccine")
+	if vec.Cosine(cut, prefix) < 0.999 {
+		t.Fatal("truncated encoding must equal prefix encoding")
+	}
+	if tr.Dim() != m.Dim() {
+		t.Fatal("Dim mismatch")
+	}
+}
+
+func TestIDFWeighting(t *testing.T) {
+	lex := NewLexicon()
+	idf := func(term string) float64 {
+		if term == "common" {
+			return 0.1
+		}
+		return 3.0
+	}
+	m := New(Config{Dim: 64, Seed: 3, Lexicon: lex, IDF: idf})
+	withCommon := m.Encode("common giraffe")
+	rare := m.Encode("giraffe")
+	if got := vec.Cosine(withCommon, rare); got < 0.9 {
+		t.Fatalf("low-IDF term dominated the embedding: cosine=%v", got)
+	}
+}
+
+func TestEncodePropertyUnitNormAndFinite(t *testing.T) {
+	m := newTestModel(t)
+	f := func(s string) bool {
+		v := m.Encode(s)
+		var norm float64
+		for _, x := range v {
+			if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+				return false
+			}
+			norm += float64(x) * float64(x)
+		}
+		return math.Abs(norm-1) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLexicon(t *testing.T) {
+	lex := NewLexicon()
+	id := lex.AddSynonyms("COVID", "coronavirus")
+	if got, ok := lex.Concept("covid"); !ok || got != id {
+		t.Fatalf("Concept(covid)=%v,%v", got, ok)
+	}
+	// Stemmed lookup: registered via Add with tokenization+stemming.
+	lex.Add(id, "vaccinations")
+	if got, ok := lex.Concept("vaccin"); !ok || got != id {
+		t.Fatalf("stemmed Concept=%v,%v", got, ok)
+	}
+	if lex.NumConcepts() != 1 {
+		t.Fatalf("NumConcepts=%d", lex.NumConcepts())
+	}
+	id2 := lex.NewConcept()
+	if id2 == id {
+		t.Fatal("NewConcept reused an id")
+	}
+	if lex.Len() == 0 || len(lex.Terms()) != lex.Len() {
+		t.Fatal("Terms/Len inconsistent")
+	}
+}
+
+func BenchmarkEncodeShort(b *testing.B) {
+	m := New(Config{Dim: DefaultDim, Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.Encode("covid vaccine europe")
+	}
+}
+
+func BenchmarkEncodeColdToken(b *testing.B) {
+	m := New(Config{Dim: DefaultDim, Seed: 1})
+	words := make([]string, 1024)
+	for i := range words {
+		words[i] = "tok" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Encode(words[i%len(words)])
+	}
+}

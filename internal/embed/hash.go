@@ -1,0 +1,60 @@
+package embed
+
+import "math"
+
+// The encoder derives all of its pseudo-random structure from SplitMix64
+// streams seeded by (model seed, string hash). This makes every embedding a
+// pure function of the model configuration — no global state, no files — so
+// encoders built in different processes agree bit-for-bit.
+
+// splitmix64 advances the state and returns the next 64-bit value.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// fnv64a hashes s with FNV-1a.
+func fnv64a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// gaussianVec fills dst with pseudo-Gaussian components drawn from the
+// stream keyed by (seed, key) and L2-normalizes it. The Gaussian shape
+// matters: normalized Gaussian vectors are uniform on the sphere, so two
+// independent keys produce near-orthogonal vectors in high dimension —
+// exactly the "unrelated strings are dissimilar" property we need.
+func gaussianVec(dst []float32, seed uint64, key string) {
+	state := seed ^ (fnv64a(key) * 0x9e3779b97f4a7c15)
+	var norm float64
+	for i := range dst {
+		// Sum of 4 uniforms, centered: cheap near-Gaussian via CLT.
+		var s float64
+		for j := 0; j < 4; j++ {
+			u := splitmix64(&state)
+			s += float64(u>>11) / (1 << 53)
+		}
+		v := s - 2
+		dst[i] = float32(v)
+		norm += v * v
+	}
+	if norm == 0 {
+		dst[0] = 1
+		return
+	}
+	inv := float32(1 / math.Sqrt(norm))
+	for i := range dst {
+		dst[i] *= inv
+	}
+}

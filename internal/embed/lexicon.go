@@ -1,0 +1,119 @@
+// Package embed implements the sentence-encoder substrate that stands in for
+// the paper's S-BERT "all-mpnet-base-v2" model.
+//
+// The paper needs three properties from its encoder and nothing else:
+//
+//  1. every string maps to a fixed-dimension (768) unit vector;
+//  2. cosine similarity is high between semantically related strings even
+//     with zero lexical overlap ("Comirnaty" vs "Pfizer-BioNTech"), and low
+//     between unrelated strings;
+//  3. queries and attribute values are encoded by the same model, so the
+//     comparison is meaningful.
+//
+// We provide these deterministically and offline. Semantics come from a
+// Lexicon that assigns terms to concepts (synonym sets); each concept owns a
+// stable pseudo-random unit vector and each member term embeds as a mixture
+// of its concept vector and a term-specific hash vector. Out-of-lexicon
+// terms fall back to character-n-gram hashing (fastText style) so that
+// spelling variants land near each other. Sentences are IDF-weighted mean
+// pooled and L2-normalized, exactly the pooling S-BERT uses.
+package embed
+
+import (
+	"sort"
+
+	"semdisco/internal/text"
+)
+
+// Lexicon maps terms to concept identifiers. Terms that share a concept are
+// synonyms or near-synonyms: their embeddings share a dominant component.
+// Lexicons are built by whoever knows the domain — in this repo, the corpus
+// generator builds one per synthetic federation, playing the role that
+// S-BERT's pretraining corpus plays in the paper.
+type Lexicon struct {
+	concepts map[string]int32 // stemmed term -> concept id
+	parents  map[int32]int32  // concept id -> parent concept id
+	next     int32
+}
+
+// NewLexicon returns an empty lexicon.
+func NewLexicon() *Lexicon {
+	return &Lexicon{
+		concepts: make(map[string]int32),
+		parents:  make(map[int32]int32),
+	}
+}
+
+// NewConcept allocates a fresh concept identifier.
+func (l *Lexicon) NewConcept() int32 {
+	id := l.next
+	l.next++
+	return id
+}
+
+// Add registers term under the given concept. Terms are normalized through
+// the same tokenizer+stemmer pipeline the encoder uses; multi-token terms
+// register each token.
+func (l *Lexicon) Add(concept int32, term string) {
+	if concept >= l.next {
+		l.next = concept + 1
+	}
+	for _, tok := range text.Tokenize(term) {
+		l.concepts[text.Stem(tok)] = concept
+	}
+}
+
+// AddSynonyms allocates a concept and registers all terms under it,
+// returning the concept id.
+func (l *Lexicon) AddSynonyms(terms ...string) int32 {
+	id := l.NewConcept()
+	for _, t := range terms {
+		l.Add(id, t)
+	}
+	return id
+}
+
+// Concept returns the concept id of an (already stemmed) token.
+func (l *Lexicon) Concept(stem string) (int32, bool) {
+	id, ok := l.concepts[stem]
+	return id, ok
+}
+
+// SetParent links a concept under a broader parent concept (a topic or
+// domain). Concepts sharing a parent embed with a common component, so
+// topically related terms — vaccine names and disease names, say — are
+// measurably closer to each other than to unrelated terms, the way a real
+// pretrained encoder's space is organized. Parent ids come from NewConcept
+// (or any concept id); one level of hierarchy is honored.
+func (l *Lexicon) SetParent(concept, parent int32) {
+	if parent >= l.next {
+		l.next = parent + 1
+	}
+	if concept >= l.next {
+		l.next = concept + 1
+	}
+	l.parents[concept] = parent
+}
+
+// Parent returns the parent of a concept, if any.
+func (l *Lexicon) Parent(concept int32) (int32, bool) {
+	p, ok := l.parents[concept]
+	return p, ok
+}
+
+// Len returns the number of registered terms.
+func (l *Lexicon) Len() int { return len(l.concepts) }
+
+// NumConcepts returns the number of allocated concepts.
+func (l *Lexicon) NumConcepts() int { return int(l.next) }
+
+// Terms returns the registered terms in deterministic order. Intended for
+// diagnostics and persistence.
+func (l *Lexicon) Terms() []string {
+	out := make([]string, 0, len(l.concepts))
+	for t := range l.concepts {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

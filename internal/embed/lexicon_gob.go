@@ -1,0 +1,43 @@
+package embed
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// lexiconImage is the exported gob shadow of Lexicon.
+type lexiconImage struct {
+	Concepts map[string]int32
+	Parents  map[int32]int32
+	Next     int32
+}
+
+// GobEncode implements gob.GobEncoder: lexicons persist alongside the
+// engines whose encoders they configure.
+func (l *Lexicon) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(lexiconImage{
+		Concepts: l.concepts,
+		Parents:  l.parents,
+		Next:     l.next,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (l *Lexicon) GobDecode(data []byte) error {
+	var img lexiconImage
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&img); err != nil {
+		return err
+	}
+	l.concepts = img.Concepts
+	l.parents = img.Parents
+	l.next = img.Next
+	if l.concepts == nil {
+		l.concepts = make(map[string]int32)
+	}
+	if l.parents == nil {
+		l.parents = make(map[int32]int32)
+	}
+	return nil
+}

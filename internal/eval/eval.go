@@ -1,0 +1,194 @@
+// Package eval implements the retrieval-quality metrics the paper reports:
+// Mean Average Precision (MAP), Mean Reciprocal Rank (MRR) and Normalized
+// Discounted Cumulative Gain (NDCG) at configurable cut-offs, over graded
+// relevance judgments (0 irrelevant / 1 partially relevant / 2 fully
+// relevant, the WikiTables scale).
+package eval
+
+import (
+	"math"
+	"sort"
+)
+
+// Qrels holds graded relevance judgments: query id → document id → grade.
+// Grades ≥ 1 count as relevant for the binary metrics (MAP, MRR).
+type Qrels map[string]map[string]int
+
+// Add records one judgment.
+func (q Qrels) Add(query, doc string, grade int) {
+	m, ok := q[query]
+	if !ok {
+		m = make(map[string]int)
+		q[query] = m
+	}
+	m[doc] = grade
+}
+
+// Queries returns the judged query ids, sorted.
+func (q Qrels) Queries() []string {
+	out := make([]string, 0, len(q))
+	for id := range q {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run maps each query id to its ranked result list (best first).
+type Run map[string][]string
+
+// AveragePrecision computes AP of one ranking against binary relevance
+// (grade ≥ 1). Returns 0 when the query has no relevant documents.
+func AveragePrecision(judged map[string]int, ranking []string) float64 {
+	totalRelevant := 0
+	for _, g := range judged {
+		if g >= 1 {
+			totalRelevant++
+		}
+	}
+	if totalRelevant == 0 {
+		return 0
+	}
+	hits, sum := 0, 0.0
+	for i, doc := range ranking {
+		if judged[doc] >= 1 {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	return sum / float64(totalRelevant)
+}
+
+// ReciprocalRank returns 1/rank of the first relevant result, 0 if none.
+func ReciprocalRank(judged map[string]int, ranking []string) float64 {
+	for i, doc := range ranking {
+		if judged[doc] >= 1 {
+			return 1 / float64(i+1)
+		}
+	}
+	return 0
+}
+
+// DCG computes the discounted cumulative gain at cut-off k with the
+// standard gain 2^grade − 1.
+func DCG(judged map[string]int, ranking []string, k int) float64 {
+	if k > len(ranking) {
+		k = len(ranking)
+	}
+	var dcg float64
+	for i := 0; i < k; i++ {
+		g := judged[ranking[i]]
+		if g > 0 {
+			dcg += (math.Pow(2, float64(g)) - 1) / math.Log2(float64(i)+2)
+		}
+	}
+	return dcg
+}
+
+// NDCG computes the normalized DCG at cut-off k. Queries with no relevant
+// documents score 0.
+func NDCG(judged map[string]int, ranking []string, k int) float64 {
+	ideal := idealDCG(judged, k)
+	if ideal == 0 {
+		return 0
+	}
+	return DCG(judged, ranking, k) / ideal
+}
+
+func idealDCG(judged map[string]int, k int) float64 {
+	grades := make([]int, 0, len(judged))
+	for _, g := range judged {
+		if g > 0 {
+			grades = append(grades, g)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(grades)))
+	if k > len(grades) {
+		k = len(grades)
+	}
+	var dcg float64
+	for i := 0; i < k; i++ {
+		dcg += (math.Pow(2, float64(grades[i])) - 1) / math.Log2(float64(i)+2)
+	}
+	return dcg
+}
+
+// PrecisionAt returns the fraction of the top-k results that are relevant.
+func PrecisionAt(judged map[string]int, ranking []string, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	n := k
+	if n > len(ranking) {
+		n = len(ranking)
+	}
+	hits := 0
+	for i := 0; i < n; i++ {
+		if judged[ranking[i]] >= 1 {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// RecallAt returns the fraction of relevant documents found in the top k.
+func RecallAt(judged map[string]int, ranking []string, k int) float64 {
+	totalRelevant := 0
+	for _, g := range judged {
+		if g >= 1 {
+			totalRelevant++
+		}
+	}
+	if totalRelevant == 0 {
+		return 0
+	}
+	if k > len(ranking) {
+		k = len(ranking)
+	}
+	hits := 0
+	for i := 0; i < k; i++ {
+		if judged[ranking[i]] >= 1 {
+			hits++
+		}
+	}
+	return float64(hits) / float64(totalRelevant)
+}
+
+// Report aggregates the paper's metric battery over a run.
+type Report struct {
+	MAP  float64
+	MRR  float64
+	NDCG map[int]float64 // cut-off → mean NDCG
+	// Queries is the number of judged queries the run was scored on.
+	Queries int
+}
+
+// Cutoffs used throughout the paper's tables.
+var Cutoffs = []int{5, 10, 15, 20}
+
+// Evaluate scores a run against qrels, averaging per-query metrics over all
+// judged queries (queries missing from the run contribute zeros, as absent
+// results are misses, not omissions from the denominator).
+func Evaluate(qrels Qrels, run Run) Report {
+	rep := Report{NDCG: make(map[int]float64)}
+	n := 0
+	for _, query := range qrels.Queries() {
+		judged := qrels[query]
+		ranking := run[query]
+		rep.MAP += AveragePrecision(judged, ranking)
+		rep.MRR += ReciprocalRank(judged, ranking)
+		for _, k := range Cutoffs {
+			rep.NDCG[k] += NDCG(judged, ranking, k)
+		}
+		n++
+	}
+	if n > 0 {
+		rep.MAP /= float64(n)
+		rep.MRR /= float64(n)
+		for _, k := range Cutoffs {
+			rep.NDCG[k] /= float64(n)
+		}
+	}
+	rep.Queries = n
+	return rep
+}

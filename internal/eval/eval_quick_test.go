@@ -1,0 +1,105 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomJudgedAndRanking derives a judgment set and a ranking from a seed.
+func randomJudgedAndRanking(seed int64) (map[string]int, []string) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(30)
+	judged := make(map[string]int, n)
+	var docs []string
+	for i := 0; i < n; i++ {
+		doc := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		judged[doc] = rng.Intn(3)
+		docs = append(docs, doc)
+	}
+	rng.Shuffle(len(docs), func(i, j int) { docs[i], docs[j] = docs[j], docs[i] })
+	// Rank a random prefix, possibly with unjudged extras.
+	ranking := append([]string{}, docs[:rng.Intn(len(docs)+1)]...)
+	for i := 0; i < rng.Intn(5); i++ {
+		ranking = append(ranking, "unjudged-"+string(rune('a'+i)))
+	}
+	return judged, ranking
+}
+
+// TestQuickMetricRanges: every metric lies in [0, 1] for arbitrary inputs.
+func TestQuickMetricRanges(t *testing.T) {
+	f := func(seed int64) bool {
+		judged, ranking := randomJudgedAndRanking(seed)
+		for _, v := range []float64{
+			AveragePrecision(judged, ranking),
+			ReciprocalRank(judged, ranking),
+			NDCG(judged, ranking, 5),
+			NDCG(judged, ranking, 100),
+			PrecisionAt(judged, ranking, 10),
+			RecallAt(judged, ranking, 10),
+		} {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIdealRankingIsPerfect: ranking all relevant docs first by grade
+// yields AP = 1 and NDCG = 1.
+func TestQuickIdealRankingIsPerfect(t *testing.T) {
+	f := func(seed int64) bool {
+		judged, _ := randomJudgedAndRanking(seed)
+		// Build the ideal ranking: grade 2 first, then 1, then 0.
+		var ideal []string
+		for g := 2; g >= 0; g-- {
+			for doc, grade := range judged {
+				if grade == g {
+					ideal = append(ideal, doc)
+				}
+			}
+		}
+		hasRelevant := false
+		for _, g := range judged {
+			if g >= 1 {
+				hasRelevant = true
+			}
+		}
+		if !hasRelevant {
+			return true
+		}
+		if ap := AveragePrecision(judged, ideal); ap < 0.999 {
+			return false
+		}
+		if nd := NDCG(judged, ideal, len(ideal)); nd < 0.999 {
+			return false
+		}
+		return ReciprocalRank(judged, ideal) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDCGMonotoneInCutoff: DCG never decreases as the cutoff grows.
+func TestQuickDCGMonotoneInCutoff(t *testing.T) {
+	f := func(seed int64) bool {
+		judged, ranking := randomJudgedAndRanking(seed)
+		prev := 0.0
+		for k := 1; k <= len(ranking)+2; k++ {
+			cur := DCG(judged, ranking, k)
+			if cur < prev-1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

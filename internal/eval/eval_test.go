@@ -1,0 +1,172 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAveragePrecision(t *testing.T) {
+	judged := map[string]int{"a": 2, "b": 0, "c": 1}
+	// Relevant docs: a, c (2 total).
+	// Ranking: a (hit, P=1/1), b (miss), c (hit, P=2/3) → AP = (1 + 2/3)/2.
+	got := AveragePrecision(judged, []string{"a", "b", "c"})
+	if !almost(got, (1.0+2.0/3.0)/2) {
+		t.Fatalf("AP=%v", got)
+	}
+	// Perfect ranking.
+	if got := AveragePrecision(judged, []string{"a", "c", "b"}); !almost(got, 1) {
+		t.Fatalf("perfect AP=%v", got)
+	}
+	// No relevant docs at all.
+	if got := AveragePrecision(map[string]int{"x": 0}, []string{"x"}); got != 0 {
+		t.Fatalf("no-rel AP=%v", got)
+	}
+	// Relevant docs never retrieved.
+	if got := AveragePrecision(judged, []string{"z1", "z2"}); got != 0 {
+		t.Fatalf("missed AP=%v", got)
+	}
+}
+
+func TestReciprocalRank(t *testing.T) {
+	judged := map[string]int{"a": 1}
+	if got := ReciprocalRank(judged, []string{"x", "y", "a"}); !almost(got, 1.0/3) {
+		t.Fatalf("RR=%v", got)
+	}
+	if got := ReciprocalRank(judged, []string{"a"}); !almost(got, 1) {
+		t.Fatalf("RR=%v", got)
+	}
+	if got := ReciprocalRank(judged, []string{"x"}); got != 0 {
+		t.Fatalf("RR=%v", got)
+	}
+}
+
+func TestNDCGHandExample(t *testing.T) {
+	// Grades: d1=2, d2=1, d3=0.
+	judged := map[string]int{"d1": 2, "d2": 1, "d3": 0}
+	// Ranking d2, d1, d3:
+	// DCG = (2^1-1)/log2(2) + (2^2-1)/log2(3) = 1 + 3/1.58496...
+	dcg := 1.0 + 3.0/math.Log2(3)
+	// IDCG = 3/1 + 1/log2(3)
+	idcg := 3.0 + 1.0/math.Log2(3)
+	got := NDCG(judged, []string{"d2", "d1", "d3"}, 10)
+	if !almost(got, dcg/idcg) {
+		t.Fatalf("NDCG=%v want %v", got, dcg/idcg)
+	}
+	// Ideal ranking gives exactly 1.
+	if got := NDCG(judged, []string{"d1", "d2", "d3"}, 10); !almost(got, 1) {
+		t.Fatalf("ideal NDCG=%v", got)
+	}
+}
+
+func TestNDCGCutoff(t *testing.T) {
+	judged := map[string]int{"a": 2, "b": 2}
+	// With k=1 only the first result counts.
+	got := NDCG(judged, []string{"x", "a", "b"}, 1)
+	if got != 0 {
+		t.Fatalf("NDCG@1=%v want 0", got)
+	}
+	full := NDCG(judged, []string{"x", "a", "b"}, 3)
+	if full <= 0 || full >= 1 {
+		t.Fatalf("NDCG@3=%v", full)
+	}
+}
+
+func TestNDCGNoRelevant(t *testing.T) {
+	if got := NDCG(map[string]int{"a": 0}, []string{"a"}, 5); got != 0 {
+		t.Fatalf("NDCG=%v", got)
+	}
+}
+
+func TestPrecisionRecallAt(t *testing.T) {
+	judged := map[string]int{"a": 1, "b": 2, "c": 0}
+	ranking := []string{"a", "c", "b", "z"}
+	if got := PrecisionAt(judged, ranking, 2); !almost(got, 0.5) {
+		t.Fatalf("P@2=%v", got)
+	}
+	if got := RecallAt(judged, ranking, 2); !almost(got, 0.5) {
+		t.Fatalf("R@2=%v", got)
+	}
+	if got := RecallAt(judged, ranking, 4); !almost(got, 1) {
+		t.Fatalf("R@4=%v", got)
+	}
+	if got := PrecisionAt(judged, ranking, 0); got != 0 {
+		t.Fatalf("P@0=%v", got)
+	}
+}
+
+func TestQrels(t *testing.T) {
+	q := Qrels{}
+	q.Add("q1", "d1", 2)
+	q.Add("q1", "d2", 0)
+	q.Add("q2", "d1", 1)
+	if len(q.Queries()) != 2 || q.Queries()[0] != "q1" {
+		t.Fatalf("Queries=%v", q.Queries())
+	}
+	if q["q1"]["d1"] != 2 {
+		t.Fatal("Add lost a grade")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	qrels := Qrels{}
+	qrels.Add("q1", "a", 2)
+	qrels.Add("q1", "b", 1)
+	qrels.Add("q2", "c", 1)
+	run := Run{
+		"q1": {"a", "b"},
+		"q2": {"x", "c"},
+	}
+	rep := Evaluate(qrels, run)
+	if rep.Queries != 2 {
+		t.Fatalf("Queries=%d", rep.Queries)
+	}
+	// q1 AP = 1, q2 AP = 0.5 → MAP 0.75.
+	if !almost(rep.MAP, 0.75) {
+		t.Fatalf("MAP=%v", rep.MAP)
+	}
+	// q1 RR = 1, q2 RR = 0.5 → MRR 0.75.
+	if !almost(rep.MRR, 0.75) {
+		t.Fatalf("MRR=%v", rep.MRR)
+	}
+	for _, k := range Cutoffs {
+		if rep.NDCG[k] <= 0 || rep.NDCG[k] > 1 {
+			t.Fatalf("NDCG@%d=%v", k, rep.NDCG[k])
+		}
+	}
+}
+
+func TestEvaluateMissingQueryCountsAsZero(t *testing.T) {
+	qrels := Qrels{}
+	qrels.Add("q1", "a", 1)
+	qrels.Add("q2", "b", 1)
+	run := Run{"q1": {"a"}} // q2 absent from the run
+	rep := Evaluate(qrels, run)
+	if !almost(rep.MAP, 0.5) {
+		t.Fatalf("MAP=%v want 0.5", rep.MAP)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	rep := Evaluate(Qrels{}, Run{})
+	if rep.Queries != 0 || rep.MAP != 0 {
+		t.Fatalf("empty Evaluate=%+v", rep)
+	}
+}
+
+func TestMonotonicityProperty(t *testing.T) {
+	// Swapping a relevant result upward must never hurt any metric.
+	judged := map[string]int{"r": 2, "x": 0, "y": 0}
+	worse := []string{"x", "y", "r"}
+	better := []string{"x", "r", "y"}
+	if AveragePrecision(judged, better) <= AveragePrecision(judged, worse) {
+		t.Fatal("AP not monotone")
+	}
+	if ReciprocalRank(judged, better) <= ReciprocalRank(judged, worse) {
+		t.Fatal("RR not monotone")
+	}
+	if NDCG(judged, better, 3) <= NDCG(judged, worse, 3) {
+		t.Fatal("NDCG not monotone")
+	}
+}

@@ -1,0 +1,73 @@
+package eval
+
+import "math/rand"
+
+// PairedMetric is a per-query metric extractor used by the significance
+// test, e.g. AveragePrecision or a closure over NDCG at a cut-off.
+type PairedMetric func(judged map[string]int, ranking []string) float64
+
+// Significance compares two runs over the same qrels with a paired
+// randomization (permutation) test on the mean of the given metric — the
+// standard IR significance test (Smucker et al., CIKM 2007). It returns
+// the observed mean difference (runA − runB) and the two-sided p-value
+// estimated with the given number of permutation rounds.
+//
+// Queries judged in qrels but missing from a run score 0 for that run,
+// consistent with Evaluate.
+func Significance(qrels Qrels, runA, runB Run, metric PairedMetric, rounds int, seed int64) (diff, pValue float64) {
+	if rounds <= 0 {
+		rounds = 10000
+	}
+	var perQuery [][2]float64
+	for _, q := range qrels.Queries() {
+		judged := qrels[q]
+		a := metric(judged, runA[q])
+		b := metric(judged, runB[q])
+		perQuery = append(perQuery, [2]float64{a, b})
+	}
+	n := len(perQuery)
+	if n == 0 {
+		return 0, 1
+	}
+	observed := 0.0
+	for _, p := range perQuery {
+		observed += p[0] - p[1]
+	}
+	observed /= float64(n)
+
+	rng := rand.New(rand.NewSource(seed))
+	extreme := 0
+	for r := 0; r < rounds; r++ {
+		var sum float64
+		for _, p := range perQuery {
+			d := p[0] - p[1]
+			if rng.Intn(2) == 1 {
+				d = -d
+			}
+			sum += d
+		}
+		if abs(sum/float64(n)) >= abs(observed)-1e-15 {
+			extreme++
+		}
+	}
+	return observed, float64(extreme+1) / float64(rounds+1)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// APMetric adapts AveragePrecision for Significance.
+func APMetric(judged map[string]int, ranking []string) float64 {
+	return AveragePrecision(judged, ranking)
+}
+
+// NDCGMetric returns a PairedMetric computing NDCG at cut-off k.
+func NDCGMetric(k int) PairedMetric {
+	return func(judged map[string]int, ranking []string) float64 {
+		return NDCG(judged, ranking, k)
+	}
+}

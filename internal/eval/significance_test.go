@@ -1,0 +1,98 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// buildRuns creates qrels over nq queries and two runs: runA ranks the
+// relevant doc at position posA (1-based), runB at posB.
+func buildRuns(nq, posA, posB int) (Qrels, Run, Run) {
+	qrels := Qrels{}
+	runA, runB := Run{}, Run{}
+	mkRanking := func(q string, pos int) []string {
+		var r []string
+		for i := 1; i <= 10; i++ {
+			if i == pos {
+				r = append(r, q+"-rel")
+			} else {
+				r = append(r, fmt.Sprintf("%s-junk-%d", q, i))
+			}
+		}
+		return r
+	}
+	for i := 0; i < nq; i++ {
+		q := fmt.Sprintf("q%02d", i)
+		qrels.Add(q, q+"-rel", 2)
+		runA[q] = mkRanking(q, posA)
+		runB[q] = mkRanking(q, posB)
+	}
+	return qrels, runA, runB
+}
+
+func TestSignificanceDetectsRealDifference(t *testing.T) {
+	qrels, runA, runB := buildRuns(30, 1, 5) // A clearly better
+	diff, p := Significance(qrels, runA, runB, APMetric, 5000, 1)
+	if diff <= 0 {
+		t.Fatalf("diff=%v, A should win", diff)
+	}
+	if p > 0.01 {
+		t.Fatalf("p=%v, a consistent 30-query difference must be significant", p)
+	}
+}
+
+func TestSignificanceIdenticalRunsNotSignificant(t *testing.T) {
+	qrels, runA, _ := buildRuns(30, 2, 2)
+	diff, p := Significance(qrels, runA, runA, APMetric, 2000, 2)
+	if diff != 0 {
+		t.Fatalf("identical runs diff=%v", diff)
+	}
+	if p < 0.99 {
+		t.Fatalf("identical runs p=%v, want ≈ 1", p)
+	}
+}
+
+func TestSignificanceNoisyTieNotSignificant(t *testing.T) {
+	// Runs differ per query but with no systematic direction.
+	qrels := Qrels{}
+	runA, runB := Run{}, Run{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		q := fmt.Sprintf("q%02d", i)
+		qrels.Add(q, q+"-rel", 1)
+		posA, posB := 1+rng.Intn(8), 1+rng.Intn(8)
+		mk := func(pos int) []string {
+			var r []string
+			for j := 1; j <= 8; j++ {
+				if j == pos {
+					r = append(r, q+"-rel")
+				} else {
+					r = append(r, fmt.Sprintf("%s-j%d", q, j))
+				}
+			}
+			return r
+		}
+		runA[q] = mk(posA)
+		runB[q] = mk(posB)
+	}
+	_, p := Significance(qrels, runA, runB, APMetric, 5000, 4)
+	if p < 0.01 {
+		t.Fatalf("random per-query noise reported significant: p=%v", p)
+	}
+}
+
+func TestSignificanceEmptyQrels(t *testing.T) {
+	diff, p := Significance(Qrels{}, Run{}, Run{}, APMetric, 100, 5)
+	if diff != 0 || p != 1 {
+		t.Fatalf("empty qrels: diff=%v p=%v", diff, p)
+	}
+}
+
+func TestNDCGMetricAdapter(t *testing.T) {
+	judged := map[string]int{"a": 2, "b": 0}
+	m := NDCGMetric(5)
+	if got := m(judged, []string{"a", "b"}); got != 1 {
+		t.Fatalf("NDCGMetric=%v", got)
+	}
+}

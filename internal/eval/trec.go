@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseQrels reads judgments in the TREC qrels format:
+//
+//	<query-id> <ignored> <doc-id> <grade>
+//
+// Blank lines and lines starting with # are skipped.
+func ParseQrels(r io.Reader) (Qrels, error) {
+	qrels := Qrels{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("eval: qrels line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		grade, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("eval: qrels line %d: bad grade %q", lineNo, fields[3])
+		}
+		qrels.Add(fields[0], fields[2], grade)
+	}
+	return qrels, sc.Err()
+}
+
+// ParseRun reads a ranked run in the TREC format:
+//
+//	<query-id> Q0 <doc-id> <rank> <score> <tag>
+//
+// The 4-field variant "<query-id> <doc-id> <rank> <score>" is also
+// accepted. Entries are ordered by descending score per query (ties by
+// given rank).
+func ParseRun(r io.Reader) (Run, error) {
+	type entry struct {
+		doc   string
+		rank  int
+		score float64
+	}
+	perQuery := map[string][]entry{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		var qid, doc, rankStr, scoreStr string
+		switch len(fields) {
+		case 6:
+			qid, doc, rankStr, scoreStr = fields[0], fields[2], fields[3], fields[4]
+		case 4:
+			qid, doc, rankStr, scoreStr = fields[0], fields[1], fields[2], fields[3]
+		default:
+			return nil, fmt.Errorf("eval: run line %d: want 4 or 6 fields, got %d", lineNo, len(fields))
+		}
+		rank, err := strconv.Atoi(rankStr)
+		if err != nil {
+			return nil, fmt.Errorf("eval: run line %d: bad rank %q", lineNo, rankStr)
+		}
+		score, err := strconv.ParseFloat(scoreStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("eval: run line %d: bad score %q", lineNo, scoreStr)
+		}
+		perQuery[qid] = append(perQuery[qid], entry{doc, rank, score})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	run := Run{}
+	for qid, entries := range perQuery {
+		sort.SliceStable(entries, func(i, j int) bool {
+			if entries[i].score != entries[j].score {
+				return entries[i].score > entries[j].score
+			}
+			return entries[i].rank < entries[j].rank
+		})
+		docs := make([]string, len(entries))
+		for i, e := range entries {
+			docs[i] = e.doc
+		}
+		run[qid] = docs
+	}
+	return run, nil
+}
+
+// WriteRun emits a run in the 6-field TREC format with the given tag.
+func WriteRun(w io.Writer, run Run, tag string) error {
+	qids := make([]string, 0, len(run))
+	for qid := range run {
+		qids = append(qids, qid)
+	}
+	sort.Strings(qids)
+	for _, qid := range qids {
+		for rank, doc := range run[qid] {
+			// Scores are not retained in a Run; emit a rank-derived score
+			// so the file round-trips through ParseRun in order.
+			if _, err := fmt.Fprintf(w, "%s Q0 %s %d %d %s\n",
+				qid, doc, rank+1, len(run[qid])-rank, tag); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseQrels(t *testing.T) {
+	in := `
+# comment
+q1 0 docA 2
+q1 0 docB 0
+q2 0 docA 1
+`
+	qrels, err := ParseQrels(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qrels["q1"]["docA"] != 2 || qrels["q1"]["docB"] != 0 || qrels["q2"]["docA"] != 1 {
+		t.Fatalf("qrels=%v", qrels)
+	}
+	if _, err := ParseQrels(strings.NewReader("q1 0 docA notanumber\n")); err == nil {
+		t.Fatal("bad grade must fail")
+	}
+	if _, err := ParseQrels(strings.NewReader("too few\n")); err == nil {
+		t.Fatal("short line must fail")
+	}
+}
+
+func TestParseRunSixAndFourField(t *testing.T) {
+	six := `q1 Q0 docB 2 0.5 mytag
+q1 Q0 docA 1 0.9 mytag
+q2 Q0 docC 1 0.7 mytag`
+	run, err := ParseRun(strings.NewReader(six))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(run["q1"], []string{"docA", "docB"}) {
+		t.Fatalf("q1=%v", run["q1"])
+	}
+	four := "q1 docA 1 0.9\nq1 docB 2 0.5\n"
+	run4, err := ParseRun(strings.NewReader(four))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(run4["q1"], []string{"docA", "docB"}) {
+		t.Fatalf("four-field q1=%v", run4["q1"])
+	}
+	if _, err := ParseRun(strings.NewReader("a b c\n")); err == nil {
+		t.Fatal("bad field count must fail")
+	}
+	if _, err := ParseRun(strings.NewReader("q1 Q0 d x 0.5 t\n")); err == nil {
+		t.Fatal("bad rank must fail")
+	}
+	if _, err := ParseRun(strings.NewReader("q1 Q0 d 1 zz t\n")); err == nil {
+		t.Fatal("bad score must fail")
+	}
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	run := Run{
+		"q1": {"a", "b", "c"},
+		"q2": {"x"},
+	}
+	var buf bytes.Buffer
+	if err := WriteRun(&buf, run, "tag"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseRun(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, run) {
+		t.Fatalf("round trip: %v vs %v", got, run)
+	}
+}

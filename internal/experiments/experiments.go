@@ -1,0 +1,341 @@
+// Package experiments is the harness that regenerates every table and
+// figure of the paper's evaluation (§5): build the corpora at the three
+// partition sizes, stand up the eight methods (CTS, ANNS, ExS and the five
+// baselines), score retrieval quality with MAP/MRR/NDCG on the held-out
+// judged pairs, and time queries.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"semdisco/internal/baselines"
+	"semdisco/internal/core"
+	"semdisco/internal/corpus"
+	"semdisco/internal/embed"
+	"semdisco/internal/eval"
+	"semdisco/internal/table"
+)
+
+// Methods lists the eight systems in the paper's order of introduction.
+var Methods = []string{"CTS", "ANNS", "ExS", "MDR", "WS", "TCS", "AdH", "TML"}
+
+// Sizes are the paper's dataset partitions.
+var Sizes = []string{"SD", "MD", "LD"}
+
+// sizeFraction maps partition name to corpus fraction.
+var sizeFraction = map[string]float64{"SD": 0.1, "MD": 0.5, "LD": 1.0}
+
+// Setup configures a benchmark build.
+type Setup struct {
+	// Profile selects the corpus (corpus.WikiTables() or corpus.EDP()),
+	// possibly Scaled.
+	Profile corpus.Profile
+	// Dim is the embedding dimensionality; 0 = the paper's 768.
+	Dim int
+	// Seed drives the encoder and all index construction.
+	Seed int64
+	// TrainBaselines fits MDR/WS/TCS on the training pair split, the way
+	// the paper uses its 1,918 tuning pairs. Tuning MDR is by far the most
+	// expensive step.
+	TrainBaselines bool
+	// SkipMethods names methods not to build (e.g. skip slow baselines in
+	// quick runs).
+	SkipMethods []string
+}
+
+// Bench holds the fully-built experiment state.
+type Bench struct {
+	Setup  Setup
+	Corpus *corpus.Corpus
+	// PerSize maps "SD"/"MD"/"LD" to the built methods over that subset.
+	PerSize map[string]*SizedBench
+}
+
+// SizedBench is one dataset partition with its methods.
+type SizedBench struct {
+	Fed       *table.Federation
+	Emb       *core.Embedded
+	Model     *embed.Model
+	Searchers map[string]core.Searcher
+	// Qrels is the full judgment set restricted to this partition's
+	// relations; TestQrels the held-out subset of it.
+	Qrels     eval.Qrels
+	TestQrels eval.Qrels
+}
+
+// NewBench generates the corpus and builds every method at every size.
+func NewBench(setup Setup) (*Bench, error) {
+	c := corpus.Generate(setup.Profile)
+	b := &Bench{Setup: setup, Corpus: c, PerSize: make(map[string]*SizedBench)}
+	skip := make(map[string]bool, len(setup.SkipMethods))
+	for _, m := range setup.SkipMethods {
+		skip[m] = true
+	}
+	for _, size := range Sizes {
+		sb, err := b.buildSize(size, skip)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building %s: %w", size, err)
+		}
+		b.PerSize[size] = sb
+	}
+	return b, nil
+}
+
+func (b *Bench) buildSize(size string, skip map[string]bool) (*SizedBench, error) {
+	c := b.Corpus
+	fed := c.Federation.Subset(sizeFraction[size])
+	model := c.NewEncoder(b.Setup.Dim, b.Setup.Seed)
+	emb := core.EmbedFederation(fed, model)
+
+	sb := &SizedBench{
+		Fed:       fed,
+		Emb:       emb,
+		Model:     model,
+		Searchers: make(map[string]core.Searcher),
+		Qrels:     restrictQrels(c.Qrels, fed),
+		TestQrels: restrictQrels(c.TestQrels, fed),
+	}
+
+	if !skip["ExS"] {
+		// Single-threaded scan: Algorithm 1 as written, so the latency
+		// figures reflect the brute-force cost the paper reports.
+		noParallel := false
+		sb.Searchers["ExS"] = core.NewExS(emb, core.ExSOptions{Parallel: &noParallel})
+	}
+	if !skip["ANNS"] {
+		anns, err := core.NewANNS(emb, core.ANNSOptions{Seed: b.Setup.Seed})
+		if err != nil {
+			return nil, err
+		}
+		sb.Searchers["ANNS"] = anns
+	}
+	if !skip["CTS"] {
+		cts, err := core.NewCTS(emb, core.CTSOptions{Seed: b.Setup.Seed})
+		if err != nil {
+			return nil, err
+		}
+		sb.Searchers["CTS"] = cts
+	}
+
+	needCtx := false
+	for _, m := range []string{"MDR", "WS", "TCS", "AdH", "TML"} {
+		if !skip[m] {
+			needCtx = true
+		}
+	}
+	if needCtx {
+		ctx := baselines.NewContext(fed, model)
+		trainQ := map[string]string{}
+		for _, q := range c.Queries {
+			trainQ[q.ID] = q.Text
+		}
+		if !skip["MDR"] {
+			mdr := baselines.NewMDR(ctx, baselines.MDROptions{})
+			if b.Setup.TrainBaselines {
+				mdr.Tune(trainQ, restrictQrels(c.TrainQrels, fed))
+			}
+			sb.Searchers["MDR"] = mdr
+		}
+		if !skip["WS"] {
+			ws := baselines.NewWS(ctx)
+			if b.Setup.TrainBaselines {
+				ws.Train(trainQ, restrictQrels(c.TrainQrels, fed))
+			}
+			sb.Searchers["WS"] = ws
+		}
+		if !skip["TCS"] {
+			tcs := baselines.NewTCS(ctx, b.Setup.Seed)
+			if b.Setup.TrainBaselines {
+				tcs.Train(trainQ, restrictQrels(c.TrainQrels, fed))
+			}
+			sb.Searchers["TCS"] = tcs
+		}
+		if !skip["AdH"] {
+			sb.Searchers["AdH"] = baselines.NewAdH(ctx, 0)
+		}
+		if !skip["TML"] {
+			sb.Searchers["TML"] = baselines.NewTML(ctx, 0)
+		}
+	}
+	return sb, nil
+}
+
+// restrictQrels drops judgments for relations outside the partition, so a
+// smaller partition is evaluated against what it can actually retrieve —
+// this is what makes quality rise as the corpus shrinks, as in the paper.
+func restrictQrels(q eval.Qrels, fed *table.Federation) eval.Qrels {
+	out := eval.Qrels{}
+	for query, judged := range q {
+		for rel, grade := range judged {
+			if _, ok := fed.ByID(rel); ok {
+				out.Add(query, rel, grade)
+			}
+		}
+	}
+	return out
+}
+
+// QualityCell is one (method, size, class) quality measurement.
+type QualityCell struct {
+	Method string
+	Size   string
+	Class  corpus.QueryClass
+	Report eval.Report
+}
+
+// Quality evaluates one method on one partition for one query class
+// against the held-out judged pairs, retrieving top-k (the paper reports
+// NDCG up to cut-off 20, so k defaults to 20).
+func (b *Bench) Quality(method, size string, class corpus.QueryClass, k int) (QualityCell, error) {
+	if k == 0 {
+		k = 20
+	}
+	sb := b.PerSize[size]
+	s, ok := sb.Searchers[method]
+	if !ok {
+		return QualityCell{}, fmt.Errorf("experiments: method %s not built", method)
+	}
+	queries := b.Corpus.QueriesOf(class)
+	run := eval.Run{}
+	qrels := eval.Qrels{}
+	for _, q := range queries {
+		judged, ok := sb.TestQrels[q.ID]
+		if !ok {
+			continue
+		}
+		// Standard IR practice: a query with no relevant documents in this
+		// partition cannot be scored and is skipped — otherwise shrinking
+		// the corpus would only ever *lower* scores, the opposite of the
+		// fewer-distractors effect the paper reports.
+		hasRelevant := false
+		for _, g := range judged {
+			if g >= 1 {
+				hasRelevant = true
+				break
+			}
+		}
+		if !hasRelevant {
+			continue
+		}
+		for rel, g := range judged {
+			qrels.Add(q.ID, rel, g)
+		}
+		ms, err := s.Search(q.Text, k)
+		if err != nil {
+			return QualityCell{}, err
+		}
+		ids := make([]string, len(ms))
+		for i, m := range ms {
+			ids[i] = m.RelationID
+		}
+		run[q.ID] = ids
+	}
+	return QualityCell{
+		Method: method, Size: size, Class: class,
+		Report: eval.Evaluate(qrels, run),
+	}, nil
+}
+
+// QualityTable computes the full grid of one query class — the content of
+// the paper's Table 1 (long), Table 2 (moderate) or Table 3 (short).
+func (b *Bench) QualityTable(class corpus.QueryClass) ([]QualityCell, error) {
+	var cells []QualityCell
+	for _, size := range []string{"LD", "MD", "SD"} { // paper's row order
+		for _, m := range Methods {
+			if _, ok := b.PerSize[size].Searchers[m]; !ok {
+				continue
+			}
+			cell, err := b.Quality(m, size, class, 20)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell)
+		}
+		// Within a size block the paper sorts by MAP descending.
+		start := len(cells) - countBuilt(b, size)
+		block := cells[start:]
+		sort.SliceStable(block, func(i, j int) bool {
+			return block[i].Report.MAP > block[j].Report.MAP
+		})
+	}
+	return cells, nil
+}
+
+func countBuilt(b *Bench, size string) int { return len(b.PerSize[size].Searchers) }
+
+// WriteRun executes one method over a query class on a partition and
+// writes the ranked results as a TREC run file, so external tooling (or
+// cmd/semdisco-eval) can score and compare methods.
+func (b *Bench) WriteRun(w io.Writer, method, size string, class corpus.QueryClass, k int) error {
+	if k <= 0 {
+		k = 20
+	}
+	sb := b.PerSize[size]
+	s, ok := sb.Searchers[method]
+	if !ok {
+		return fmt.Errorf("experiments: method %s not built", method)
+	}
+	run := eval.Run{}
+	for _, q := range b.Corpus.QueriesOf(class) {
+		ms, err := s.Search(q.Text, k)
+		if err != nil {
+			return err
+		}
+		ids := make([]string, len(ms))
+		for i, m := range ms {
+			ids[i] = m.RelationID
+		}
+		run[q.ID] = ids
+	}
+	return eval.WriteRun(w, run, method)
+}
+
+// LatencyCell is one (method, size, class) timing measurement.
+type LatencyCell struct {
+	Method string
+	Size   string
+	Class  corpus.QueryClass
+	// MeanMS and P50MS are over the class's queries.
+	MeanMS, P50MS float64
+}
+
+// Latency times one method over all queries of the class on one partition.
+// Each query runs once (the encoder's token cache is pre-warmed by a
+// throwaway query so timings reflect steady state).
+func (b *Bench) Latency(method, size string, class corpus.QueryClass, k int) (LatencyCell, error) {
+	if k == 0 {
+		k = 20
+	}
+	sb := b.PerSize[size]
+	s, ok := sb.Searchers[method]
+	if !ok {
+		return LatencyCell{}, fmt.Errorf("experiments: method %s not built", method)
+	}
+	queries := b.Corpus.QueriesOf(class)
+	if len(queries) == 0 {
+		return LatencyCell{}, fmt.Errorf("experiments: no %v queries", class)
+	}
+	if _, err := s.Search(queries[0].Text, k); err != nil { // warm-up
+		return LatencyCell{}, err
+	}
+	durations := make([]float64, 0, len(queries))
+	var total float64
+	for _, q := range queries {
+		start := time.Now()
+		if _, err := s.Search(q.Text, k); err != nil {
+			return LatencyCell{}, err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		durations = append(durations, ms)
+		total += ms
+	}
+	sort.Float64s(durations)
+	return LatencyCell{
+		Method: method, Size: size, Class: class,
+		MeanMS: total / float64(len(durations)),
+		P50MS:  durations[len(durations)/2],
+	}, nil
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"semdisco/internal/core"
+	"semdisco/internal/corpus"
+)
+
+// SweepScales are the corpus fractions the scalability sweep visits.
+var SweepScales = []float64{0.1, 0.25, 0.5, 1.0}
+
+// RunScalingSweep builds the three semantic methods at several corpus
+// scales and reports build and query times — the scalability story of §5.4
+// ("to understand how the different methods scale up") as one table
+// instead of three partitions. Baselines are skipped; their scaling is
+// covered by Figure 3.
+func RunScalingSweep(profile corpus.Profile, dim int, seed int64) (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Scaling sweep (corpus %s, dim %d)\n", profile.Name, dim)
+	fmt.Fprintf(&sb, "%-7s %9s %9s | %12s %12s | %10s %10s %10s\n",
+		"scale", "relations", "values", "ANNS build", "CTS build", "ExS ms", "ANNS ms", "CTS ms")
+	for _, scale := range SweepScales {
+		p := profile.Scaled(scale)
+		c := corpus.Generate(p)
+		model := c.NewEncoder(dim, seed)
+		emb := core.EmbedFederation(c.Federation, model)
+
+		noParallel := false
+		exs := core.NewExS(emb, core.ExSOptions{Parallel: &noParallel})
+
+		start := time.Now()
+		anns, err := core.NewANNS(emb, core.ANNSOptions{Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		annsBuild := time.Since(start)
+
+		start = time.Now()
+		cts, err := core.NewCTS(emb, core.CTSOptions{Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		ctsBuild := time.Since(start)
+
+		queries := c.QueriesOf(corpus.Moderate)
+		timeOf := func(s core.Searcher) (float64, error) {
+			if _, err := s.Search(queries[0].Text, 20); err != nil { // warm-up
+				return 0, err
+			}
+			start := time.Now()
+			for _, q := range queries {
+				if _, err := s.Search(q.Text, 20); err != nil {
+					return 0, err
+				}
+			}
+			return float64(time.Since(start).Microseconds()) / 1000 / float64(len(queries)), nil
+		}
+		exsMS, err := timeOf(exs)
+		if err != nil {
+			return "", err
+		}
+		annsMS, err := timeOf(anns)
+		if err != nil {
+			return "", err
+		}
+		ctsMS, err := timeOf(cts)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "%-7.2f %9d %9d | %12s %12s | %10.2f %10.2f %10.2f\n",
+			scale, c.Federation.Len(), emb.NumValues(),
+			annsBuild.Round(time.Millisecond), ctsBuild.Round(time.Millisecond),
+			exsMS, annsMS, ctsMS)
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"semdisco/internal/corpus"
+)
+
+// classOfTable maps the paper's table number to its query class.
+var classOfTable = map[int]corpus.QueryClass{
+	1: corpus.Long,
+	2: corpus.Moderate,
+	3: corpus.Short,
+}
+
+// RunQualityTable regenerates Table 1, 2 or 3 (long / moderate / short
+// query quality) and renders it in the paper's layout.
+func (b *Bench) RunQualityTable(tableNo int) (string, error) {
+	class, ok := classOfTable[tableNo]
+	if !ok {
+		return "", fmt.Errorf("experiments: no quality table %d", tableNo)
+	}
+	cells, err := b.QualityTable(class)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table %d: Quality of %s query results (corpus %s)\n",
+		tableNo, class, b.Setup.Profile.Name)
+	fmt.Fprintf(&sb, "%-8s %-6s %7s %7s | %7s %7s %7s %7s\n",
+		"Dataset", "Method", "MAP", "MRR", "NDCG@5", "@10", "@15", "@20")
+	prevSize := ""
+	for _, c := range cells {
+		sizeLabel := ""
+		if c.Size != prevSize {
+			sizeLabel = c.Size
+			if prevSize != "" {
+				sb.WriteString(strings.Repeat("-", 72) + "\n")
+			}
+			prevSize = c.Size
+		}
+		r := c.Report
+		fmt.Fprintf(&sb, "%-8s %-6s %7.3f %7.3f | %7.3f %7.3f %7.3f %7.3f\n",
+			sizeLabel, c.Method, r.MAP, r.MRR,
+			r.NDCG[5], r.NDCG[10], r.NDCG[15], r.NDCG[20])
+	}
+	return sb.String(), nil
+}
+
+// RunTable4 regenerates Table 4: query time (milliseconds) for CTS vs ANNS
+// across partition sizes and query lengths.
+func (b *Bench) RunTable4() (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 4: Query Time (milliseconds) for CTS vs. ANNS (corpus %s)\n",
+		b.Setup.Profile.Name)
+	fmt.Fprintf(&sb, "%-8s %-10s %10s %10s\n", "Dataset", "Query", "CTS", "ANNS")
+	for _, size := range []string{"LD", "MD", "SD"} {
+		for _, class := range []corpus.QueryClass{corpus.Long, corpus.Moderate, corpus.Short} {
+			row := [2]float64{}
+			for i, m := range []string{"CTS", "ANNS"} {
+				cell, err := b.Latency(m, size, class, 20)
+				if err != nil {
+					return "", err
+				}
+				row[i] = cell.MeanMS
+			}
+			fmt.Fprintf(&sb, "%-8s %-10s %10.2f %10.2f\n", size, class, row[0], row[1])
+		}
+	}
+	return sb.String(), nil
+}
+
+// RunFigure3 regenerates Figure 3: query response time of every method per
+// partition size and query length (the paper renders this as bar charts;
+// we print the series).
+func (b *Bench) RunFigure3() (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 3: Query response time in ms, all methods (corpus %s)\n",
+		b.Setup.Profile.Name)
+	fmt.Fprintf(&sb, "%-8s %-10s", "Dataset", "Query")
+	for _, m := range Methods {
+		fmt.Fprintf(&sb, " %9s", m)
+	}
+	sb.WriteByte('\n')
+	for _, size := range []string{"LD", "MD", "SD"} {
+		for _, class := range []corpus.QueryClass{corpus.Long, corpus.Moderate, corpus.Short} {
+			fmt.Fprintf(&sb, "%-8s %-10s", size, class)
+			for _, m := range Methods {
+				if _, ok := b.PerSize[size].Searchers[m]; !ok {
+					fmt.Fprintf(&sb, " %9s", "-")
+					continue
+				}
+				cell, err := b.Latency(m, size, class, 20)
+				if err != nil {
+					return "", err
+				}
+				fmt.Fprintf(&sb, " %9.2f", cell.MeanMS)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String(), nil
+}
+
+// CaseStudy reproduces the §5.3 qualitative comparison: for a targeted
+// query, show the top-k of each of the three proposed methods side by side.
+func (b *Bench) CaseStudy(query string, k int) (string, error) {
+	if k == 0 {
+		k = 5
+	}
+	sb := b.PerSize["LD"]
+	var out strings.Builder
+	fmt.Fprintf(&out, "Case study (§5.3), query %q:\n", query)
+	for _, m := range []string{"ExS", "ANNS", "CTS"} {
+		s, ok := sb.Searchers[m]
+		if !ok {
+			continue
+		}
+		ms, err := s.Search(query, k)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&out, "  %-5s:", m)
+		for _, match := range ms {
+			fmt.Fprintf(&out, " %s(%.3f)", match.RelationID, match.Score)
+		}
+		out.WriteByte('\n')
+	}
+	return out.String(), nil
+}

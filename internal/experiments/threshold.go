@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"sort"
+
+	"semdisco/internal/core"
+	"semdisco/internal/eval"
+)
+
+// CalibrateThreshold picks the similarity threshold h that maximizes F1 of
+// "related / not related" decisions on the training judgments — the paper
+// defines relatedness as match(F, q) ≥ h but leaves choosing h open; this
+// is the natural way to set it from the tuning pair split.
+//
+// For each training query the searcher ranks top-k relations; every
+// (score, relevant?) pair becomes a candidate point, and the threshold
+// swept over the observed scores maximizing F1 is returned, along with the
+// F1 it achieves. k defaults to 50.
+func CalibrateThreshold(s core.Searcher, queries map[string]string, qrels eval.Qrels, k int) (h float32, f1 float64, err error) {
+	if k <= 0 {
+		k = 50
+	}
+	type point struct {
+		score    float32
+		relevant bool
+	}
+	var points []point
+	totalRelevant := 0
+	for _, qid := range qrels.Queries() {
+		text, ok := queries[qid]
+		if !ok {
+			continue
+		}
+		judged := qrels[qid]
+		for _, g := range judged {
+			if g >= 1 {
+				totalRelevant++
+			}
+		}
+		matches, serr := s.Search(text, k)
+		if serr != nil {
+			return 0, 0, serr
+		}
+		for _, m := range matches {
+			grade, isJudged := judged[m.RelationID]
+			if !isJudged {
+				continue // unjudged retrievals cannot vote
+			}
+			points = append(points, point{m.Score, grade >= 1})
+		}
+	}
+	if len(points) == 0 || totalRelevant == 0 {
+		return 0, 0, nil
+	}
+	// Sweep thresholds descending: at threshold t everything with
+	// score ≥ t is predicted related.
+	sort.Slice(points, func(i, j int) bool { return points[i].score > points[j].score })
+	bestH, bestF1 := float32(0), 0.0
+	tp, fp := 0, 0
+	for i, p := range points {
+		if p.relevant {
+			tp++
+		} else {
+			fp++
+		}
+		// Only evaluate at distinct score boundaries.
+		if i+1 < len(points) && points[i+1].score == p.score {
+			continue
+		}
+		precision := float64(tp) / float64(tp+fp)
+		recall := float64(tp) / float64(totalRelevant)
+		if precision+recall == 0 {
+			continue
+		}
+		f := 2 * precision * recall / (precision + recall)
+		if f > bestF1 {
+			bestF1 = f
+			bestH = p.score
+		}
+	}
+	return bestH, bestF1, nil
+}

@@ -1,0 +1,321 @@
+package hdbscan
+
+import (
+	"sort"
+
+	"semdisco/internal/vec"
+)
+
+// maxLambda caps 1/distance so that zero distances (duplicate points) stay
+// finite and stability arithmetic remains well-defined.
+const maxLambda = 1e8
+
+// ctEntry is one row of the condensed tree: child (a point if < n, a
+// condensed cluster if ≥ n) detaches from parent at the given lambda with
+// the given size.
+type ctEntry struct {
+	parent, child int
+	lambda        float64
+	size          int
+}
+
+// condensedTree holds the condensed hierarchy plus derived quantities.
+type condensedTree struct {
+	n       int
+	entries []ctEntry
+	// children[c] lists child *clusters* of cluster c.
+	children map[int][]int
+	// pointsOf[c] lists (point, lambda) rows of cluster c.
+	pointsOf map[int][]ctEntry
+	// birth[c] is the lambda at which cluster c appeared.
+	birth map[int]float64
+	// stability[c] per compute; finalLabel maps cluster id -> output label.
+	stability  map[int]float64
+	finalLabel map[int]int
+	nextID     int
+}
+
+// condense reduces the single-linkage dendrogram to clusters of at least
+// minClusterSize members, following the reference implementation's
+// traversal.
+func condense(merges []linkageMerge, n, minClusterSize int) *condensedTree {
+	if minClusterSize < 2 {
+		minClusterSize = 2
+	}
+	ct := &condensedTree{
+		n:          n,
+		children:   make(map[int][]int),
+		pointsOf:   make(map[int][]ctEntry),
+		birth:      make(map[int]float64),
+		stability:  make(map[int]float64),
+		finalLabel: make(map[int]int),
+		nextID:     n,
+	}
+	if len(merges) == 0 {
+		return ct
+	}
+	// Dendrogram node ids: points 0..n-1, merge i is node n+i.
+	rootNode := n + len(merges) - 1
+	root := ct.newCluster(0) // birth lambda 0
+	type frame struct {
+		node, cluster int
+	}
+	stack := []frame{{rootNode, root}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		m := merges[f.node-n]
+		lambda := lambdaOf(m.dist)
+		leftSize, rightSize := subtreeSize(merges, n, m.left), subtreeSize(merges, n, m.right)
+		switch {
+		case leftSize >= minClusterSize && rightSize >= minClusterSize:
+			lc := ct.newChildCluster(f.cluster, lambda, leftSize)
+			rc := ct.newChildCluster(f.cluster, lambda, rightSize)
+			stack = append(stack, frame{m.left, lc}, frame{m.right, rc})
+		case leftSize >= minClusterSize:
+			ct.dropPoints(merges, n, m.right, f.cluster, lambda)
+			stack = append(stack, frame{m.left, f.cluster})
+		case rightSize >= minClusterSize:
+			ct.dropPoints(merges, n, m.left, f.cluster, lambda)
+			stack = append(stack, frame{m.right, f.cluster})
+		default:
+			ct.dropPoints(merges, n, m.left, f.cluster, lambda)
+			ct.dropPoints(merges, n, m.right, f.cluster, lambda)
+		}
+	}
+	ct.computeStability()
+	return ct
+}
+
+func lambdaOf(dist float64) float64 {
+	if dist <= 1/maxLambda {
+		return maxLambda
+	}
+	return 1 / dist
+}
+
+func (ct *condensedTree) newCluster(birth float64) int {
+	id := ct.nextID
+	ct.nextID++
+	ct.birth[id] = birth
+	return id
+}
+
+func (ct *condensedTree) newChildCluster(parent int, lambda float64, size int) int {
+	id := ct.newCluster(lambda)
+	ct.children[parent] = append(ct.children[parent], id)
+	ct.entries = append(ct.entries, ctEntry{parent: parent, child: id, lambda: lambda, size: size})
+	return id
+}
+
+// dropPoints records every leaf under dendrogram node as leaving cluster at
+// lambda. Note: a "node" may itself be a leaf (< n).
+func (ct *condensedTree) dropPoints(merges []linkageMerge, n, node, cluster int, lambda float64) {
+	stack := []int{node}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur < n {
+			e := ctEntry{parent: cluster, child: cur, lambda: lambda, size: 1}
+			ct.entries = append(ct.entries, e)
+			ct.pointsOf[cluster] = append(ct.pointsOf[cluster], e)
+			continue
+		}
+		m := merges[cur-n]
+		stack = append(stack, m.left, m.right)
+	}
+}
+
+// subtreeSize returns the number of points under a dendrogram node.
+func subtreeSize(merges []linkageMerge, n, node int) int {
+	if node < n {
+		return 1
+	}
+	return merges[node-n].size
+}
+
+// computeStability fills stability[c] = Σ over child entries of c of
+// (λ_child − λ_birth(c)) · size(child), the excess of mass.
+func (ct *condensedTree) computeStability() {
+	for _, e := range ct.entries {
+		b := ct.birth[e.parent]
+		ct.stability[e.parent] += (e.lambda - b) * float64(e.size)
+	}
+	// Clusters with no recorded entries still need a stability value.
+	for id := ct.n; id < ct.nextID; id++ {
+		if _, ok := ct.stability[id]; !ok {
+			ct.stability[id] = 0
+		}
+	}
+}
+
+// selectEOM runs the bottom-up Excess-of-Mass selection and returns the
+// chosen cluster ids. Unless allowRoot is set the root is never selected
+// (its "cluster" is the whole dataset), matching the reference default.
+func (ct *condensedTree) selectEOM(allowRoot bool) []int {
+	if ct.nextID == ct.n {
+		return nil
+	}
+	root := ct.n
+	isCluster := make(map[int]bool, ct.nextID-ct.n)
+	// Descending id order visits children before parents because ids are
+	// allocated while descending the dendrogram.
+	ids := make([]int, 0, ct.nextID-ct.n)
+	lowest := root + 1
+	if allowRoot {
+		lowest = root
+	}
+	for id := ct.nextID - 1; id >= lowest; id-- {
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		var childSum float64
+		for _, c := range ct.children[id] {
+			childSum += ct.stability[c]
+		}
+		if len(ct.children[id]) > 0 && ct.stability[id] < childSum {
+			ct.stability[id] = childSum
+			isCluster[id] = false
+		} else {
+			isCluster[id] = true
+			ct.deselectDescendants(id, isCluster)
+		}
+	}
+	var selected []int
+	for _, id := range ids {
+		if isCluster[id] {
+			selected = append(selected, id)
+		}
+	}
+	sort.Ints(selected)
+	return selected
+}
+
+func (ct *condensedTree) deselectDescendants(id int, isCluster map[int]bool) {
+	stack := append([]int(nil), ct.children[id]...)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		isCluster[cur] = false
+		stack = append(stack, ct.children[cur]...)
+	}
+}
+
+// label assigns output labels 0..k-1 to points under the selected clusters
+// (in ascending cluster-id order, so labelling is deterministic) and Noise
+// elsewhere. Probabilities are λ_point / λ_max within the cluster.
+func (ct *condensedTree) label(selected []int, n int) (labels []int, probs []float64) {
+	labels = make([]int, n)
+	probs = make([]float64, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	for i, c := range selected {
+		ct.finalLabel[c] = i
+	}
+	for i, c := range selected {
+		members := ct.collectMembers(c)
+		var lmax float64
+		for _, m := range members {
+			if m.lambda > lmax {
+				lmax = m.lambda
+			}
+		}
+		for _, m := range members {
+			labels[m.child] = i
+			if lmax > 0 {
+				p := m.lambda / lmax
+				if p > 1 {
+					p = 1
+				}
+				probs[m.child] = p
+			}
+		}
+	}
+	return labels, probs
+}
+
+// collectMembers returns the point entries of cluster c and all descendant
+// clusters. When c is the root (only selectable under AllowSingleCluster),
+// points that detached directly from the root at very low density are
+// background noise, not members: a direct root point is admitted only if
+// its lambda clears a small fraction of the cluster's peak density. Density
+// ratios between a genuine cluster and background are orders of magnitude,
+// so the 5% cut is insensitive to its exact value.
+func (ct *condensedTree) collectMembers(c int) []ctEntry {
+	var members []ctEntry
+	stack := []int{c}
+	if c == ct.n {
+		direct := ct.pointsOf[c]
+		var lmax float64
+		for _, m := range direct {
+			if m.lambda > lmax {
+				lmax = m.lambda
+			}
+		}
+		for _, m := range direct {
+			if m.lambda >= 0.05*lmax {
+				members = append(members, m)
+			}
+		}
+		stack = append([]int(nil), ct.children[c]...)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		members = append(members, ct.pointsOf[cur]...)
+		stack = append(stack, ct.children[cur]...)
+	}
+	return members
+}
+
+// computeMedoids returns, per cluster, the index of the member point with
+// the minimal sum of Euclidean distances to its co-members. Clusters are
+// small relative to the corpus, so the O(|C|²) scan is acceptable; for very
+// large clusters a uniform subsample of 256 members bounds the cost.
+func computeMedoids(points [][]float32, labels []int, numClusters int) []int {
+	if numClusters == 0 {
+		return nil
+	}
+	members := make([][]int, numClusters)
+	for i, l := range labels {
+		if l >= 0 {
+			members[l] = append(members[l], i)
+		}
+	}
+	medoids := make([]int, numClusters)
+	for c, ms := range members {
+		medoids[c] = medoidOf(points, ms)
+	}
+	return medoids
+}
+
+func medoidOf(points [][]float32, members []int) int {
+	if len(members) == 0 {
+		return -1
+	}
+	refs := members
+	const cap = 256
+	if len(refs) > cap {
+		// Deterministic stride subsample.
+		stride := len(refs) / cap
+		sub := make([]int, 0, cap)
+		for i := 0; i < len(refs) && len(sub) < cap; i += stride {
+			sub = append(sub, refs[i])
+		}
+		refs = sub
+	}
+	best, bestSum := members[0], float64(0)
+	first := true
+	for _, candidate := range members {
+		var sum float64
+		for _, ref := range refs {
+			sum += float64(vec.L2(points[candidate], points[ref]))
+		}
+		if first || sum < bestSum {
+			best, bestSum = candidate, sum
+			first = false
+		}
+	}
+	return best
+}

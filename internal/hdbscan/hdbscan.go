@@ -1,0 +1,243 @@
+// Package hdbscan implements Hierarchical Density-Based Spatial Clustering
+// of Applications with Noise (Campello, Moulavi, Sander 2013; McInnes,
+// Healy, Astels 2017) with Excess-of-Mass cluster extraction, plus the
+// medoid computation the paper adds on top ("While HDBSCAN does not
+// automatically provide cluster centers, we address this limitation by
+// manually computing the clusters medoids").
+//
+// Pipeline: k-nearest-neighbour core distances → mutual-reachability
+// distances → minimum spanning tree (Prim) → single-linkage dendrogram →
+// condensed tree (minimum cluster size) → stability-based cluster selection
+// → labels with noise = -1 → per-cluster medoids.
+package hdbscan
+
+import (
+	"math"
+	"sort"
+
+	"semdisco/internal/vec"
+)
+
+// Config controls clustering.
+type Config struct {
+	// MinClusterSize is the smallest group the condensed tree treats as a
+	// cluster. Defaults to 5.
+	MinClusterSize int
+	// MinSamples is the k used for core distances (density smoothing).
+	// Defaults to MinClusterSize.
+	MinSamples int
+	// AllowSingleCluster permits the root of the condensed tree to be
+	// selected, which is required when the data forms one cluster plus
+	// noise. Matches the reference implementation's flag of the same name;
+	// defaults to false.
+	AllowSingleCluster bool
+}
+
+// Result is a completed clustering.
+type Result struct {
+	// Labels[i] is the cluster of point i, or Noise.
+	Labels []int
+	// NumClusters is the number of extracted clusters; labels run 0..N-1.
+	NumClusters int
+	// Medoids[c] is the index (into the input points) of cluster c's medoid:
+	// the member minimizing total Euclidean distance to its co-members.
+	Medoids []int
+	// Stabilities[c] is the excess-of-mass stability of cluster c.
+	Stabilities []float64
+	// Probabilities[i] is the strength of point i's membership in its
+	// cluster, in [0,1]; 0 for noise.
+	Probabilities []float64
+}
+
+// Noise is the label assigned to points in no cluster.
+const Noise = -1
+
+// Cluster runs HDBSCAN on points under the Euclidean metric.
+// The cost is O(n²) time and O(n) extra memory for the MST construction,
+// which is the standard exact formulation.
+func Cluster(points [][]float32, cfg Config) Result {
+	n := len(points)
+	if cfg.MinClusterSize <= 0 {
+		cfg.MinClusterSize = 5
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = cfg.MinClusterSize
+	}
+	if n == 0 {
+		return Result{Labels: []int{}}
+	}
+	if n == 1 {
+		return Result{Labels: []int{Noise}, Probabilities: []float64{0}}
+	}
+
+	core := coreDistances(points, cfg.MinSamples)
+	edges := mstPrim(points, core)
+	merges := singleLinkage(edges, n)
+	ct := condense(merges, n, cfg.MinClusterSize)
+	selected := ct.selectEOM(cfg.AllowSingleCluster)
+	labels, probs := ct.label(selected, n)
+
+	numClusters := 0
+	for _, l := range labels {
+		if l+1 > numClusters {
+			numClusters = l + 1
+		}
+	}
+	medoids := computeMedoids(points, labels, numClusters)
+	stab := make([]float64, numClusters)
+	for _, c := range selected {
+		if ct.finalLabel[c] >= 0 {
+			stab[ct.finalLabel[c]] = ct.stability[c]
+		}
+	}
+	return Result{
+		Labels:        labels,
+		NumClusters:   numClusters,
+		Medoids:       medoids,
+		Stabilities:   stab,
+		Probabilities: probs,
+	}
+}
+
+// coreDistances returns, for each point, the distance to its k-th nearest
+// neighbour (the point itself not counted).
+func coreDistances(points [][]float32, k int) []float64 {
+	n := len(points)
+	if k >= n {
+		k = n - 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	core := make([]float64, n)
+	dists := make([]float64, n)
+	for i := range points {
+		for j := range points {
+			dists[j] = float64(vec.L2(points[i], points[j]))
+		}
+		dists[i] = math.Inf(1) // exclude self, keeps slice length stable
+		// k-th smallest via partial selection.
+		core[i] = kthSmallest(dists, k)
+		dists[i] = 0
+	}
+	return core
+}
+
+// kthSmallest returns the k-th smallest element (1-based) of ds without
+// permanently reordering the caller's view; it copies.
+func kthSmallest(ds []float64, k int) float64 {
+	cp := make([]float64, len(ds))
+	copy(cp, ds)
+	sort.Float64s(cp)
+	return cp[k-1]
+}
+
+type mstEdge struct {
+	a, b int
+	w    float64
+}
+
+// mstPrim builds the minimum spanning tree of the complete graph under
+// mutual-reachability distance max(core[a], core[b], d(a,b)).
+func mstPrim(points [][]float32, core []float64) []mstEdge {
+	n := len(points)
+	inTree := make([]bool, n)
+	bestDist := make([]float64, n)
+	bestFrom := make([]int, n)
+	for i := range bestDist {
+		bestDist[i] = math.Inf(1)
+		bestFrom[i] = -1
+	}
+	edges := make([]mstEdge, 0, n-1)
+	cur := 0
+	inTree[0] = true
+	for len(edges) < n-1 {
+		// Relax edges from cur.
+		for j := 0; j < n; j++ {
+			if inTree[j] {
+				continue
+			}
+			d := float64(vec.L2(points[cur], points[j]))
+			if core[cur] > d {
+				d = core[cur]
+			}
+			if core[j] > d {
+				d = core[j]
+			}
+			if d < bestDist[j] {
+				bestDist[j] = d
+				bestFrom[j] = cur
+			}
+		}
+		// Pick the closest frontier vertex.
+		next, nextD := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if !inTree[j] && bestDist[j] < nextD {
+				next, nextD = j, bestDist[j]
+			}
+		}
+		if next < 0 {
+			break // disconnected cannot happen on a complete graph
+		}
+		inTree[next] = true
+		edges = append(edges, mstEdge{bestFrom[next], next, nextD})
+		cur = next
+	}
+	return edges
+}
+
+// linkageMerge is one row of the single-linkage dendrogram, scipy-style:
+// nodes 0..n-1 are points; merge i creates node n+i joining left and right
+// at the given distance with the given total size.
+type linkageMerge struct {
+	left, right int
+	dist        float64
+	size        int
+}
+
+// singleLinkage converts MST edges (sorted ascending) into a dendrogram via
+// union-find.
+func singleLinkage(edges []mstEdge, n int) []linkageMerge {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w < edges[j].w
+		}
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	parent := make([]int, n+len(edges))
+	size := make([]int, n+len(edges))
+	current := make([]int, n+len(edges)) // current dendrogram node of a root
+	for i := range parent {
+		parent[i] = i
+		if i < n {
+			size[i] = 1
+			current[i] = i
+		}
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	merges := make([]linkageMerge, 0, len(edges))
+	for i, e := range edges {
+		ra, rb := find(e.a), find(e.b)
+		node := n + i
+		merges = append(merges, linkageMerge{
+			left: current[ra], right: current[rb],
+			dist: e.w, size: size[ra] + size[rb],
+		})
+		parent[ra] = node
+		parent[rb] = node
+		parent[node] = node
+		size[node] = size[ra] + size[rb]
+		current[node] = node
+	}
+	return merges
+}

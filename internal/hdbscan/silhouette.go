@@ -1,0 +1,73 @@
+package hdbscan
+
+import "semdisco/internal/vec"
+
+// Silhouette computes the mean silhouette coefficient of a labelled
+// clustering under the Euclidean metric, ignoring noise points. Values
+// near 1 mean tight, well-separated clusters; near 0, overlapping ones;
+// negative, misassignments. Cost is O(n²); for large inputs pass a sample.
+//
+// Returns 0 when fewer than 2 clusters have members (silhouette is
+// undefined there).
+func Silhouette(points [][]float32, labels []int) float64 {
+	// Group member indices by cluster.
+	clusters := map[int][]int{}
+	for i, l := range labels {
+		if l >= 0 {
+			clusters[l] = append(clusters[l], i)
+		}
+	}
+	if len(clusters) < 2 {
+		return 0
+	}
+	var total float64
+	counted := 0
+	for i, l := range labels {
+		if l < 0 {
+			continue
+		}
+		own := clusters[l]
+		if len(own) < 2 {
+			continue // a(i) undefined for singleton clusters
+		}
+		// a(i): mean distance to co-members.
+		var a float64
+		for _, j := range own {
+			if j == i {
+				continue
+			}
+			a += float64(vec.L2(points[i], points[j]))
+		}
+		a /= float64(len(own) - 1)
+		// b(i): min over other clusters of mean distance.
+		b := -1.0
+		for other, members := range clusters {
+			if other == l {
+				continue
+			}
+			var d float64
+			for _, j := range members {
+				d += float64(vec.L2(points[i], points[j]))
+			}
+			d /= float64(len(members))
+			if b < 0 || d < b {
+				b = d
+			}
+		}
+		if b < 0 {
+			continue
+		}
+		max := a
+		if b > max {
+			max = b
+		}
+		if max > 0 {
+			total += (b - a) / max
+			counted++
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}

@@ -1,0 +1,386 @@
+// Package hnsw implements the Hierarchical Navigable Small World graph index
+// of Malkov & Yashunin (TPAMI 2018) for approximate nearest-neighbour search.
+//
+// The index is decoupled from vector storage: it identifies items by dense
+// int32 ids and asks the caller for distances through two callbacks — an
+// item-to-item distance used during construction, and a per-query closure
+// used during search. This lets the vector database run the same graph over
+// raw float32 vectors or over Product-Quantization codes with an ADC table
+// built once per query.
+//
+// Distances are "smaller is closer". For cosine similarity over unit
+// vectors, pass 1 - dot(a, b).
+package hnsw
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Config controls graph shape and construction effort.
+type Config struct {
+	// M is the maximum number of neighbours per node on layers ≥ 1.
+	// Layer 0 allows 2M. Defaults to 16.
+	M int
+	// EfConstruction is the beam width during insertion. Defaults to 200.
+	EfConstruction int
+	// Seed drives the random level assignment.
+	Seed int64
+}
+
+// Neighbor is one search result: an item id and its distance to the query.
+type Neighbor struct {
+	ID   int32
+	Dist float32
+}
+
+// Index is an HNSW graph. Add must not race with Search; a sync.RWMutex
+// internally allows concurrent Search calls after (or between) Adds.
+type Index struct {
+	m              int
+	mMax0          int
+	efConstruction int
+	ml             float64
+	seed           int64
+
+	dist func(a, b int32) float32
+
+	mu       sync.RWMutex
+	rng      *rand.Rand
+	nodes    []node
+	entry    int32
+	maxLevel int
+}
+
+type node struct {
+	// neighbors[l] lists the ids connected at layer l; len(neighbors) is the
+	// node's level + 1.
+	neighbors [][]int32
+}
+
+// New creates an empty index whose construction-time distances come from
+// dist, which must be symmetric and non-negative.
+func New(cfg Config, dist func(a, b int32) float32) *Index {
+	if cfg.M == 0 {
+		cfg.M = 16
+	}
+	if cfg.EfConstruction == 0 {
+		cfg.EfConstruction = 200
+	}
+	return &Index{
+		m:              cfg.M,
+		mMax0:          2 * cfg.M,
+		efConstruction: cfg.EfConstruction,
+		ml:             1 / math.Log(float64(cfg.M)),
+		seed:           cfg.Seed,
+		dist:           dist,
+		rng:            rand.New(rand.NewSource(cfg.Seed)),
+		entry:          -1,
+		maxLevel:       -1,
+	}
+}
+
+// Len returns the number of indexed items.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.nodes)
+}
+
+// Add inserts the next item and returns its id (ids are assigned densely in
+// insertion order: 0, 1, 2, …). The caller must be able to serve distances
+// for the new id before calling Add.
+func (ix *Index) Add() int32 {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+
+	id := int32(len(ix.nodes))
+	level := ix.randomLevel()
+	ix.nodes = append(ix.nodes, node{neighbors: make([][]int32, level+1)})
+
+	if ix.entry < 0 {
+		ix.entry = id
+		ix.maxLevel = level
+		return id
+	}
+
+	ep := ix.entry
+	// Greedy descent through layers above the new node's level.
+	for l := ix.maxLevel; l > level; l-- {
+		ep = ix.greedyClosest(ep, id, l)
+	}
+	// Beam search + heuristic selection on each layer the node occupies.
+	topLayer := level
+	if topLayer > ix.maxLevel {
+		topLayer = ix.maxLevel
+	}
+	for l := topLayer; l >= 0; l-- {
+		candidates := ix.searchLayerConstruct(ep, id, ix.efConstruction, l)
+		maxConn := ix.m
+		if l == 0 {
+			maxConn = ix.mMax0
+		}
+		selected := ix.selectHeuristic(candidates, ix.m)
+		ix.nodes[id].neighbors[l] = append(ix.nodes[id].neighbors[l], selected...)
+		for _, n := range selected {
+			ix.nodes[n].neighbors[l] = append(ix.nodes[n].neighbors[l], id)
+			if len(ix.nodes[n].neighbors[l]) > maxConn {
+				ix.shrink(n, l, maxConn)
+			}
+		}
+		if len(candidates) > 0 {
+			ep = candidates[0].ID
+		}
+	}
+	if level > ix.maxLevel {
+		ix.maxLevel = level
+		ix.entry = id
+	}
+	return id
+}
+
+// randomLevel samples the exponentially-decaying level distribution.
+func (ix *Index) randomLevel() int {
+	u := ix.rng.Float64()
+	for u == 0 {
+		u = ix.rng.Float64()
+	}
+	return int(math.Floor(-math.Log(u) * ix.ml))
+}
+
+// greedyClosest walks layer l from ep toward the item target, following the
+// steepest descent until no neighbour is closer.
+func (ix *Index) greedyClosest(ep, target int32, l int) int32 {
+	cur := ep
+	curD := ix.dist(cur, target)
+	for {
+		improved := false
+		for _, n := range ix.neighborsAt(cur, l) {
+			if d := ix.dist(n, target); d < curD {
+				cur, curD = n, d
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+func (ix *Index) neighborsAt(id int32, l int) []int32 {
+	nbs := ix.nodes[id].neighbors
+	if l >= len(nbs) {
+		return nil
+	}
+	return nbs[l]
+}
+
+// searchLayerConstruct is the ef-bounded beam search used during insertion,
+// measuring distance to stored item `target`. Results are sorted ascending
+// by distance.
+func (ix *Index) searchLayerConstruct(ep, target int32, ef, l int) []Neighbor {
+	return ix.searchLayer(ep, func(id int32) float32 { return ix.dist(id, target) }, ef, l, nil)
+}
+
+// searchLayer runs the beam search at layer l starting from ep with beam
+// width ef, using qd for distances and skipping items rejected by filter.
+// The entry point is always evaluated even if filtered, so the walk can
+// escape filtered regions. Results sorted ascending by distance; filtered
+// items never appear in the result.
+func (ix *Index) searchLayer(ep int32, qd func(int32) float32, ef, l int, filter func(int32) bool) []Neighbor {
+	visited := make(map[int32]struct{}, ef*4)
+	visited[ep] = struct{}{}
+
+	epDist := qd(ep)
+	candidates := &minHeap{{ep, epDist}}
+	var results maxHeap
+	if filter == nil || filter(ep) {
+		results = maxHeap{{ep, epDist}}
+	}
+
+	for candidates.Len() > 0 {
+		c := heap.Pop(candidates).(Neighbor)
+		if len(results) >= ef && c.Dist > results[0].Dist {
+			break
+		}
+		for _, n := range ix.neighborsAt(c.ID, l) {
+			if _, seen := visited[n]; seen {
+				continue
+			}
+			visited[n] = struct{}{}
+			d := qd(n)
+			if len(results) < ef || d < results[0].Dist {
+				heap.Push(candidates, Neighbor{n, d})
+				if filter == nil || filter(n) {
+					heap.Push(&results, Neighbor{n, d})
+					if len(results) > ef {
+						heap.Pop(&results)
+					}
+				}
+			}
+		}
+	}
+	out := make([]Neighbor, len(results))
+	copy(out, results)
+	sortNeighbors(out)
+	return out
+}
+
+// selectHeuristic implements Algorithm 4 (neighbour selection by heuristic):
+// scan candidates in ascending distance and keep one only if it is closer to
+// the target than to every already-kept neighbour, which preserves graph
+// navigability around cluster boundaries. Pruned candidates backfill the
+// list if fewer than m survive.
+func (ix *Index) selectHeuristic(candidates []Neighbor, m int) []int32 {
+	if len(candidates) <= m {
+		out := make([]int32, len(candidates))
+		for i, c := range candidates {
+			out[i] = c.ID
+		}
+		return out
+	}
+	selected := make([]int32, 0, m)
+	var pruned []Neighbor
+	for _, c := range candidates {
+		if len(selected) >= m {
+			break
+		}
+		ok := true
+		for _, s := range selected {
+			if ix.dist(c.ID, s) < c.Dist {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			selected = append(selected, c.ID)
+		} else {
+			pruned = append(pruned, c)
+		}
+	}
+	for _, c := range pruned {
+		if len(selected) >= m {
+			break
+		}
+		selected = append(selected, c.ID)
+	}
+	return selected
+}
+
+// shrink re-selects the best maxConn neighbours of id at layer l.
+func (ix *Index) shrink(id int32, l, maxConn int) {
+	nbs := ix.nodes[id].neighbors[l]
+	cands := make([]Neighbor, len(nbs))
+	for i, n := range nbs {
+		cands[i] = Neighbor{n, ix.dist(id, n)}
+	}
+	sortNeighbors(cands)
+	ix.nodes[id].neighbors[l] = ix.selectHeuristic(cands, maxConn)
+}
+
+// Search returns up to k items closest to the query, where qd returns the
+// query-to-item distance. ef is the search beam width (clamped to ≥ k).
+// filter, when non-nil, restricts results to accepted ids; the graph is
+// still traversed through rejected nodes so the filtered region remains
+// reachable.
+func (ix *Index) Search(qd func(id int32) float32, k, ef int, filter func(int32) bool) []Neighbor {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	if ix.entry < 0 || k <= 0 {
+		return nil
+	}
+	if ef < k {
+		ef = k
+	}
+	ep := ix.entry
+	epD := qd(ep)
+	for l := ix.maxLevel; l >= 1; l-- {
+		for {
+			improved := false
+			for _, n := range ix.neighborsAt(ep, l) {
+				if d := qd(n); d < epD {
+					ep, epD = n, d
+					improved = true
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+	}
+	res := ix.searchLayer(ep, qd, ef, 0, filter)
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res
+}
+
+// MaxLevel reports the current top layer, for diagnostics.
+func (ix *Index) MaxLevel() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.maxLevel
+}
+
+// Graph returns a copy of the adjacency lists of layer l, for tests and
+// diagnostics.
+func (ix *Index) Graph(l int) map[int32][]int32 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make(map[int32][]int32)
+	for id := range ix.nodes {
+		if l < len(ix.nodes[id].neighbors) {
+			nbs := make([]int32, len(ix.nodes[id].neighbors[l]))
+			copy(nbs, ix.nodes[id].neighbors[l])
+			out[int32(id)] = nbs
+		}
+	}
+	return out
+}
+
+func sortNeighbors(ns []Neighbor) {
+	// Insertion sort is fine: lists are ef-bounded and nearly sorted.
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && less(ns[j], ns[j-1]); j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
+
+func less(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+type minHeap []Neighbor
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return less(h[i], h[j]) }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type maxHeap []Neighbor
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return less(h[j], h[i]) }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,71 @@
+package hnsw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"semdisco/internal/vec"
+)
+
+// TestQuickSearchInvariants checks, over random corpora and queries, that
+// search results are unique in-range ids, sorted ascending by distance,
+// and never exceed k.
+func TestQuickSearchInvariants(t *testing.T) {
+	f := func(seed int64, kRaw, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		k := int(kRaw)%20 + 1
+		s := newStore(Config{M: 8, EfConstruction: 40, Seed: seed})
+		vs := randVecs(n, 8, seed)
+		for _, v := range vs {
+			s.add(v)
+		}
+		q := randVecs(1, 8, seed^0x55aa)[0]
+		got := s.search(q, k, 32, nil)
+		if len(got) > k {
+			return false
+		}
+		seen := map[int32]struct{}{}
+		for i, nb := range got {
+			if nb.ID < 0 || int(nb.ID) >= n {
+				return false
+			}
+			if _, dup := seen[nb.ID]; dup {
+				return false
+			}
+			seen[nb.ID] = struct{}{}
+			if i > 0 && got[i].Dist < got[i-1].Dist {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExhaustiveEfIsExact: with the beam as wide as the corpus and a
+// connected layer 0, the search is exact.
+func TestExhaustiveEfIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		n := 30 + rng.Intn(100)
+		s := newStore(Config{M: 8, EfConstruction: 80, Seed: int64(trial)})
+		vs := randVecs(n, 8, int64(trial+50))
+		for _, v := range vs {
+			s.add(v)
+		}
+		q := randVecs(1, 8, int64(trial+99))[0]
+		got := s.search(q, 5, n, nil)
+		want := bruteKNN(vs, q, 5)
+		for i := range want {
+			if got[i].ID != want[i] {
+				// Verify it is a tie rather than a miss.
+				if vec.L2Sq(q, vs[got[i].ID]) != vec.L2Sq(q, vs[want[i]]) {
+					t.Fatalf("trial %d: rank %d got %d want %d", trial, i, got[i].ID, want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package hnsw
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The on-wire format is little-endian:
+//
+//	magic u32 | version u32 | M u32 | efConstruction u32 | seed u64
+//	entry i32 | maxLevel i32 | numNodes u32
+//	per node: numLayers u32, then per layer: degree u32, neighbor i32...
+//
+// The random level generator's future state is not captured; a restored
+// index continues assigning levels from a stream reseeded by the node
+// count, which preserves the level distribution (exact bit-compatibility
+// of future inserts is not a goal — search correctness is).
+
+const (
+	hnswMagic   = 0x484e5357 // "HNSW"
+	hnswVersion = 1
+)
+
+// WriteTo serializes the graph.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	var n int64
+	put32 := func(v uint32) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		k, err := w.Write(buf[:])
+		n += int64(k)
+		return err
+	}
+	put64 := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		k, err := w.Write(buf[:])
+		n += int64(k)
+		return err
+	}
+	for _, v := range []uint32{hnswMagic, hnswVersion, uint32(ix.m), uint32(ix.efConstruction)} {
+		if err := put32(v); err != nil {
+			return n, err
+		}
+	}
+	if err := put64(uint64(ix.seed)); err != nil {
+		return n, err
+	}
+	for _, v := range []uint32{uint32(ix.entry), uint32(ix.maxLevel), uint32(len(ix.nodes))} {
+		if err := put32(v); err != nil {
+			return n, err
+		}
+	}
+	for _, node := range ix.nodes {
+		if err := put32(uint32(len(node.neighbors))); err != nil {
+			return n, err
+		}
+		for _, layer := range node.neighbors {
+			if err := put32(uint32(len(layer))); err != nil {
+				return n, err
+			}
+			for _, nb := range layer {
+				if err := put32(uint32(nb)); err != nil {
+					return n, err
+				}
+			}
+		}
+	}
+	return n, nil
+}
+
+// Read deserializes a graph written by WriteTo. The caller supplies the
+// same construction-time distance function the original index used; it is
+// needed only for future Add calls.
+func Read(r io.Reader, dist func(a, b int32) float32) (*Index, error) {
+	get32 := func() (uint32, error) {
+		var buf [4]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:]), nil
+	}
+	get64 := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	magic, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != hnswMagic {
+		return nil, errors.New("hnsw: bad magic")
+	}
+	version, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if version != hnswVersion {
+		return nil, fmt.Errorf("hnsw: unsupported version %d", version)
+	}
+	m, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	efc, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	seed, err := get64()
+	if err != nil {
+		return nil, err
+	}
+	if m == 0 || m > 1<<16 {
+		return nil, fmt.Errorf("hnsw: corrupt M=%d", m)
+	}
+	entry, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	maxLevel, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	numNodes, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if numNodes > 1<<30 {
+		return nil, fmt.Errorf("hnsw: corrupt node count %d", numNodes)
+	}
+
+	ix := New(Config{M: int(m), EfConstruction: int(efc), Seed: int64(seed)}, dist)
+	ix.entry = int32(entry)
+	ix.maxLevel = int32AsLevel(maxLevel)
+	ix.nodes = make([]node, numNodes)
+	for i := range ix.nodes {
+		layers, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		if layers > 64 {
+			return nil, fmt.Errorf("hnsw: corrupt layer count %d", layers)
+		}
+		nbs := make([][]int32, layers)
+		for l := range nbs {
+			deg, err := get32()
+			if err != nil {
+				return nil, err
+			}
+			if deg > 4*m {
+				return nil, fmt.Errorf("hnsw: corrupt degree %d", deg)
+			}
+			layer := make([]int32, deg)
+			for d := range layer {
+				v, err := get32()
+				if err != nil {
+					return nil, err
+				}
+				if v >= numNodes {
+					return nil, fmt.Errorf("hnsw: neighbor %d out of range", v)
+				}
+				layer[d] = int32(v)
+			}
+			nbs[l] = layer
+		}
+		ix.nodes[i].neighbors = nbs
+	}
+	if numNodes > 0 && (ix.entry < 0 || int(ix.entry) >= int(numNodes)) {
+		return nil, fmt.Errorf("hnsw: corrupt entry point %d", ix.entry)
+	}
+	// Re-burn the level RNG so future Adds continue a plausible stream.
+	for i := uint32(0); i < numNodes; i++ {
+		ix.randomLevel()
+	}
+	return ix, nil
+}
+
+// int32AsLevel reinterprets the stored unsigned maxLevel, allowing the -1
+// sentinel of an empty index to round-trip.
+func int32AsLevel(v uint32) int { return int(int32(v)) }

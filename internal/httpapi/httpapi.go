@@ -1,0 +1,212 @@
+// Package httpapi exposes a discovery Engine over HTTP with a small JSON
+// API, so a federation member can host its (embedding-only, non-reversible)
+// index as a service — the deployment shape the paper's federation setting
+// implies.
+//
+// Endpoints:
+//
+//	GET  /healthz               liveness
+//	GET  /v1/stats              engine statistics
+//	POST /v1/search             {"query": "...", "k": 10, "sources": ["WHO"]}
+//	POST /v1/datasets           {"query": "...", "k": 5}
+//	POST /v1/relations          a Relation to index incrementally
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"semdisco"
+)
+
+// Server wraps an Engine with HTTP handlers. Incremental adds are
+// serialized with searches through an RWMutex because Engine.Add must not
+// race with Engine.Search.
+type Server struct {
+	mu  sync.RWMutex
+	eng *semdisco.Engine
+	mux *http.ServeMux
+}
+
+// New builds a Server around an engine.
+func New(eng *semdisco.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("POST /v1/relations", s.handleAddRelation)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// SearchRequest is the body of /v1/search and /v1/datasets.
+type SearchRequest struct {
+	Query string `json:"query"`
+	K     int    `json:"k"`
+	// Sources optionally restricts the search to federation members.
+	Sources []string `json:"sources,omitempty"`
+}
+
+// SearchResponse is the body returned by /v1/search.
+type SearchResponse struct {
+	Matches []MatchJSON `json:"matches"`
+}
+
+// MatchJSON is one relation match.
+type MatchJSON struct {
+	RelationID string  `json:"relation_id"`
+	Score      float32 `json:"score"`
+}
+
+// DatasetJSON is one dataset match.
+type DatasetJSON struct {
+	Source    string      `json:"source"`
+	Score     float32     `json:"score"`
+	Relations []MatchJSON `json:"relations"`
+}
+
+// DatasetsResponse is the body returned by /v1/datasets.
+type DatasetsResponse struct {
+	Datasets []DatasetJSON `json:"datasets"`
+}
+
+// StatsResponse is the body returned by /v1/stats.
+type StatsResponse struct {
+	Method    string `json:"method"`
+	NumValues int    `json:"num_values"`
+}
+
+// ErrorResponse is returned with every non-2xx status.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Method:    s.eng.Method().String(),
+		NumValues: s.eng.NumValues(),
+	})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeSearch(w, r)
+	if !ok {
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var (
+		matches []semdisco.Match
+		err     error
+	)
+	if len(req.Sources) > 0 {
+		matches, err = s.eng.SearchSources(req.Query, req.K, req.Sources...)
+	} else {
+		matches, err = s.eng.Search(req.Query, req.K)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{err.Error()})
+		return
+	}
+	resp := SearchResponse{Matches: make([]MatchJSON, len(matches))}
+	for i, m := range matches {
+		resp.Matches[i] = MatchJSON{RelationID: m.RelationID, Score: m.Score}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeSearch(w, r)
+	if !ok {
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	datasets, err := s.eng.SearchDatasets(req.Query, req.K)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{err.Error()})
+		return
+	}
+	resp := DatasetsResponse{Datasets: make([]DatasetJSON, len(datasets))}
+	for i, d := range datasets {
+		dj := DatasetJSON{Source: d.Source, Score: d.Score}
+		for _, m := range d.Relations {
+			dj.Relations = append(dj.Relations, MatchJSON{RelationID: m.RelationID, Score: m.Score})
+		}
+		resp.Datasets[i] = dj
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RelationJSON mirrors semdisco.Relation for the ingest endpoint.
+type RelationJSON struct {
+	ID           string     `json:"id"`
+	Source       string     `json:"source"`
+	PageTitle    string     `json:"page_title,omitempty"`
+	SectionTitle string     `json:"section_title,omitempty"`
+	Caption      string     `json:"caption,omitempty"`
+	Columns      []string   `json:"columns"`
+	Rows         [][]string `json:"rows"`
+}
+
+func (s *Server) handleAddRelation(w http.ResponseWriter, r *http.Request) {
+	var rel RelationJSON
+	if err := json.NewDecoder(r.Body).Decode(&rel); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{fmt.Sprintf("bad body: %v", err)})
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.eng.Add(&semdisco.Relation{
+		ID:           rel.ID,
+		Source:       rel.Source,
+		PageTitle:    rel.PageTitle,
+		SectionTitle: rel.SectionTitle,
+		Caption:      rel.Caption,
+		Columns:      rel.Columns,
+		Rows:         rel.Rows,
+	})
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "indexed", "id": rel.ID})
+}
+
+func decodeSearch(w http.ResponseWriter, r *http.Request) (SearchRequest, bool) {
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{fmt.Sprintf("bad body: %v", err)})
+		return req, false
+	}
+	if req.Query == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{"query is required"})
+		return req, false
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	if req.K > 1000 {
+		req.K = 1000
+	}
+	return req, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,162 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"semdisco"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	fed := semdisco.NewFederation()
+	add := func(r *semdisco.Relation) {
+		if err := fed.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(&semdisco.Relation{
+		ID: "vaccines", Source: "WHO",
+		Columns: []string{"Region", "Vaccine"},
+		Rows:    [][]string{{"Europe", "Vaxzevria"}, {"Asia", "CoronaVac"}},
+	})
+	add(&semdisco.Relation{
+		ID: "minerals", Source: "USGS",
+		Columns: []string{"Mineral", "Hardness"},
+		Rows:    [][]string{{"Quartz", "7"}},
+	})
+	lex := semdisco.NewLexicon()
+	lex.AddSynonyms("COVID", "coronavirus", "Vaxzevria", "CoronaVac")
+	eng, err := semdisco.Open(fed, semdisco.Config{
+		Method: semdisco.ANNS, Dim: 192, Seed: 1, Lexicon: lex,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(eng)
+}
+
+func do(t *testing.T, srv *Server, method, path, body string) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec, rec.Body.Bytes()
+}
+
+func TestHealthAndStats(t *testing.T) {
+	srv := testServer(t)
+	rec, _ := do(t, srv, "GET", "/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz=%d", rec.Code)
+	}
+	rec, body := do(t, srv, "GET", "/v1/stats", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats=%d", rec.Code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Method != "ANNS" || stats.NumValues == 0 {
+		t.Fatalf("stats=%+v", stats)
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	srv := testServer(t)
+	rec, body := do(t, srv, "POST", "/v1/search", `{"query":"COVID","k":1}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search=%d %s", rec.Code, body)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Matches) != 1 || resp.Matches[0].RelationID != "vaccines" {
+		t.Fatalf("matches=%+v", resp.Matches)
+	}
+}
+
+func TestSearchWithSources(t *testing.T) {
+	srv := testServer(t)
+	rec, body := do(t, srv, "POST", "/v1/search", `{"query":"COVID","k":5,"sources":["USGS"]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search=%d %s", rec.Code, body)
+	}
+	var resp SearchResponse
+	json.Unmarshal(body, &resp)
+	for _, m := range resp.Matches {
+		if m.RelationID == "vaccines" {
+			t.Fatalf("source filter leaked: %+v", resp.Matches)
+		}
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	srv := testServer(t)
+	for _, body := range []string{"", "{", `{"k":3}`} {
+		rec, _ := do(t, srv, "POST", "/v1/search", body)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("body %q: code=%d", body, rec.Code)
+		}
+	}
+	// Wrong method on a POST route.
+	rec, _ := do(t, srv, "GET", "/v1/search", "")
+	if rec.Code == http.StatusOK {
+		t.Fatal("GET on POST route should not succeed")
+	}
+}
+
+func TestDatasetsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	rec, body := do(t, srv, "POST", "/v1/datasets", `{"query":"COVID","k":2}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("datasets=%d %s", rec.Code, body)
+	}
+	var resp DatasetsResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Datasets) == 0 || resp.Datasets[0].Source != "WHO" {
+		t.Fatalf("datasets=%+v", resp.Datasets)
+	}
+}
+
+func TestAddRelationEndpoint(t *testing.T) {
+	srv := testServer(t)
+	rel := RelationJSON{
+		ID: "flu", Source: "WHO",
+		Columns: []string{"Region", "Strain"},
+		Rows:    [][]string{{"Europe", "influenza H1N1"}},
+	}
+	payload, _ := json.Marshal(rel)
+	rec, body := do(t, srv, "POST", "/v1/relations", string(bytes.TrimSpace(payload)))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("add=%d %s", rec.Code, body)
+	}
+	// The new relation is searchable.
+	rec, body = do(t, srv, "POST", "/v1/search", `{"query":"influenza","k":1}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search=%d", rec.Code)
+	}
+	var resp SearchResponse
+	json.Unmarshal(body, &resp)
+	if len(resp.Matches) == 0 || resp.Matches[0].RelationID != "flu" {
+		t.Fatalf("added relation not searchable: %+v", resp.Matches)
+	}
+	// Duplicate add fails.
+	rec, _ = do(t, srv, "POST", "/v1/relations", string(payload))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("duplicate add=%d", rec.Code)
+	}
+	// Invalid body fails.
+	rec, _ = do(t, srv, "POST", "/v1/relations", "{")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad body add=%d", rec.Code)
+	}
+}

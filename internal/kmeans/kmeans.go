@@ -1,0 +1,163 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding on
+// float32 vectors. It is the training routine behind the Product
+// Quantization codebooks and is exposed separately because the experiment
+// harness also uses it for diagnostics.
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+
+	"semdisco/internal/vec"
+)
+
+// Result holds a clustering: k centroids and the assignment of every input
+// point to its nearest centroid.
+type Result struct {
+	Centroids  [][]float32
+	Assignment []int
+	// Inertia is the final sum of squared distances of points to their
+	// assigned centroid.
+	Inertia float64
+	// Iterations actually executed before convergence or the cap.
+	Iterations int
+}
+
+// Config controls training.
+type Config struct {
+	// K is the number of clusters; required, must be ≥ 1.
+	K int
+	// MaxIter caps Lloyd iterations. Defaults to 25.
+	MaxIter int
+	// Tol stops early when relative inertia improvement falls below it.
+	// Defaults to 1e-4.
+	Tol float64
+	// Seed drives the k-means++ initialization.
+	Seed int64
+}
+
+// Run clusters points (each of equal dimension) into cfg.K groups.
+// If there are fewer distinct points than K, surplus centroids duplicate
+// existing points; every centroid is still valid.
+func Run(points [][]float32, cfg Config) Result {
+	if cfg.K < 1 {
+		panic("kmeans: K must be >= 1")
+	}
+	if len(points) == 0 {
+		panic("kmeans: no points")
+	}
+	if cfg.MaxIter == 0 {
+		cfg.MaxIter = 25
+	}
+	if cfg.Tol == 0 {
+		cfg.Tol = 1e-4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	k := cfg.K
+	if k > len(points) {
+		k = len(points)
+	}
+	centroids := seedPlusPlus(points, k, rng)
+	// Pad duplicated centroids if the caller asked for more clusters than
+	// points; keeps downstream code simple (always exactly cfg.K entries).
+	for len(centroids) < cfg.K {
+		centroids = append(centroids, vec.Clone(points[rng.Intn(len(points))]))
+	}
+
+	assign := make([]int, len(points))
+	counts := make([]int, cfg.K)
+	prevInertia := math.Inf(1)
+	var inertia float64
+	iter := 0
+	for ; iter < cfg.MaxIter; iter++ {
+		inertia = 0
+		for i, p := range points {
+			best, bestD := 0, float32(math.MaxFloat32)
+			for c, cent := range centroids {
+				if d := vec.L2Sq(p, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+			inertia += float64(bestD)
+		}
+		// Recompute centroids.
+		dim := len(points[0])
+		sums := make([][]float32, cfg.K)
+		for c := range sums {
+			sums[c] = make([]float32, dim)
+			counts[c] = 0
+		}
+		for i, p := range points {
+			vec.Add(sums[assign[i]], p)
+			counts[assign[i]]++
+		}
+		for c := range sums {
+			if counts[c] == 0 {
+				// Empty cluster: reseat at the point farthest from its
+				// centroid to avoid dead codewords.
+				sums[c] = vec.Clone(points[farthestPoint(points, centroids, assign)])
+				continue
+			}
+			vec.Scale(sums[c], 1/float32(counts[c]))
+		}
+		centroids = sums
+		if prevInertia-inertia <= cfg.Tol*prevInertia {
+			iter++
+			break
+		}
+		prevInertia = inertia
+	}
+	return Result{Centroids: centroids, Assignment: assign, Inertia: inertia, Iterations: iter}
+}
+
+// seedPlusPlus picks k starting centroids with the k-means++ D² weighting.
+func seedPlusPlus(points [][]float32, k int, rng *rand.Rand) [][]float32 {
+	centroids := make([][]float32, 0, k)
+	centroids = append(centroids, vec.Clone(points[rng.Intn(len(points))]))
+	d2 := make([]float64, len(points))
+	for i, p := range points {
+		d2[i] = float64(vec.L2Sq(p, centroids[0]))
+	}
+	for len(centroids) < k {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var next int
+		if total <= 0 {
+			next = rng.Intn(len(points))
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			next = len(points) - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= target {
+					next = i
+					break
+				}
+			}
+		}
+		c := vec.Clone(points[next])
+		centroids = append(centroids, c)
+		for i, p := range points {
+			if d := float64(vec.L2Sq(p, c)); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// farthestPoint returns the index of the point with maximal distance to its
+// assigned centroid, used to reseat empty clusters.
+func farthestPoint(points, centroids [][]float32, assign []int) int {
+	worst, worstD := 0, float32(-1)
+	for i, p := range points {
+		if d := vec.L2Sq(p, centroids[assign[i]]); d > worstD {
+			worst, worstD = i, d
+		}
+	}
+	return worst
+}

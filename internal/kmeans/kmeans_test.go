@@ -1,0 +1,138 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+
+	"semdisco/internal/vec"
+)
+
+// blobs generates n points around each of the given centers with the given
+// spread.
+func blobs(centers [][]float32, n int, spread float32, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	var pts [][]float32
+	for _, c := range centers {
+		for i := 0; i < n; i++ {
+			p := make([]float32, len(c))
+			for d := range p {
+				p[d] = c[d] + (rng.Float32()*2-1)*spread
+			}
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func TestSeparatedBlobsRecovered(t *testing.T) {
+	centers := [][]float32{{0, 0}, {10, 10}, {-10, 10}}
+	pts := blobs(centers, 50, 0.5, 1)
+	res := Run(pts, Config{K: 3, Seed: 1})
+	if len(res.Centroids) != 3 {
+		t.Fatalf("centroids=%d", len(res.Centroids))
+	}
+	// Every true center must have a learned centroid within 1.0.
+	for _, c := range centers {
+		found := false
+		for _, got := range res.Centroids {
+			if vec.L2(c, got) < 1.0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no centroid near %v: %v", c, res.Centroids)
+		}
+	}
+	// All points of the same blob must share an assignment.
+	for b := 0; b < 3; b++ {
+		first := res.Assignment[b*50]
+		for i := 0; i < 50; i++ {
+			if res.Assignment[b*50+i] != first {
+				t.Fatalf("blob %d split across clusters", b)
+			}
+		}
+	}
+}
+
+func TestInertiaDecreasesWithK(t *testing.T) {
+	pts := blobs([][]float32{{0, 0}, {5, 5}, {10, 0}, {0, 10}}, 30, 1.0, 2)
+	i1 := Run(pts, Config{K: 1, Seed: 3}).Inertia
+	i4 := Run(pts, Config{K: 4, Seed: 3}).Inertia
+	if i4 >= i1 {
+		t.Fatalf("inertia should decrease with K: k1=%v k4=%v", i1, i4)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	pts := blobs([][]float32{{0, 0}, {3, 3}}, 20, 0.5, 4)
+	a := Run(pts, Config{K: 2, Seed: 9})
+	b := Run(pts, Config{K: 2, Seed: 9})
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatal("same seed must give same assignment")
+		}
+	}
+}
+
+func TestKLargerThanPoints(t *testing.T) {
+	pts := [][]float32{{0, 0}, {1, 1}}
+	res := Run(pts, Config{K: 5, Seed: 1})
+	if len(res.Centroids) != 5 {
+		t.Fatalf("want 5 centroids, got %d", len(res.Centroids))
+	}
+	for _, a := range res.Assignment {
+		if a < 0 || a >= 5 {
+			t.Fatalf("assignment out of range: %d", a)
+		}
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	res := Run([][]float32{{2, 3}}, Config{K: 1, Seed: 1})
+	if res.Centroids[0][0] != 2 || res.Centroids[0][1] != 3 {
+		t.Fatalf("centroid=%v", res.Centroids[0])
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("inertia=%v", res.Inertia)
+	}
+}
+
+func TestIdenticalPoints(t *testing.T) {
+	pts := make([][]float32, 10)
+	for i := range pts {
+		pts[i] = []float32{1, 2, 3}
+	}
+	res := Run(pts, Config{K: 3, Seed: 5})
+	if res.Inertia != 0 {
+		t.Fatalf("identical points must give zero inertia, got %v", res.Inertia)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("K=0", func() { Run([][]float32{{1}}, Config{K: 0}) })
+	mustPanic("empty", func() { Run(nil, Config{K: 1}) })
+}
+
+func TestAssignmentIsNearest(t *testing.T) {
+	pts := blobs([][]float32{{0, 0}, {8, 8}}, 40, 1.0, 7)
+	res := Run(pts, Config{K: 2, Seed: 7})
+	for i, p := range pts {
+		best, bestD := 0, vec.L2Sq(p, res.Centroids[0])
+		for c := 1; c < len(res.Centroids); c++ {
+			if d := vec.L2Sq(p, res.Centroids[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if res.Assignment[i] != best {
+			t.Fatalf("point %d assigned %d but nearest is %d", i, res.Assignment[i], best)
+		}
+	}
+}

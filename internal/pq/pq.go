@@ -1,0 +1,318 @@
+// Package pq implements Product Quantization (Jégou, Douze, Schmid; TPAMI
+// 2011) for compressing high-dimensional float32 vectors into short codes
+// and for computing approximate distances directly on the codes via
+// asymmetric distance computation (ADC) lookup tables.
+//
+// A d-dimensional vector is split into M contiguous subvectors of d/M
+// dimensions; each subspace gets its own k-means codebook of K centroids
+// (K ≤ 256 so one code byte per subspace). A vector is stored as M bytes.
+package pq
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"semdisco/internal/kmeans"
+	"semdisco/internal/vec"
+)
+
+// Quantizer is a trained product quantizer. It is immutable after Train and
+// safe for concurrent use.
+type Quantizer struct {
+	dim    int
+	m      int // number of subspaces
+	k      int // centroids per subspace (≤ 256)
+	subDim int
+	// codebooks[s][c] is centroid c of subspace s, laid out as subDim floats.
+	codebooks [][][]float32
+}
+
+// Config controls training.
+type Config struct {
+	// M is the number of subspaces; must divide the dimension. Defaults to
+	// dim/8 clamped to [1, 96] (96 subspaces of 8 dims for 768-d vectors).
+	M int
+	// K is the number of centroids per subspace, at most 256. Defaults to
+	// 256, reduced automatically when the training set is smaller.
+	K int
+	// Seed drives codebook training.
+	Seed int64
+	// MaxIter caps k-means iterations per subspace. Defaults to 15.
+	MaxIter int
+}
+
+// Train builds a quantizer from a sample of vectors. All vectors must share
+// one dimension. Training cost is M independent k-means runs.
+func Train(sample [][]float32, cfg Config) (*Quantizer, error) {
+	if len(sample) == 0 {
+		return nil, errors.New("pq: empty training sample")
+	}
+	dim := len(sample[0])
+	if dim == 0 {
+		return nil, errors.New("pq: zero-dimensional vectors")
+	}
+	m := cfg.M
+	if m == 0 {
+		m = dim / 8
+		if m < 1 {
+			m = 1
+		}
+		if m > 96 {
+			m = 96
+		}
+		for dim%m != 0 {
+			m--
+		}
+	}
+	if dim%m != 0 {
+		return nil, fmt.Errorf("pq: M=%d does not divide dim=%d", m, dim)
+	}
+	k := cfg.K
+	if k == 0 {
+		k = 256
+	}
+	if k > 256 {
+		return nil, fmt.Errorf("pq: K=%d exceeds one byte per code", k)
+	}
+	if k > len(sample) {
+		k = len(sample)
+	}
+	maxIter := cfg.MaxIter
+	if maxIter == 0 {
+		maxIter = 15
+	}
+	subDim := dim / m
+	q := &Quantizer{dim: dim, m: m, k: k, subDim: subDim,
+		codebooks: make([][][]float32, m)}
+	sub := make([][]float32, len(sample))
+	for s := 0; s < m; s++ {
+		lo := s * subDim
+		for i, v := range sample {
+			if len(v) != dim {
+				return nil, fmt.Errorf("pq: vector %d has dim %d, want %d", i, len(v), dim)
+			}
+			sub[i] = v[lo : lo+subDim]
+		}
+		res := kmeans.Run(sub, kmeans.Config{K: k, Seed: cfg.Seed + int64(s), MaxIter: maxIter})
+		q.codebooks[s] = res.Centroids
+	}
+	return q, nil
+}
+
+// Dim returns the dimensionality of vectors this quantizer accepts.
+func (q *Quantizer) Dim() int { return q.dim }
+
+// CodeLen returns the number of bytes in one encoded vector (= M).
+func (q *Quantizer) CodeLen() int { return q.m }
+
+// K returns the number of centroids per subspace.
+func (q *Quantizer) K() int { return q.k }
+
+// Encode quantizes v into a fresh M-byte code.
+func (q *Quantizer) Encode(v []float32) []byte {
+	code := make([]byte, q.m)
+	q.EncodeTo(v, code)
+	return code
+}
+
+// EncodeTo quantizes v into code, which must have length M.
+func (q *Quantizer) EncodeTo(v []float32, code []byte) {
+	if len(v) != q.dim {
+		panic(fmt.Sprintf("pq: encode dim %d, want %d", len(v), q.dim))
+	}
+	if len(code) != q.m {
+		panic(fmt.Sprintf("pq: code len %d, want %d", len(code), q.m))
+	}
+	for s := 0; s < q.m; s++ {
+		lo := s * q.subDim
+		subv := v[lo : lo+q.subDim]
+		best, bestD := 0, float32(math.MaxFloat32)
+		for c, cent := range q.codebooks[s] {
+			if d := vec.L2Sq(subv, cent); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		code[s] = byte(best)
+	}
+}
+
+// Decode reconstructs the centroid approximation of a code.
+func (q *Quantizer) Decode(code []byte) []float32 {
+	if len(code) != q.m {
+		panic(fmt.Sprintf("pq: code len %d, want %d", len(code), q.m))
+	}
+	out := make([]float32, q.dim)
+	for s := 0; s < q.m; s++ {
+		copy(out[s*q.subDim:], q.codebooks[s][code[s]])
+	}
+	return out
+}
+
+// Table is an ADC lookup table for one query: Table[s][c] is the partial
+// squared distance (or negative partial dot product, depending on the
+// builder) between the query's s-th subvector and centroid c.
+type Table [][]float32
+
+// DistTable precomputes squared-L2 partials for the query so that
+// approximate distance to any code is M table lookups.
+func (q *Quantizer) DistTable(query []float32) Table {
+	if len(query) != q.dim {
+		panic(fmt.Sprintf("pq: query dim %d, want %d", len(query), q.dim))
+	}
+	t := make(Table, q.m)
+	for s := 0; s < q.m; s++ {
+		lo := s * q.subDim
+		subq := query[lo : lo+q.subDim]
+		row := make([]float32, len(q.codebooks[s]))
+		for c, cent := range q.codebooks[s] {
+			row[c] = vec.L2Sq(subq, cent)
+		}
+		t[s] = row
+	}
+	return t
+}
+
+// DotTable precomputes inner-product partials, used when ranking by cosine
+// over unit vectors (higher is better).
+func (q *Quantizer) DotTable(query []float32) Table {
+	if len(query) != q.dim {
+		panic(fmt.Sprintf("pq: query dim %d, want %d", len(query), q.dim))
+	}
+	t := make(Table, q.m)
+	for s := 0; s < q.m; s++ {
+		lo := s * q.subDim
+		subq := query[lo : lo+q.subDim]
+		row := make([]float32, len(q.codebooks[s]))
+		for c, cent := range q.codebooks[s] {
+			row[c] = vec.Dot(subq, cent)
+		}
+		t[s] = row
+	}
+	return t
+}
+
+// Lookup sums the table partials for code: approximate squared distance for
+// DistTable, approximate dot product for DotTable.
+func (t Table) Lookup(code []byte) float32 {
+	var s float32
+	for i, c := range code {
+		s += t[i][c]
+	}
+	return s
+}
+
+// SDC holds the symmetric distance computation tables: precomputed squared
+// distances between every pair of centroids within each subspace, allowing
+// code-to-code distance estimation without decoding. Used for graph
+// construction when raw vectors have been dropped after compression.
+type SDC struct {
+	k      int
+	tables [][]float32 // tables[s][ci*k+cj]
+}
+
+// SDCTables precomputes the symmetric tables; cost O(M·K²·subDim).
+func (q *Quantizer) SDCTables() *SDC {
+	s := &SDC{k: q.k, tables: make([][]float32, q.m)}
+	for sub := 0; sub < q.m; sub++ {
+		t := make([]float32, q.k*q.k)
+		for i := 0; i < q.k; i++ {
+			for j := i + 1; j < q.k; j++ {
+				d := vec.L2Sq(q.codebooks[sub][i], q.codebooks[sub][j])
+				t[i*q.k+j] = d
+				t[j*q.k+i] = d
+			}
+		}
+		s.tables[sub] = t
+	}
+	return s
+}
+
+// Dist estimates the squared Euclidean distance between two codes.
+func (s *SDC) Dist(a, b []byte) float32 {
+	var d float32
+	for i := range a {
+		d += s.tables[i][int(a[i])*s.k+int(b[i])]
+	}
+	return d
+}
+
+// WriteTo serializes the quantizer. Format: magic, dims, then codebooks as
+// little-endian float32.
+func (q *Quantizer) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(v uint32) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		k, err := w.Write(buf[:])
+		n += int64(k)
+		return err
+	}
+	if err := write(pqMagic); err != nil {
+		return n, err
+	}
+	for _, v := range []int{q.dim, q.m, q.k} {
+		if err := write(uint32(v)); err != nil {
+			return n, err
+		}
+	}
+	for s := 0; s < q.m; s++ {
+		for _, cent := range q.codebooks[s] {
+			for _, f := range cent {
+				if err := write(math.Float32bits(f)); err != nil {
+					return n, err
+				}
+			}
+		}
+	}
+	return n, nil
+}
+
+const pqMagic = 0x50511001
+
+// Read deserializes a quantizer written by WriteTo.
+func Read(r io.Reader) (*Quantizer, error) {
+	read := func() (uint32, error) {
+		var buf [4]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:]), nil
+	}
+	magic, err := read()
+	if err != nil {
+		return nil, err
+	}
+	if magic != pqMagic {
+		return nil, errors.New("pq: bad magic")
+	}
+	var dims [3]uint32
+	for i := range dims {
+		if dims[i], err = read(); err != nil {
+			return nil, err
+		}
+	}
+	dim, m, k := int(dims[0]), int(dims[1]), int(dims[2])
+	if dim <= 0 || m <= 0 || k <= 0 || k > 256 || dim%m != 0 {
+		return nil, fmt.Errorf("pq: corrupt header dim=%d m=%d k=%d", dim, m, k)
+	}
+	q := &Quantizer{dim: dim, m: m, k: k, subDim: dim / m,
+		codebooks: make([][][]float32, m)}
+	for s := 0; s < m; s++ {
+		q.codebooks[s] = make([][]float32, k)
+		for c := 0; c < k; c++ {
+			cent := make([]float32, q.subDim)
+			for d := range cent {
+				bits, err := read()
+				if err != nil {
+					return nil, err
+				}
+				cent[d] = math.Float32frombits(bits)
+			}
+			q.codebooks[s][c] = cent
+		}
+	}
+	return q, nil
+}

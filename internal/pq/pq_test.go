@@ -1,0 +1,296 @@
+package pq
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"semdisco/internal/vec"
+)
+
+func randomUnitVecs(n, dim int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float32, n)
+	for i := range out {
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = float32(rng.NormFloat64())
+		}
+		out[i] = vec.Normalize(v)
+	}
+	return out
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, Config{}); err == nil {
+		t.Fatal("empty sample must error")
+	}
+	if _, err := Train([][]float32{{1, 2, 3}}, Config{M: 2}); err == nil {
+		t.Fatal("M not dividing dim must error")
+	}
+	if _, err := Train([][]float32{{1, 2}}, Config{K: 300}); err == nil {
+		t.Fatal("K>256 must error")
+	}
+}
+
+func TestEncodeDecodeRoundTripError(t *testing.T) {
+	vs := randomUnitVecs(500, 64, 1)
+	q, err := Train(vs, Config{M: 8, K: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.CodeLen() != 8 {
+		t.Fatalf("CodeLen=%d", q.CodeLen())
+	}
+	var totalErr float64
+	for _, v := range vs {
+		rec := q.Decode(q.Encode(v))
+		totalErr += float64(vec.L2Sq(v, rec))
+	}
+	mse := totalErr / float64(len(vs))
+	// Random unit vectors have squared norm 1; reconstruction must capture
+	// a substantial fraction of the energy.
+	if mse > 0.9 {
+		t.Fatalf("reconstruction MSE too high: %v", mse)
+	}
+}
+
+func TestQuantizationIsNearestCentroid(t *testing.T) {
+	vs := randomUnitVecs(200, 32, 2)
+	q, err := Train(vs, Config{M: 4, K: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vs[7]
+	code := q.Encode(v)
+	for s := 0; s < q.CodeLen(); s++ {
+		lo := s * q.subDim
+		subv := v[lo : lo+q.subDim]
+		bestD := float32(math.MaxFloat32)
+		best := 0
+		for c, cent := range q.codebooks[s] {
+			if d := vec.L2Sq(subv, cent); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if int(code[s]) != best {
+			t.Fatalf("subspace %d: code %d, nearest %d", s, code[s], best)
+		}
+	}
+}
+
+func TestADCMatchesDecodedDistance(t *testing.T) {
+	vs := randomUnitVecs(300, 64, 3)
+	q, err := Train(vs, Config{M: 8, K: 32, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := randomUnitVecs(1, 64, 99)[0]
+	table := q.DistTable(query)
+	for _, v := range vs[:50] {
+		code := q.Encode(v)
+		adc := table.Lookup(code)
+		exact := vec.L2Sq(query, q.Decode(code))
+		if math.Abs(float64(adc-exact)) > 1e-3 {
+			t.Fatalf("ADC=%v decoded=%v", adc, exact)
+		}
+	}
+}
+
+func TestDotTableMatchesDecodedDot(t *testing.T) {
+	vs := randomUnitVecs(300, 64, 4)
+	q, err := Train(vs, Config{M: 8, K: 32, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := randomUnitVecs(1, 64, 98)[0]
+	table := q.DotTable(query)
+	for _, v := range vs[:50] {
+		code := q.Encode(v)
+		adc := table.Lookup(code)
+		exact := vec.Dot(query, q.Decode(code))
+		if math.Abs(float64(adc-exact)) > 1e-3 {
+			t.Fatalf("DotTable=%v decoded=%v", adc, exact)
+		}
+	}
+}
+
+func TestADCPreservesNeighborRanking(t *testing.T) {
+	// Clustered data: PQ must keep near things near. Build three tight
+	// clusters and check that ADC ranks same-cluster points first.
+	rng := rand.New(rand.NewSource(5))
+	var vs [][]float32
+	for c := 0; c < 3; c++ {
+		center := randomUnitVecs(1, 64, int64(c+10))[0]
+		for i := 0; i < 60; i++ {
+			v := vec.Clone(center)
+			for d := range v {
+				v[d] += float32(rng.NormFloat64()) * 0.05
+			}
+			vs = append(vs, vec.Normalize(v))
+		}
+	}
+	q, err := Train(vs, Config{M: 8, K: 64, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := make([][]byte, len(vs))
+	for i, v := range vs {
+		codes[i] = q.Encode(v)
+	}
+	query := vs[0] // belongs to cluster 0 (indices 0..59)
+	table := q.DistTable(query)
+	type pair struct {
+		idx int
+		d   float32
+	}
+	ps := make([]pair, len(vs))
+	for i := range vs {
+		ps[i] = pair{i, table.Lookup(codes[i])}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].d < ps[j].d })
+	inCluster := 0
+	for _, p := range ps[:30] {
+		if p.idx < 60 {
+			inCluster++
+		}
+	}
+	if inCluster < 28 {
+		t.Fatalf("only %d/30 of the nearest by ADC are in the true cluster", inCluster)
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	vs := randomUnitVecs(300, 128, 6)
+	q, err := Train(vs, Config{M: 16, K: 256, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := 128 * 4
+	compressed := q.CodeLen()
+	if ratio := float64(raw) / float64(compressed); ratio < 30 {
+		t.Fatalf("compression ratio %v too small", ratio)
+	}
+}
+
+func TestKReducedToSampleSize(t *testing.T) {
+	vs := randomUnitVecs(10, 16, 7)
+	q, err := Train(vs, Config{M: 2, Seed: 7}) // default K=256 > 10 samples
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.K() != 10 {
+		t.Fatalf("K=%d want 10", q.K())
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	vs := randomUnitVecs(200, 32, 8)
+	q, err := Train(vs, Config{M: 4, K: 32, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := q.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vs[3]
+	c1, c2 := q.Encode(v), q2.Encode(v)
+	if !bytes.Equal(c1, c2) {
+		t.Fatal("round-tripped quantizer encodes differently")
+	}
+	d1, d2 := q.Decode(c1), q2.Decode(c2)
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatal("round-tripped quantizer decodes differently")
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Fatal("garbage must not parse")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty must not parse")
+	}
+}
+
+func TestDefaultM768(t *testing.T) {
+	vs := randomUnitVecs(50, 768, 9)
+	q, err := Train(vs, Config{K: 16, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 768%q.CodeLen() != 0 {
+		t.Fatalf("default M=%d does not divide 768", q.CodeLen())
+	}
+}
+
+func BenchmarkEncode768(b *testing.B) {
+	vs := randomUnitVecs(300, 768, 10)
+	q, err := Train(vs, Config{K: 64, Seed: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	code := make([]byte, q.CodeLen())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.EncodeTo(vs[i%len(vs)], code)
+	}
+}
+
+func BenchmarkADCLookup(b *testing.B) {
+	vs := randomUnitVecs(300, 768, 11)
+	q, err := Train(vs, Config{K: 64, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	codes := make([][]byte, len(vs))
+	for i, v := range vs {
+		codes[i] = q.Encode(v)
+	}
+	table := q.DistTable(vs[0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = table.Lookup(codes[i%len(codes)])
+	}
+}
+
+func TestSDCMatchesDecodedPairs(t *testing.T) {
+	vs := randomUnitVecs(300, 64, 20)
+	q, err := Train(vs, Config{M: 8, K: 32, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdc := q.SDCTables()
+	for i := 0; i < 20; i++ {
+		a, b := q.Encode(vs[i]), q.Encode(vs[i+20])
+		got := sdc.Dist(a, b)
+		want := vec.L2Sq(q.Decode(a), q.Decode(b))
+		if math.Abs(float64(got-want)) > 1e-3 {
+			t.Fatalf("SDC=%v decoded=%v", got, want)
+		}
+	}
+}
+
+func TestSDCSelfDistanceZero(t *testing.T) {
+	vs := randomUnitVecs(100, 32, 21)
+	q, err := Train(vs, Config{M: 4, K: 16, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdc := q.SDCTables()
+	code := q.Encode(vs[0])
+	if d := sdc.Dist(code, code); d != 0 {
+		t.Fatalf("self distance %v", d)
+	}
+}

@@ -1,0 +1,105 @@
+package table
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// sanitizeCell strips carriage returns, which encoding/csv normalizes and
+// would otherwise make byte-exact round-trip comparisons fail for reasons
+// unrelated to this package.
+func sanitizeCell(s string) string {
+	return strings.NewReplacer("\r", "", "\n", " ").Replace(s)
+}
+
+// TestQuickCSVRoundTrip: arbitrary relations survive WriteCSV → ReadCSV.
+func TestQuickCSVRoundTrip(t *testing.T) {
+	f := func(seed int64, colsRaw, rowsRaw uint8, cells []string) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nCols := int(colsRaw)%5 + 1
+		nRows := int(rowsRaw) % 8
+		pick := func() string {
+			if len(cells) == 0 {
+				return "x"
+			}
+			return sanitizeCell(cells[rng.Intn(len(cells))])
+		}
+		r := &Relation{ID: "q", Source: "s", Columns: make([]string, nCols)}
+		for c := range r.Columns {
+			v := pick()
+			if v == "" {
+				v = "col"
+			}
+			r.Columns[c] = v
+		}
+		for i := 0; i < nRows; i++ {
+			row := make([]string, nCols)
+			for c := range row {
+				row[c] = pick()
+			}
+			r.Rows = append(r.Rows, row)
+		}
+		var buf bytes.Buffer
+		if err := r.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf, "q", "s")
+		if err != nil {
+			return false
+		}
+		if len(got.Columns) != nCols || len(got.Rows) != nRows {
+			return false
+		}
+		for c := range r.Columns {
+			if got.Columns[c] != r.Columns[c] {
+				return false
+			}
+		}
+		for i := range r.Rows {
+			for c := range r.Rows[i] {
+				if got.Rows[i][c] != r.Rows[i][c] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSubsetInvariants: subsets preserve prefix order, never exceed
+// the parent, and ByID stays consistent.
+func TestQuickSubsetInvariants(t *testing.T) {
+	f := func(nRaw uint8, fracRaw uint8) bool {
+		n := int(nRaw)%40 + 1
+		frac := float64(fracRaw%101) / 100
+		fed := NewFederation()
+		for i := 0; i < n; i++ {
+			fed.Add(&Relation{
+				ID:      string(rune('a'+i%26)) + string(rune('0'+i/26)),
+				Columns: []string{"c"},
+			})
+		}
+		sub := fed.Subset(frac)
+		if sub.Len() > fed.Len() || sub.Len() < 1 {
+			return false
+		}
+		for i, r := range sub.Relations() {
+			if fed.Relations()[i] != r {
+				return false // must be a prefix, same order
+			}
+			if got, ok := sub.ByID(r.ID); !ok || got != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package text
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzStem: the stemmer must never panic, never grow a token by more than
+// one byte, and must be deterministic.
+func FuzzStem(f *testing.F) {
+	for _, seed := range []string{
+		"", "a", "running", "vaccination", "flies", "agreed", "sky",
+		"controlling", "sses", "ied", "eed", "ing", "y", "bb",
+		"xxxxxxxxxxxxxxxxxxxxxxxxxxxxing", "ational", "iviti",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		// The stemmer operates on lowercase tokens; feed it what the
+		// tokenizer would produce.
+		for _, tok := range Tokenize(s) {
+			got := Stem(tok)
+			if len(got) > len(tok)+1 {
+				t.Fatalf("Stem(%q)=%q grew too much", tok, got)
+			}
+			if got != Stem(tok) {
+				t.Fatalf("Stem(%q) not deterministic", tok)
+			}
+		}
+	})
+}
+
+// FuzzTokenize: tokens are non-empty, valid UTF-8 and contain no
+// separators.
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"", "hello world", "COVID-19", "2021-01-01", "日本語 text",
+		"a,b;c", "\x00\x01", "ünïcödé", "tab\tsep",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			if !utf8.ValidString(tok) {
+				t.Fatalf("invalid UTF-8 token %q", tok)
+			}
+			for _, r := range tok {
+				if r == ' ' || r == ',' || r == '\n' {
+					t.Fatalf("separator inside token %q", tok)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,242 @@
+package text
+
+// Stem applies the classic Porter (1980) stemming algorithm to a lowercase
+// token. It is used by the syntactic baselines (WS, MDR, TCS) so that
+// "vaccines" matches "vaccine" the way Lucene-era IR systems would, and by
+// the encoder's lexicon lookup.
+//
+// The implementation follows the five-step structure of the original paper.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	w := stemWord{b: []byte(word)}
+	w.step1a()
+	w.step1b()
+	w.step1c()
+	w.step2()
+	w.step3()
+	w.step4()
+	w.step5a()
+	w.step5b()
+	return string(w.b)
+}
+
+type stemWord struct {
+	b []byte
+}
+
+func (w *stemWord) isConsonant(i int) bool {
+	switch w.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !w.isConsonant(i - 1)
+	}
+	return true
+}
+
+// measure counts VC sequences in the stem b[0:end].
+func (w *stemWord) measure(end int) int {
+	n := 0
+	i := 0
+	for i < end && w.isConsonant(i) {
+		i++
+	}
+	for {
+		if i >= end {
+			return n
+		}
+		for i < end && !w.isConsonant(i) {
+			i++
+		}
+		if i >= end {
+			return n
+		}
+		n++
+		for i < end && w.isConsonant(i) {
+			i++
+		}
+	}
+}
+
+func (w *stemWord) hasSuffix(s string) bool {
+	if len(s) > len(w.b) {
+		return false
+	}
+	return string(w.b[len(w.b)-len(s):]) == s
+}
+
+// stemEnd returns the length of the stem once suffix s is removed.
+func (w *stemWord) stemEnd(s string) int { return len(w.b) - len(s) }
+
+func (w *stemWord) containsVowel(end int) bool {
+	for i := 0; i < end; i++ {
+		if !w.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *stemWord) doubleConsonant() bool {
+	n := len(w.b)
+	if n < 2 {
+		return false
+	}
+	return w.b[n-1] == w.b[n-2] && w.isConsonant(n-1)
+}
+
+// cvc reports whether the stem ending at end has the consonant-vowel-consonant
+// shape where the final consonant is not w, x or y.
+func (w *stemWord) cvc(end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !w.isConsonant(end-3) || w.isConsonant(end-2) || !w.isConsonant(end-1) {
+		return false
+	}
+	switch w.b[end-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func (w *stemWord) replace(suffix, repl string) {
+	w.b = append(w.b[:len(w.b)-len(suffix)], repl...)
+}
+
+func (w *stemWord) step1a() {
+	switch {
+	case w.hasSuffix("sses"):
+		w.replace("sses", "ss")
+	case w.hasSuffix("ies"):
+		w.replace("ies", "i")
+	case w.hasSuffix("ss"):
+		// keep
+	case w.hasSuffix("s"):
+		w.replace("s", "")
+	}
+}
+
+func (w *stemWord) step1b() {
+	if w.hasSuffix("eed") {
+		if w.measure(w.stemEnd("eed")) > 0 {
+			w.replace("eed", "ee")
+		}
+		return
+	}
+	cleanup := false
+	switch {
+	case w.hasSuffix("ed") && w.containsVowel(w.stemEnd("ed")):
+		w.replace("ed", "")
+		cleanup = true
+	case w.hasSuffix("ing") && w.containsVowel(w.stemEnd("ing")):
+		w.replace("ing", "")
+		cleanup = true
+	}
+	if !cleanup {
+		return
+	}
+	switch {
+	case w.hasSuffix("at"):
+		w.replace("at", "ate")
+	case w.hasSuffix("bl"):
+		w.replace("bl", "ble")
+	case w.hasSuffix("iz"):
+		w.replace("iz", "ize")
+	case w.doubleConsonant():
+		last := w.b[len(w.b)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			w.b = w.b[:len(w.b)-1]
+		}
+	case w.measure(len(w.b)) == 1 && w.cvc(len(w.b)):
+		w.b = append(w.b, 'e')
+	}
+}
+
+func (w *stemWord) step1c() {
+	if w.hasSuffix("y") && w.containsVowel(len(w.b)-1) {
+		w.b[len(w.b)-1] = 'i'
+	}
+}
+
+var step2Rules = []struct{ suffix, repl string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func (w *stemWord) step2() {
+	for _, r := range step2Rules {
+		if w.hasSuffix(r.suffix) {
+			if w.measure(w.stemEnd(r.suffix)) > 0 {
+				w.replace(r.suffix, r.repl)
+			}
+			return
+		}
+	}
+}
+
+var step3Rules = []struct{ suffix, repl string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func (w *stemWord) step3() {
+	for _, r := range step3Rules {
+		if w.hasSuffix(r.suffix) {
+			if w.measure(w.stemEnd(r.suffix)) > 0 {
+				w.replace(r.suffix, r.repl)
+			}
+			return
+		}
+	}
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func (w *stemWord) step4() {
+	for _, s := range step4Suffixes {
+		if !w.hasSuffix(s) {
+			continue
+		}
+		end := w.stemEnd(s)
+		if w.measure(end) <= 1 {
+			return
+		}
+		if s == "ion" {
+			if end == 0 || (w.b[end-1] != 's' && w.b[end-1] != 't') {
+				return
+			}
+		}
+		w.replace(s, "")
+		return
+	}
+}
+
+func (w *stemWord) step5a() {
+	if !w.hasSuffix("e") {
+		return
+	}
+	end := w.stemEnd("e")
+	m := w.measure(end)
+	if m > 1 || (m == 1 && !w.cvc(end)) {
+		w.replace("e", "")
+	}
+}
+
+func (w *stemWord) step5b() {
+	if w.measure(len(w.b)) > 1 && w.doubleConsonant() && w.b[len(w.b)-1] == 'l' {
+		w.b = w.b[:len(w.b)-1]
+	}
+}

@@ -1,0 +1,65 @@
+package text
+
+import "math"
+
+// CorpusStats accumulates document-frequency statistics over a corpus so the
+// encoder and the baselines can weight terms by informativeness.
+//
+// The zero value is ready to use.
+type CorpusStats struct {
+	docCount  int
+	docFreq   map[string]int
+	termCount map[string]int64
+	totalLen  int64
+}
+
+// AddDocument registers one document's tokens. Document frequency counts a
+// term once per document; collection frequency counts every occurrence.
+func (c *CorpusStats) AddDocument(tokens []string) {
+	if c.docFreq == nil {
+		c.docFreq = make(map[string]int)
+		c.termCount = make(map[string]int64)
+	}
+	c.docCount++
+	c.totalLen += int64(len(tokens))
+	seen := make(map[string]struct{}, len(tokens))
+	for _, t := range tokens {
+		c.termCount[t]++
+		if _, ok := seen[t]; ok {
+			continue
+		}
+		seen[t] = struct{}{}
+		c.docFreq[t]++
+	}
+}
+
+// DocCount returns the number of documents added.
+func (c *CorpusStats) DocCount() int { return c.docCount }
+
+// DocFreq returns the number of documents containing term.
+func (c *CorpusStats) DocFreq(term string) int { return c.docFreq[term] }
+
+// CollectionFreq returns the total number of occurrences of term.
+func (c *CorpusStats) CollectionFreq(term string) int64 { return c.termCount[term] }
+
+// CollectionLen returns the total token count over all documents.
+func (c *CorpusStats) CollectionLen() int64 { return c.totalLen }
+
+// IDF returns the smoothed inverse document frequency of term:
+// ln((N+1)/(df+1)) + 1, which is strictly positive and defined for unseen
+// terms.
+func (c *CorpusStats) IDF(term string) float64 {
+	df := c.docFreq[term]
+	return math.Log(float64(c.docCount+1)/float64(df+1)) + 1
+}
+
+// CollectionProb returns the unigram collection language-model probability of
+// term with add-one smoothing over the observed vocabulary, used for
+// Dirichlet-smoothed query likelihood in the MDR baseline.
+func (c *CorpusStats) CollectionProb(term string) float64 {
+	if c.totalLen == 0 {
+		return 1e-9
+	}
+	cf := c.termCount[term]
+	return (float64(cf) + 0.5) / (float64(c.totalLen) + float64(len(c.termCount))*0.5)
+}

@@ -1,0 +1,46 @@
+package text
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// statsImage is the exported gob shadow of CorpusStats.
+type statsImage struct {
+	DocCount  int
+	DocFreq   map[string]int
+	TermCount map[string]int64
+	TotalLen  int64
+}
+
+// GobEncode implements gob.GobEncoder so corpus statistics can persist
+// alongside the engines that depend on them for IDF weighting.
+func (c *CorpusStats) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(statsImage{
+		DocCount:  c.docCount,
+		DocFreq:   c.docFreq,
+		TermCount: c.termCount,
+		TotalLen:  c.totalLen,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (c *CorpusStats) GobDecode(data []byte) error {
+	var img statsImage
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&img); err != nil {
+		return err
+	}
+	c.docCount = img.DocCount
+	c.docFreq = img.DocFreq
+	c.termCount = img.TermCount
+	c.totalLen = img.TotalLen
+	if c.docFreq == nil {
+		c.docFreq = make(map[string]int)
+	}
+	if c.termCount == nil {
+		c.termCount = make(map[string]int64)
+	}
+	return nil
+}

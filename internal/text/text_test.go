@@ -1,0 +1,249 @@
+package text
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"Hello, World!", []string{"hello", "world"}},
+		{"COVID-19 vaccine", []string{"covid", "19", "vaccine"}},
+		{"2021-01-01", []string{"2021", "01", "01"}},
+		{"Pfizer-BioNTech", []string{"pfizer", "biontech"}},
+		{"  spaces   everywhere  ", []string{"spaces", "everywhere"}},
+		{"mixed123case", []string{"mixed", "123", "case"}},
+		{"ünïcödé Wörds", []string{"ünïcödé", "wörds"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q)=%v want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeAllLowercase(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+			for _, r := range tok {
+				if r >= 'A' && r <= 'Z' {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopwords(t *testing.T) {
+	if !IsStopword("the") || IsStopword("vaccine") {
+		t.Fatal("stopword classification wrong")
+	}
+	got := RemoveStopwords([]string{"the", "covid", "vaccine", "of", "europe"})
+	want := []string{"covid", "vaccine", "europe"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("RemoveStopwords=%v", got)
+	}
+}
+
+func TestCharNGrams(t *testing.T) {
+	got := CharNGrams("where", 3)
+	want := []string{"<wh", "whe", "her", "ere", "re>"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("CharNGrams=%v want %v", got, want)
+	}
+	short := CharNGrams("ab", 5)
+	if !reflect.DeepEqual(short, []string{"<ab>"}) {
+		t.Fatalf("short CharNGrams=%v", short)
+	}
+	if CharNGrams("x", 0) != nil {
+		t.Fatal("n=0 should return nil")
+	}
+}
+
+func TestWordNGrams(t *testing.T) {
+	got := WordNGrams([]string{"a", "b", "c"}, 2)
+	want := []string{"a b", "b c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("WordNGrams=%v", got)
+	}
+	if WordNGrams([]string{"a"}, 2) != nil {
+		t.Fatal("too-short input should return nil")
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	if !IsNumeric("2021") || IsNumeric("20a21") || IsNumeric("") {
+		t.Fatal("IsNumeric wrong")
+	}
+}
+
+// Porter test vectors from the original distribution's voc.txt/output.txt
+// (a representative sample) plus IR-classic examples.
+func TestPorterStem(t *testing.T) {
+	cases := map[string]string{
+		"caresses":       "caress",
+		"ponies":         "poni",
+		"ties":           "ti",
+		"caress":         "caress",
+		"cats":           "cat",
+		"feed":           "feed",
+		"agreed":         "agre",
+		"plastered":      "plaster",
+		"bled":           "bled",
+		"motoring":       "motor",
+		"sing":           "sing",
+		"conflated":      "conflat",
+		"troubled":       "troubl",
+		"sized":          "size",
+		"hopping":        "hop",
+		"tanned":         "tan",
+		"falling":        "fall",
+		"hissing":        "hiss",
+		"fizzed":         "fizz",
+		"failing":        "fail",
+		"filing":         "file",
+		"happy":          "happi",
+		"sky":            "sky",
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		"triplicate":     "triplic",
+		"formative":      "form",
+		"formalize":      "formal",
+		"electriciti":    "electr",
+		"electrical":     "electr",
+		"hopeful":        "hope",
+		"goodness":       "good",
+		"revival":        "reviv",
+		"allowance":      "allow",
+		"inference":      "infer",
+		"airliner":       "airlin",
+		"gyroscopic":     "gyroscop",
+		"adjustable":     "adjust",
+		"defensible":     "defens",
+		"irritant":       "irrit",
+		"replacement":    "replac",
+		"adjustment":     "adjust",
+		"dependent":      "depend",
+		"adoption":       "adopt",
+		"homologou":      "homolog",
+		"communism":      "commun",
+		"activate":       "activ",
+		"angulariti":     "angular",
+		"homologous":     "homolog",
+		"effective":      "effect",
+		"bowdlerize":     "bowdler",
+		"probate":        "probat",
+		"rate":           "rate",
+		"cease":          "ceas",
+		"controll":       "control",
+		"roll":           "roll",
+		"vaccines":       "vaccin",
+		"vaccination":    "vaccin",
+		"olympics":       "olymp",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q)=%q want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemIdempotentOnShort(t *testing.T) {
+	for _, w := range []string{"", "a", "ab", "be", "is"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q)=%q want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemNeverGrowsMuch(t *testing.T) {
+	// Stemming may add at most one char (e.g. "hoping"->"hope").
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			if len(Stem(tok)) > len(tok)+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorpusStats(t *testing.T) {
+	var cs CorpusStats
+	cs.AddDocument([]string{"covid", "vaccine", "vaccine"})
+	cs.AddDocument([]string{"climate", "europe"})
+	cs.AddDocument([]string{"covid", "europe"})
+
+	if cs.DocCount() != 3 {
+		t.Fatalf("DocCount=%d", cs.DocCount())
+	}
+	if cs.DocFreq("covid") != 2 {
+		t.Fatalf("DocFreq(covid)=%d", cs.DocFreq("covid"))
+	}
+	if cs.CollectionFreq("vaccine") != 2 {
+		t.Fatalf("CollectionFreq(vaccine)=%d", cs.CollectionFreq("vaccine"))
+	}
+	if cs.CollectionLen() != 7 {
+		t.Fatalf("CollectionLen=%d", cs.CollectionLen())
+	}
+	// Rarer terms must get higher IDF.
+	if cs.IDF("climate") <= cs.IDF("covid") {
+		t.Fatal("IDF ordering wrong")
+	}
+	// Unseen terms are defined and have the highest IDF.
+	if cs.IDF("zzz") <= cs.IDF("climate") {
+		t.Fatal("unseen IDF should exceed seen IDF")
+	}
+	if p := cs.CollectionProb("covid"); p <= 0 || p >= 1 {
+		t.Fatalf("CollectionProb out of range: %v", p)
+	}
+	if cs.CollectionProb("zzz") <= 0 {
+		t.Fatal("unseen CollectionProb must be positive")
+	}
+}
+
+func TestCorpusStatsEmpty(t *testing.T) {
+	var cs CorpusStats
+	if cs.CollectionProb("x") <= 0 {
+		t.Fatal("empty-corpus CollectionProb must be positive")
+	}
+	if math.IsNaN(cs.IDF("x")) || math.IsInf(cs.IDF("x"), 0) {
+		t.Fatal("empty-corpus IDF must be finite")
+	}
+}

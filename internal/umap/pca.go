@@ -1,0 +1,154 @@
+package umap
+
+import (
+	"math"
+	"math/rand"
+
+	"semdisco/internal/vec"
+)
+
+// PCA reduces points to k dimensions by projecting onto the top-k principal
+// components, found by power iteration with deflation on the covariance
+// matrix. When the input exceeds sampleCap rows, the covariance is
+// estimated on a deterministic stride subsample — the projection itself
+// still covers every row. PCA is the comparison reducer in the CTS ablation
+// (the paper chose UMAP over alternatives such as t-SNE).
+func PCA(points [][]float32, k int, seed int64) [][]float32 {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	dim := len(points[0])
+	if k > dim {
+		k = dim
+	}
+	if k <= 0 {
+		k = 2
+	}
+
+	const sampleCap = 1024
+	sample := points
+	if n > sampleCap {
+		stride := n / sampleCap
+		sub := make([][]float32, 0, sampleCap)
+		for i := 0; i < n && len(sub) < sampleCap; i += stride {
+			sub = append(sub, points[i])
+		}
+		sample = sub
+	}
+
+	mean := vec.Mean(sample)
+	// Covariance (upper triangle, symmetrized on read).
+	cov := make([]float64, dim*dim)
+	centered := make([]float32, dim)
+	for _, p := range sample {
+		vec.Sub(centered, p, mean)
+		for i := 0; i < dim; i++ {
+			ci := float64(centered[i])
+			row := cov[i*dim:]
+			for j := i; j < dim; j++ {
+				row[j] += ci * float64(centered[j])
+			}
+		}
+	}
+	inv := 1 / float64(len(sample))
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			cov[i*dim+j] *= inv
+			cov[j*dim+i] = cov[i*dim+j]
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+	components := make([][]float64, 0, k)
+	for c := 0; c < k; c++ {
+		v := powerIteration(cov, dim, components, rng)
+		components = append(components, v)
+	}
+
+	out := make([][]float32, n)
+	for i, p := range points {
+		e := make([]float32, k)
+		for c, comp := range components {
+			var s float64
+			for d := 0; d < dim; d++ {
+				s += float64(p[d]-mean[d]) * comp[d]
+			}
+			e[c] = float32(s)
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// powerIteration finds the dominant eigenvector of cov orthogonal to prev.
+func powerIteration(cov []float64, dim int, prev [][]float64, rng *rand.Rand) []float64 {
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	tmp := make([]float64, dim)
+	for iter := 0; iter < 100; iter++ {
+		orthogonalize(v, prev)
+		// tmp = cov · v
+		for i := 0; i < dim; i++ {
+			var s float64
+			row := cov[i*dim:]
+			for j := 0; j < dim; j++ {
+				s += row[j] * v[j]
+			}
+			tmp[i] = s
+		}
+		norm := 0.0
+		for _, x := range tmp {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			// Degenerate direction (rank-deficient data): return any unit
+			// vector orthogonal to previous components.
+			orthogonalize(v, prev)
+			normalize64(v)
+			return v
+		}
+		var diff float64
+		for i := range v {
+			nv := tmp[i] / norm
+			diff += math.Abs(nv - v[i])
+			v[i] = nv
+		}
+		if diff < 1e-9 {
+			break
+		}
+	}
+	orthogonalize(v, prev)
+	normalize64(v)
+	return v
+}
+
+func orthogonalize(v []float64, prev [][]float64) {
+	for _, p := range prev {
+		var dot float64
+		for i := range v {
+			dot += v[i] * p[i]
+		}
+		for i := range v {
+			v[i] -= dot * p[i]
+		}
+	}
+}
+
+func normalize64(v []float64) {
+	var n float64
+	for _, x := range v {
+		n += x * x
+	}
+	n = math.Sqrt(n)
+	if n == 0 {
+		v[0] = 1
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}

@@ -1,0 +1,400 @@
+// Package umap implements Uniform Manifold Approximation and Projection
+// (McInnes, Healy, Melville 2018) for dimensionality reduction, plus a PCA
+// reducer used for initialization and for the CTS ablation study.
+//
+// The implementation follows the reference pipeline: k-nearest-neighbour
+// graph (exact for small inputs, HNSW-approximate for large ones — the
+// paper likewise precomputes the kNN "to optimize runtime performance"),
+// smooth-kNN-distance calibration, fuzzy simplicial set symmetrization, and
+// negative-sampling SGD on the cross-entropy layout objective.
+package umap
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"semdisco/internal/hnsw"
+	"semdisco/internal/vec"
+)
+
+// Config controls the embedding.
+type Config struct {
+	// NComponents is the output dimensionality. Defaults to 16, the value
+	// the CTS pipeline uses (2 is typical for visualization).
+	NComponents int
+	// NNeighbors controls the locality of the manifold approximation.
+	// Defaults to 15.
+	NNeighbors int
+	// MinDist is the minimum output-space separation. Defaults to 0.1.
+	MinDist float32
+	// NEpochs is the number of SGD passes. Defaults to 200 for inputs up to
+	// 10k points and 60 beyond.
+	NEpochs int
+	// LearningRate defaults to 1.0.
+	LearningRate float32
+	// NegativeSamples per positive edge. Defaults to 5.
+	NegativeSamples int
+	// Seed makes the embedding deterministic.
+	Seed int64
+	// ExactKNNThreshold: inputs up to this size use exact O(n²) kNN, larger
+	// ones use an HNSW approximation. Defaults to 3000.
+	ExactKNNThreshold int
+}
+
+func (c *Config) fill(n int) {
+	if c.NComponents == 0 {
+		c.NComponents = 16
+	}
+	if c.NNeighbors == 0 {
+		c.NNeighbors = 15
+	}
+	if c.MinDist == 0 {
+		c.MinDist = 0.1
+	}
+	if c.NEpochs == 0 {
+		if n > 10000 {
+			c.NEpochs = 60
+		} else {
+			c.NEpochs = 200
+		}
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 1.0
+	}
+	if c.NegativeSamples == 0 {
+		c.NegativeSamples = 5
+	}
+	if c.ExactKNNThreshold == 0 {
+		c.ExactKNNThreshold = 3000
+	}
+}
+
+// Fit embeds points into cfg.NComponents dimensions.
+func Fit(points [][]float32, cfg Config) [][]float32 {
+	n := len(points)
+	cfg.fill(n)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return [][]float32{make([]float32, cfg.NComponents)}
+	}
+	k := cfg.NNeighbors
+	if k >= n {
+		k = n - 1
+	}
+
+	knnIdx, knnDist := knnGraph(points, k, cfg.ExactKNNThreshold, cfg.Seed)
+	rows, cols, weights := fuzzySimplicialSet(knnIdx, knnDist)
+	emb := randomProjectionInit(points, cfg.NComponents, cfg.Seed)
+	a, b := fitAB(1.0, float64(cfg.MinDist))
+	optimize(emb, rows, cols, weights, cfg, float32(a), float32(b))
+	return emb
+}
+
+// knnGraph returns, for each point, the indices and distances of its k
+// nearest neighbours (self excluded).
+func knnGraph(points [][]float32, k, exactThreshold int, seed int64) (idx [][]int32, dist [][]float32) {
+	n := len(points)
+	idx = make([][]int32, n)
+	dist = make([][]float32, n)
+	if n <= exactThreshold {
+		type nd struct {
+			id int32
+			d  float32
+		}
+		buf := make([]nd, 0, n)
+		for i := range points {
+			buf = buf[:0]
+			for j := range points {
+				if i == j {
+					continue
+				}
+				buf = append(buf, nd{int32(j), vec.L2(points[i], points[j])})
+			}
+			sort.Slice(buf, func(a, b int) bool {
+				if buf[a].d != buf[b].d {
+					return buf[a].d < buf[b].d
+				}
+				return buf[a].id < buf[b].id
+			})
+			m := k
+			if m > len(buf) {
+				m = len(buf)
+			}
+			idx[i] = make([]int32, m)
+			dist[i] = make([]float32, m)
+			for t := 0; t < m; t++ {
+				idx[i][t] = buf[t].id
+				dist[i][t] = buf[t].d
+			}
+		}
+		return idx, dist
+	}
+	// Approximate path: build an HNSW over the points.
+	ix := hnsw.New(hnsw.Config{M: 16, EfConstruction: 100, Seed: seed}, func(a, b int32) float32 {
+		return vec.L2Sq(points[a], points[b])
+	})
+	for range points {
+		ix.Add()
+	}
+	for i := range points {
+		self := int32(i)
+		res := ix.Search(func(id int32) float32 {
+			return vec.L2Sq(points[i], points[id])
+		}, k+1, 2*(k+1), func(id int32) bool { return id != self })
+		m := len(res)
+		if m > k {
+			m = k
+		}
+		idx[i] = make([]int32, m)
+		dist[i] = make([]float32, m)
+		for t := 0; t < m; t++ {
+			idx[i][t] = res[t].ID
+			dist[i][t] = float32(math.Sqrt(float64(res[t].Dist)))
+		}
+	}
+	return idx, dist
+}
+
+// fuzzySimplicialSet computes per-point (rho, sigma) by the smooth-kNN-dist
+// binary search and returns the symmetrized weighted edge list.
+func fuzzySimplicialSet(knnIdx [][]int32, knnDist [][]float32) (rows, cols []int32, weights []float32) {
+	n := len(knnIdx)
+	directed := make([]map[int32]float32, n)
+	for i := 0; i < n; i++ {
+		ds := knnDist[i]
+		if len(ds) == 0 {
+			directed[i] = map[int32]float32{}
+			continue
+		}
+		rho := ds[0]
+		sigma := smoothKNNDist(ds, rho)
+		m := make(map[int32]float32, len(ds))
+		for t, j := range knnIdx[i] {
+			d := float64(ds[t] - rho)
+			if d < 0 {
+				d = 0
+			}
+			w := float32(math.Exp(-d / sigma))
+			m[j] = w
+		}
+		directed[i] = m
+	}
+	// Symmetrize: w = a + b - ab (probabilistic t-conorm). Iterate in kNN
+	// order, not map order, so the edge list — and therefore the SGD
+	// sampling sequence — is deterministic.
+	seen := make(map[[2]int32]struct{})
+	for i := 0; i < n; i++ {
+		for _, j := range knnIdx[i] {
+			key := [2]int32{int32(i), j}
+			if int32(i) > j {
+				key = [2]int32{j, int32(i)}
+			}
+			if _, ok := seen[key]; ok {
+				continue
+			}
+			seen[key] = struct{}{}
+			wij := directed[i][j]
+			wji := directed[j][int32(i)]
+			w := wij + wji - wij*wji
+			if w <= 0 {
+				continue
+			}
+			rows = append(rows, key[0])
+			cols = append(cols, key[1])
+			weights = append(weights, w)
+		}
+	}
+	return rows, cols, weights
+}
+
+// smoothKNNDist binary-searches sigma so that the effective neighbourhood
+// size Σ exp(-(d-rho)/sigma) equals log2(k).
+func smoothKNNDist(ds []float32, rho float32) float64 {
+	target := math.Log2(float64(len(ds)))
+	lo, hi := 0.0, math.Inf(1)
+	sigma := 1.0
+	for iter := 0; iter < 64; iter++ {
+		var sum float64
+		for _, d := range ds {
+			x := float64(d - rho)
+			if x < 0 {
+				x = 0
+			}
+			sum += math.Exp(-x / sigma)
+		}
+		if math.Abs(sum-target) < 1e-5 {
+			break
+		}
+		if sum > target {
+			hi = sigma
+			sigma = (lo + hi) / 2
+		} else {
+			lo = sigma
+			if math.IsInf(hi, 1) {
+				sigma *= 2
+			} else {
+				sigma = (lo + hi) / 2
+			}
+		}
+	}
+	if sigma < 1e-9 {
+		sigma = 1e-9
+	}
+	return sigma
+}
+
+// randomProjectionInit projects the input through a seeded Gaussian matrix,
+// the cheap structure-preserving initialization (Johnson–Lindenstrauss).
+func randomProjectionInit(points [][]float32, outDim int, seed int64) [][]float32 {
+	inDim := len(points[0])
+	rng := rand.New(rand.NewSource(seed ^ 0x5deece66d))
+	proj := make([][]float32, outDim)
+	scale := float32(1 / math.Sqrt(float64(inDim)))
+	for c := range proj {
+		row := make([]float32, inDim)
+		for d := range row {
+			row[d] = float32(rng.NormFloat64()) * scale
+		}
+		proj[c] = row
+	}
+	out := make([][]float32, len(points))
+	for i, p := range points {
+		e := make([]float32, outDim)
+		for c := range proj {
+			e[c] = vec.Dot(proj[c], p) * 10
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// fitAB fits the curve 1/(1+a·x^{2b}) to the target membership function
+// exp(-(x-minDist)/spread) for x > minDist (1 below), via coarse grid plus
+// local refinement — adequate because the objective is smooth and the
+// optimum is loosely constrained.
+func fitAB(spread, minDist float64) (a, b float64) {
+	target := func(x float64) float64 {
+		if x <= minDist {
+			return 1
+		}
+		return math.Exp(-(x - minDist) / spread)
+	}
+	loss := func(a, b float64) float64 {
+		var s float64
+		for i := 1; i <= 60; i++ {
+			x := 3 * spread * float64(i) / 60
+			f := 1 / (1 + a*math.Pow(x, 2*b))
+			d := f - target(x)
+			s += d * d
+		}
+		return s
+	}
+	bestA, bestB, bestL := 1.0, 1.0, math.Inf(1)
+	for a := 0.5; a <= 3.0; a += 0.05 {
+		for b := 0.5; b <= 2.0; b += 0.05 {
+			if l := loss(a, b); l < bestL {
+				bestA, bestB, bestL = a, b, l
+			}
+		}
+	}
+	// One refinement pass around the grid optimum.
+	for a := bestA - 0.05; a <= bestA+0.05; a += 0.005 {
+		for b := bestB - 0.05; b <= bestB+0.05; b += 0.005 {
+			if l := loss(a, b); l < bestL {
+				bestA, bestB, bestL = a, b, l
+			}
+		}
+	}
+	return bestA, bestB
+}
+
+// optimize runs the negative-sampling SGD over the fuzzy graph.
+func optimize(emb [][]float32, rows, cols []int32, weights []float32, cfg Config, a, b float32) {
+	if len(rows) == 0 {
+		return
+	}
+	n := len(emb)
+	dim := cfg.NComponents
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x2545f4914f6cdd1d))
+
+	// epochsPerSample: edges with higher membership are updated more often.
+	var wmax float32
+	for _, w := range weights {
+		if w > wmax {
+			wmax = w
+		}
+	}
+	epochsPerSample := make([]float32, len(weights))
+	for i, w := range weights {
+		epochsPerSample[i] = wmax / w
+	}
+	nextEpoch := make([]float32, len(weights))
+	copy(nextEpoch, epochsPerSample)
+
+	clip := func(x float32) float32 {
+		if x > 4 {
+			return 4
+		}
+		if x < -4 {
+			return -4
+		}
+		return x
+	}
+	alphaStart := cfg.LearningRate
+	for epoch := 1; epoch <= cfg.NEpochs; epoch++ {
+		alpha := alphaStart * (1 - float32(epoch)/float32(cfg.NEpochs))
+		if alpha < alphaStart*0.01 {
+			alpha = alphaStart * 0.01
+		}
+		fe := float32(epoch)
+		for e := range rows {
+			if nextEpoch[e] > fe {
+				continue
+			}
+			nextEpoch[e] += epochsPerSample[e]
+			i, j := rows[e], cols[e]
+			vi, vj := emb[i], emb[j]
+			d2 := vec.L2Sq(vi, vj)
+			// Attractive gradient.
+			if d2 > 0 {
+				g := (-2 * a * b * pow32(d2, b-1)) / (1 + a*pow32(d2, b))
+				for dI := 0; dI < dim; dI++ {
+					gd := clip(g * (vi[dI] - vj[dI]))
+					vi[dI] += alpha * gd
+					vj[dI] -= alpha * gd
+				}
+			}
+			// Repulsive updates against random negatives.
+			for s := 0; s < cfg.NegativeSamples; s++ {
+				k := int32(rng.Intn(n))
+				if k == i {
+					continue
+				}
+				vk := emb[k]
+				d2n := vec.L2Sq(vi, vk)
+				var g float32
+				if d2n > 0 {
+					g = (2 * b) / ((0.001 + d2n) * (1 + a*pow32(d2n, b)))
+				} else {
+					g = 4
+				}
+				for dI := 0; dI < dim; dI++ {
+					var gd float32
+					if g > 0 {
+						gd = clip(g * (vi[dI] - vk[dI]))
+					} else {
+						gd = 4
+					}
+					vi[dI] += alpha * gd
+				}
+			}
+		}
+	}
+}
+
+func pow32(x, p float32) float32 {
+	return float32(math.Pow(float64(x), float64(p)))
+}

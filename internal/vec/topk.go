@@ -1,0 +1,89 @@
+package vec
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Scored pairs an item identifier with a score. It is the currency of every
+// ranked list in the system: similarity search results, cluster rankings and
+// final relation rankings all flow through []Scored.
+type Scored struct {
+	ID    int
+	Score float32
+}
+
+// TopK maintains the k highest-scoring items seen so far using a min-heap,
+// so inserting n items costs O(n log k). The zero value is not usable; call
+// NewTopK.
+type TopK struct {
+	k int
+	h scoredMinHeap
+}
+
+// NewTopK returns a collector that keeps the k best (highest score) items.
+// k must be positive.
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		panic("vec: TopK requires k > 0")
+	}
+	return &TopK{k: k, h: make(scoredMinHeap, 0, k)}
+}
+
+// Push offers an item to the collector.
+func (t *TopK) Push(id int, score float32) {
+	if len(t.h) < t.k {
+		heap.Push(&t.h, Scored{ID: id, Score: score})
+		return
+	}
+	if score > t.h[0].Score {
+		t.h[0] = Scored{ID: id, Score: score}
+		heap.Fix(&t.h, 0)
+	}
+}
+
+// Len reports how many items are currently held (≤ k).
+func (t *TopK) Len() int { return len(t.h) }
+
+// WorstScore returns the lowest score currently retained, or -Inf semantics
+// via ok=false when the collector is not yet full.
+func (t *TopK) WorstScore() (score float32, full bool) {
+	if len(t.h) < t.k {
+		return 0, false
+	}
+	return t.h[0].Score, true
+}
+
+// Sorted drains the collector and returns the items ordered best-first.
+// Ties are broken by ascending ID so results are deterministic.
+func (t *TopK) Sorted() []Scored {
+	out := make([]Scored, len(t.h))
+	copy(out, t.h)
+	SortScoredDesc(out)
+	t.h = t.h[:0]
+	return out
+}
+
+// SortScoredDesc orders s by descending score, breaking ties by ascending ID.
+func SortScoredDesc(s []Scored) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Score != s[j].Score {
+			return s[i].Score > s[j].Score
+		}
+		return s[i].ID < s[j].ID
+	})
+}
+
+type scoredMinHeap []Scored
+
+func (h scoredMinHeap) Len() int            { return len(h) }
+func (h scoredMinHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h scoredMinHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *scoredMinHeap) Push(x interface{}) { *h = append(*h, x.(Scored)) }
+func (h *scoredMinHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,166 @@
+// Package vec provides the dense float32 vector primitives shared by the
+// embedding, indexing, clustering and reduction packages.
+//
+// All functions operate on plain []float32 slices. Unless stated otherwise
+// they panic if the two operands have different lengths, because a length
+// mismatch is always a programming error in this codebase, never a runtime
+// condition to recover from.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float32) float32 {
+	assertSameLen(len(a), len(b))
+	var s float32
+	// Unrolled by 4: the hot loop of the whole system. The Go compiler does
+	// not auto-vectorize, but unrolling keeps the FP units busy and removes
+	// most bounds checks via the b = b[:len(a)] hint.
+	b = b[:len(a)]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s += a[i]*b[i] + a[i+1]*b[i+1] + a[i+2]*b[i+2] + a[i+3]*b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean (L2) norm of a.
+func Norm(a []float32) float32 {
+	return float32(math.Sqrt(float64(Dot(a, a))))
+}
+
+// L2Sq returns the squared Euclidean distance between a and b.
+func L2Sq(a, b []float32) float32 {
+	assertSameLen(len(a), len(b))
+	var s float32
+	b = b[:len(a)]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// L2 returns the Euclidean distance between a and b.
+func L2(a, b []float32) float32 {
+	return float32(math.Sqrt(float64(L2Sq(a, b))))
+}
+
+// Cosine returns the cosine similarity of a and b in [-1, 1].
+// If either vector has zero norm the similarity is defined as 0.
+func Cosine(a, b []float32) float32 {
+	assertSameLen(len(a), len(b))
+	var dot, na, nb float32
+	b = b[:len(a)]
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / float32(math.Sqrt(float64(na))*math.Sqrt(float64(nb)))
+}
+
+// CosineUnit returns the cosine similarity of two vectors that the caller
+// guarantees are already L2-normalized; it is just the dot product.
+func CosineUnit(a, b []float32) float32 { return Dot(a, b) }
+
+// Normalize scales a in place to unit L2 norm and returns it.
+// A zero vector is returned unchanged.
+func Normalize(a []float32) []float32 {
+	n := Norm(a)
+	if n == 0 {
+		return a
+	}
+	inv := 1 / n
+	for i := range a {
+		a[i] *= inv
+	}
+	return a
+}
+
+// Normalized returns a fresh unit-norm copy of a.
+func Normalized(a []float32) []float32 {
+	out := make([]float32, len(a))
+	copy(out, a)
+	return Normalize(out)
+}
+
+// Add accumulates b into a in place.
+func Add(a, b []float32) {
+	assertSameLen(len(a), len(b))
+	for i := range a {
+		a[i] += b[i]
+	}
+}
+
+// AddScaled accumulates s*b into a in place.
+func AddScaled(a []float32, s float32, b []float32) {
+	assertSameLen(len(a), len(b))
+	for i := range a {
+		a[i] += s * b[i]
+	}
+}
+
+// Sub stores a-b into dst and returns dst. dst may alias a.
+func Sub(dst, a, b []float32) []float32 {
+	assertSameLen(len(a), len(b))
+	assertSameLen(len(dst), len(a))
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+	return dst
+}
+
+// Scale multiplies a by s in place.
+func Scale(a []float32, s float32) {
+	for i := range a {
+		a[i] *= s
+	}
+}
+
+// Mean returns the element-wise mean of the given vectors.
+// It panics if vs is empty or the vectors disagree in length.
+func Mean(vs [][]float32) []float32 {
+	if len(vs) == 0 {
+		panic("vec: Mean of zero vectors")
+	}
+	out := make([]float32, len(vs[0]))
+	for _, v := range vs {
+		Add(out, v)
+	}
+	Scale(out, 1/float32(len(vs)))
+	return out
+}
+
+// Clone returns a copy of a.
+func Clone(a []float32) []float32 {
+	out := make([]float32, len(a))
+	copy(out, a)
+	return out
+}
+
+// Zeros returns a zero vector of dimension d.
+func Zeros(d int) []float32 { return make([]float32, d) }
+
+func assertSameLen(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("vec: dimension mismatch %d != %d", a, b))
+	}
+}

@@ -1,0 +1,265 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float32) bool {
+	return float32(math.Abs(float64(a-b))) <= eps
+}
+
+func TestDot(t *testing.T) {
+	cases := []struct {
+		a, b []float32
+		want float32
+	}{
+		{[]float32{}, []float32{}, 0},
+		{[]float32{1}, []float32{2}, 2},
+		{[]float32{1, 2, 3}, []float32{4, 5, 6}, 32},
+		{[]float32{1, 2, 3, 4, 5}, []float32{1, 1, 1, 1, 1}, 15},
+		{[]float32{-1, 2, -3, 4}, []float32{5, -6, 7, -8}, -5 - 12 - 21 - 32},
+	}
+	for _, c := range cases {
+		if got := Dot(c.a, c.b); !almostEq(got, c.want, 1e-6) {
+			t.Errorf("Dot(%v,%v)=%v want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Dot([]float32{1, 2}, []float32{1})
+}
+
+func TestDotMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(40)
+		a := make([]float32, n)
+		b := make([]float32, n)
+		var want float32
+		for i := range a {
+			a[i] = rng.Float32()*2 - 1
+			b[i] = rng.Float32()*2 - 1
+			want += a[i] * b[i]
+		}
+		if got := Dot(a, b); !almostEq(got, want, 1e-4) {
+			t.Fatalf("n=%d Dot=%v naive=%v", n, got, want)
+		}
+	}
+}
+
+func TestNormAndNormalize(t *testing.T) {
+	v := []float32{3, 4}
+	if got := Norm(v); !almostEq(got, 5, 1e-6) {
+		t.Fatalf("Norm=%v want 5", got)
+	}
+	Normalize(v)
+	if got := Norm(v); !almostEq(got, 1, 1e-6) {
+		t.Fatalf("after Normalize, Norm=%v want 1", got)
+	}
+	zero := []float32{0, 0, 0}
+	Normalize(zero) // must not panic or produce NaN
+	for _, x := range zero {
+		if x != 0 {
+			t.Fatalf("Normalize(zero) changed the vector: %v", zero)
+		}
+	}
+}
+
+func TestNormalizedDoesNotMutate(t *testing.T) {
+	v := []float32{2, 0}
+	u := Normalized(v)
+	if v[0] != 2 {
+		t.Fatal("Normalized mutated its input")
+	}
+	if !almostEq(u[0], 1, 1e-6) {
+		t.Fatalf("Normalized = %v", u)
+	}
+}
+
+func TestL2(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5}
+	b := []float32{1, 2, 3, 4, 5}
+	if got := L2(a, b); got != 0 {
+		t.Fatalf("L2(a,a)=%v want 0", got)
+	}
+	c := []float32{0, 0}
+	d := []float32{3, 4}
+	if got := L2(c, d); !almostEq(got, 5, 1e-6) {
+		t.Fatalf("L2=%v want 5", got)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := []float32{1, 0}
+	b := []float32{0, 1}
+	if got := Cosine(a, b); !almostEq(got, 0, 1e-6) {
+		t.Fatalf("orthogonal cosine=%v", got)
+	}
+	if got := Cosine(a, a); !almostEq(got, 1, 1e-6) {
+		t.Fatalf("self cosine=%v", got)
+	}
+	neg := []float32{-1, 0}
+	if got := Cosine(a, neg); !almostEq(got, -1, 1e-6) {
+		t.Fatalf("opposite cosine=%v", got)
+	}
+	zero := []float32{0, 0}
+	if got := Cosine(a, zero); got != 0 {
+		t.Fatalf("zero-vector cosine=%v want 0", got)
+	}
+}
+
+func TestCosineScaleInvariance(t *testing.T) {
+	f := func(raw []float32, scale float32) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		// Keep values bounded to avoid float32 overflow artifacts.
+		a := make([]float32, len(raw))
+		b := make([]float32, len(raw))
+		for i, x := range raw {
+			a[i] = float32(math.Mod(float64(x), 100))
+			b[i] = a[i] + 1
+		}
+		s := float32(math.Abs(math.Mod(float64(scale), 9))) + 1.5 // in [1.5, 10.5)
+		scaled := make([]float32, len(a))
+		for i := range a {
+			scaled[i] = a[i] * s
+		}
+		return almostEq(Cosine(a, b), Cosine(scaled, b), 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	if !almostEq(m[0], 3, 1e-6) || !almostEq(m[1], 4, 1e-6) {
+		t.Fatalf("Mean=%v", m)
+	}
+}
+
+func TestAddScaledSub(t *testing.T) {
+	a := []float32{1, 1}
+	AddScaled(a, 2, []float32{3, 4})
+	if a[0] != 7 || a[1] != 9 {
+		t.Fatalf("AddScaled=%v", a)
+	}
+	dst := make([]float32, 2)
+	Sub(dst, []float32{5, 5}, []float32{2, 3})
+	if dst[0] != 3 || dst[1] != 2 {
+		t.Fatalf("Sub=%v", dst)
+	}
+}
+
+func TestTopKKeepsBest(t *testing.T) {
+	tk := NewTopK(3)
+	scores := []float32{0.1, 0.9, 0.5, 0.7, 0.3, 0.95}
+	for id, s := range scores {
+		tk.Push(id, s)
+	}
+	got := tk.Sorted()
+	if len(got) != 3 {
+		t.Fatalf("len=%d want 3", len(got))
+	}
+	if got[0].ID != 5 || got[1].ID != 1 || got[2].ID != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTopKFewerThanK(t *testing.T) {
+	tk := NewTopK(10)
+	tk.Push(1, 0.5)
+	tk.Push(2, 0.9)
+	got := tk.Sorted()
+	if len(got) != 2 || got[0].ID != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTopKDeterministicTieBreak(t *testing.T) {
+	tk := NewTopK(2)
+	tk.Push(7, 0.5)
+	tk.Push(3, 0.5)
+	tk.Push(5, 0.5)
+	got := tk.Sorted()
+	if got[0].ID != 3 && got[0].ID != 5 && got[0].ID != 7 {
+		t.Fatalf("unexpected ids %v", got)
+	}
+	if !(got[0].ID < got[1].ID) {
+		t.Fatalf("ties must sort by ascending ID: %v", got)
+	}
+}
+
+func TestTopKMatchesFullSort(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		k := 1 + rng.Intn(20)
+		all := make([]Scored, n)
+		tk := NewTopK(k)
+		for i := 0; i < n; i++ {
+			s := rng.Float32()
+			all[i] = Scored{ID: i, Score: s}
+			tk.Push(i, s)
+		}
+		SortScoredDesc(all)
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := tk.Sorted()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorstScore(t *testing.T) {
+	tk := NewTopK(2)
+	if _, full := tk.WorstScore(); full {
+		t.Fatal("empty collector reported full")
+	}
+	tk.Push(0, 0.8)
+	tk.Push(1, 0.6)
+	w, full := tk.WorstScore()
+	if !full || !almostEq(w, 0.6, 1e-6) {
+		t.Fatalf("WorstScore=%v full=%v", w, full)
+	}
+	tk.Push(2, 0.7)
+	w, _ = tk.WorstScore()
+	if !almostEq(w, 0.7, 1e-6) {
+		t.Fatalf("WorstScore after push=%v", w)
+	}
+}
+
+func BenchmarkDot768(b *testing.B) {
+	x := make([]float32, 768)
+	y := make([]float32, 768)
+	for i := range x {
+		x[i] = float32(i) * 0.001
+		y[i] = float32(768-i) * 0.001
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Dot(x, y)
+	}
+}

@@ -1,0 +1,516 @@
+package vectordb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"semdisco/internal/hnsw"
+	"semdisco/internal/pq"
+	"semdisco/internal/vec"
+)
+
+// Metric selects how similarity is computed. Scores returned by Search are
+// always "higher is better".
+type Metric uint8
+
+const (
+	// Cosine scores by cosine similarity; vectors are normalized on insert.
+	// This is the paper's metric.
+	Cosine Metric = iota
+	// L2 scores by negative squared Euclidean distance.
+	L2
+	// Dot scores by inner product without normalization.
+	Dot
+)
+
+func (m Metric) String() string {
+	switch m {
+	case Cosine:
+		return "cosine"
+	case L2:
+		return "l2"
+	case Dot:
+		return "dot"
+	default:
+		return fmt.Sprintf("metric(%d)", uint8(m))
+	}
+}
+
+// PQConfig enables Product-Quantization compression of stored vectors.
+type PQConfig struct {
+	// M is the number of subspaces (0 = dim/8, see pq.Config).
+	M int
+	// K is centroids per subspace (0 = 256).
+	K int
+	// TrainSize is how many vectors accumulate before the codebooks are
+	// trained and raw storage is dropped. Defaults to 256.
+	TrainSize int
+}
+
+// CollectionConfig parameterizes a collection.
+type CollectionConfig struct {
+	// Dim is the vector dimensionality; required.
+	Dim int
+	// Metric defaults to Cosine.
+	Metric Metric
+	// M and EfConstruction tune the HNSW index (see hnsw.Config).
+	M, EfConstruction int
+	// EfSearch is the default search beam width; defaults to 64.
+	EfSearch int
+	// Seed makes index construction deterministic.
+	Seed int64
+	// PQ, when non-nil, compresses vectors once TrainSize points arrived.
+	PQ *PQConfig
+}
+
+// Result is one search hit.
+type Result struct {
+	ID      uint64
+	Score   float32
+	Payload map[string]string
+}
+
+// Filter restricts a search to points whose payload it accepts.
+type Filter func(payload map[string]string) bool
+
+// FieldEquals returns a filter accepting points whose payload maps key to
+// value.
+func FieldEquals(key, value string) Filter {
+	return func(p map[string]string) bool { return p[key] == value }
+}
+
+// FieldIn returns a filter accepting points whose payload value for key is
+// any of values.
+func FieldIn(key string, values ...string) Filter {
+	set := make(map[string]struct{}, len(values))
+	for _, v := range values {
+		set[v] = struct{}{}
+	}
+	return func(p map[string]string) bool {
+		_, ok := set[p[key]]
+		return ok
+	}
+}
+
+// Collection stores vectors with payloads under one index.
+type Collection struct {
+	cfg CollectionConfig
+
+	mu       sync.RWMutex
+	ids      []uint64
+	byID     map[uint64]int32
+	vectors  [][]float32 // raw vectors; nil entries once PQ takes over
+	codes    [][]byte    // PQ codes; nil until trained
+	payloads []map[string]string
+	deleted  map[int32]struct{}
+
+	index     *hnsw.Index
+	quantizer *pq.Quantizer
+	sdc       *pq.SDC
+	nextID    uint64
+}
+
+func newCollection(cfg CollectionConfig) (*Collection, error) {
+	if cfg.Dim <= 0 {
+		return nil, errors.New("vectordb: Dim must be positive")
+	}
+	if cfg.EfSearch == 0 {
+		cfg.EfSearch = 64
+	}
+	if cfg.PQ != nil && cfg.PQ.TrainSize == 0 {
+		cfg.PQ.TrainSize = 256
+	}
+	c := &Collection{
+		cfg:     cfg,
+		byID:    make(map[uint64]int32),
+		deleted: make(map[int32]struct{}),
+	}
+	c.index = hnsw.New(hnsw.Config{M: cfg.M, EfConstruction: cfg.EfConstruction, Seed: cfg.Seed}, c.itemDist)
+	return c, nil
+}
+
+// itemDist is the construction-time distance between stored items.
+func (c *Collection) itemDist(a, b int32) float32 {
+	if c.codes != nil && c.codes[a] != nil && c.codes[b] != nil {
+		return c.sdc.Dist(c.codes[a], c.codes[b])
+	}
+	va, vb := c.vectorOf(a), c.vectorOf(b)
+	switch c.cfg.Metric {
+	case Dot:
+		return -vec.Dot(va, vb)
+	case Cosine:
+		return 1 - vec.Dot(va, vb) // vectors are unit-normalized on insert
+	default:
+		return vec.L2Sq(va, vb)
+	}
+}
+
+func (c *Collection) vectorOf(slot int32) []float32 {
+	if v := c.vectors[slot]; v != nil {
+		return v
+	}
+	return c.quantizer.Decode(c.codes[slot])
+}
+
+// Len returns the number of live points.
+func (c *Collection) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.ids) - len(c.deleted)
+}
+
+// Dim returns the configured dimensionality.
+func (c *Collection) Dim() int { return c.cfg.Dim }
+
+// Insert adds a vector with payload and returns its assigned id.
+// The vector is copied (and normalized under the Cosine metric).
+func (c *Collection) Insert(vector []float32, payload map[string]string) (uint64, error) {
+	if len(vector) != c.cfg.Dim {
+		return 0, fmt.Errorf("vectordb: vector dim %d, want %d", len(vector), c.cfg.Dim)
+	}
+	v := vec.Clone(vector)
+	if c.cfg.Metric == Cosine {
+		vec.Normalize(v)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	id := c.nextID
+	c.nextID++
+	c.ids = append(c.ids, id)
+	c.payloads = append(c.payloads, clonePayload(payload))
+
+	if c.quantizer != nil {
+		c.vectors = append(c.vectors, nil)
+		c.codes = append(c.codes, c.quantizer.Encode(v))
+	} else {
+		c.vectors = append(c.vectors, v)
+		if c.codes != nil {
+			c.codes = append(c.codes, nil)
+		}
+		if c.cfg.PQ != nil && len(c.vectors) >= c.cfg.PQ.TrainSize {
+			if err := c.trainPQLocked(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	slot := c.index.Add()
+	c.byID[id] = slot
+	return id, nil
+}
+
+// trainPQLocked trains the quantizer on the buffered raw vectors, encodes
+// them, and drops raw storage. Caller holds the write lock.
+func (c *Collection) trainPQLocked() error {
+	q, err := pq.Train(c.vectors, pq.Config{M: c.cfg.PQ.M, K: c.cfg.PQ.K, Seed: c.cfg.Seed})
+	if err != nil {
+		return fmt.Errorf("vectordb: PQ training: %w", err)
+	}
+	c.quantizer = q
+	c.sdc = q.SDCTables()
+	c.codes = make([][]byte, len(c.vectors))
+	for i, v := range c.vectors {
+		c.codes[i] = q.Encode(v)
+		c.vectors[i] = nil
+	}
+	return nil
+}
+
+// Delete tombstones a point. Deleting an unknown id is a no-op. The slot
+// stays in the graph (as a routing waypoint) but never appears in results.
+func (c *Collection) Delete(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if slot, ok := c.byID[id]; ok {
+		c.deleted[slot] = struct{}{}
+		delete(c.byID, id)
+	}
+}
+
+// Get returns the payload of id.
+func (c *Collection) Get(id uint64) (map[string]string, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	slot, ok := c.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return clonePayload(c.payloads[slot]), true
+}
+
+// Vector returns the stored (possibly PQ-reconstructed) vector of id.
+func (c *Collection) Vector(id uint64) ([]float32, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	slot, ok := c.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return vec.Clone(c.vectorOf(slot)), true
+}
+
+// Search returns the k best-scoring points for the query using the HNSW
+// index. ef overrides the collection's default beam width when positive.
+// filter may be nil.
+func (c *Collection) Search(query []float32, k, ef int, filter Filter) ([]Result, error) {
+	if len(query) != c.cfg.Dim {
+		return nil, fmt.Errorf("vectordb: query dim %d, want %d", len(query), c.cfg.Dim)
+	}
+	q := vec.Clone(query)
+	if c.cfg.Metric == Cosine {
+		vec.Normalize(q)
+	}
+	if ef <= 0 {
+		ef = c.cfg.EfSearch
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+
+	qd := c.queryDistLocked(q)
+	accept := func(slot int32) bool {
+		if _, dead := c.deleted[slot]; dead {
+			return false
+		}
+		return filter == nil || filter(c.payloads[slot])
+	}
+	found := c.index.Search(qd, k, ef, accept)
+	out := make([]Result, 0, len(found))
+	for _, n := range found {
+		out = append(out, Result{
+			ID:      c.ids[n.ID],
+			Score:   c.distToScore(n.Dist),
+			Payload: clonePayload(c.payloads[n.ID]),
+		})
+	}
+	return out, nil
+}
+
+// SearchExact scans every live point; ground truth for tests and the
+// exhaustive-search code path.
+func (c *Collection) SearchExact(query []float32, k int, filter Filter) ([]Result, error) {
+	if len(query) != c.cfg.Dim {
+		return nil, fmt.Errorf("vectordb: query dim %d, want %d", len(query), c.cfg.Dim)
+	}
+	q := vec.Clone(query)
+	if c.cfg.Metric == Cosine {
+		vec.Normalize(q)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+
+	qd := c.queryDistLocked(q)
+	if k <= 0 {
+		return nil, nil
+	}
+	top := vec.NewTopK(k)
+	for slot := range c.ids {
+		s := int32(slot)
+		if _, dead := c.deleted[s]; dead {
+			continue
+		}
+		if filter != nil && !filter(c.payloads[s]) {
+			continue
+		}
+		top.Push(slot, -qd(s))
+	}
+	ranked := top.Sorted()
+	out := make([]Result, 0, len(ranked))
+	for _, r := range ranked {
+		out = append(out, Result{
+			ID:      c.ids[r.ID],
+			Score:   c.distToScore(-r.Score),
+			Payload: clonePayload(c.payloads[int32(r.ID)]),
+		})
+	}
+	return out, nil
+}
+
+// queryDistLocked builds the per-query distance closure, using an ADC table
+// when the collection is PQ-compressed. Caller holds at least a read lock.
+func (c *Collection) queryDistLocked(q []float32) func(int32) float32 {
+	if c.quantizer != nil {
+		switch c.cfg.Metric {
+		case Cosine, Dot:
+			table := c.quantizer.DotTable(q)
+			return func(slot int32) float32 {
+				if code := c.codes[slot]; code != nil {
+					return 1 - table.Lookup(code)
+				}
+				return 1 - vec.Dot(q, c.vectors[slot])
+			}
+		default:
+			table := c.quantizer.DistTable(q)
+			return func(slot int32) float32 {
+				if code := c.codes[slot]; code != nil {
+					return table.Lookup(code)
+				}
+				return vec.L2Sq(q, c.vectors[slot])
+			}
+		}
+	}
+	switch c.cfg.Metric {
+	case Cosine, Dot:
+		return func(slot int32) float32 { return 1 - vec.Dot(q, c.vectors[slot]) }
+	default:
+		return func(slot int32) float32 { return vec.L2Sq(q, c.vectors[slot]) }
+	}
+}
+
+// distToScore converts internal "smaller is closer" distances back to the
+// metric's natural score.
+func (c *Collection) distToScore(d float32) float32 {
+	switch c.cfg.Metric {
+	case Cosine, Dot:
+		return 1 - d
+	default:
+		return -d
+	}
+}
+
+// Stats describes a collection's storage.
+type Stats struct {
+	Points      int
+	Deleted     int
+	Compressed  bool
+	VectorBytes int64
+}
+
+// Stats reports size and compression state.
+func (c *Collection) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var bytesUsed int64
+	for _, v := range c.vectors {
+		bytesUsed += int64(len(v)) * 4
+	}
+	for _, code := range c.codes {
+		bytesUsed += int64(len(code))
+	}
+	return Stats{
+		Points:      len(c.ids) - len(c.deleted),
+		Deleted:     len(c.deleted),
+		Compressed:  c.quantizer != nil,
+		VectorBytes: bytesUsed,
+	}
+}
+
+func clonePayload(p map[string]string) map[string]string {
+	if p == nil {
+		return nil
+	}
+	out := make(map[string]string, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// persistedCollection is the gob image of a collection. Live points only;
+// tombstones are compacted away. GraphBlob carries the serialized HNSW
+// graph; it is only usable when no tombstones were compacted (compaction
+// renumbers slots), in which case the graph is rebuilt instead.
+type persistedCollection struct {
+	Cfg       CollectionConfig
+	IDs       []uint64
+	Vectors   [][]float32
+	Codes     [][]byte
+	Payloads  []map[string]string
+	PQBlob    []byte
+	GraphBlob []byte
+	NextID    uint64
+}
+
+func (c *Collection) persist() *persistedCollection {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	p := &persistedCollection{Cfg: c.cfg, NextID: c.nextID}
+	if c.quantizer != nil {
+		var buf bytes.Buffer
+		if _, err := c.quantizer.WriteTo(&buf); err == nil {
+			p.PQBlob = buf.Bytes()
+		}
+	}
+	if len(c.deleted) == 0 {
+		// Slot numbering survives intact, so the graph can be persisted
+		// as-is and reloaded without the O(n·efConstruction) rebuild.
+		var buf bytes.Buffer
+		if _, err := c.index.WriteTo(&buf); err == nil {
+			p.GraphBlob = buf.Bytes()
+		}
+	}
+	for slot := range c.ids {
+		s := int32(slot)
+		if _, dead := c.deleted[s]; dead {
+			continue
+		}
+		p.IDs = append(p.IDs, c.ids[slot])
+		if c.vectors[slot] != nil {
+			p.Vectors = append(p.Vectors, c.vectors[slot])
+			p.Codes = append(p.Codes, nil)
+		} else {
+			p.Vectors = append(p.Vectors, nil)
+			p.Codes = append(p.Codes, c.codes[slot])
+		}
+		p.Payloads = append(p.Payloads, c.payloads[slot])
+	}
+	return p
+}
+
+func restoreCollection(p *persistedCollection) (*Collection, error) {
+	c, err := newCollection(p.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.PQBlob) > 0 {
+		q, err := pq.Read(bytes.NewReader(p.PQBlob))
+		if err != nil {
+			return nil, err
+		}
+		c.quantizer = q
+		c.sdc = q.SDCTables()
+	}
+	c.ids = p.IDs
+	c.vectors = p.Vectors
+	c.codes = p.Codes
+	c.payloads = p.Payloads
+	c.nextID = p.NextID
+	if c.codes == nil && c.quantizer != nil {
+		c.codes = make([][]byte, len(c.ids))
+	}
+	if len(p.GraphBlob) > 0 {
+		// Fast path: restore the serialized graph directly.
+		ix, err := hnsw.Read(bytes.NewReader(p.GraphBlob), c.itemDist)
+		if err != nil {
+			return nil, fmt.Errorf("vectordb: graph restore: %w", err)
+		}
+		if ix.Len() != len(c.ids) {
+			return nil, fmt.Errorf("vectordb: graph has %d nodes, collection %d points", ix.Len(), len(c.ids))
+		}
+		c.index = ix
+		for slot := range c.ids {
+			c.byID[c.ids[slot]] = int32(slot)
+		}
+	} else {
+		// Rebuild deterministically: same seed, same insertion order.
+		for slot := range c.ids {
+			got := c.index.Add()
+			if got != int32(slot) {
+				return nil, fmt.Errorf("vectordb: index rebuild slot mismatch %d != %d", got, slot)
+			}
+			c.byID[c.ids[slot]] = int32(slot)
+		}
+	}
+	// Validate dims of raw vectors.
+	for i, v := range c.vectors {
+		if v != nil && len(v) != c.cfg.Dim {
+			return nil, fmt.Errorf("vectordb: stored vector %d has dim %d", i, len(v))
+		}
+	}
+	if math.MaxUint64-c.nextID < 1 {
+		return nil, errors.New("vectordb: id space exhausted")
+	}
+	return c, nil
+}

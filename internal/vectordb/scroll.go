@@ -1,0 +1,60 @@
+package vectordb
+
+// Point is one stored entry as returned by Scroll.
+type Point struct {
+	ID      uint64
+	Payload map[string]string
+}
+
+// Scroll returns up to limit live points with id ≥ from, in ascending id
+// order — the standard cursor-pagination API (Qdrant calls this scroll).
+// Start with from = 0; to continue, pass lastReturnedID + 1. A nil filter
+// accepts everything.
+func (c *Collection) Scroll(from uint64, limit int, filter Filter) []Point {
+	if limit <= 0 {
+		return nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Point, 0, limit)
+	// ids are assigned in ascending order and never reused, so slot order
+	// is id order.
+	for slot, id := range c.ids {
+		if id < from {
+			continue
+		}
+		s := int32(slot)
+		if _, dead := c.deleted[s]; dead {
+			continue
+		}
+		if filter != nil && !filter(c.payloads[s]) {
+			continue
+		}
+		out = append(out, Point{ID: id, Payload: clonePayload(c.payloads[s])})
+		if len(out) == limit {
+			break
+		}
+	}
+	return out
+}
+
+// Count returns the number of live points accepted by filter (all live
+// points when filter is nil).
+func (c *Collection) Count(filter Filter) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if filter == nil {
+		return len(c.ids) - len(c.deleted)
+	}
+	n := 0
+	for slot := range c.ids {
+		s := int32(slot)
+		if _, dead := c.deleted[s]; dead {
+			continue
+		}
+		if filter(c.payloads[s]) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,142 @@
+// Package vectordb is an embeddable vector database: named collections of
+// vectors with string payloads, HNSW-indexed approximate search, optional
+// Product-Quantization compression, metadata filtering and binary
+// persistence.
+//
+// It plays the role Qdrant plays in the paper's experimental setup — the
+// paper uses Qdrant strictly as "store embeddings with metadata, index with
+// HNSW, search by cosine similarity", all of which this package provides
+// in-process with the same asymptotics.
+package vectordb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// DB is a set of named collections. All methods are safe for concurrent use.
+type DB struct {
+	mu          sync.RWMutex
+	collections map[string]*Collection
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{collections: make(map[string]*Collection)}
+}
+
+// CreateCollection creates and returns a collection. It fails if the name
+// is taken or the config is invalid.
+func (db *DB) CreateCollection(name string, cfg CollectionConfig) (*Collection, error) {
+	c, err := newCollection(cfg)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.collections[name]; exists {
+		return nil, fmt.Errorf("vectordb: collection %q already exists", name)
+	}
+	db.collections[name] = c
+	return c, nil
+}
+
+// Collection returns the named collection.
+func (db *DB) Collection(name string) (*Collection, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c, ok := db.collections[name]
+	return c, ok
+}
+
+// Drop removes the named collection; dropping a missing collection is a
+// no-op.
+func (db *DB) Drop(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.collections, name)
+}
+
+// Names returns the collection names in sorted order.
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.collections))
+	for n := range db.collections {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// persistedDB is the gob envelope. HNSW graphs are not persisted: they are
+// rebuilt deterministically on load from the same seed and insertion order,
+// trading load time for a simpler and corruption-resistant format.
+type persistedDB struct {
+	Version     int
+	Collections map[string]*persistedCollection
+}
+
+// Save writes the whole database to w.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	snapshot := make(map[string]*persistedCollection, len(db.collections))
+	for name, c := range db.collections {
+		snapshot[name] = c.persist()
+	}
+	db.mu.RUnlock()
+	return gob.NewEncoder(w).Encode(persistedDB{Version: 1, Collections: snapshot})
+}
+
+// Load reads a database written by Save, rebuilding all indexes.
+func Load(r io.Reader) (*DB, error) {
+	var p persistedDB
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("vectordb: decode: %w", err)
+	}
+	if p.Version != 1 {
+		return nil, fmt.Errorf("vectordb: unsupported version %d", p.Version)
+	}
+	db := New()
+	for name, pc := range p.Collections {
+		c, err := restoreCollection(pc)
+		if err != nil {
+			return nil, fmt.Errorf("vectordb: collection %q: %w", name, err)
+		}
+		db.collections[name] = c
+	}
+	return db, nil
+}
+
+// SaveFile writes the database to path atomically (write temp + rename).
+func (db *DB) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a database written by SaveFile.
+func LoadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,527 @@
+package vectordb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"semdisco/internal/vec"
+)
+
+func randUnit(dim int, rng *rand.Rand) []float32 {
+	v := make([]float32, dim)
+	for d := range v {
+		v[d] = float32(rng.NormFloat64())
+	}
+	return vec.Normalize(v)
+}
+
+func TestCreateAndLookup(t *testing.T) {
+	db := New()
+	if _, err := db.CreateCollection("a", CollectionConfig{Dim: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateCollection("a", CollectionConfig{Dim: 8}); err == nil {
+		t.Fatal("duplicate collection must fail")
+	}
+	if _, err := db.CreateCollection("bad", CollectionConfig{}); err == nil {
+		t.Fatal("Dim=0 must fail")
+	}
+	if _, ok := db.Collection("a"); !ok {
+		t.Fatal("collection a missing")
+	}
+	if _, ok := db.Collection("nope"); ok {
+		t.Fatal("ghost collection")
+	}
+	db.CreateCollection("b", CollectionConfig{Dim: 4})
+	names := db.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names=%v", names)
+	}
+	db.Drop("a")
+	if _, ok := db.Collection("a"); ok {
+		t.Fatal("drop failed")
+	}
+}
+
+func TestInsertSearchCosine(t *testing.T) {
+	db := New()
+	c, _ := db.CreateCollection("t", CollectionConfig{Dim: 16, Seed: 1})
+	rng := rand.New(rand.NewSource(1))
+	var vectors [][]float32
+	for i := 0; i < 300; i++ {
+		v := randUnit(16, rng)
+		vectors = append(vectors, v)
+		if _, err := c.Insert(v, map[string]string{"i": fmt.Sprint(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.Search(vectors[42], 1, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Payload["i"] != "42" {
+		t.Fatalf("got %+v", got)
+	}
+	if got[0].Score < 0.999 {
+		t.Fatalf("self-similarity %v", got[0].Score)
+	}
+}
+
+func TestDimValidation(t *testing.T) {
+	db := New()
+	c, _ := db.CreateCollection("t", CollectionConfig{Dim: 4})
+	if _, err := c.Insert([]float32{1, 2}, nil); err == nil {
+		t.Fatal("wrong insert dim must fail")
+	}
+	c.Insert([]float32{1, 0, 0, 0}, nil)
+	if _, err := c.Search([]float32{1}, 1, 10, nil); err == nil {
+		t.Fatal("wrong query dim must fail")
+	}
+	if _, err := c.SearchExact([]float32{1}, 1, nil); err == nil {
+		t.Fatal("wrong exact query dim must fail")
+	}
+}
+
+func TestCosineNormalizesInput(t *testing.T) {
+	db := New()
+	c, _ := db.CreateCollection("t", CollectionConfig{Dim: 2})
+	c.Insert([]float32{10, 0}, map[string]string{"n": "x"}) // not unit norm
+	got, _ := c.Search([]float32{3, 0}, 1, 10, nil)
+	if got[0].Score < 0.999 {
+		t.Fatalf("score %v, normalization missing", got[0].Score)
+	}
+}
+
+func TestSearchExactMatchesBruteForce(t *testing.T) {
+	db := New()
+	c, _ := db.CreateCollection("t", CollectionConfig{Dim: 8, Seed: 2})
+	rng := rand.New(rand.NewSource(2))
+	var vecs [][]float32
+	for i := 0; i < 200; i++ {
+		v := randUnit(8, rng)
+		vecs = append(vecs, v)
+		c.Insert(v, nil)
+	}
+	q := randUnit(8, rng)
+	got, _ := c.SearchExact(q, 5, nil)
+	if len(got) != 5 {
+		t.Fatalf("len=%d", len(got))
+	}
+	// Verify descending scores and that the top-1 is the true argmax.
+	bestID, bestScore := 0, float32(-2)
+	for i, v := range vecs {
+		if s := vec.Dot(q, v); s > bestScore {
+			bestID, bestScore = i, s
+		}
+	}
+	if got[0].ID != uint64(bestID) {
+		t.Fatalf("exact top-1 %d, brute force %d", got[0].ID, bestID)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Fatal("scores not descending")
+		}
+	}
+}
+
+func TestFilteredSearch(t *testing.T) {
+	db := New()
+	c, _ := db.CreateCollection("t", CollectionConfig{Dim: 8, Seed: 3})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		kind := "even"
+		if i%2 == 1 {
+			kind = "odd"
+		}
+		c.Insert(randUnit(8, rng), map[string]string{"kind": kind})
+	}
+	q := randUnit(8, rng)
+	got, _ := c.Search(q, 10, 128, FieldEquals("kind", "odd"))
+	if len(got) == 0 {
+		t.Fatal("no results")
+	}
+	for _, r := range got {
+		if r.Payload["kind"] != "odd" {
+			t.Fatalf("filter leaked: %+v", r)
+		}
+	}
+	got2, _ := c.SearchExact(q, 10, FieldIn("kind", "even"))
+	for _, r := range got2 {
+		if r.Payload["kind"] != "even" {
+			t.Fatalf("exact filter leaked: %+v", r)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := New()
+	c, _ := db.CreateCollection("t", CollectionConfig{Dim: 4, Seed: 4})
+	id1, _ := c.Insert([]float32{1, 0, 0, 0}, map[string]string{"n": "1"})
+	id2, _ := c.Insert([]float32{0.9, 0.1, 0, 0}, map[string]string{"n": "2"})
+	c.Delete(id1)
+	if c.Len() != 1 {
+		t.Fatalf("Len=%d", c.Len())
+	}
+	if _, ok := c.Get(id1); ok {
+		t.Fatal("deleted point still readable")
+	}
+	got, _ := c.Search([]float32{1, 0, 0, 0}, 2, 10, nil)
+	for _, r := range got {
+		if r.ID == id1 {
+			t.Fatal("deleted point surfaced in search")
+		}
+	}
+	if len(got) != 1 || got[0].ID != id2 {
+		t.Fatalf("got %+v", got)
+	}
+	c.Delete(999) // unknown id: no-op
+}
+
+func TestGetAndVector(t *testing.T) {
+	db := New()
+	c, _ := db.CreateCollection("t", CollectionConfig{Dim: 2})
+	id, _ := c.Insert([]float32{0, 1}, map[string]string{"a": "b"})
+	p, ok := c.Get(id)
+	if !ok || p["a"] != "b" {
+		t.Fatalf("Get=%v,%v", p, ok)
+	}
+	p["a"] = "mutated"
+	p2, _ := c.Get(id)
+	if p2["a"] != "b" {
+		t.Fatal("Get returned aliased payload")
+	}
+	v, ok := c.Vector(id)
+	if !ok || v[1] != 1 {
+		t.Fatalf("Vector=%v,%v", v, ok)
+	}
+}
+
+func TestPQCompression(t *testing.T) {
+	db := New()
+	c, _ := db.CreateCollection("t", CollectionConfig{
+		Dim: 32, Seed: 5,
+		PQ: &PQConfig{M: 4, K: 16, TrainSize: 100},
+	})
+	rng := rand.New(rand.NewSource(5))
+	var vecs [][]float32
+	for i := 0; i < 400; i++ {
+		v := randUnit(32, rng)
+		vecs = append(vecs, v)
+		c.Insert(v, map[string]string{"i": fmt.Sprint(i)})
+	}
+	st := c.Stats()
+	if !st.Compressed {
+		t.Fatal("PQ not trained")
+	}
+	if st.VectorBytes >= int64(400*32*4) {
+		t.Fatalf("no compression: %d bytes", st.VectorBytes)
+	}
+	// Recall sanity: self-queries should still surface the right region.
+	hits := 0
+	for i := 0; i < 50; i++ {
+		got, err := c.Search(vecs[i], 5, 64, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range got {
+			if r.Payload["i"] == fmt.Sprint(i) {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < 35 {
+		t.Fatalf("PQ recall too low: %d/50 self-hits", hits)
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	db := New()
+	c, _ := db.CreateCollection("t", CollectionConfig{Dim: 8, Seed: 6})
+	rng := rand.New(rand.NewSource(6))
+	var vecs [][]float32
+	for i := 0; i < 150; i++ {
+		v := randUnit(8, rng)
+		vecs = append(vecs, v)
+		c.Insert(v, map[string]string{"i": fmt.Sprint(i)})
+	}
+	c.Delete(3)
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, ok := db2.Collection("t")
+	if !ok {
+		t.Fatal("collection lost")
+	}
+	if c2.Len() != 149 {
+		t.Fatalf("Len=%d want 149", c2.Len())
+	}
+	if _, ok := c2.Get(3); ok {
+		t.Fatal("tombstoned point resurrected")
+	}
+	// Same query results on both.
+	q := randUnit(8, rng)
+	a, _ := c.SearchExact(q, 5, nil)
+	b, _ := c2.SearchExact(q, 5, nil)
+	if len(a) != len(b) {
+		t.Fatalf("result lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Payload["i"] != b[i].Payload["i"] {
+			t.Fatalf("result %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPersistenceWithPQ(t *testing.T) {
+	db := New()
+	c, _ := db.CreateCollection("t", CollectionConfig{
+		Dim: 16, Seed: 7, PQ: &PQConfig{M: 4, K: 16, TrainSize: 64},
+	})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 150; i++ {
+		c.Insert(randUnit(16, rng), map[string]string{"i": fmt.Sprint(i)})
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := db2.Collection("t")
+	if !c2.Stats().Compressed {
+		t.Fatal("compression lost on reload")
+	}
+	q := randUnit(16, rng)
+	a, _ := c.SearchExact(q, 3, nil)
+	b, _ := c2.SearchExact(q, 3, nil)
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("PQ results differ after reload: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestSaveFileLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.bin")
+	db := New()
+	c, _ := db.CreateCollection("t", CollectionConfig{Dim: 4})
+	c.Insert([]float32{1, 0, 0, 0}, map[string]string{"x": "y"})
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := db2.Collection("t")
+	if c2.Len() != 1 {
+		t.Fatal("file round trip lost data")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a database"))); err == nil {
+		t.Fatal("garbage must not load")
+	}
+}
+
+func TestL2Metric(t *testing.T) {
+	db := New()
+	c, _ := db.CreateCollection("t", CollectionConfig{Dim: 2, Metric: L2, Seed: 8})
+	c.Insert([]float32{0, 0}, map[string]string{"n": "origin"})
+	c.Insert([]float32{5, 5}, map[string]string{"n": "far"})
+	got, _ := c.Search([]float32{0.1, 0.1}, 2, 10, nil)
+	if got[0].Payload["n"] != "origin" {
+		t.Fatalf("L2 ranking wrong: %+v", got)
+	}
+	if got[0].Score < got[1].Score {
+		t.Fatal("L2 scores must still be higher-is-better")
+	}
+}
+
+func TestDotMetric(t *testing.T) {
+	db := New()
+	c, _ := db.CreateCollection("t", CollectionConfig{Dim: 2, Metric: Dot, Seed: 9})
+	c.Insert([]float32{2, 0}, map[string]string{"n": "big"})
+	c.Insert([]float32{1, 0}, map[string]string{"n": "small"})
+	got, _ := c.Search([]float32{1, 0}, 2, 10, nil)
+	if got[0].Payload["n"] != "big" {
+		t.Fatalf("Dot must favour larger magnitude: %+v", got)
+	}
+}
+
+func TestConcurrentInsertAndSearch(t *testing.T) {
+	db := New()
+	c, _ := db.CreateCollection("t", CollectionConfig{Dim: 8, Seed: 10})
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 100; i++ {
+		c.Insert(randUnit(8, rng), nil)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := rand.New(rand.NewSource(11))
+		for i := 0; i < 100; i++ {
+			c.Insert(randUnit(8, r), nil)
+		}
+		close(stop)
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.Search(randUnit(8, r), 3, 32, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(20 + w))
+	}
+	wg.Wait()
+	if c.Len() != 200 {
+		t.Fatalf("Len=%d want 200", c.Len())
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if Cosine.String() != "cosine" || L2.String() != "l2" || Dot.String() != "dot" {
+		t.Fatal("Metric.String broken")
+	}
+}
+
+func BenchmarkSearchCosine10k(b *testing.B) {
+	db := New()
+	c, _ := db.CreateCollection("t", CollectionConfig{Dim: 64, Seed: 12})
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 10000; i++ {
+		c.Insert(randUnit(64, rng), nil)
+	}
+	queries := make([][]float32, 64)
+	for i := range queries {
+		queries[i] = randUnit(64, rng)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Search(queries[i%len(queries)], 10, 64, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPersistenceRestoresGraphExactly(t *testing.T) {
+	db := New()
+	c, _ := db.CreateCollection("t", CollectionConfig{Dim: 16, Seed: 30})
+	rng := rand.New(rand.NewSource(30))
+	for i := 0; i < 300; i++ {
+		c.Insert(randUnit(16, rng), map[string]string{"i": fmt.Sprint(i)})
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := db2.Collection("t")
+	// Approximate search must return identical results: with no deletions
+	// the serialized graph is restored verbatim.
+	for probe := 0; probe < 10; probe++ {
+		q := randUnit(16, rng)
+		a, _ := c.Search(q, 10, 64, nil)
+		b, _ := c2.Search(q, 10, 64, nil)
+		if len(a) != len(b) {
+			t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID || a[i].Score != b[i].Score {
+				t.Fatalf("probe %d result %d differs: %+v vs %+v", probe, i, a[i], b[i])
+			}
+		}
+	}
+	// The restored collection must accept further inserts.
+	if _, err := c2.Insert(randUnit(16, rng), nil); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 301 {
+		t.Fatalf("Len=%d", c2.Len())
+	}
+}
+
+func TestScrollAndCount(t *testing.T) {
+	db := New()
+	c, _ := db.CreateCollection("t", CollectionConfig{Dim: 4, Seed: 40})
+	rng := rand.New(rand.NewSource(40))
+	for i := 0; i < 25; i++ {
+		kind := "a"
+		if i%5 == 0 {
+			kind = "b"
+		}
+		c.Insert(randUnit(4, rng), map[string]string{"kind": kind, "i": fmt.Sprint(i)})
+	}
+	c.Delete(7)
+
+	if got := c.Count(nil); got != 24 {
+		t.Fatalf("Count=%d", got)
+	}
+	if got := c.Count(FieldEquals("kind", "b")); got != 5 {
+		t.Fatalf("Count(b)=%d", got)
+	}
+
+	// Paginate in chunks of 10 and reassemble.
+	var all []Point
+	cursor := uint64(0)
+	for {
+		page := c.Scroll(cursor, 10, nil)
+		if len(page) == 0 {
+			break
+		}
+		all = append(all, page...)
+		cursor = page[len(page)-1].ID + 1
+	}
+	if len(all) != 24 {
+		t.Fatalf("scrolled %d points", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].ID <= all[i-1].ID {
+			t.Fatal("scroll not in ascending id order")
+		}
+	}
+	for _, p := range all {
+		if p.ID == 7 {
+			t.Fatal("deleted point scrolled")
+		}
+	}
+	// Filtered scroll.
+	bs := c.Scroll(0, 100, FieldEquals("kind", "b"))
+	if len(bs) != 5 {
+		t.Fatalf("filtered scroll=%d", len(bs))
+	}
+	if got := c.Scroll(0, 0, nil); got != nil {
+		t.Fatal("limit 0 must return nil")
+	}
+}

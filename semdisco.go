@@ -1,0 +1,196 @@
+// Package semdisco discovers datasets in a federation of tabular relations
+// by semantic matching, implementing "Dataset Discovery using Semantic
+// Matching" (EDBT 2025).
+//
+// Every attribute value of every relation is embedded into a
+// high-dimensional vector space; a keyword query is embedded the same way
+// and relations are ranked by the aggregate similarity of their values to
+// the query — so a query for "COVID" finds a table listing "Comirnaty" and
+// "Vaxzevria" even though the string COVID appears nowhere in it. Because
+// only embeddings are indexed, and embeddings are not reversible, member
+// datasets become searchable without their contents leaving the premises.
+//
+// Three search strategies are available: exhaustive scan (ExS), vector-
+// database approximate search (ANNS: HNSW index + Product Quantization),
+// and clustered targeted search (CTS: UMAP reduction + HDBSCAN clustering
+// + per-cluster indexes), the paper's headline method.
+//
+// Quickstart:
+//
+//	fed := semdisco.NewFederation()
+//	fed.Add(&semdisco.Relation{ID: "who", Columns: ..., Rows: ...})
+//	eng, err := semdisco.Open(fed, semdisco.Config{Method: semdisco.CTS})
+//	matches, err := eng.Search("COVID vaccines in Europe", 10)
+package semdisco
+
+import (
+	"fmt"
+
+	"semdisco/internal/core"
+	"semdisco/internal/embed"
+	"semdisco/internal/text"
+)
+
+// Method selects the search strategy.
+type Method int
+
+const (
+	// CTS is Clustered Targeted Search, the paper's best method: fastest
+	// queries and the highest retrieval quality, at the price of the most
+	// expensive index build (reduction + clustering).
+	CTS Method = iota
+	// ANNS indexes value vectors in an embedded vector database with HNSW
+	// and Product Quantization: near-ExS quality, far faster queries.
+	ANNS
+	// ExS scans every value vector exhaustively: exact, no index build,
+	// query cost linear in the corpus' total value count.
+	ExS
+)
+
+func (m Method) String() string {
+	switch m {
+	case CTS:
+		return "CTS"
+	case ANNS:
+		return "ANNS"
+	case ExS:
+		return "ExS"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Match is one discovery result.
+type Match = core.Match
+
+// Config parameterizes an Engine. The zero value selects CTS with the
+// paper's defaults (768-dimensional embeddings, cosine similarity).
+type Config struct {
+	// Method selects the search strategy; default CTS.
+	Method Method
+	// Dim is the embedding dimensionality; default 768 (all-mpnet-base-v2's
+	// output size, per the paper). Smaller dims trade quality for speed.
+	Dim int
+	// Seed makes embedding and index construction deterministic.
+	Seed int64
+	// Lexicon optionally injects domain synonym knowledge into the
+	// encoder (see NewLexicon). Without one the encoder is purely lexical:
+	// robust to inflection and misspelling but blind to synonymy.
+	Lexicon *Lexicon
+	// IDF optionally weights query/value tokens by informativeness
+	// (higher = more important). Built automatically from the federation
+	// when nil.
+	IDF func(token string) float64
+	// Threshold is the paper's h: matches scoring below it are dropped.
+	Threshold float32
+
+	// ExS tuning.
+	ExS ExSOptions
+	// ANNS tuning.
+	ANNS ANNSOptions
+	// CTS tuning.
+	CTS CTSOptions
+}
+
+// Engine is a built discovery index over one federation. It is safe for
+// concurrent Search calls; Add must not race with Search.
+type Engine struct {
+	cfg       Config
+	model     *embed.Model
+	emb       *core.Embedded
+	searcher  core.Searcher
+	stats     *text.CorpusStats // nil when Config.IDF was supplied
+	relSource map[string]string // relation ID -> source (dataset)
+}
+
+// Open embeds the federation and builds the index for the configured
+// method. For CTS this is the expensive phase (dimensionality reduction and
+// clustering run here); queries afterwards are fast.
+func Open(fed *Federation, cfg Config) (*Engine, error) {
+	if fed == nil || fed.Len() == 0 {
+		return nil, fmt.Errorf("semdisco: empty federation")
+	}
+	idf := cfg.IDF
+	var stats *text.CorpusStats
+	if idf == nil {
+		stats = federationStats(fed)
+		idf = statsIDF(stats)
+	}
+	model := embed.New(embed.Config{
+		Dim:     cfg.Dim,
+		Seed:    cfg.Seed,
+		Lexicon: cfg.Lexicon,
+		IDF:     idf,
+	})
+	emb := core.EmbedFederation(fed, model)
+
+	s, err := buildSearcher(cfg, emb)
+	if err != nil {
+		return nil, err
+	}
+	relSource := make(map[string]string, fed.Len())
+	for _, r := range fed.Relations() {
+		relSource[r.ID] = r.Source
+	}
+	return &Engine{cfg: cfg, model: model, emb: emb, searcher: s,
+		stats: stats, relSource: relSource}, nil
+}
+
+// buildSearcher constructs the configured method's index over an embedded
+// federation.
+func buildSearcher(cfg Config, emb *core.Embedded) (core.Searcher, error) {
+	var (
+		s   core.Searcher
+		err error
+	)
+	switch cfg.Method {
+	case ExS:
+		opt := cfg.ExS
+		if opt.Threshold == 0 {
+			opt.Threshold = cfg.Threshold
+		}
+		s = core.NewExS(emb, opt)
+	case ANNS:
+		opt := cfg.ANNS
+		if opt.Threshold == 0 {
+			opt.Threshold = cfg.Threshold
+		}
+		if opt.Seed == 0 {
+			opt.Seed = cfg.Seed
+		}
+		s, err = core.NewANNS(emb, opt)
+	case CTS:
+		opt := cfg.CTS
+		if opt.Threshold == 0 {
+			opt.Threshold = cfg.Threshold
+		}
+		if opt.Seed == 0 {
+			opt.Seed = cfg.Seed
+		}
+		s, err = core.NewCTS(emb, opt)
+	default:
+		return nil, fmt.Errorf("semdisco: unknown method %v", cfg.Method)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("semdisco: building %v index: %w", cfg.Method, err)
+	}
+	return s, nil
+}
+
+// Search ranks the federation's relations for a keyword query and returns
+// at most k matches, best first, all scoring at least the configured
+// threshold.
+func (e *Engine) Search(query string, k int) ([]Match, error) {
+	return e.searcher.Search(query, k)
+}
+
+// Method reports the engine's search strategy.
+func (e *Engine) Method() Method { return e.cfg.Method }
+
+// NumValues reports how many distinct attribute values are indexed.
+func (e *Engine) NumValues() int { return e.emb.NumValues() }
+
+// Embed exposes the engine's encoder: the unit-norm embedding of any text,
+// in the same space the index lives in. Useful for building custom
+// similarity logic on top of the engine.
+func (e *Engine) Embed(text string) []float32 { return e.model.Encode(text) }
