@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build vet test race check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The observability layer is all lock-free atomics and RWMutex-guarded
+# caches; race keeps it honest.
+race:
+	$(GO) test -race ./...
+
+check: vet race

@@ -38,10 +38,11 @@ func main() {
 		dumpRuns   = flag.String("dump-runs", "", "write per-method TREC run files (LD, all classes) into this directory")
 		storage    = flag.Bool("storage", false, "report index storage and build cost per method")
 		sweep      = flag.Bool("sweep", false, "run the scaling sweep (builds the methods at several corpus scales)")
+		jsonOut    = flag.String("json", "", `write machine-readable results (build time, latency quantiles, MAP/NDCG) to this file; "-" for stdout`)
 	)
 	flag.Parse()
 
-	if !*all && *tableNo == 0 && *figureNo == 0 && !*caseStudy && *dumpRuns == "" && !*storage && !*sweep {
+	if !*all && *tableNo == 0 && *figureNo == 0 && !*caseStudy && *dumpRuns == "" && !*storage && !*sweep && *jsonOut == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -66,7 +67,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(out)
-		if !*all && *tableNo == 0 && *figureNo == 0 && !*caseStudy && *dumpRuns == "" && !*storage {
+		if !*all && *tableNo == 0 && *figureNo == 0 && !*caseStudy && *dumpRuns == "" && !*storage && *jsonOut == "" {
 			return
 		}
 	}
@@ -146,5 +147,29 @@ func main() {
 			}
 		}
 		fmt.Printf("wrote %d run files to %s\n", len(experiments.Methods)*3, *dumpRuns)
+	}
+	if *jsonOut != "" {
+		report, err := bench.Report(20)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := report.WriteJSON(out); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonOut != "-" {
+			fmt.Printf("wrote JSON report to %s\n", *jsonOut)
+		}
 	}
 }

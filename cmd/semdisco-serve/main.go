@@ -4,16 +4,21 @@
 //
 //	semdisco-serve -dir ./tables -addr :8080           # index CSVs, serve
 //	semdisco-serve -load engine.bin -addr :8080        # serve a saved engine
+//	semdisco-serve -dir ./tables -pprof -log-format json
 //
 // The JSON API is documented in internal/httpapi. Only embeddings are
 // held in the index, so serving it does not expose raw table contents
 // beyond relation identifiers.
+//
+// Observability: every request is logged through log/slog (text by
+// default, -log-format json for machine ingestion), engine and HTTP
+// metrics are served at /metrics in Prometheus text format, and -pprof
+// mounts the runtime profiler at /debug/pprof/.
 package main
 
 import (
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
@@ -25,18 +30,32 @@ import (
 
 func main() {
 	var (
-		dir      = flag.String("dir", "", "directory of *.csv files to index")
-		loadPath = flag.String("load", "", "saved engine file (alternative to -dir)")
-		addr     = flag.String("addr", ":8080", "listen address")
-		method   = flag.String("method", "cts", "search method when indexing: cts, anns or exs")
-		dim      = flag.Int("dim", 256, "embedding dimensionality when indexing")
-		seed     = flag.Int64("seed", 1, "random seed")
+		dir         = flag.String("dir", "", "directory of *.csv files to index")
+		loadPath    = flag.String("load", "", "saved engine file (alternative to -dir)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		method      = flag.String("method", "cts", "search method when indexing: cts, anns or exs")
+		dim         = flag.Int("dim", 256, "embedding dimensionality when indexing")
+		seed        = flag.Int64("seed", 1, "random seed")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/")
 	)
 	flag.Parse()
 	if *dir == "" && *loadPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		slog.Error("unknown log format", "format", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
 
 	var (
 		eng *semdisco.Engine
@@ -45,17 +64,20 @@ func main() {
 	if *loadPath != "" {
 		f, ferr := os.Open(*loadPath)
 		if ferr != nil {
-			log.Fatalf("semdisco-serve: %v", ferr)
+			fatal(logger, "opening engine file", ferr)
 		}
 		eng, err = semdisco.LoadEngine(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("semdisco-serve: loading engine: %v", err)
+			fatal(logger, "loading engine", err)
 		}
+		logger.Info("engine loaded", "path", *loadPath,
+			"method", eng.Method().String(),
+			"relations", eng.NumRelations(), "values", eng.NumValues())
 	} else {
 		fed, ferr := semdisco.LoadDir(*dir)
 		if ferr != nil {
-			log.Fatalf("semdisco-serve: %v", ferr)
+			fatal(logger, "loading corpus", ferr)
 		}
 		var m semdisco.Method
 		switch strings.ToLower(*method) {
@@ -66,24 +88,36 @@ func main() {
 		case "exs":
 			m = semdisco.ExS
 		default:
-			log.Fatalf("semdisco-serve: unknown method %q", *method)
+			logger.Error("unknown method", "method", *method)
+			os.Exit(1)
 		}
 		start := time.Now()
 		eng, err = semdisco.Open(fed, semdisco.Config{Method: m, Dim: *dim, Seed: *seed})
 		if err != nil {
-			log.Fatalf("semdisco-serve: building index: %v", err)
+			fatal(logger, "building index", err)
 		}
-		fmt.Printf("indexed %d values with %v in %v\n",
-			eng.NumValues(), m, time.Since(start).Round(time.Millisecond))
+		logger.Info("index built", "method", m.String(),
+			"relations", eng.NumRelations(), "values", eng.NumValues(),
+			"duration", time.Since(start).Round(time.Millisecond))
 	}
 
+	opts := []httpapi.Option{httpapi.WithLogger(logger)}
+	if *enablePprof {
+		opts = append(opts, httpapi.WithPprof())
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(eng),
+		Handler:           httpapi.New(eng, opts...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("serving %v engine on %s\n", eng.Method(), *addr)
+	logger.Info("serving", "addr", *addr, "method", eng.Method().String())
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatalf("semdisco-serve: %v", err)
+		fatal(logger, "server", err)
 	}
+}
+
+func fatal(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, "error", err)
+	os.Exit(1)
 }

@@ -9,6 +9,7 @@ import (
 
 	"semdisco/internal/core"
 	"semdisco/internal/embed"
+	"semdisco/internal/obs"
 	"semdisco/internal/text"
 )
 
@@ -196,10 +197,13 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		Lexicon: cfg.Lexicon,
 		IDF:     idf,
 	})
+	reg := obs.NewRegistry()
+	model.SetObserver(reg)
 	emb, err := core.RestoreEmbedded(bytes.NewReader(p.EmbBlob), model)
 	if err != nil {
 		return nil, err
 	}
+	emb.Obs = reg
 	s, err := buildSearcher(cfg, emb)
 	if err != nil {
 		return nil, err
@@ -207,6 +211,6 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 	if p.RelSource == nil {
 		p.RelSource = make(map[string]string)
 	}
-	return &Engine{cfg: cfg, model: model, emb: emb, searcher: s,
+	return &Engine{cfg: cfg, model: model, emb: emb, searcher: s, obs: reg,
 		stats: p.Stats, relSource: p.RelSource}, nil
 }

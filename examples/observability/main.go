@@ -1,0 +1,90 @@
+// Observability: run a few searches, inspect the per-stage trace of one
+// query and the engine's aggregated statistics (latency quantiles, cache
+// effectiveness, index-build phase costs). Run with:
+//
+//	go run ./examples/observability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semdisco"
+)
+
+func main() {
+	fed := semdisco.NewFederation()
+	must(fed.Add(&semdisco.Relation{
+		ID:      "vaccines",
+		Source:  "WHO",
+		Caption: "COVID-19 vaccination coverage",
+		Columns: []string{"Region", "Vaccine", "Doses"},
+		Rows: [][]string{
+			{"Europe", "Vaxzevria", "120000"},
+			{"Asia", "CoronaVac", "340000"},
+			{"Americas", "Comirnaty", "510000"},
+		},
+	}))
+	must(fed.Add(&semdisco.Relation{
+		ID:      "minerals",
+		Source:  "USGS",
+		Caption: "Mineral hardness",
+		Columns: []string{"Mineral", "Hardness"},
+		Rows:    [][]string{{"Quartz", "7"}, {"Talc", "1"}},
+	}))
+
+	lex := semdisco.NewLexicon()
+	lex.AddSynonyms("COVID", "coronavirus", "Vaxzevria", "CoronaVac", "Comirnaty")
+
+	// Metrics are on by default; Config.DisableMetrics turns them off.
+	eng, err := semdisco.Open(fed, semdisco.Config{
+		Method: semdisco.CTS, Dim: 192, Seed: 1, Lexicon: lex,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A traced search returns the usual matches plus the per-stage
+	// breakdown of where the time went.
+	matches, stages, err := eng.SearchTraced("COVID vaccines in Europe", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("matches:")
+	for _, m := range matches {
+		fmt.Printf("  %-10s score=%.3f\n", m.RelationID, m.Score)
+	}
+	fmt.Println("trace:")
+	for _, st := range stages {
+		fmt.Printf("  %-14s %8.3fms  %v\n", st.Name, st.DurationMS, st.Annotations)
+	}
+
+	// A few more (untraced) queries to populate the latency histograms.
+	for _, q := range []string{"mineral hardness", "coronavirus doses", "quartz"} {
+		if _, err := eng.Search(q, 3); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Stats aggregates everything the engine observed since Open.
+	st := eng.Stats()
+	fmt.Printf("\nengine: %s  relations=%d values=%d clusters=%d\n",
+		st.Method, st.NumRelations, st.NumValues, st.NumClusters)
+	for method, n := range st.Searches {
+		lat := st.SearchLatency[method]
+		fmt.Printf("searches[%s]: %d  p50=%.3fms p95=%.3fms\n",
+			method, n, lat.P50MS, lat.P95MS)
+	}
+	fmt.Printf("encoder cache: %d hits / %d misses (%.1f%% hit rate)\n",
+		st.CacheHits, st.CacheMisses, 100*st.CacheHitRate)
+	fmt.Println("index build phases:")
+	for phase, sec := range st.BuildSeconds {
+		fmt.Printf("  %-12s %.1fms\n", phase, sec*1000)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"semdisco/internal/obs"
 	"semdisco/internal/vectordb"
 )
 
@@ -82,12 +83,21 @@ func NewANNS(emb *Embedded, opt ANNSOptions) (*ANNS, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: anns: %w", err)
 	}
-	for i, v := range emb.Values {
-		payload := map[string]string{"vi": strconv.Itoa(i)}
-		if _, err := coll.Insert(v.Vec, payload); err != nil {
-			return nil, fmt.Errorf("core: anns insert: %w", err)
+	coll.SetObserver(emb.Obs)
+	var insertErr error
+	buildPhase(emb.Obs, "hnsw_insert", func() {
+		for i, v := range emb.Values {
+			payload := map[string]string{"vi": strconv.Itoa(i)}
+			if _, err := coll.Insert(v.Vec, payload); err != nil {
+				insertErr = fmt.Errorf("core: anns insert: %w", err)
+				return
+			}
 		}
+	})
+	if insertErr != nil {
+		return nil, insertErr
 	}
+	emb.Obs.Gauge(MetricValues).Set(float64(len(emb.Values)))
 	return &ANNS{
 		emb:       emb,
 		coll:      coll,
@@ -102,10 +112,20 @@ func (s *ANNS) Name() string { return "ANNS" }
 
 // Search implements Searcher: Algorithm 2, step 2.
 func (s *ANNS) Search(query string, k int) ([]Match, error) {
+	return s.SearchTraced(query, k, nil)
+}
+
+// SearchTraced implements TracedSearcher: Algorithm 2 with a per-stage
+// breakdown (encode → retrieve → rank).
+func (s *ANNS) SearchTraced(query string, k int, tr *obs.Trace) ([]Match, error) {
 	if k <= 0 {
 		return nil, nil
 	}
+	o := startSearch(s.emb.Obs, s.Name(), tr)
+	sp := o.stage("encode")
 	q := s.emb.Enc.Encode(query)
+	o.endStage(sp)
+
 	fanout := s.fanout
 	if fanout == 0 {
 		fanout = 32 * k
@@ -114,25 +134,21 @@ func (s *ANNS) Search(query string, k int) ([]Match, error) {
 	if ef < fanout {
 		ef = fanout
 	}
+	sp = o.stage("retrieve").AnnotateInt("fanout", fanout).AnnotateInt("ef", ef)
 	hits, err := s.coll.Search(q, fanout, ef, nil)
 	if err != nil {
 		return nil, err
 	}
-	n := s.emb.NumRelations()
-	sums := make([]float32, n)
-	hitCount := make([]float32, n)
-	for _, h := range hits {
-		vi, err := strconv.Atoi(h.Payload["vi"])
-		if err != nil || vi < 0 || vi >= len(s.emb.Values) {
-			return nil, fmt.Errorf("core: anns: corrupt payload %q", h.Payload["vi"])
-		}
-		v := &s.emb.Values[vi]
-		if h.Score > 0 {
-			sums[v.Rel] += v.Weight * h.Score
-		}
-		hitCount[v.Rel]++
+	o.endStage(sp.AnnotateInt("hits", len(hits)))
+
+	sp = o.stage("rank")
+	matches, err := s.foldHits(hits, k)
+	if err != nil {
+		return nil, err
 	}
-	return rankRelations(s.emb.RelIDs, sums, hitCount, s.emb.TotalWeight, s.threshold, k), nil
+	o.endStage(sp.AnnotateInt("matches", len(matches)))
+	o.finish()
+	return matches, nil
 }
 
 // Stats exposes the underlying collection's storage statistics.

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"semdisco/internal/embed"
+	"semdisco/internal/obs"
 	"semdisco/internal/table"
 	"semdisco/internal/vec"
 )
@@ -81,8 +82,21 @@ type Embedded struct {
 	PerRel [][]int32
 	// TotalWeight[i] is the summed multiplicity of relation i's values.
 	TotalWeight []float32
+	// Obs receives the searchers' metrics (search counters, stage latency,
+	// index-build phase timings). May be nil: all instrumentation is then a
+	// no-op. Set it before building a searcher to capture build phases.
+	Obs *obs.Registry
 	// valueTexts[i] is the original text of Values[i], kept for Explain.
 	valueTexts []string
+	// relIdx maps relation ID -> index in RelIDs, so lookups by ID are O(1)
+	// instead of a linear scan over the federation.
+	relIdx map[string]int
+}
+
+// RelIndex returns the index of a relation ID in RelIDs.
+func (e *Embedded) RelIndex(id string) (int, bool) {
+	i, ok := e.relIdx[id]
+	return i, ok
 }
 
 // EmbedFederation embeds every relation's cell values and caption with enc,
@@ -94,6 +108,7 @@ func EmbedFederation(fed *table.Federation, enc embed.Encoder) *Embedded {
 		RelIDs:      make([]string, len(rels)),
 		PerRel:      make([][]int32, len(rels)),
 		TotalWeight: make([]float32, len(rels)),
+		relIdx:      make(map[string]int, len(rels)),
 	}
 
 	type relValues struct {
@@ -103,6 +118,7 @@ func EmbedFederation(fed *table.Federation, enc embed.Encoder) *Embedded {
 	prepared := make([]relValues, len(rels))
 	for i, r := range rels {
 		e.RelIDs[i] = r.ID
+		e.relIdx[r.ID] = i
 		counts := make(map[string]float32)
 		for _, v := range r.Values() {
 			if v == "" {

@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"semdisco/internal/hdbscan"
+	"semdisco/internal/obs"
 	"semdisco/internal/umap"
 	"semdisco/internal/vec"
 	"semdisco/internal/vectordb"
@@ -119,18 +120,20 @@ func NewCTS(emb *Embedded, opt CTSOptions) (*CTS, error) {
 
 	// 1. Dimensionality reduction.
 	var reduced [][]float32
-	switch opt.Reduction {
-	case ReducePCA:
-		reduced = umap.PCA(points, opt.ReducedDim, opt.Seed)
-	case ReduceNone:
-		reduced = points
-	default:
-		reduced = umap.Fit(points, umap.Config{
-			NComponents: opt.ReducedDim,
-			NEpochs:     opt.UMAPEpochs,
-			Seed:        opt.Seed,
-		})
-	}
+	buildPhase(emb.Obs, "umap", func() {
+		switch opt.Reduction {
+		case ReducePCA:
+			reduced = umap.PCA(points, opt.ReducedDim, opt.Seed)
+		case ReduceNone:
+			reduced = points
+		default:
+			reduced = umap.Fit(points, umap.Config{
+				NComponents: opt.ReducedDim,
+				NEpochs:     opt.UMAPEpochs,
+				Seed:        opt.Seed,
+			})
+		}
+	})
 
 	// 2. HDBSCAN on (a sample of) the reduced vectors.
 	sampleIdx := strideSample(n, opt.SampleCap)
@@ -138,7 +141,10 @@ func NewCTS(emb *Embedded, opt CTSOptions) (*CTS, error) {
 	for i, gi := range sampleIdx {
 		samplePts[i] = reduced[gi]
 	}
-	res := hdbscan.Cluster(samplePts, hdbscan.Config{MinClusterSize: opt.MinClusterSize})
+	var res hdbscan.Result
+	buildPhase(emb.Obs, "hdbscan", func() {
+		res = hdbscan.Cluster(samplePts, hdbscan.Config{MinClusterSize: opt.MinClusterSize})
+	})
 
 	// 3. Medoids in reduced and original space. Degenerate clusterings
 	// (zero clusters) collapse to a single cluster around the global
@@ -200,14 +206,24 @@ func NewCTS(emb *Embedded, opt CTSOptions) (*CTS, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: cts: %w", err)
 		}
+		coll.SetObserver(emb.Obs)
 		colls[c] = coll
 	}
-	for i, v := range emb.Values {
-		payload := map[string]string{"vi": strconv.Itoa(i)}
-		if _, err := colls[clusterOf[i]].Insert(v.Vec, payload); err != nil {
-			return nil, fmt.Errorf("core: cts insert: %w", err)
+	var insertErr error
+	buildPhase(emb.Obs, "hnsw_insert", func() {
+		for i, v := range emb.Values {
+			payload := map[string]string{"vi": strconv.Itoa(i)}
+			if _, err := colls[clusterOf[i]].Insert(v.Vec, payload); err != nil {
+				insertErr = fmt.Errorf("core: cts insert: %w", err)
+				return
+			}
 		}
+	})
+	if insertErr != nil {
+		return nil, insertErr
 	}
+	emb.Obs.Gauge(MetricClusters).Set(float64(numClusters))
+	emb.Obs.Gauge(MetricValues).Set(float64(len(emb.Values)))
 
 	topClusters := opt.TopClusters
 	if topClusters == 0 {
@@ -239,10 +255,24 @@ func (s *CTS) ClusterOf(valueIdx int) int { return s.clusterOf[valueIdx] }
 
 // Search implements Searcher: Algorithm 3's query phase.
 func (s *CTS) Search(query string, k int) ([]Match, error) {
+	return s.SearchTraced(query, k, nil)
+}
+
+// SearchTraced implements TracedSearcher: Algorithm 3 with a per-stage
+// breakdown (encode → medoid_match → descent → rank).
+func (s *CTS) SearchTraced(query string, k int, tr *obs.Trace) ([]Match, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	return s.searchEncoded(s.emb.Enc.Encode(query), k)
+	o := startSearch(s.emb.Obs, s.Name(), tr)
+	sp := o.stage("encode")
+	q := s.emb.Enc.Encode(query)
+	o.endStage(sp)
+	matches, err := s.searchObserved(q, k, o)
+	if err == nil {
+		o.finish()
+	}
+	return matches, err
 }
 
 // searchEncoded runs the cluster walk for an already-encoded query vector.
@@ -250,13 +280,20 @@ func (s *CTS) searchEncoded(q []float32, k int) ([]Match, error) {
 	if k <= 0 {
 		return nil, nil
 	}
+	return s.searchObserved(q, k, startSearch(nil, s.Name(), nil))
+}
+
+// searchObserved is the cluster walk, instrumented through o.
+func (s *CTS) searchObserved(q []float32, k int, o *searchObs) ([]Match, error) {
 	// Rank clusters by medoid similarity (original space; medoids are data
 	// points, so the query needs no reduction).
+	sp := o.stage("medoid_match").AnnotateInt("clusters_total", len(s.medoidVecs))
 	top := vec.NewTopK(minInt(s.topClusters, len(s.medoidVecs)))
 	for c, m := range s.medoidVecs {
 		top.Push(c, vec.Dot(q, m))
 	}
 	selected := top.Sorted()
+	o.endStage(sp.AnnotateInt("clusters_selected", len(selected)))
 
 	fanout := s.fanout
 	if fanout == 0 {
@@ -271,9 +308,11 @@ func (s *CTS) searchEncoded(q []float32, k int) ([]Match, error) {
 		ef = perCluster
 	}
 
+	sp = o.stage("descent").AnnotateInt("per_cluster_fanout", perCluster)
 	n := s.emb.NumRelations()
 	sums := make([]float32, n)
 	hitCount := make([]float32, n)
+	totalHits := 0
 	for _, sc := range selected {
 		coll := s.clusterColl[sc.ID]
 		// Beams wider than the cluster only add heap overhead.
@@ -288,6 +327,7 @@ func (s *CTS) searchEncoded(q []float32, k int) ([]Match, error) {
 		if err != nil {
 			return nil, err
 		}
+		totalHits += len(hits)
 		for _, h := range hits {
 			vi, err := strconv.Atoi(h.Payload["vi"])
 			if err != nil || vi < 0 || vi >= len(s.emb.Values) {
@@ -300,7 +340,12 @@ func (s *CTS) searchEncoded(q []float32, k int) ([]Match, error) {
 			hitCount[v.Rel]++
 		}
 	}
-	return rankRelations(s.emb.RelIDs, sums, hitCount, s.emb.TotalWeight, s.threshold, k), nil
+	o.endStage(sp.AnnotateInt("hits", totalHits))
+
+	sp = o.stage("rank")
+	matches := rankRelations(s.emb.RelIDs, sums, hitCount, s.emb.TotalWeight, s.threshold, k)
+	o.endStage(sp.AnnotateInt("matches", len(matches)))
+	return matches, nil
 }
 
 // strideSample returns up to cap evenly spaced indices of [0, n).

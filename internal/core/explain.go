@@ -40,14 +40,8 @@ type Explanation struct {
 // caption). Explain re-encodes them through the shared encoder's cache,
 // so the cost is n dot products.
 func (e *Embedded) Explain(query, relationID string, topN int) (*Explanation, error) {
-	relIdx := -1
-	for i, id := range e.RelIDs {
-		if id == relationID {
-			relIdx = i
-			break
-		}
-	}
-	if relIdx < 0 {
+	relIdx, ok := e.RelIndex(relationID)
+	if !ok {
 		return nil, fmt.Errorf("core: relation %q not indexed", relationID)
 	}
 	if topN <= 0 {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"semdisco/internal/obs"
 	"semdisco/internal/vec"
 )
 
@@ -60,10 +61,25 @@ func (s *ExS) Name() string { return "ExS" }
 
 // Search implements Searcher: Algorithm 1.
 func (s *ExS) Search(query string, k int) ([]Match, error) {
+	return s.SearchTraced(query, k, nil)
+}
+
+// SearchTraced implements TracedSearcher: Algorithm 1 with a per-stage
+// breakdown (encode → scan → rank) recorded on tr and on the method's
+// stage histograms.
+func (s *ExS) SearchTraced(query string, k int, tr *obs.Trace) ([]Match, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	return s.searchEncoded(s.emb.Enc.Encode(query), k)
+	o := startSearch(s.emb.Obs, s.Name(), tr)
+	sp := o.stage("encode")
+	q := s.emb.Enc.Encode(query)
+	o.endStage(sp)
+	matches, err := s.searchObserved(q, k, o)
+	if err == nil {
+		o.finish()
+	}
+	return matches, err
 }
 
 // searchEncoded ranks relations for an already-encoded query vector.
@@ -71,8 +87,16 @@ func (s *ExS) searchEncoded(q []float32, k int) ([]Match, error) {
 	if k <= 0 {
 		return nil, nil
 	}
+	return s.searchObserved(q, k, startSearch(nil, s.Name(), nil))
+}
+
+// searchObserved is the scan + rank body, instrumented through o.
+func (s *ExS) searchObserved(q []float32, k int, o *searchObs) ([]Match, error) {
 	n := s.emb.NumRelations()
 	scores := make([]float32, n)
+	sp := o.stage("scan").
+		AnnotateInt("relations", n).
+		AnnotateInt("values_scanned", len(s.emb.Values))
 
 	scoreRange := func(lo, hi int) {
 		for rel := lo; rel < hi; rel++ {
@@ -102,7 +126,9 @@ func (s *ExS) searchEncoded(q []float32, k int) ([]Match, error) {
 	} else {
 		scoreRange(0, n)
 	}
+	o.endStage(sp)
 
+	sp = o.stage("rank")
 	scored := make([]vec.Scored, n)
 	for i := range scores {
 		scored[i] = vec.Scored{ID: i, Score: scores[i]}
@@ -118,6 +144,7 @@ func (s *ExS) searchEncoded(q []float32, k int) ([]Match, error) {
 			break
 		}
 	}
+	o.endStage(sp.AnnotateInt("matches", len(out)))
 	return out, nil
 }
 

@@ -80,13 +80,9 @@ func SearchPRF(s Searcher, emb *Embedded, query string, k int, opt PRFOptions) (
 	if len(initial) == 0 {
 		return vs.searchVec(q, k)
 	}
-	relIdx := make(map[string]int, len(emb.RelIDs))
-	for i, id := range emb.RelIDs {
-		relIdx[id] = i
-	}
 	centroid := make([]float32, emb.Enc.Dim())
 	for _, m := range initial {
-		ri, ok := relIdx[m.RelationID]
+		ri, ok := emb.RelIndex(m.RelationID)
 		if !ok {
 			continue
 		}

@@ -22,13 +22,15 @@ func (e *Embedded) AddRelation(r *table.Relation) (int, error) {
 	if err := r.Validate(); err != nil {
 		return 0, err
 	}
-	for _, id := range e.RelIDs {
-		if id == r.ID {
-			return 0, fmt.Errorf("core: relation %q already indexed", r.ID)
-		}
+	if _, dup := e.relIdx[r.ID]; dup {
+		return 0, fmt.Errorf("core: relation %q already indexed", r.ID)
 	}
 	relIdx := len(e.RelIDs)
 	e.RelIDs = append(e.RelIDs, r.ID)
+	if e.relIdx == nil {
+		e.relIdx = make(map[string]int)
+	}
+	e.relIdx[r.ID] = relIdx
 	e.PerRel = append(e.PerRel, nil)
 	e.TotalWeight = append(e.TotalWeight, 0)
 

@@ -65,6 +65,10 @@ func RestoreEmbedded(r io.Reader, enc embed.Encoder) (*Embedded, error) {
 		RelIDs:      img.RelIDs,
 		PerRel:      img.PerRel,
 		TotalWeight: img.TotalWeight,
+		relIdx:      make(map[string]int, len(img.RelIDs)),
+	}
+	for i, id := range img.RelIDs {
+		e.relIdx[id] = i
 	}
 	if len(img.Texts) == len(img.Rels) {
 		e.valueTexts = img.Texts

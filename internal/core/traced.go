@@ -1,0 +1,75 @@
+package core
+
+import (
+	"time"
+
+	"semdisco/internal/obs"
+)
+
+// Metric series names shared by the three searchers. All durations are
+// seconds-valued Prometheus histograms/gauges.
+const (
+	// MetricSearches counts completed searches, labelled by method.
+	MetricSearches = "semdisco_searches_total"
+	// MetricSearchSeconds is end-to-end query latency, labelled by method.
+	MetricSearchSeconds = "semdisco_search_seconds"
+	// MetricStageSeconds is per-stage query latency, labelled by method and
+	// stage ("encode", "scan", "retrieve", "medoid_match", "descent", "rank").
+	MetricStageSeconds = "semdisco_search_stage_seconds"
+	// MetricBuildSeconds is index-build phase wall clock, labelled by phase
+	// ("embed", "umap", "hdbscan", "pq_train", "hnsw_insert").
+	MetricBuildSeconds = "semdisco_index_build_seconds"
+	// MetricClusters is the CTS cluster count.
+	MetricClusters = "semdisco_index_clusters"
+	// MetricValues is the number of indexed value vectors.
+	MetricValues = "semdisco_index_values"
+)
+
+// TracedSearcher is implemented by searchers that can report a per-stage
+// breakdown of one query. ExS, ANNS and CTS implement it; tr may be nil,
+// in which case the call behaves exactly like Search (metrics still
+// recorded, no per-request overhead beyond a few atomic adds).
+type TracedSearcher interface {
+	SearchTraced(query string, k int, tr *obs.Trace) ([]Match, error)
+}
+
+// searchObs accumulates the per-query observability of one method: stage
+// spans feed both the request trace (when present) and the method's stage
+// histograms; finish records the query counter and total latency. All
+// methods are safe when the registry is nil.
+type searchObs struct {
+	reg    *obs.Registry
+	method string
+	tr     *obs.Trace
+	start  time.Time
+}
+
+func startSearch(reg *obs.Registry, method string, tr *obs.Trace) *searchObs {
+	return &searchObs{reg: reg, method: method, tr: tr, start: time.Now()}
+}
+
+// stage begins a named span; pass the returned span to endStage.
+func (o *searchObs) stage(name string) *obs.Span {
+	return o.tr.StartSpan(name)
+}
+
+// endStage completes a span and feeds its duration to the stage histogram.
+func (o *searchObs) endStage(sp *obs.Span) {
+	name := sp.Name()
+	d := sp.End()
+	o.reg.Histogram(obs.L(MetricStageSeconds, "method", o.method, "stage", name)).Observe(d)
+}
+
+// finish records the completed query.
+func (o *searchObs) finish() {
+	o.reg.Counter(obs.L(MetricSearches, "method", o.method)).Inc()
+	o.reg.Histogram(obs.L(MetricSearchSeconds, "method", o.method)).Observe(time.Since(o.start))
+}
+
+// buildPhase runs fn and records its wall clock under the named build
+// phase. Used by the index constructors.
+func buildPhase(reg *obs.Registry, phase string, fn func()) {
+	start := time.Now()
+	fn()
+	reg.Gauge(obs.L(MetricBuildSeconds, "phase", phase)).Add(time.Since(start).Seconds())
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"semdisco/internal/obs"
 	"semdisco/internal/text"
 	"semdisco/internal/vec"
 )
@@ -62,6 +63,32 @@ type Model struct {
 
 	mu    sync.RWMutex
 	cache map[string][]float32 // token -> unit vector
+
+	// Observability hooks, resolved once by SetObserver so the per-token
+	// hot path is a single atomic add. Nil hooks are no-ops.
+	obsHits   *obs.Counter
+	obsMisses *obs.Counter
+	obsSize   *obs.Gauge
+}
+
+// SetObserver wires the encoder's token-cache instrumentation (hits,
+// misses, resident entries) into a metrics registry. A nil registry keeps
+// instrumentation off.
+func (m *Model) SetObserver(reg *obs.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.obsHits = reg.Counter("semdisco_embed_cache_hits_total")
+	m.obsMisses = reg.Counter("semdisco_embed_cache_misses_total")
+	m.obsSize = reg.Gauge("semdisco_embed_cache_size")
+	m.obsSize.Set(float64(len(m.cache)))
+}
+
+// CacheStats reports the token cache's cumulative hits and misses since
+// SetObserver (0, 0 when no observer is attached).
+func (m *Model) CacheStats() (hits, misses int64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.obsHits.Value(), m.obsMisses.Value()
 }
 
 // New constructs a Model from cfg.
@@ -132,13 +159,17 @@ func (m *Model) TokenVec(tok string) []float32 { return m.tokenVec(tok) }
 func (m *Model) tokenVec(tok string) []float32 {
 	m.mu.RLock()
 	v, ok := m.cache[tok]
+	hits := m.obsHits
 	m.mu.RUnlock()
 	if ok {
+		hits.Inc()
 		return v
 	}
 	v = m.computeTokenVec(tok)
 	m.mu.Lock()
 	m.cache[tok] = v
+	m.obsMisses.Inc()
+	m.obsSize.Set(float64(len(m.cache)))
 	m.mu.Unlock()
 	return v
 }

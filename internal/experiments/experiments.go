@@ -60,6 +60,9 @@ type SizedBench struct {
 	Emb       *core.Embedded
 	Model     *embed.Model
 	Searchers map[string]core.Searcher
+	// BuildTime records the wall-clock index-construction cost per method
+	// (embedding time is shared and not included).
+	BuildTime map[string]time.Duration
 	// Qrels is the full judgment set restricted to this partition's
 	// relations; TestQrels the held-out subset of it.
 	Qrels     eval.Qrels
@@ -95,29 +98,43 @@ func (b *Bench) buildSize(size string, skip map[string]bool) (*SizedBench, error
 		Emb:       emb,
 		Model:     model,
 		Searchers: make(map[string]core.Searcher),
+		BuildTime: make(map[string]time.Duration),
 		Qrels:     restrictQrels(c.Qrels, fed),
 		TestQrels: restrictQrels(c.TestQrels, fed),
+	}
+	// build constructs one method's index and records its wall-clock cost.
+	build := func(name string, fn func() (core.Searcher, error)) error {
+		start := time.Now()
+		s, err := fn()
+		if err != nil {
+			return err
+		}
+		sb.Searchers[name] = s
+		sb.BuildTime[name] = time.Since(start)
+		return nil
 	}
 
 	if !skip["ExS"] {
 		// Single-threaded scan: Algorithm 1 as written, so the latency
 		// figures reflect the brute-force cost the paper reports.
 		noParallel := false
-		sb.Searchers["ExS"] = core.NewExS(emb, core.ExSOptions{Parallel: &noParallel})
+		_ = build("ExS", func() (core.Searcher, error) {
+			return core.NewExS(emb, core.ExSOptions{Parallel: &noParallel}), nil
+		})
 	}
 	if !skip["ANNS"] {
-		anns, err := core.NewANNS(emb, core.ANNSOptions{Seed: b.Setup.Seed})
-		if err != nil {
+		if err := build("ANNS", func() (core.Searcher, error) {
+			return core.NewANNS(emb, core.ANNSOptions{Seed: b.Setup.Seed})
+		}); err != nil {
 			return nil, err
 		}
-		sb.Searchers["ANNS"] = anns
 	}
 	if !skip["CTS"] {
-		cts, err := core.NewCTS(emb, core.CTSOptions{Seed: b.Setup.Seed})
-		if err != nil {
+		if err := build("CTS", func() (core.Searcher, error) {
+			return core.NewCTS(emb, core.CTSOptions{Seed: b.Setup.Seed})
+		}); err != nil {
 			return nil, err
 		}
-		sb.Searchers["CTS"] = cts
 	}
 
 	needCtx := false
@@ -133,31 +150,37 @@ func (b *Bench) buildSize(size string, skip map[string]bool) (*SizedBench, error
 			trainQ[q.ID] = q.Text
 		}
 		if !skip["MDR"] {
-			mdr := baselines.NewMDR(ctx, baselines.MDROptions{})
-			if b.Setup.TrainBaselines {
-				mdr.Tune(trainQ, restrictQrels(c.TrainQrels, fed))
-			}
-			sb.Searchers["MDR"] = mdr
+			_ = build("MDR", func() (core.Searcher, error) {
+				mdr := baselines.NewMDR(ctx, baselines.MDROptions{})
+				if b.Setup.TrainBaselines {
+					mdr.Tune(trainQ, restrictQrels(c.TrainQrels, fed))
+				}
+				return mdr, nil
+			})
 		}
 		if !skip["WS"] {
-			ws := baselines.NewWS(ctx)
-			if b.Setup.TrainBaselines {
-				ws.Train(trainQ, restrictQrels(c.TrainQrels, fed))
-			}
-			sb.Searchers["WS"] = ws
+			_ = build("WS", func() (core.Searcher, error) {
+				ws := baselines.NewWS(ctx)
+				if b.Setup.TrainBaselines {
+					ws.Train(trainQ, restrictQrels(c.TrainQrels, fed))
+				}
+				return ws, nil
+			})
 		}
 		if !skip["TCS"] {
-			tcs := baselines.NewTCS(ctx, b.Setup.Seed)
-			if b.Setup.TrainBaselines {
-				tcs.Train(trainQ, restrictQrels(c.TrainQrels, fed))
-			}
-			sb.Searchers["TCS"] = tcs
+			_ = build("TCS", func() (core.Searcher, error) {
+				tcs := baselines.NewTCS(ctx, b.Setup.Seed)
+				if b.Setup.TrainBaselines {
+					tcs.Train(trainQ, restrictQrels(c.TrainQrels, fed))
+				}
+				return tcs, nil
+			})
 		}
 		if !skip["AdH"] {
-			sb.Searchers["AdH"] = baselines.NewAdH(ctx, 0)
+			_ = build("AdH", func() (core.Searcher, error) { return baselines.NewAdH(ctx, 0), nil })
 		}
 		if !skip["TML"] {
-			sb.Searchers["TML"] = baselines.NewTML(ctx, 0)
+			_ = build("TML", func() (core.Searcher, error) { return baselines.NewTML(ctx, 0), nil })
 		}
 	}
 	return sb, nil
@@ -298,8 +321,8 @@ type LatencyCell struct {
 	Method string
 	Size   string
 	Class  corpus.QueryClass
-	// MeanMS and P50MS are over the class's queries.
-	MeanMS, P50MS float64
+	// MeanMS, P50MS and P95MS are over the class's queries.
+	MeanMS, P50MS, P95MS float64
 }
 
 // Latency times one method over all queries of the class on one partition.
@@ -333,9 +356,14 @@ func (b *Bench) Latency(method, size string, class corpus.QueryClass, k int) (La
 		total += ms
 	}
 	sort.Float64s(durations)
+	p95 := len(durations) * 95 / 100
+	if p95 >= len(durations) {
+		p95 = len(durations) - 1
+	}
 	return LatencyCell{
 		Method: method, Size: size, Class: class,
 		MeanMS: total / float64(len(durations)),
 		P50MS:  durations[len(durations)/2],
+		P95MS:  durations[p95],
 	}, nil
 }

@@ -6,44 +6,161 @@
 // Endpoints:
 //
 //	GET  /healthz               liveness
-//	GET  /v1/stats              engine statistics
-//	POST /v1/search             {"query": "...", "k": 10, "sources": ["WHO"]}
+//	GET  /metrics               Prometheus text exposition of engine + HTTP metrics
+//	GET  /v1/stats              engine statistics (counters, latency quantiles, build phases)
+//	POST /v1/search             {"query": "...", "k": 10, "sources": ["WHO"], "trace": true}
 //	POST /v1/datasets           {"query": "...", "k": 5}
 //	POST /v1/relations          a Relation to index incrementally
+//	GET  /debug/pprof/          runtime profiles (only with WithPprof)
+//
+// Every non-2xx response carries an ErrorResponse JSON body, including
+// wrong-method (405) and unknown-route (404) requests. When a logger is
+// attached (WithLogger), each request is logged with method, path, status,
+// duration and — for search requests — query length and k.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync"
+	"time"
 
 	"semdisco"
+	"semdisco/internal/obs"
 )
 
 // Server wraps an Engine with HTTP handlers. Incremental adds are
 // serialized with searches through an RWMutex because Engine.Add must not
 // race with Engine.Search.
 type Server struct {
-	mu  sync.RWMutex
-	eng *semdisco.Engine
-	mux *http.ServeMux
+	mu    sync.RWMutex
+	eng   *semdisco.Engine
+	mux   *http.ServeMux
+	log   *slog.Logger  // nil: request logging off
+	reg   *obs.Registry // engine registry; nil when metrics are disabled
+	start time.Time
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLogger enables structured request logging through l.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.log = l }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/, so a live server
+// can be CPU- and heap-profiled with `go tool pprof`.
+func WithPprof() Option {
+	return func(s *Server) {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // New builds a Server around an engine.
-func New(eng *semdisco.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
-	s.mux.HandleFunc("POST /v1/datasets", s.handleDatasets)
-	s.mux.HandleFunc("POST /v1/relations", s.handleAddRelation)
+func New(eng *semdisco.Engine, opts ...Option) *Server {
+	s := &Server{
+		eng:   eng,
+		mux:   http.NewServeMux(),
+		reg:   eng.MetricsRegistry(),
+		start: time.Now(),
+	}
+	route := func(method, path string, h http.HandlerFunc) {
+		s.mux.HandleFunc(method+" "+path, h)
+		// The method-less fallback catches wrong-method requests, which
+		// would otherwise get the mux's plain-text 405.
+		s.mux.HandleFunc(path, s.methodNotAllowed(method))
+	}
+	route("GET", "/healthz", s.handleHealth)
+	route("GET", "/metrics", s.handleMetrics)
+	route("GET", "/v1/stats", s.handleStats)
+	route("POST", "/v1/search", s.handleSearch)
+	route("POST", "/v1/datasets", s.handleDatasets)
+	route("POST", "/v1/relations", s.handleAddRelation)
+	s.mux.HandleFunc("/", s.handleNotFound)
+	for _, opt := range opts {
+		opt(s)
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// logAttrs is the per-request annotation bag handlers append to (query
+// length, k) so the access log line carries request-specific detail.
+type logAttrs struct {
+	mu    sync.Mutex
+	attrs []slog.Attr
+}
+
+type logAttrsKey struct{}
+
+// annotate attaches request detail to the access log line.
+func annotate(r *http.Request, attrs ...slog.Attr) {
+	bag, ok := r.Context().Value(logAttrsKey{}).(*logAttrs)
+	if !ok {
+		return
+	}
+	bag.mu.Lock()
+	bag.attrs = append(bag.attrs, attrs...)
+	bag.mu.Unlock()
+}
+
+// statusWriter captures the response status for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler: metrics + logging middleware around
+// the mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	bag := &logAttrs{}
+	r = r.WithContext(context.WithValue(r.Context(), logAttrsKey{}, bag))
+
+	s.mux.ServeHTTP(sw, r)
+
+	elapsed := time.Since(start)
+	_, pattern := s.mux.Handler(r)
+	if pattern == "" {
+		pattern = "unmatched"
+	}
+	s.reg.Counter(obs.L("semdisco_http_requests_total",
+		"path", pattern, "code", strconv.Itoa(sw.status))).Inc()
+	s.reg.Histogram(obs.L("semdisco_http_request_seconds", "path", pattern)).Observe(elapsed)
+
+	if s.log != nil {
+		attrs := []slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", elapsed),
+		}
+		bag.mu.Lock()
+		attrs = append(attrs, bag.attrs...)
+		bag.mu.Unlock()
+		level := slog.LevelInfo
+		if sw.status >= 500 {
+			level = slog.LevelError
+		} else if sw.status >= 400 {
+			level = slog.LevelWarn
+		}
+		s.log.LogAttrs(r.Context(), level, "request", attrs...)
+	}
 }
 
 // SearchRequest is the body of /v1/search and /v1/datasets.
@@ -52,11 +169,23 @@ type SearchRequest struct {
 	K     int    `json:"k"`
 	// Sources optionally restricts the search to federation members.
 	Sources []string `json:"sources,omitempty"`
+	// Trace asks for the per-stage breakdown of this query in the
+	// response. Ignored when Sources is set (filtered searches are not
+	// traced).
+	Trace bool `json:"trace,omitempty"`
+}
+
+// TraceJSON is the per-request stage breakdown returned when the search
+// request set "trace": true.
+type TraceJSON struct {
+	TotalMS float64               `json:"total_ms"`
+	Stages  []semdisco.TraceStage `json:"stages"`
 }
 
 // SearchResponse is the body returned by /v1/search.
 type SearchResponse struct {
 	Matches []MatchJSON `json:"matches"`
+	Trace   *TraceJSON  `json:"trace,omitempty"`
 }
 
 // MatchJSON is one relation match.
@@ -77,10 +206,11 @@ type DatasetsResponse struct {
 	Datasets []DatasetJSON `json:"datasets"`
 }
 
-// StatsResponse is the body returned by /v1/stats.
+// StatsResponse is the body returned by /v1/stats: the engine's full
+// observability snapshot plus server uptime.
 type StatsResponse struct {
-	Method    string `json:"method"`
-	NumValues int    `json:"num_values"`
+	semdisco.EngineStats
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // ErrorResponse is returned with every non-2xx status.
@@ -92,12 +222,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.reg.WritePrometheus(w)
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Method:    s.eng.Method().String(),
-		NumValues: s.eng.NumValues(),
+		EngineStats:   s.eng.Stats(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
 	})
 }
 
@@ -110,11 +246,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.RUnlock()
 	var (
 		matches []semdisco.Match
+		stages  []semdisco.TraceStage
 		err     error
 	)
-	if len(req.Sources) > 0 {
+	switch {
+	case len(req.Sources) > 0:
 		matches, err = s.eng.SearchSources(req.Query, req.K, req.Sources...)
-	} else {
+	case req.Trace:
+		matches, stages, err = s.eng.SearchTraced(req.Query, req.K)
+	default:
 		matches, err = s.eng.Search(req.Query, req.K)
 	}
 	if err != nil {
@@ -124,6 +264,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	resp := SearchResponse{Matches: make([]MatchJSON, len(matches))}
 	for i, m := range matches {
 		resp.Matches[i] = MatchJSON{RelationID: m.RelationID, Score: m.Score}
+	}
+	if stages != nil {
+		t := &TraceJSON{Stages: stages}
+		for _, st := range stages {
+			t.TotalMS += st.DurationMS
+		}
+		resp.Trace = t
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -168,6 +315,7 @@ func (s *Server) handleAddRelation(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{fmt.Sprintf("bad body: %v", err)})
 		return
 	}
+	annotate(r, slog.String("relation", rel.ID))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	err := s.eng.Add(&semdisco.Relation{
@@ -186,6 +334,18 @@ func (s *Server) handleAddRelation(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, map[string]string{"status": "indexed", "id": rel.ID})
 }
 
+func (s *Server) methodNotAllowed(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeJSON(w, http.StatusMethodNotAllowed,
+			ErrorResponse{fmt.Sprintf("method %s not allowed; use %s", r.Method, allow)})
+	}
+}
+
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusNotFound, ErrorResponse{fmt.Sprintf("no such route %s", r.URL.Path)})
+}
+
 func decodeSearch(w http.ResponseWriter, r *http.Request) (SearchRequest, bool) {
 	var req SearchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -202,6 +362,7 @@ func decodeSearch(w http.ResponseWriter, r *http.Request) (SearchRequest, bool) 
 	if req.K > 1000 {
 		req.K = 1000
 	}
+	annotate(r, slog.Int("query_len", len(req.Query)), slog.Int("k", req.K))
 	return req, true
 }
 

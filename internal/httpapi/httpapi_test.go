@@ -160,3 +160,133 @@ func TestAddRelationEndpoint(t *testing.T) {
 		t.Fatalf("bad body add=%d", rec.Code)
 	}
 }
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	// Run a search first so the search metrics exist.
+	rec, body := do(t, srv, "POST", "/v1/search", `{"query":"COVID","k":1}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search=%d %s", rec.Code, body)
+	}
+	rec, body = do(t, srv, "GET", "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics=%d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type=%q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`semdisco_searches_total{method="ANNS"} 1`,
+		`semdisco_search_seconds_bucket{method="ANNS",le="+Inf"} 1`,
+		`semdisco_search_stage_seconds_count{method="ANNS",stage="encode"} 1`,
+		"semdisco_embed_cache_hits_total",
+		"semdisco_index_inserts_total",
+		`semdisco_index_build_seconds{phase="hnsw_insert"}`,
+		`semdisco_http_requests_total{path="POST /v1/search",code="200"} 1`,
+		"# TYPE semdisco_search_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+func TestTracedSearch(t *testing.T) {
+	srv := testServer(t)
+	rec, body := do(t, srv, "POST", "/v1/search", `{"query":"COVID","k":1,"trace":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search=%d %s", rec.Code, body)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Matches) == 0 {
+		t.Fatal("no matches")
+	}
+	if resp.Trace == nil {
+		t.Fatal("trace requested but absent")
+	}
+	names := make(map[string]bool)
+	for _, st := range resp.Trace.Stages {
+		names[st.Name] = true
+	}
+	for _, want := range []string{"encode", "retrieve", "rank"} {
+		if !names[want] {
+			t.Errorf("trace missing stage %q (got %v)", want, resp.Trace.Stages)
+		}
+	}
+	// Untraced search carries no trace.
+	rec, body = do(t, srv, "POST", "/v1/search", `{"query":"COVID","k":1}`)
+	resp = SearchResponse{}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace != nil {
+		t.Fatalf("unexpected trace: %+v", resp.Trace)
+	}
+}
+
+func TestStatsObservability(t *testing.T) {
+	srv := testServer(t)
+	for i := 0; i < 3; i++ {
+		do(t, srv, "POST", "/v1/search", `{"query":"COVID","k":1}`)
+	}
+	rec, body := do(t, srv, "GET", "/v1/stats", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats=%d", rec.Code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Searches["ANNS"]; got != 3 {
+		t.Fatalf("searches=%d want 3", got)
+	}
+	lat, ok := stats.SearchLatency["ANNS"]
+	if !ok || lat.Count != 3 || lat.P95MS <= 0 {
+		t.Fatalf("latency=%+v", stats.SearchLatency)
+	}
+	if stats.CacheHits+stats.CacheMisses == 0 {
+		t.Fatal("cache counters empty")
+	}
+	if stats.BuildSeconds["embed"] <= 0 {
+		t.Fatalf("build_seconds=%v", stats.BuildSeconds)
+	}
+	if stats.UptimeSeconds <= 0 {
+		t.Fatal("uptime missing")
+	}
+}
+
+func TestErrorBodies(t *testing.T) {
+	srv := testServer(t)
+	// Wrong method returns a JSON 405 with an Allow header.
+	rec, body := do(t, srv, "GET", "/v1/search", "")
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("code=%d", rec.Code)
+	}
+	if allow := rec.Header().Get("Allow"); allow != "POST" {
+		t.Fatalf("allow=%q", allow)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("405 body %q not a JSON error: %v", body, err)
+	}
+	// Unknown route returns a JSON 404.
+	rec, body = do(t, srv, "GET", "/nope", "")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("code=%d", rec.Code)
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("404 body %q not a JSON error: %v", body, err)
+	}
+	// Malformed body returns a JSON 400.
+	rec, body = do(t, srv, "POST", "/v1/search", "{")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("code=%d", rec.Code)
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("400 body %q not a JSON error: %v", body, err)
+	}
+}

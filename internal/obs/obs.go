@@ -1,0 +1,428 @@
+// Package obs is the observability substrate of the engine: atomic
+// counters, gauges and lock-cheap latency histograms behind a named
+// registry, plus a Span/Trace API for per-request stage breakdowns.
+//
+// Everything is pure stdlib and nil-safe: a nil *Registry hands out nil
+// metrics whose methods are no-ops, and a nil *Trace produces spans that
+// time but record nothing — so instrumented code never branches on whether
+// observability is enabled.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; 0 on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically settable float64.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(floatBits(v))
+}
+
+// Add atomically adds d to the gauge. No-op on a nil receiver.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, floatBits(bitsFloat(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value; 0 on a nil receiver.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return bitsFloat(g.bits.Load())
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
+
+// numBuckets covers 1µs .. ~67s in powers of two, plus a +Inf overflow
+// bucket; bucket i holds observations ≤ 2^i microseconds.
+const numBuckets = 28
+
+// Histogram is a fixed-bucket exponential latency histogram. Observe is a
+// few atomic adds — cheap enough to leave on for every query in production.
+type Histogram struct {
+	count    atomic.Int64
+	sumNanos atomic.Int64
+	buckets  [numBuckets]atomic.Int64
+}
+
+// bucketBound returns the inclusive upper bound of bucket i in seconds;
+// the last bucket is unbounded.
+func bucketBound(i int) float64 {
+	return float64(uint64(1)<<uint(i)) * 1e-6
+}
+
+// Observe records one duration. No-op on a nil receiver.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	us := uint64(d.Microseconds())
+	idx := 0
+	if us > 1 {
+		idx = bits.Len64(us - 1)
+	}
+	if idx >= numBuckets {
+		idx = numBuckets - 1
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Count   int64
+	Sum     time.Duration
+	Buckets [numBuckets]int64
+}
+
+// Snapshot copies the histogram's current state. The copy is not atomic
+// across buckets, which is fine for monitoring: each bucket is internally
+// consistent and the drift is at most the observations racing the read.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sumNanos.Load())
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) by linear interpolation
+// inside the bucket containing the target rank. Returns 0 when empty.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, b := range s.Buckets {
+		if b == 0 {
+			continue
+		}
+		next := cum + float64(b)
+		if next >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = bucketBound(i - 1)
+			}
+			hi := bucketBound(i)
+			if i == numBuckets-1 {
+				hi = lo // unbounded overflow bucket: report its lower edge
+			}
+			frac := (rank - cum) / float64(b)
+			return time.Duration((lo + (hi-lo)*frac) * float64(time.Second))
+		}
+		cum = next
+	}
+	return time.Duration(bucketBound(numBuckets-2) * float64(time.Second))
+}
+
+// Registry is a concurrency-safe set of named metrics. Series names may
+// carry inline Prometheus-style labels (see L); the full string is the key.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// L formats a series name with label pairs:
+// L("searches_total", "method", "CTS") → `searches_total{method="CTS"}`.
+// Pairs must come key,value; a trailing odd key is ignored.
+func L(name string, pairs ...string) string {
+	if len(pairs) < 2 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(pairs[i+1])
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParseName splits a series name into its base name and label map.
+// Labels produced by L round-trip; malformed labels come back empty.
+func ParseName(series string) (base string, labels map[string]string) {
+	open := strings.IndexByte(series, '{')
+	if open < 0 || !strings.HasSuffix(series, "}") {
+		return series, nil
+	}
+	base = series[:open]
+	labels = make(map[string]string)
+	for _, part := range strings.Split(series[open+1:len(series)-1], ",") {
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			continue
+		}
+		v := part[eq+1:]
+		v = strings.TrimPrefix(v, `"`)
+		v = strings.TrimSuffix(v, `"`)
+		labels[part[:eq]] = v
+	}
+	return base, labels
+}
+
+// Counter returns (creating if needed) the named counter; nil on a nil
+// registry.
+func (r *Registry) Counter(series string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.counters[series]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[series]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[series] = c
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge; nil on a nil
+// registry.
+func (r *Registry) Gauge(series string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[series]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[series]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[series] = g
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram; nil on a nil
+// registry.
+func (r *Registry) Histogram(series string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.histograms[series]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[series]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.histograms[series] = h
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]HistSnapshot
+}
+
+// Snapshot copies every metric. Safe on a nil registry (empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), sorted by series name for stable output.
+// Histograms render cumulative buckets with seconds-valued le bounds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "# metrics disabled\n")
+		return err
+	}
+	snap := r.Snapshot()
+	var b strings.Builder
+
+	emitTyped := func(names []string, typ string, line func(series string)) {
+		sort.Strings(names)
+		lastBase := ""
+		for _, series := range names {
+			base, _ := ParseName(series)
+			if base != lastBase {
+				fmt.Fprintf(&b, "# TYPE %s %s\n", base, typ)
+				lastBase = base
+			}
+			line(series)
+		}
+	}
+
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	emitTyped(names, "counter", func(series string) {
+		fmt.Fprintf(&b, "%s %d\n", series, snap.Counters[series])
+	})
+
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	emitTyped(names, "gauge", func(series string) {
+		fmt.Fprintf(&b, "%s %s\n", series, formatFloat(snap.Gauges[series]))
+	})
+
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	emitTyped(names, "histogram", func(series string) {
+		base, _ := ParseName(series)
+		inner := labelInner(series)
+		suffix := ""
+		if inner != "" {
+			suffix = "{" + strings.TrimSuffix(inner, ",") + "}"
+		}
+		h := snap.Histograms[series]
+		var cum int64
+		for i := 0; i < numBuckets; i++ {
+			cum += h.Buckets[i]
+			le := "+Inf"
+			if i < numBuckets-1 {
+				le = formatFloat(bucketBound(i))
+			}
+			fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d\n", base, inner, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_sum%s %s\n", base, suffix, formatFloat(h.Sum.Seconds()))
+		fmt.Fprintf(&b, "%s_count%s %d\n", base, suffix, h.Count)
+	})
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// labelInner returns the inner label string of a series with a trailing
+// comma ("method=\"CTS\",") or "" when the series has no labels.
+func labelInner(series string) string {
+	open := strings.IndexByte(series, '{')
+	if open < 0 || !strings.HasSuffix(series, "}") {
+		return ""
+	}
+	inner := series[open+1 : len(series)-1]
+	if inner == "" {
+		return ""
+	}
+	return inner + ","
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Stage is one completed, named step of a traced request.
+type Stage struct {
+	// Name identifies the step ("encode", "medoid_match", "descent", …).
+	Name string
+	// Duration is the step's wall-clock time.
+	Duration time.Duration
+	// Annotations carries key/value detail recorded while the stage ran
+	// (vectors scanned, clusters selected, cache hits). Nil when none.
+	Annotations map[string]string
+}
+
+// Trace collects the stage breakdown of one request. A nil *Trace is the
+// off switch: StartSpan still times (so metrics stay correct) but nothing
+// is retained, making per-request tracing free unless a caller opts in.
+type Trace struct {
+	mu     sync.Mutex
+	stages []Stage
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// StartSpan begins timing a named stage. Valid on a nil receiver.
+func (t *Trace) StartSpan(name string) *Span {
+	return &Span{tr: t, name: name, start: time.Now()}
+}
+
+func (t *Trace) add(s Stage) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.stages = append(t.stages, s)
+	t.mu.Unlock()
+}
+
+// Stages returns a copy of the recorded stages in completion order.
+func (t *Trace) Stages() []Stage {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Stage, len(t.stages))
+	copy(out, t.stages)
+	return out
+}
+
+// Total sums the recorded stage durations.
+func (t *Trace) Total() time.Duration {
+	var sum time.Duration
+	for _, s := range t.Stages() {
+		sum += s.Duration
+	}
+	return sum
+}
+
+// Span is one in-flight stage. It always measures time — End reports the
+// duration even when the parent trace is nil — but annotations and the
+// recorded stage are dropped unless a trace is attached.
+type Span struct {
+	tr          *Trace
+	name        string
+	start       time.Time
+	annotations map[string]string
+}
+
+// Name returns the span's stage name; "" on a nil span.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Annotate attaches a key/value detail to the span. No-op on a nil span or
+// when the parent trace is nil. Returns the span for chaining.
+func (s *Span) Annotate(key, value string) *Span {
+	if s == nil || s.tr == nil {
+		return s
+	}
+	if s.annotations == nil {
+		s.annotations = make(map[string]string)
+	}
+	s.annotations[key] = value
+	return s
+}
+
+// AnnotateInt is Annotate for integer values.
+func (s *Span) AnnotateInt(key string, v int) *Span {
+	if s == nil || s.tr == nil {
+		return s
+	}
+	return s.Annotate(key, strconv.Itoa(v))
+}
+
+// End finishes the span, records it on the trace (if any) and returns the
+// measured duration. A nil span returns 0.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	if s.tr != nil {
+		s.tr.add(Stage{Name: s.name, Duration: d, Annotations: s.annotations})
+	}
+	return d
+}

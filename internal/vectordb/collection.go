@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"semdisco/internal/hnsw"
+	"semdisco/internal/obs"
 	"semdisco/internal/pq"
 	"semdisco/internal/vec"
 )
@@ -111,6 +113,21 @@ type Collection struct {
 	quantizer *pq.Quantizer
 	sdc       *pq.SDC
 	nextID    uint64
+
+	// Observability hooks, resolved once by SetObserver so the insert path
+	// never does a registry lookup. Nil hooks are no-ops.
+	obsInserts *obs.Counter
+	obsPQTrain *obs.Gauge
+}
+
+// SetObserver wires the collection's build instrumentation into a metrics
+// registry: insert counts and Product-Quantization training time. A nil
+// registry (or never calling SetObserver) keeps instrumentation off.
+func (c *Collection) SetObserver(reg *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.obsInserts = reg.Counter("semdisco_index_inserts_total")
+	c.obsPQTrain = reg.Gauge(obs.L("semdisco_index_build_seconds", "phase", "pq_train"))
 }
 
 func newCollection(cfg CollectionConfig) (*Collection, error) {
@@ -199,16 +216,19 @@ func (c *Collection) Insert(vector []float32, payload map[string]string) (uint64
 	}
 	slot := c.index.Add()
 	c.byID[id] = slot
+	c.obsInserts.Inc()
 	return id, nil
 }
 
 // trainPQLocked trains the quantizer on the buffered raw vectors, encodes
 // them, and drops raw storage. Caller holds the write lock.
 func (c *Collection) trainPQLocked() error {
+	start := time.Now()
 	q, err := pq.Train(c.vectors, pq.Config{M: c.cfg.PQ.M, K: c.cfg.PQ.K, Seed: c.cfg.Seed})
 	if err != nil {
 		return fmt.Errorf("vectordb: PQ training: %w", err)
 	}
+	c.obsPQTrain.Add(time.Since(start).Seconds())
 	c.quantizer = q
 	c.sdc = q.SDCTables()
 	c.codes = make([][]byte, len(c.vectors))

@@ -25,9 +25,11 @@ package semdisco
 
 import (
 	"fmt"
+	"time"
 
 	"semdisco/internal/core"
 	"semdisco/internal/embed"
+	"semdisco/internal/obs"
 	"semdisco/internal/text"
 )
 
@@ -83,6 +85,11 @@ type Config struct {
 	IDF func(token string) float64
 	// Threshold is the paper's h: matches scoring below it are dropped.
 	Threshold float32
+	// DisableMetrics turns off the engine's always-on observability
+	// (atomic counters and latency histograms, see Engine.Stats and
+	// Engine.MetricsRegistry). The default keeps metrics on: the cost is a
+	// few atomic adds per query, cheap enough for production.
+	DisableMetrics bool
 
 	// ExS tuning.
 	ExS ExSOptions
@@ -99,6 +106,7 @@ type Engine struct {
 	model     *embed.Model
 	emb       *core.Embedded
 	searcher  core.Searcher
+	obs       *obs.Registry     // nil when Config.DisableMetrics
 	stats     *text.CorpusStats // nil when Config.IDF was supplied
 	relSource map[string]string // relation ID -> source (dataset)
 }
@@ -122,7 +130,15 @@ func Open(fed *Federation, cfg Config) (*Engine, error) {
 		Lexicon: cfg.Lexicon,
 		IDF:     idf,
 	})
+	var reg *obs.Registry
+	if !cfg.DisableMetrics {
+		reg = obs.NewRegistry()
+	}
+	model.SetObserver(reg)
+	embedStart := time.Now()
 	emb := core.EmbedFederation(fed, model)
+	reg.Gauge(obs.L(core.MetricBuildSeconds, "phase", "embed")).Set(time.Since(embedStart).Seconds())
+	emb.Obs = reg
 
 	s, err := buildSearcher(cfg, emb)
 	if err != nil {
@@ -132,7 +148,7 @@ func Open(fed *Federation, cfg Config) (*Engine, error) {
 	for _, r := range fed.Relations() {
 		relSource[r.ID] = r.Source
 	}
-	return &Engine{cfg: cfg, model: model, emb: emb, searcher: s,
+	return &Engine{cfg: cfg, model: model, emb: emb, searcher: s, obs: reg,
 		stats: stats, relSource: relSource}, nil
 }
 
@@ -189,6 +205,9 @@ func (e *Engine) Method() Method { return e.cfg.Method }
 
 // NumValues reports how many distinct attribute values are indexed.
 func (e *Engine) NumValues() int { return e.emb.NumValues() }
+
+// NumRelations reports how many relations are indexed.
+func (e *Engine) NumRelations() int { return e.emb.NumRelations() }
 
 // Embed exposes the engine's encoder: the unit-norm embedding of any text,
 // in the same space the index lives in. Useful for building custom
