@@ -1,6 +1,7 @@
 GO ?= go
+CORPUS ?= wikitables
 
-.PHONY: build vet test race check
+.PHONY: build vet test race check bench-json
 
 build:
 	$(GO) build ./...
@@ -17,3 +18,10 @@ race:
 	$(GO) test -race ./...
 
 check: vet race
+
+# Machine-readable benchmark report (build time, latency quantiles,
+# MAP/NDCG) for the selected corpus profile, written to BENCH_$(CORPUS).json
+# at the repo root and echoed to stdout. Scaled down and untrained to keep
+# the run short; raise -scale for paper-grade numbers.
+bench-json:
+	$(GO) run ./cmd/semdisco-bench -corpus $(CORPUS) -scale 0.15 -dim 192 -train=false -json BENCH_$(CORPUS).json

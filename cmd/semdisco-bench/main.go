@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -154,7 +155,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			os.Exit(1)
 		}
-		out := os.Stdout
+		var out io.Writer = os.Stdout
 		if *jsonOut != "-" {
 			f, err := os.Create(*jsonOut)
 			if err != nil {
@@ -162,7 +163,8 @@ func main() {
 				os.Exit(1)
 			}
 			defer f.Close()
-			out = f
+			// Tee to stdout so CI logs carry the report the file records.
+			out = io.MultiWriter(f, os.Stdout)
 		}
 		if err := report.WriteJSON(out); err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)

@@ -14,6 +14,13 @@
 // default, -log-format json for machine ingestion), engine and HTTP
 // metrics are served at /metrics in Prometheus text format, and -pprof
 // mounts the runtime profiler at /debug/pprof/.
+//
+// Diagnostics: /v1/debug/slow serves the slow-query log
+// (-slowlog-threshold sets the retention floor), /v1/debug/journal the
+// sampled exemplar traces (-trace-sample picks 1 in M queries),
+// /v1/debug/index the index-health report, and /v1/debug/recall an
+// on-demand recall probe; -recall-probe-interval probes periodically and
+// exports semdisco_recall_at_k on /metrics.
 package main
 
 import (
@@ -38,6 +45,13 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed")
 		logFormat   = flag.String("log-format", "text", "log output format: text or json")
 		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/")
+
+		slowThreshold = flag.Duration("slowlog-threshold", 0,
+			"retain only queries at least this slow in /v1/debug/slow (0 retains all)")
+		traceSample = flag.Int("trace-sample", 0,
+			"journal the full trace of 1 in every M queries (0 disables sampling)")
+		probeInterval = flag.Duration("recall-probe-interval", 0,
+			"probe recall@10 against an exhaustive scan this often (0 disables)")
 	)
 	flag.Parse()
 	if *dir == "" && *loadPath == "" {
@@ -101,14 +115,32 @@ func main() {
 			"duration", time.Since(start).Round(time.Millisecond))
 	}
 
+	if *slowThreshold > 0 || *traceSample > 0 {
+		// Re-arm diagnostics with the flag-driven settings; this also covers
+		// the -load path, where the engine's config is not ours to set.
+		eng.ConfigureDiagnostics(semdisco.DiagnosticsConfig{
+			SlowLogThreshold: *slowThreshold,
+			TraceSampleEvery: *traceSample,
+		})
+		logger.Info("diagnostics configured",
+			"slowlog_threshold", *slowThreshold, "trace_sample", *traceSample)
+	}
+
 	opts := []httpapi.Option{httpapi.WithLogger(logger)}
 	if *enablePprof {
 		opts = append(opts, httpapi.WithPprof())
 		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
+	api := httpapi.New(eng, opts...)
+	if *probeInterval > 0 {
+		done := make(chan struct{})
+		defer close(done)
+		api.StartRecallProbe(done, *probeInterval, 10)
+		logger.Info("recall probe scheduled", "interval", *probeInterval, "k", 10)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(eng, opts...),
+		Handler:           api,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	logger.Info("serving", "addr", *addr, "method", eng.Method().String())

@@ -212,5 +212,6 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		p.RelSource = make(map[string]string)
 	}
 	return &Engine{cfg: cfg, model: model, emb: emb, searcher: s, obs: reg,
+		diag:  newDiagnostics(DiagnosticsConfig{}, reg),
 		stats: p.Stats, relSource: p.RelSource}, nil
 }

@@ -81,6 +81,38 @@ func main() {
 	for phase, sec := range st.BuildSeconds {
 		fmt.Printf("  %-12s %.1fms\n", phase, sec*1000)
 	}
+
+	// Diagnostics are on by default: every query above fed the slow-query
+	// log, slowest first, each with its full stage trace.
+	fmt.Println("\nslowest queries:")
+	for _, sq := range eng.SlowQueries(3) {
+		fmt.Printf("  %-28q %8.3fms  %d stages, %d matches\n",
+			sq.Query, sq.DurationMS, len(sq.Stages), sq.Matches)
+	}
+
+	// IndexHealth introspects the built index: for CTS, per-cluster HNSW
+	// graph reachability plus cluster balance and medoid drift.
+	h := eng.IndexHealth()
+	fmt.Printf("\nindex health (%s, %d values):\n", h.Method, h.Values)
+	if h.Graphs != nil {
+		fmt.Printf("  graphs: %d (%d nodes, %d edges), reachable min=%.2f mean=%.2f\n",
+			h.Graphs.Graphs, h.Graphs.Nodes, h.Graphs.Edges,
+			h.Graphs.MinReachable, h.Graphs.MeanReachable)
+	}
+	if h.Clusters != nil {
+		fmt.Printf("  clusters: %d, sizes %d..%d (cv=%.2f), medoid drift mean=%.4f max=%.4f\n",
+			h.Clusters.Clusters, h.Clusters.MinSize, h.Clusters.MaxSize,
+			h.Clusters.SizeCV, h.Clusters.MeanMedoidDrift, h.Clusters.MaxMedoidDrift)
+	}
+
+	// The recall probe replays recent real queries through both this index
+	// and an exhaustive scan, measuring how much the approximation loses.
+	res, err := eng.RecallProbe(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecall probe: recall@%d=%.3f over %d queries (source: %s)\n",
+		res.K, res.Recall, res.Probed, res.Source)
 }
 
 func must(err error) {

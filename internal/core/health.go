@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math"
+
+	"semdisco/internal/hnsw"
+	"semdisco/internal/pq"
+	"semdisco/internal/vec"
+)
+
+// healthSampleCap bounds the PQ distortion probe: reconstruction error is
+// measured over a stride sample of stored vectors, not the full corpus.
+const healthSampleCap = 256
+
+// GraphHealth mirrors hnsw.GraphStats for a single HNSW graph.
+type GraphHealth struct {
+	Nodes             int               `json:"nodes"`
+	MaxLevel          int               `json:"max_level"`
+	Layers            []hnsw.LayerStats `json:"layers,omitempty"`
+	ReachableFraction float64           `json:"reachable_fraction"`
+}
+
+// GraphAggregate summarizes many per-cluster HNSW graphs (CTS) without
+// dumping every layer of every cluster.
+type GraphAggregate struct {
+	Graphs        int     `json:"graphs"`
+	Nodes         int     `json:"nodes"`
+	Edges         int     `json:"edges"`
+	MinReachable  float64 `json:"min_reachable_fraction"`
+	MeanReachable float64 `json:"mean_reachable_fraction"`
+}
+
+// PQHealth reports quantizer shape and sampled reconstruction distortion.
+type PQHealth struct {
+	Trained    bool          `json:"trained"`
+	M          int           `json:"m,omitempty"`
+	K          int           `json:"k,omitempty"`
+	Distortion pq.Distortion `json:"distortion"`
+}
+
+// ClusterHealth reports CTS cluster balance and medoid drift. SizeCV is
+// the coefficient of variation of cluster sizes (stddev/mean): near 0 is
+// balanced, large values mean a few mega-clusters dominate query cost.
+// MedoidDrift is 1 - cosine(medoid, current cluster centroid); it grows as
+// incremental adds pull a cluster's mass away from the medoid chosen at
+// build time — the signal that a re-clustering rebuild is due.
+type ClusterHealth struct {
+	Clusters        int     `json:"clusters"`
+	MinSize         int     `json:"min_size"`
+	MaxSize         int     `json:"max_size"`
+	MeanSize        float64 `json:"mean_size"`
+	SizeCV          float64 `json:"size_cv"`
+	MeanMedoidDrift float64 `json:"mean_medoid_drift"`
+	MaxMedoidDrift  float64 `json:"max_medoid_drift"`
+}
+
+// IndexHealth is the self-diagnosis of one built index. Which sections are
+// populated depends on the method: ExS has none (no index), ANNS has Graph
+// and PQ, CTS has Graphs and Clusters.
+type IndexHealth struct {
+	Method   string          `json:"method"`
+	Values   int             `json:"values"`
+	Graph    *GraphHealth    `json:"graph,omitempty"`
+	Graphs   *GraphAggregate `json:"graphs,omitempty"`
+	PQ       *PQHealth       `json:"pq,omitempty"`
+	Clusters *ClusterHealth  `json:"clusters,omitempty"`
+}
+
+// HealthReporter is implemented by searchers that can introspect their
+// index structures. All three methods implement it. IndexHealth walks the
+// index (O(nodes+edges) per graph plus a bounded distortion sample); call
+// it at diagnostic cadence, not per query. Must not race with AddRelation.
+type HealthReporter interface {
+	IndexHealth() IndexHealth
+}
+
+func graphHealth(gs hnsw.GraphStats) *GraphHealth {
+	return &GraphHealth{
+		Nodes:             gs.Nodes,
+		MaxLevel:          gs.MaxLevel,
+		Layers:            gs.Layers,
+		ReachableFraction: gs.ReachableFraction,
+	}
+}
+
+// IndexHealth implements HealthReporter: ExS keeps no index, so only the
+// corpus shape is reported.
+func (s *ExS) IndexHealth() IndexHealth {
+	return IndexHealth{Method: s.Name(), Values: s.emb.NumValues()}
+}
+
+// IndexHealth implements HealthReporter: HNSW graph structure plus PQ
+// distortion sampled over the stored value vectors.
+func (s *ANNS) IndexHealth() IndexHealth {
+	h := IndexHealth{
+		Method: s.Name(),
+		Values: s.emb.NumValues(),
+		Graph:  graphHealth(s.coll.GraphStats()),
+	}
+	if q := s.coll.Quantizer(); q != nil {
+		// Reconstruction error against the unit-normalized originals the
+		// collection indexed (embeddings are already unit vectors).
+		sample := sampleVectors(s.emb, healthSampleCap)
+		h.PQ = &PQHealth{Trained: true, M: q.CodeLen(), K: q.K(), Distortion: q.Distortion(sample)}
+	} else {
+		h.PQ = &PQHealth{Trained: false}
+	}
+	return h
+}
+
+// IndexHealth implements HealthReporter: cluster size balance, medoid
+// drift, and the per-cluster graphs aggregated.
+func (s *CTS) IndexHealth() IndexHealth {
+	h := IndexHealth{Method: s.Name(), Values: s.emb.NumValues()}
+	nc := len(s.clusterColl)
+	if nc == 0 {
+		return h
+	}
+
+	agg := &GraphAggregate{Graphs: nc, MinReachable: math.MaxFloat64}
+	var reachSum float64
+	for _, coll := range s.clusterColl {
+		gs := coll.GraphStats()
+		agg.Nodes += gs.Nodes
+		for _, l := range gs.Layers {
+			agg.Edges += l.Edges
+		}
+		reachSum += gs.ReachableFraction
+		if gs.ReachableFraction < agg.MinReachable {
+			agg.MinReachable = gs.ReachableFraction
+		}
+	}
+	agg.MeanReachable = reachSum / float64(nc)
+	h.Graphs = agg
+
+	// Cluster sizes and fresh centroids in the original embedding space.
+	dim := s.emb.Enc.Dim()
+	sizes := make([]int, nc)
+	centroids := make([][]float32, nc)
+	for c := range centroids {
+		centroids[c] = make([]float32, dim)
+	}
+	for i := range s.emb.Values {
+		c := s.clusterOf[i]
+		if c < 0 || c >= nc {
+			continue
+		}
+		sizes[c]++
+		vec.Add(centroids[c], s.emb.Values[i].Vec)
+	}
+
+	ch := &ClusterHealth{Clusters: nc, MinSize: math.MaxInt}
+	var sizeSum float64
+	for _, n := range sizes {
+		sizeSum += float64(n)
+		if n < ch.MinSize {
+			ch.MinSize = n
+		}
+		if n > ch.MaxSize {
+			ch.MaxSize = n
+		}
+	}
+	ch.MeanSize = sizeSum / float64(nc)
+	var varSum float64
+	for _, n := range sizes {
+		d := float64(n) - ch.MeanSize
+		varSum += d * d
+	}
+	if ch.MeanSize > 0 {
+		ch.SizeCV = math.Sqrt(varSum/float64(nc)) / ch.MeanSize
+	}
+
+	var driftSum float64
+	drifted := 0
+	for c := range centroids {
+		if sizes[c] == 0 {
+			continue
+		}
+		vec.Normalize(centroids[c])
+		drift := 1 - float64(vec.Dot(s.medoidVecs[c], centroids[c]))
+		if drift < 0 {
+			drift = 0 // float noise around exactly-aligned vectors
+		}
+		driftSum += drift
+		drifted++
+		if drift > ch.MaxMedoidDrift {
+			ch.MaxMedoidDrift = drift
+		}
+	}
+	if drifted > 0 {
+		ch.MeanMedoidDrift = driftSum / float64(drifted)
+	}
+	h.Clusters = ch
+	return h
+}
+
+// sampleVectors returns a stride sample of up to cap stored value vectors.
+func sampleVectors(emb *Embedded, cap int) [][]float32 {
+	idx := strideSample(len(emb.Values), cap)
+	out := make([][]float32, len(idx))
+	for i, gi := range idx {
+		out[i] = emb.Values[gi].Vec
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestIndexHealthAllMethods(t *testing.T) {
+	fed, model := covidFederation(t)
+	emb := EmbedFederation(fed, model)
+	for _, s := range searcherSet(t, emb) {
+		hr, ok := s.(HealthReporter)
+		if !ok {
+			t.Fatalf("%s does not implement HealthReporter", s.Name())
+		}
+		h := hr.IndexHealth()
+		if h.Method != s.Name() || h.Values != emb.NumValues() {
+			t.Fatalf("%s health=%+v", s.Name(), h)
+		}
+		switch s.Name() {
+		case "ExS":
+			if h.Graph != nil || h.Graphs != nil || h.PQ != nil || h.Clusters != nil {
+				t.Fatalf("ExS should report corpus shape only: %+v", h)
+			}
+		case "ANNS":
+			if h.Graph == nil || h.Graph.Nodes != emb.NumValues() {
+				t.Fatalf("ANNS graph health=%+v", h.Graph)
+			}
+			if h.Graph.ReachableFraction != 1 {
+				t.Fatalf("fresh ANNS graph reachable=%v", h.Graph.ReachableFraction)
+			}
+			if len(h.Graph.Layers) == 0 || h.Graph.Layers[0].Edges == 0 {
+				t.Fatalf("ANNS layer stats=%+v", h.Graph.Layers)
+			}
+			if h.PQ == nil || h.PQ.Trained { // searcherSet disables PQ
+				t.Fatalf("ANNS pq health=%+v", h.PQ)
+			}
+		case "CTS":
+			if h.Graphs == nil || h.Graphs.Nodes != emb.NumValues() {
+				t.Fatalf("CTS graph aggregate=%+v", h.Graphs)
+			}
+			if h.Graphs.MeanReachable != 1 || h.Graphs.MinReachable != 1 {
+				t.Fatalf("fresh CTS graphs reachable=%+v", h.Graphs)
+			}
+			ch := h.Clusters
+			if ch == nil || ch.Clusters == 0 || ch.MaxSize < ch.MinSize || ch.MeanSize <= 0 {
+				t.Fatalf("CTS cluster health=%+v", ch)
+			}
+			if ch.MeanMedoidDrift < 0 || ch.MaxMedoidDrift < ch.MeanMedoidDrift {
+				t.Fatalf("CTS drift=%+v", ch)
+			}
+		}
+	}
+}
+
+func TestIndexHealthPQDistortion(t *testing.T) {
+	fed, model := covidFederation(t)
+	emb := EmbedFederation(fed, model)
+	anns, err := NewANNS(emb, ANNSOptions{Seed: 1, PQTrainSize: 16, PQM: 16, PQK: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := anns.IndexHealth()
+	if h.PQ == nil || !h.PQ.Trained {
+		t.Fatalf("pq health=%+v", h.PQ)
+	}
+	d := h.PQ.Distortion
+	if d.Samples == 0 || d.Mean <= 0 || d.Mean > d.P95 || d.P95 > d.Max {
+		t.Fatalf("distortion=%+v", d)
+	}
+}
+
+// TestMedoidDriftGrowsAfterAdds: incrementally adding off-topic relations
+// must not shrink CTS medoid drift to zero — the signal IndexHealth exists
+// to surface.
+func TestMedoidDriftAfterIncrementalAdds(t *testing.T) {
+	fed, model := covidFederation(t)
+	emb := EmbedFederation(fed, model)
+	cts, err := NewCTS(emb, CTSOptions{Seed: 1, MinClusterSize: 4, UMAPEpochs: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := cts.IndexHealth().Clusters
+	for i := 0; i < 4; i++ {
+		if err := cts.AddRelation(newRelation(
+			[]string{"wine", "cheese", "trains", "planets"}[i]+"-rel",
+			[]string{"wine", "cheese", "trains", "planets"}[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := cts.IndexHealth().Clusters
+	if after.Clusters != before.Clusters {
+		t.Fatalf("cluster count changed on incremental add: %d -> %d", before.Clusters, after.Clusters)
+	}
+	if after.MaxSize <= before.MaxSize && after.MeanSize <= before.MeanSize {
+		t.Fatalf("adds not reflected in sizes: before=%+v after=%+v", before, after)
+	}
+	if after.MaxMedoidDrift < before.MaxMedoidDrift {
+		t.Fatalf("drift shrank after off-topic adds: before=%+v after=%+v", before, after)
+	}
+}
+
+func TestProbeRecall(t *testing.T) {
+	fed, model := covidFederation(t)
+	emb := EmbedFederation(fed, model)
+	for _, s := range searcherSet(t, emb) {
+		res, err := ProbeRecall(s, emb, []string{"COVID", "football stadium", "mineral hardness"}, 3, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if res.Method != s.Name() || res.K != 3 {
+			t.Fatalf("%s: result=%+v", s.Name(), res)
+		}
+		if res.Probed == 0 {
+			t.Fatalf("%s: nothing probed", s.Name())
+		}
+		if res.Recall < 0 || res.Recall > 1 {
+			t.Fatalf("%s: recall=%v out of [0,1]", s.Name(), res.Recall)
+		}
+		if s.Name() == "ExS" && res.Recall != 1 {
+			t.Fatalf("ExS probed against itself must have recall 1, got %v", res.Recall)
+		}
+		for _, smp := range res.Samples {
+			if smp.Recall < 0 || smp.Recall > 1 {
+				t.Fatalf("%s: sample=%+v", s.Name(), smp)
+			}
+		}
+	}
+}
+
+func TestProbeRecallEdgeCases(t *testing.T) {
+	fed, model := covidFederation(t)
+	emb := EmbedFederation(fed, model)
+	exs := NewExS(emb, ExSOptions{})
+	if res, err := ProbeRecall(exs, emb, nil, 3, 0); err != nil || res.Probed != 0 {
+		t.Fatalf("empty queries: res=%+v err=%v", res, err)
+	}
+	if res, err := ProbeRecall(exs, emb, []string{"COVID"}, 0, 0); err != nil || res.Probed != 0 {
+		t.Fatalf("k=0: res=%+v err=%v", res, err)
+	}
+}
+
+func TestSampleValueTexts(t *testing.T) {
+	fed, model := covidFederation(t)
+	emb := EmbedFederation(fed, model)
+	sample := emb.SampleValueTexts(8)
+	if len(sample) == 0 || len(sample) > 8 {
+		t.Fatalf("sample=%v", sample)
+	}
+	for _, s := range sample {
+		if s == "" {
+			t.Fatal("empty text sampled")
+		}
+	}
+	if got := emb.SampleValueTexts(0); got != nil {
+		t.Fatalf("n=0 sample=%v", got)
+	}
+}

@@ -23,6 +23,29 @@ const (
 	MetricClusters = "semdisco_index_clusters"
 	// MetricValues is the number of indexed value vectors.
 	MetricValues = "semdisco_index_values"
+
+	// MetricSlowQueries counts queries at or over the slow-log threshold,
+	// labelled by method.
+	MetricSlowQueries = "semdisco_slow_queries_total"
+	// MetricSampledTraces counts queries whose exemplar trace was journaled
+	// by head-based 1-in-M sampling.
+	MetricSampledTraces = "semdisco_traces_sampled_total"
+	// MetricRecallAtK is the latest online recall probe result, labelled by
+	// method and k. Values in [0,1]; a falling gauge means the approximate
+	// index is silently losing ground truth.
+	MetricRecallAtK = "semdisco_recall_at_k"
+	// MetricReachableFraction is the share of HNSW layer-0 nodes reachable
+	// from the entry point (mean over clusters for CTS); below 1.0 some
+	// values can never be retrieved.
+	MetricReachableFraction = "semdisco_index_reachable_fraction"
+	// MetricPQDistortion is the mean sampled PQ reconstruction error.
+	MetricPQDistortion = "semdisco_index_pq_distortion_mean"
+	// MetricClusterSizeCV is the coefficient of variation of CTS cluster
+	// sizes; growth means a few clusters dominate query cost.
+	MetricClusterSizeCV = "semdisco_index_cluster_size_cv"
+	// MetricMedoidDrift is the mean CTS medoid drift (1 - cosine between a
+	// cluster's build-time medoid and its current centroid).
+	MetricMedoidDrift = "semdisco_index_medoid_drift_mean"
 )
 
 // TracedSearcher is implemented by searchers that can report a per-stage

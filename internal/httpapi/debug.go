@@ -1,0 +1,155 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"semdisco"
+)
+
+// Bounds on the debug endpoints: they exist for humans with curl, and must
+// not become a way to make the server do unbounded work.
+const (
+	defaultSlowN  = 20  // /v1/debug/slow default ?n
+	maxSlowN      = 100 // /v1/debug/slow cap on ?n
+	defaultProbeK = 10  // /v1/debug/recall default ?k
+	maxProbeK     = 50  // /v1/debug/recall cap on ?k
+)
+
+// SlowQueriesResponse is the body of /v1/debug/slow.
+type SlowQueriesResponse struct {
+	semdisco.SlowLogStats
+	SlowQueries []semdisco.SlowQuery `json:"slow_queries"`
+}
+
+// queryInt parses an optional integer query parameter. Returns (def, true)
+// when absent, (0, false) on garbage.
+func queryInt(r *http.Request, name string, def int) (int, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// handleDebugSlow serves the slow-query log: up to ?n records (default 20,
+// capped at 100), slowest first, each with its full stage trace.
+func (s *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
+	n, ok := queryInt(r, "n", defaultSlowN)
+	if !ok || n < 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{"n must be a non-negative integer"})
+		return
+	}
+	if n == 0 {
+		n = defaultSlowN
+	}
+	if n > maxSlowN {
+		n = maxSlowN
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, SlowQueriesResponse{
+		SlowLogStats: s.eng.SlowLogStats(),
+		SlowQueries:  s.eng.SlowQueries(n),
+	})
+}
+
+// handleDebugIndex serves the engine's index-health introspection: HNSW
+// graph shape and reachability, PQ distortion, CTS cluster balance.
+func (s *Server) handleDebugIndex(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, s.eng.IndexHealth())
+}
+
+// handleDebugRecall runs one online recall probe at ?k (default 10,
+// clamped to [1,50]). Probes are expensive — one exhaustive scan per
+// replayed query — so at most one runs at a time; concurrent requests get
+// a 429 with Retry-After rather than queueing up probe work.
+func (s *Server) handleDebugRecall(w http.ResponseWriter, r *http.Request) {
+	k, ok := queryInt(r, "k", defaultProbeK)
+	if !ok || k < 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{"k must be a positive integer"})
+		return
+	}
+	if k == 0 {
+		k = defaultProbeK
+	}
+	if k > maxProbeK {
+		k = maxProbeK
+	}
+	if !s.probeMu.TryLock() {
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{"a recall probe is already running"})
+		return
+	}
+	defer s.probeMu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res, err := s.eng.RecallProbe(k)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleDebugJournal streams the structured event journal (slow and
+// sampled query traces) as JSON lines, oldest first.
+func (s *Server) handleDebugJournal(w http.ResponseWriter, _ *http.Request) {
+	j := s.eng.Journal()
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{"diagnostics are disabled on this engine"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_ = j.WriteJSONL(w)
+}
+
+// StartRecallProbe launches a goroutine probing recall@k every interval
+// until ctx is done (used by semdisco-serve's -recall-probe-interval).
+// Each probe takes the server's read lock, so probes never race adds, and
+// the probe mutex, so they never pile up behind a slow manual probe.
+func (s *Server) StartRecallProbe(done <-chan struct{}, interval time.Duration, k int) {
+	if interval <= 0 {
+		return
+	}
+	if k <= 0 {
+		k = defaultProbeK
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if !s.probeMu.TryLock() {
+					continue
+				}
+				s.mu.RLock()
+				res, err := s.eng.RecallProbe(k)
+				s.mu.RUnlock()
+				s.probeMu.Unlock()
+				if s.log != nil {
+					if err != nil {
+						s.log.Error("recall probe", "err", err)
+					} else {
+						s.log.Info("recall probe",
+							"method", res.Method, "k", res.K,
+							"recall", fmt.Sprintf("%.3f", res.Recall),
+							"probed", res.Probed, "source", res.Source)
+					}
+				}
+			}
+		}
+	}()
+}

@@ -11,6 +11,10 @@
 //	POST /v1/search             {"query": "...", "k": 10, "sources": ["WHO"], "trace": true}
 //	POST /v1/datasets           {"query": "...", "k": 5}
 //	POST /v1/relations          a Relation to index incrementally
+//	GET  /v1/debug/slow         slow-query log with per-stage traces (?n=20, max 100)
+//	GET  /v1/debug/index        index health: HNSW graphs, PQ distortion, cluster balance
+//	GET  /v1/debug/recall       online recall probe vs exhaustive scan (?k=10, max 50)
+//	GET  /v1/debug/journal      slow/sampled query trace journal as JSON lines
 //	GET  /debug/pprof/          runtime profiles (only with WithPprof)
 //
 // Every non-2xx response carries an ErrorResponse JSON body, including
@@ -38,12 +42,13 @@ import (
 // serialized with searches through an RWMutex because Engine.Add must not
 // race with Engine.Search.
 type Server struct {
-	mu    sync.RWMutex
-	eng   *semdisco.Engine
-	mux   *http.ServeMux
-	log   *slog.Logger  // nil: request logging off
-	reg   *obs.Registry // engine registry; nil when metrics are disabled
-	start time.Time
+	mu      sync.RWMutex
+	probeMu sync.Mutex // at most one recall probe at a time
+	eng     *semdisco.Engine
+	mux     *http.ServeMux
+	log     *slog.Logger  // nil: request logging off
+	reg     *obs.Registry // engine registry; nil when metrics are disabled
+	start   time.Time
 }
 
 // Option configures a Server.
@@ -86,6 +91,10 @@ func New(eng *semdisco.Engine, opts ...Option) *Server {
 	route("POST", "/v1/search", s.handleSearch)
 	route("POST", "/v1/datasets", s.handleDatasets)
 	route("POST", "/v1/relations", s.handleAddRelation)
+	route("GET", "/v1/debug/slow", s.handleDebugSlow)
+	route("GET", "/v1/debug/index", s.handleDebugIndex)
+	route("GET", "/v1/debug/recall", s.handleDebugRecall)
+	route("GET", "/v1/debug/journal", s.handleDebugJournal)
 	s.mux.HandleFunc("/", s.handleNotFound)
 	for _, opt := range opts {
 		opt(s)

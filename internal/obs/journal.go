@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventStage is a stage breakdown entry in a journal event, shaped for
+// machine ingestion (milliseconds, JSON tags).
+type EventStage struct {
+	Name        string            `json:"name"`
+	DurationMS  float64           `json:"duration_ms"`
+	Annotations map[string]string `json:"annotations,omitempty"`
+}
+
+// Event is one structured journal entry: a sampled or slow query with its
+// exemplar trace. Kind distinguishes why it was journaled.
+type Event struct {
+	Time       time.Time    `json:"time"`
+	Kind       string       `json:"kind"` // "slow" or "sampled"
+	Method     string       `json:"method,omitempty"`
+	Query      string       `json:"query,omitempty"`
+	K          int          `json:"k,omitempty"`
+	Matches    int          `json:"matches"`
+	DurationMS float64      `json:"duration_ms"`
+	Stages     []EventStage `json:"stages,omitempty"`
+	Err        string       `json:"error,omitempty"`
+}
+
+// EventFromRecord converts a slow-log record into a journal event.
+func EventFromRecord(kind string, r QueryRecord) Event {
+	e := Event{
+		Time:       r.Time,
+		Kind:       kind,
+		Method:     r.Method,
+		Query:      r.Query,
+		K:          r.K,
+		Matches:    r.Matches,
+		DurationMS: float64(r.Duration) / float64(time.Millisecond),
+		Err:        r.Err,
+	}
+	if len(r.Stages) > 0 {
+		e.Stages = make([]EventStage, len(r.Stages))
+		for i, st := range r.Stages {
+			e.Stages[i] = EventStage{
+				Name:        st.Name,
+				DurationMS:  float64(st.Duration) / float64(time.Millisecond),
+				Annotations: st.Annotations,
+			}
+		}
+	}
+	return e
+}
+
+// Journal is a bounded, concurrency-safe ring of structured events,
+// exportable as JSON lines. When full, appending evicts the oldest event;
+// Dropped counts evictions so consumers can detect gaps. A nil *Journal is
+// a valid no-op.
+type Journal struct {
+	dropped atomic.Int64
+	total   atomic.Int64
+
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	n    int
+}
+
+// NewJournal returns a journal holding up to capacity events.
+// capacity ≤ 0 selects the default of 256.
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Journal{buf: make([]Event, capacity)}
+}
+
+// Append records one event, evicting the oldest when full.
+func (j *Journal) Append(e Event) {
+	if j == nil {
+		return
+	}
+	j.total.Add(1)
+	j.mu.Lock()
+	if j.n == len(j.buf) {
+		j.dropped.Add(1)
+	}
+	j.buf[j.next] = e
+	j.next = (j.next + 1) % len(j.buf)
+	if j.n < len(j.buf) {
+		j.n++
+	}
+	j.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Total returns the lifetime count of appended events.
+func (j *Journal) Total() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.total.Load()
+}
+
+// Dropped returns how many events were evicted before being read.
+func (j *Journal) Dropped() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.dropped.Load()
+}
+
+// Events returns up to n retained events in chronological order (oldest
+// first). n ≤ 0 returns every retained event.
+func (j *Journal) Events(n int) []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	out := make([]Event, 0, j.n)
+	start := j.next - j.n
+	if start < 0 {
+		start += len(j.buf)
+	}
+	for i := 0; i < j.n; i++ {
+		out = append(out, j.buf[(start+i)%len(j.buf)])
+	}
+	j.mu.Unlock()
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:] // keep the newest n, still chronological
+	}
+	return out
+}
+
+// WriteJSONL streams every retained event to w as JSON lines, oldest
+// first. Safe on a nil receiver (writes nothing).
+func (j *Journal) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range j.Events(0) {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

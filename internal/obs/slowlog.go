@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// QueryRecord is the retained evidence of one completed query: what was
+// asked, how long it took, and the full stage trace — everything needed to
+// answer "which queries are slow and why" after the fact.
+type QueryRecord struct {
+	// Time is when the query completed.
+	Time time.Time
+	// Query is the raw query text.
+	Query string
+	// Method is the searcher that served it ("ExS", "ANNS", "CTS").
+	Method string
+	// K is the requested result count.
+	K int
+	// Matches is how many results were returned.
+	Matches int
+	// TopScore is the best match's score; 0 when there were no matches.
+	TopScore float32
+	// Duration is the end-to-end wall-clock time.
+	Duration time.Duration
+	// Stages is the per-stage breakdown recorded while the query ran.
+	Stages []Stage
+	// Err is the error text for failed queries, "" on success.
+	Err string
+}
+
+// SlowLog is a concurrency-safe ring buffer of query records. Records whose
+// duration is below the threshold are dropped; with a zero threshold every
+// query is retained, so the ring always holds the most recent eligible
+// queries and Slowest ranks them. Eviction is strictly oldest-first.
+//
+// A nil *SlowLog is a valid no-op, so callers never branch on whether the
+// slow-query log is enabled.
+type SlowLog struct {
+	threshold time.Duration
+	recorded  atomic.Int64
+
+	mu   sync.Mutex
+	buf  []QueryRecord
+	next int // ring write cursor
+	n    int // filled entries, ≤ len(buf)
+}
+
+// NewSlowLog returns a log retaining up to capacity records at or above
+// threshold. capacity ≤ 0 selects the default of 128.
+func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &SlowLog{threshold: threshold, buf: make([]QueryRecord, capacity)}
+}
+
+// Threshold reports the minimum duration for a record to be retained;
+// 0 on a nil receiver.
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Record retains r if it meets the threshold, evicting the oldest entry
+// when the ring is full. Reports whether the record was retained; false on
+// a nil receiver.
+func (l *SlowLog) Record(r QueryRecord) bool {
+	if l == nil || r.Duration < l.threshold {
+		return false
+	}
+	l.recorded.Add(1)
+	l.mu.Lock()
+	l.buf[l.next] = r
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+	return true
+}
+
+// Len returns the number of retained records.
+func (l *SlowLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Recorded returns the lifetime count of retained records, including those
+// since evicted.
+func (l *SlowLog) Recorded() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.recorded.Load()
+}
+
+// snapshot copies the retained records, oldest first. Caller must not hold
+// the lock.
+func (l *SlowLog) snapshot() []QueryRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]QueryRecord, 0, l.n)
+	start := l.next - l.n
+	if start < 0 {
+		start += len(l.buf)
+	}
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.buf[(start+i)%len(l.buf)])
+	}
+	return out
+}
+
+// Slowest returns up to n retained records ordered slowest first (ties
+// broken newest first). n ≤ 0 returns every retained record.
+func (l *SlowLog) Slowest(n int) []QueryRecord {
+	if l == nil {
+		return nil
+	}
+	out := l.snapshot()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Duration != out[j].Duration {
+			return out[i].Duration > out[j].Duration
+		}
+		return out[i].Time.After(out[j].Time)
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Recent returns up to n retained records, newest first. n ≤ 0 returns
+// every retained record.
+func (l *SlowLog) Recent(n int) []QueryRecord {
+	if l == nil {
+		return nil
+	}
+	out := l.snapshot()
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Sampler implements head-based 1-in-M sampling with a single atomic
+// counter: the first call samples, then every M-th after it, so the sample
+// is deterministic under load rather than probabilistic. A nil *Sampler
+// (or M ≤ 0) never samples.
+type Sampler struct {
+	every int64
+	ctr   atomic.Int64
+}
+
+// NewSampler returns a sampler firing on 1 of every `every` calls.
+// every ≤ 0 disables sampling; every == 1 samples every call.
+func NewSampler(every int) *Sampler {
+	return &Sampler{every: int64(every)}
+}
+
+// Sample reports whether this call is part of the 1-in-M sample.
+func (s *Sampler) Sample() bool {
+	if s == nil || s.every <= 0 {
+		return false
+	}
+	return (s.ctr.Add(1)-1)%s.every == 0
+}
+
+// Seen returns how many times Sample has been called.
+func (s *Sampler) Seen() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.ctr.Load()
+}
+
+// RecentQueries is a small concurrency-safe ring of recent query strings,
+// the candidate pool the recall probe replays. A nil receiver is a no-op.
+type RecentQueries struct {
+	mu   sync.Mutex
+	buf  []string
+	next int
+	n    int
+}
+
+// NewRecentQueries returns a ring holding up to capacity query strings.
+// capacity ≤ 0 selects the default of 128.
+func NewRecentQueries(capacity int) *RecentQueries {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &RecentQueries{buf: make([]string, capacity)}
+}
+
+// Add records one query string.
+func (r *RecentQueries) Add(q string) {
+	if r == nil || q == "" {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = q
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Items returns up to n distinct queries, newest first. n ≤ 0 returns all.
+func (r *RecentQueries) Items(n int) []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[string]struct{}, r.n)
+	out := make([]string, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		q := r.buf[((r.next-i)%len(r.buf)+len(r.buf))%len(r.buf)]
+		if _, dup := seen[q]; dup {
+			continue
+		}
+		seen[q] = struct{}{}
+		out = append(out, q)
+		if n > 0 && len(out) == n {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rec(query string, d time.Duration) QueryRecord {
+	return QueryRecord{Time: time.Now(), Query: query, Method: "CTS", K: 5, Duration: d}
+}
+
+func TestSlowLogThreshold(t *testing.T) {
+	l := NewSlowLog(8, 10*time.Millisecond)
+	if l.Record(rec("fast", 2*time.Millisecond)) {
+		t.Fatal("below-threshold record retained")
+	}
+	if !l.Record(rec("slow", 20*time.Millisecond)) {
+		t.Fatal("above-threshold record dropped")
+	}
+	if !l.Record(rec("edge", 10*time.Millisecond)) {
+		t.Fatal("at-threshold record dropped")
+	}
+	if l.Len() != 2 || l.Recorded() != 2 {
+		t.Fatalf("len=%d recorded=%d, want 2/2", l.Len(), l.Recorded())
+	}
+}
+
+func TestSlowLogEvictionOrder(t *testing.T) {
+	l := NewSlowLog(3, 0)
+	for i := 0; i < 5; i++ {
+		l.Record(rec(fmt.Sprintf("q%d", i), time.Duration(i)*time.Millisecond))
+	}
+	// Capacity 3: q0 and q1 evicted (oldest first), q2..q4 retained.
+	recent := l.Recent(0)
+	if len(recent) != 3 {
+		t.Fatalf("len=%d want 3", len(recent))
+	}
+	for i, want := range []string{"q4", "q3", "q2"} {
+		if recent[i].Query != want {
+			t.Fatalf("recent[%d]=%q want %q (evicted out of order)", i, recent[i].Query, want)
+		}
+	}
+	if got := l.Recorded(); got != 5 {
+		t.Fatalf("recorded=%d want 5", got)
+	}
+}
+
+func TestSlowLogSlowestRanking(t *testing.T) {
+	l := NewSlowLog(8, 0)
+	for _, d := range []time.Duration{3, 9, 1, 7, 5} {
+		l.Record(rec(fmt.Sprintf("d%d", d), d*time.Millisecond))
+	}
+	top := l.Slowest(3)
+	if len(top) != 3 {
+		t.Fatalf("len=%d want 3", len(top))
+	}
+	for i, want := range []string{"d9", "d7", "d5"} {
+		if top[i].Query != want {
+			t.Fatalf("slowest[%d]=%q want %q", i, top[i].Query, want)
+		}
+	}
+	if all := l.Slowest(0); len(all) != 5 {
+		t.Fatalf("Slowest(0) len=%d want 5", len(all))
+	}
+}
+
+// TestSlowLogConcurrent hammers the log from many goroutines under -race:
+// no record may be lost or duplicated, and readers must observe consistent
+// snapshots while writes are in flight.
+func TestSlowLogConcurrent(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 500
+	)
+	l := NewSlowLog(64, 5*time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Even i: below threshold (dropped). Odd i: retained.
+				d := 1 * time.Millisecond
+				if i%2 == 1 {
+					d = time.Duration(10+i%50) * time.Millisecond
+				}
+				l.Record(rec(fmt.Sprintf("w%d-%d", w, i), d))
+			}
+		}(w)
+	}
+	// Concurrent readers.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = l.Slowest(10)
+				_ = l.Recent(10)
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	want := int64(writers * perWriter / 2)
+	if got := l.Recorded(); got != want {
+		t.Fatalf("recorded=%d want %d", got, want)
+	}
+	if l.Len() != 64 {
+		t.Fatalf("len=%d want full ring 64", l.Len())
+	}
+	for _, r := range l.Slowest(0) {
+		if r.Duration < 5*time.Millisecond {
+			t.Fatalf("below-threshold record %q retained", r.Query)
+		}
+	}
+}
+
+func TestSamplerRate(t *testing.T) {
+	s := NewSampler(3)
+	var hits int
+	for i := 0; i < 9; i++ {
+		if s.Sample() {
+			hits++
+		}
+	}
+	if hits != 3 {
+		t.Fatalf("1-in-3 over 9 calls: hits=%d want 3", hits)
+	}
+	if NewSampler(0).Sample() {
+		t.Fatal("disabled sampler fired")
+	}
+	if !NewSampler(1).Sample() {
+		t.Fatal("1-in-1 sampler did not fire")
+	}
+	var nilSampler *Sampler
+	if nilSampler.Sample() {
+		t.Fatal("nil sampler fired")
+	}
+}
+
+// TestSamplerConcurrent verifies the 1-in-M invariant holds exactly under
+// concurrent callers: the atomic counter hands out sample slots without
+// loss or duplication.
+func TestSamplerConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		each    = 300
+		every   = 4
+	)
+	s := NewSampler(every)
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := 0
+			for i := 0; i < each; i++ {
+				if s.Sample() {
+					local++
+				}
+			}
+			mu.Lock()
+			total += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if want := workers * each / every; total != want {
+		t.Fatalf("sampled=%d want exactly %d", total, want)
+	}
+	if s.Seen() != workers*each {
+		t.Fatalf("seen=%d want %d", s.Seen(), workers*each)
+	}
+}
+
+func TestJournalRingAndJSONL(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 6; i++ {
+		j.Append(Event{Kind: "sampled", Query: fmt.Sprintf("q%d", i), DurationMS: float64(i)})
+	}
+	if j.Len() != 4 || j.Total() != 6 || j.Dropped() != 2 {
+		t.Fatalf("len=%d total=%d dropped=%d", j.Len(), j.Total(), j.Dropped())
+	}
+	evs := j.Events(0)
+	for i, want := range []string{"q2", "q3", "q4", "q5"} {
+		if evs[i].Query != want {
+			t.Fatalf("events[%d]=%q want %q", i, evs[i].Query, want)
+		}
+	}
+	if newest := j.Events(2); len(newest) != 2 || newest[1].Query != "q5" {
+		t.Fatalf("Events(2)=%+v", newest)
+	}
+
+	var buf bytes.Buffer
+	if err := j.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 4 {
+		t.Fatalf("jsonl lines=%d want 4", lines)
+	}
+}
+
+func TestJournalConcurrent(t *testing.T) {
+	j := NewJournal(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				j.Append(Event{Kind: "slow", Query: fmt.Sprintf("w%d-%d", w, i)})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = j.Events(8)
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if j.Total() != 1600 || j.Len() != 32 {
+		t.Fatalf("total=%d len=%d", j.Total(), j.Len())
+	}
+}
+
+func TestEventFromRecord(t *testing.T) {
+	r := QueryRecord{
+		Query: "covid", Method: "ANNS", K: 10, Matches: 3, TopScore: 0.8,
+		Duration: 15 * time.Millisecond,
+		Stages: []Stage{
+			{Name: "encode", Duration: 5 * time.Millisecond},
+			{Name: "retrieve", Duration: 10 * time.Millisecond, Annotations: map[string]string{"hits": "42"}},
+		},
+	}
+	e := EventFromRecord("slow", r)
+	if e.Kind != "slow" || e.DurationMS != 15 || len(e.Stages) != 2 {
+		t.Fatalf("event=%+v", e)
+	}
+	if e.Stages[1].Annotations["hits"] != "42" {
+		t.Fatalf("annotations lost: %+v", e.Stages[1])
+	}
+}
+
+func TestRecentQueries(t *testing.T) {
+	r := NewRecentQueries(3)
+	for _, q := range []string{"a", "b", "a", "c", "d"} {
+		r.Add(q)
+	}
+	// Ring holds [a c d]; Items dedupes, newest first.
+	items := r.Items(0)
+	if len(items) != 3 || items[0] != "d" || items[1] != "c" || items[2] != "a" {
+		t.Fatalf("items=%v", items)
+	}
+	if got := r.Items(2); len(got) != 2 {
+		t.Fatalf("Items(2)=%v", got)
+	}
+	r.Add("")
+	var nilRing *RecentQueries
+	nilRing.Add("x")
+	if nilRing.Items(1) != nil {
+		t.Fatal("nil ring returned items")
+	}
+}

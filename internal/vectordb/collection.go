@@ -390,6 +390,21 @@ func (c *Collection) distToScore(d float32) float32 {
 	}
 }
 
+// GraphStats reports the structural health of the collection's HNSW graph
+// (per-layer occupancy, degree spread, reachability from the entry point).
+func (c *Collection) GraphStats() hnsw.GraphStats {
+	return c.index.Stats()
+}
+
+// Quantizer exposes the trained Product Quantizer for diagnostics
+// (distortion probes). Nil while the collection is uncompressed — before
+// TrainSize inserts, or when PQ is disabled.
+func (c *Collection) Quantizer() *pq.Quantizer {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.quantizer
+}
+
 // Stats describes a collection's storage.
 type Stats struct {
 	Points      int

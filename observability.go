@@ -19,9 +19,24 @@ type TraceStage struct {
 // SearchTraced runs Search and additionally returns the per-stage
 // breakdown of the query (encode → index walk → rank, with per-method
 // stage names). Tracing costs a few timestamps and map writes per query;
-// plain Search skips even that.
+// with diagnostics disabled, plain Search skips even that. Traces are
+// independent of the metrics registry: the full stage breakdown is
+// returned even under Config.DisableMetrics.
 func (e *Engine) SearchTraced(query string, k int) ([]Match, []TraceStage, error) {
+	matches, tr, err := e.searchWithTrace(query, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	return matches, toTraceStages(tr.Stages()), nil
+}
+
+// searchWithTrace is the shared traced-search path behind Search and
+// SearchTraced: it runs the query with a live trace and feeds the outcome
+// — duration, result count, stage spans, error — to the diagnostics layer
+// (slow-query log, sampler, journal; no-op when diagnostics are disabled).
+func (e *Engine) searchWithTrace(query string, k int) ([]Match, *obs.Trace, error) {
 	tr := obs.NewTrace()
+	start := time.Now()
 	var (
 		matches []Match
 		err     error
@@ -33,10 +48,12 @@ func (e *Engine) SearchTraced(query string, k int) ([]Match, []TraceStage, error
 		matches, err = e.searcher.Search(query, k)
 		sp.End()
 	}
-	if err != nil {
-		return nil, nil, err
-	}
-	stages := tr.Stages()
+	e.diag.observe(e.Method().String(), query, k, matches, time.Since(start), tr, err)
+	return matches, tr, err
+}
+
+// toTraceStages converts internal trace stages to the public form.
+func toTraceStages(stages []obs.Stage) []TraceStage {
 	out := make([]TraceStage, len(stages))
 	for i, s := range stages {
 		out[i] = TraceStage{
@@ -45,12 +62,16 @@ func (e *Engine) SearchTraced(query string, k int) ([]Match, []TraceStage, error
 			Annotations: s.Annotations,
 		}
 	}
-	return matches, out, nil
+	return out
 }
 
 // MetricsRegistry exposes the engine's metrics registry for in-process
 // surfaces such as internal/httpapi's /metrics endpoint. Nil when the
-// engine was opened with Config.DisableMetrics.
+// engine was opened with Config.DisableMetrics — and a nil *obs.Registry
+// is a valid value everywhere in this codebase: every method on it is a
+// no-op, so callers may hand it to exporters or record against it without
+// a nil check. Tracing (SearchTraced) and diagnostics (SlowQueries,
+// Journal) do not depend on the registry and keep working without one.
 func (e *Engine) MetricsRegistry() *obs.Registry { return e.obs }
 
 // LatencySummary is the quantile snapshot of one latency histogram.

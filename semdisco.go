@@ -88,8 +88,15 @@ type Config struct {
 	// DisableMetrics turns off the engine's always-on observability
 	// (atomic counters and latency histograms, see Engine.Stats and
 	// Engine.MetricsRegistry). The default keeps metrics on: the cost is a
-	// few atomic adds per query, cheap enough for production.
+	// few atomic adds per query, cheap enough for production. Diagnostics
+	// (slow-query log, trace sampling — see Diagnostics) are independent of
+	// this switch: SearchTraced and the slow log work even without a
+	// registry.
 	DisableMetrics bool
+	// Diagnostics tunes the slow-query log, trace sampling and event
+	// journal; the zero value enables them with defaults. See
+	// DiagnosticsConfig.
+	Diagnostics DiagnosticsConfig
 
 	// ExS tuning.
 	ExS ExSOptions
@@ -107,6 +114,7 @@ type Engine struct {
 	emb       *core.Embedded
 	searcher  core.Searcher
 	obs       *obs.Registry     // nil when Config.DisableMetrics
+	diag      *diagnostics      // nil when Config.Diagnostics.Disable
 	stats     *text.CorpusStats // nil when Config.IDF was supplied
 	relSource map[string]string // relation ID -> source (dataset)
 }
@@ -149,6 +157,7 @@ func Open(fed *Federation, cfg Config) (*Engine, error) {
 		relSource[r.ID] = r.Source
 	}
 	return &Engine{cfg: cfg, model: model, emb: emb, searcher: s, obs: reg,
+		diag:  newDiagnostics(cfg.Diagnostics, reg),
 		stats: stats, relSource: relSource}, nil
 }
 
@@ -195,9 +204,15 @@ func buildSearcher(cfg Config, emb *core.Embedded) (core.Searcher, error) {
 
 // Search ranks the federation's relations for a keyword query and returns
 // at most k matches, best first, all scoring at least the configured
-// threshold.
+// threshold. With diagnostics enabled (the default) every query runs
+// traced and feeds the slow-query log; the overhead is a few timestamps
+// and map writes per query.
 func (e *Engine) Search(query string, k int) ([]Match, error) {
-	return e.searcher.Search(query, k)
+	if e.diag == nil {
+		return e.searcher.Search(query, k)
+	}
+	matches, _, err := e.searchWithTrace(query, k)
+	return matches, err
 }
 
 // Method reports the engine's search strategy.
