@@ -1,7 +1,7 @@
 GO ?= go
 CORPUS ?= wikitables
 
-.PHONY: build vet test race check bench-json
+.PHONY: build vet test race check bench-smoke bench-json
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,12 @@ race:
 	$(GO) test -race ./...
 
 check: vet race
+
+# One-iteration pass over every microbenchmark (HNSW build, k-means, vector
+# kernels, ...): catches benchmarks that no longer compile or crash, without
+# the cost of real measurement.
+bench-smoke:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/...
 
 # Machine-readable benchmark report (build time, latency quantiles,
 # MAP/NDCG) for the selected corpus profile, written to BENCH_$(CORPUS).json

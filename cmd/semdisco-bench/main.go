@@ -35,6 +35,7 @@ func main() {
 		dim        = flag.Int("dim", 768, "embedding dimensionality (the paper's is 768)")
 		seed       = flag.Int64("seed", 7, "random seed")
 		train      = flag.Bool("train", true, "fit trainable baselines on the tuning split")
+		workers    = flag.Int("workers", 0, "index-build worker count; 0 = GOMAXPROCS, 1 = serial deterministic build")
 		caseStudy  = flag.Bool("casestudy", false, "run the §5.3 qualitative comparison")
 		dumpRuns   = flag.String("dump-runs", "", "write per-method TREC run files (LD, all classes) into this directory")
 		storage    = flag.Bool("storage", false, "report index storage and build cost per method")
@@ -81,6 +82,7 @@ func main() {
 		Dim:            *dim,
 		Seed:           *seed,
 		TrainBaselines: *train,
+		Workers:        *workers,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "build failed: %v\n", err)

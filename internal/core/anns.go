@@ -39,6 +39,8 @@ type ANNSOptions struct {
 	PQTrainSize, PQM, PQK int
 	// Seed drives index construction.
 	Seed int64
+	// Build bounds construction parallelism (see BuildOptions).
+	Build BuildOptions
 }
 
 // NewANNS builds the vector-database index over the embedded federation.
@@ -53,6 +55,7 @@ func NewANNS(emb *Embedded, opt ANNSOptions) (*ANNS, error) {
 		EfConstruction: opt.EfConstruction,
 		EfSearch:       opt.EfSearch,
 		Seed:           opt.Seed,
+		Workers:        opt.Build.workers(),
 	}
 	if !opt.DisablePQ {
 		pqM := opt.PQM
@@ -86,12 +89,14 @@ func NewANNS(emb *Embedded, opt ANNSOptions) (*ANNS, error) {
 	coll.SetObserver(emb.Obs)
 	var insertErr error
 	buildPhase(emb.Obs, "hnsw_insert", func() {
-		for i, v := range emb.Values {
-			payload := map[string]string{"vi": strconv.Itoa(i)}
-			if _, err := coll.Insert(v.Vec, payload); err != nil {
-				insertErr = fmt.Errorf("core: anns insert: %w", err)
-				return
-			}
+		vecs := make([][]float32, len(emb.Values))
+		pays := make([]map[string]string, len(emb.Values))
+		for i := range emb.Values {
+			vecs[i] = emb.Values[i].Vec
+			pays[i] = map[string]string{"vi": strconv.Itoa(i)}
+		}
+		if _, err := coll.InsertBatch(vecs, pays); err != nil {
+			insertErr = fmt.Errorf("core: anns insert: %w", err)
 		}
 	})
 	if insertErr != nil {

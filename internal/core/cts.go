@@ -7,6 +7,7 @@ import (
 
 	"semdisco/internal/hdbscan"
 	"semdisco/internal/obs"
+	"semdisco/internal/par"
 	"semdisco/internal/umap"
 	"semdisco/internal/vec"
 	"semdisco/internal/vectordb"
@@ -90,6 +91,8 @@ type CTSOptions struct {
 	M, EfConstruction int
 	// Seed drives reduction, clustering and index construction.
 	Seed int64
+	// Build bounds construction parallelism (see BuildOptions).
+	Build BuildOptions
 }
 
 // NewCTS builds the clustered index. Building is the expensive phase
@@ -112,6 +115,7 @@ func NewCTS(emb *Embedded, opt CTSOptions) (*CTS, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("core: cts: empty federation")
 	}
+	workers := opt.Build.workers()
 
 	points := make([][]float32, n)
 	for i := range emb.Values {
@@ -131,6 +135,7 @@ func NewCTS(emb *Embedded, opt CTSOptions) (*CTS, error) {
 				NComponents: opt.ReducedDim,
 				NEpochs:     opt.UMAPEpochs,
 				Seed:        opt.Seed,
+				Workers:     workers,
 			})
 		}
 	})
@@ -143,7 +148,7 @@ func NewCTS(emb *Embedded, opt CTSOptions) (*CTS, error) {
 	}
 	var res hdbscan.Result
 	buildPhase(emb.Obs, "hdbscan", func() {
-		res = hdbscan.Cluster(samplePts, hdbscan.Config{MinClusterSize: opt.MinClusterSize})
+		res = hdbscan.Cluster(samplePts, hdbscan.Config{MinClusterSize: opt.MinClusterSize, Workers: workers})
 	})
 
 	// 3. Medoids in reduced and original space. Degenerate clusterings
@@ -178,18 +183,22 @@ func NewCTS(emb *Embedded, opt CTSOptions) (*CTS, error) {
 			clusterOf[gi] = res.Labels[si]
 		}
 	}
-	for i := 0; i < n; i++ {
-		if clusterOf[i] >= 0 {
-			continue
-		}
-		best, bestD := 0, float32(math.MaxFloat32)
-		for c := range medoidReduced {
-			if d := vec.L2Sq(reduced[i], medoidReduced[c]); d < bestD {
-				best, bestD = c, d
+	// Each point's nearest medoid is an independent computation, so the
+	// assignment shards across workers without changing any label.
+	par.For(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if clusterOf[i] >= 0 {
+				continue
 			}
+			best, bestD := 0, float32(math.MaxFloat32)
+			for c := range medoidReduced {
+				if d := vec.L2Sq(reduced[i], medoidReduced[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			clusterOf[i] = best
 		}
-		clusterOf[i] = best
-	}
+	})
 
 	// 5. One collection per cluster.
 	db := vectordb.New()
@@ -202,6 +211,7 @@ func NewCTS(emb *Embedded, opt CTSOptions) (*CTS, error) {
 			EfConstruction: opt.EfConstruction,
 			EfSearch:       opt.EfSearch,
 			Seed:           opt.Seed + int64(c),
+			Workers:        workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: cts: %w", err)
@@ -209,18 +219,34 @@ func NewCTS(emb *Embedded, opt CTSOptions) (*CTS, error) {
 		coll.SetObserver(emb.Obs)
 		colls[c] = coll
 	}
-	var insertErr error
+	// Group values by cluster, then build the per-cluster graphs. Within a
+	// collection the insert order is the value order, exactly what the
+	// historical interleaved loop produced, so Workers <= 1 is bit-identical;
+	// with more workers the clusters — uneven, independent build jobs —
+	// pull from a shared queue while each batch also parallelizes inside.
+	perCluster := make([][]int, numClusters)
+	for i := range emb.Values {
+		c := clusterOf[i]
+		perCluster[c] = append(perCluster[c], i)
+	}
+	insertErrs := make([]error, numClusters)
 	buildPhase(emb.Obs, "hnsw_insert", func() {
-		for i, v := range emb.Values {
-			payload := map[string]string{"vi": strconv.Itoa(i)}
-			if _, err := colls[clusterOf[i]].Insert(v.Vec, payload); err != nil {
-				insertErr = fmt.Errorf("core: cts insert: %w", err)
-				return
+		par.Each(numClusters, workers, func(c int) {
+			vecs := make([][]float32, len(perCluster[c]))
+			pays := make([]map[string]string, len(perCluster[c]))
+			for j, i := range perCluster[c] {
+				vecs[j] = emb.Values[i].Vec
+				pays[j] = map[string]string{"vi": strconv.Itoa(i)}
 			}
-		}
+			if _, err := colls[c].InsertBatch(vecs, pays); err != nil {
+				insertErrs[c] = fmt.Errorf("core: cts insert: %w", err)
+			}
+		})
 	})
-	if insertErr != nil {
-		return nil, insertErr
+	for _, err := range insertErrs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	emb.Obs.Gauge(MetricClusters).Set(float64(numClusters))
 	emb.Obs.Gauge(MetricValues).Set(float64(len(emb.Values)))

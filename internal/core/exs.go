@@ -38,6 +38,13 @@ type ExSOptions struct {
 	Parallel *bool
 }
 
+// parallelScanMinValues gates the scan fan-out on the real work — value-
+// vector dot products — rather than the relation count: a federation of a
+// few huge relations benefits from the parallel scan just as much as one
+// of many small relations, while a tiny corpus never pays the goroutine
+// overhead no matter how it is partitioned.
+const parallelScanMinValues = 2048
+
 // NewExS builds an exhaustive searcher over the embedded federation.
 func NewExS(emb *Embedded, opt ExSOptions) *ExS {
 	if opt.TopM == 0 {
@@ -103,7 +110,7 @@ func (s *ExS) searchObserved(q []float32, k int, o *searchObs) ([]Match, error) 
 			scores[rel] = s.scoreRelation(q, rel)
 		}
 	}
-	if s.parallel && n > 64 {
+	if s.parallel && n > 1 && len(s.emb.Values) > parallelScanMinValues {
 		workers := runtime.GOMAXPROCS(0)
 		var wg sync.WaitGroup
 		chunk := (n + workers - 1) / workers

@@ -16,11 +16,16 @@ import (
 	"semdisco/internal/corpus"
 	"semdisco/internal/embed"
 	"semdisco/internal/eval"
+	"semdisco/internal/obs"
 	"semdisco/internal/table"
 )
 
 // Methods lists the eight systems in the paper's order of introduction.
 var Methods = []string{"CTS", "ANNS", "ExS", "MDR", "WS", "TCS", "AdH", "TML"}
+
+// buildPhases are the instrumented index-construction stages, in pipeline
+// order (see core.MetricBuildSeconds).
+var buildPhases = []string{"umap", "hdbscan", "pq_train", "hnsw_insert"}
 
 // Sizes are the paper's dataset partitions.
 var Sizes = []string{"SD", "MD", "LD"}
@@ -44,6 +49,9 @@ type Setup struct {
 	// SkipMethods names methods not to build (e.g. skip slow baselines in
 	// quick runs).
 	SkipMethods []string
+	// Workers bounds index-construction parallelism (see core.BuildOptions):
+	// 0 uses GOMAXPROCS, 1 forces the serial deterministic build.
+	Workers int
 }
 
 // Bench holds the fully-built experiment state.
@@ -63,6 +71,11 @@ type SizedBench struct {
 	// BuildTime records the wall-clock index-construction cost per method
 	// (embedding time is shared and not included).
 	BuildTime map[string]time.Duration
+	// BuildBreakdown maps method -> build phase ("pq_train", "hnsw_insert",
+	// "umap", "hdbscan") -> wall-clock cost, captured from the build-phase
+	// gauges a per-method metrics registry records during construction.
+	// Methods without instrumented phases (the baselines) have no entry.
+	BuildBreakdown map[string]map[string]time.Duration
 	// Qrels is the full judgment set restricted to this partition's
 	// relations; TestQrels the held-out subset of it.
 	Qrels     eval.Qrels
@@ -94,23 +107,39 @@ func (b *Bench) buildSize(size string, skip map[string]bool) (*SizedBench, error
 	emb := core.EmbedFederation(fed, model)
 
 	sb := &SizedBench{
-		Fed:       fed,
-		Emb:       emb,
-		Model:     model,
-		Searchers: make(map[string]core.Searcher),
-		BuildTime: make(map[string]time.Duration),
-		Qrels:     restrictQrels(c.Qrels, fed),
-		TestQrels: restrictQrels(c.TestQrels, fed),
+		Fed:            fed,
+		Emb:            emb,
+		Model:          model,
+		Searchers:      make(map[string]core.Searcher),
+		BuildTime:      make(map[string]time.Duration),
+		BuildBreakdown: make(map[string]map[string]time.Duration),
+		Qrels:          restrictQrels(c.Qrels, fed),
+		TestQrels:      restrictQrels(c.TestQrels, fed),
 	}
-	// build constructs one method's index and records its wall-clock cost.
+	// build constructs one method's index and records its wall-clock cost,
+	// plus the per-phase breakdown: a fresh metrics registry is attached for
+	// the duration of the build so each method's phase gauges are isolated.
 	build := func(name string, fn func() (core.Searcher, error)) error {
+		prevObs := emb.Obs
+		reg := obs.NewRegistry()
+		emb.Obs = reg
 		start := time.Now()
 		s, err := fn()
+		emb.Obs = prevObs
 		if err != nil {
 			return err
 		}
 		sb.Searchers[name] = s
 		sb.BuildTime[name] = time.Since(start)
+		breakdown := make(map[string]time.Duration)
+		for _, phase := range buildPhases {
+			if sec := reg.Gauge(obs.L(core.MetricBuildSeconds, "phase", phase)).Value(); sec > 0 {
+				breakdown[phase] = time.Duration(sec * float64(time.Second))
+			}
+		}
+		if len(breakdown) > 0 {
+			sb.BuildBreakdown[name] = breakdown
+		}
 		return nil
 	}
 
@@ -122,16 +151,17 @@ func (b *Bench) buildSize(size string, skip map[string]bool) (*SizedBench, error
 			return core.NewExS(emb, core.ExSOptions{Parallel: &noParallel}), nil
 		})
 	}
+	buildOpts := core.BuildOptions{Workers: b.Setup.Workers}
 	if !skip["ANNS"] {
 		if err := build("ANNS", func() (core.Searcher, error) {
-			return core.NewANNS(emb, core.ANNSOptions{Seed: b.Setup.Seed})
+			return core.NewANNS(emb, core.ANNSOptions{Seed: b.Setup.Seed, Build: buildOpts})
 		}); err != nil {
 			return nil, err
 		}
 	}
 	if !skip["CTS"] {
 		if err := build("CTS", func() (core.Searcher, error) {
-			return core.NewCTS(emb, core.CTSOptions{Seed: b.Setup.Seed})
+			return core.NewCTS(emb, core.CTSOptions{Seed: b.Setup.Seed, Build: buildOpts})
 		}); err != nil {
 			return nil, err
 		}

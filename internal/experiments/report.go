@@ -3,9 +3,11 @@ package experiments
 import (
 	"encoding/json"
 	"io"
+	"runtime"
 	"time"
 
 	"semdisco/internal/corpus"
+	"semdisco/internal/par"
 )
 
 // MethodReport is one method's machine-readable benchmark result on the
@@ -15,6 +17,10 @@ type MethodReport struct {
 	// BuildMS is the index-construction wall-clock cost (embedding time is
 	// shared across methods and reported separately at the top level).
 	BuildMS float64 `json:"build_ms"`
+	// BuildBreakdownMS splits BuildMS into instrumented phases (pq_train,
+	// hnsw_insert, umap, hdbscan). Absent for methods without instrumented
+	// build stages (the baselines).
+	BuildBreakdownMS map[string]float64 `json:"build_breakdown_ms,omitempty"`
 	// Latency maps query class ("short", "moderate", "long") to timing.
 	Latency map[string]LatencyJSON `json:"latency"`
 	// Quality is measured on long queries, the paper's headline setting.
@@ -41,12 +47,17 @@ type QualityJSON struct {
 // -json: everything an external dashboard or regression checker needs
 // without scraping the human-readable tables.
 type Report struct {
-	Corpus       string         `json:"corpus"`
-	NumRelations int            `json:"num_relations"`
-	NumValues    int            `json:"num_values"`
-	Dim          int            `json:"dim"`
-	Seed         int64          `json:"seed"`
-	Methods      []MethodReport `json:"methods"`
+	Corpus       string `json:"corpus"`
+	NumRelations int    `json:"num_relations"`
+	NumValues    int    `json:"num_values"`
+	Dim          int    `json:"dim"`
+	Seed         int64  `json:"seed"`
+	// Workers is the resolved index-build worker count (Setup.Workers, with
+	// 0 resolved to GOMAXPROCS); GOMAXPROCS records the machine context so
+	// build timings can be compared across hosts.
+	Workers    int            `json:"workers"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Methods    []MethodReport `json:"methods"`
 }
 
 // classes maps the report's JSON keys to the corpus query classes.
@@ -73,6 +84,8 @@ func (b *Bench) Report(k int) (*Report, error) {
 		NumValues:    sb.Emb.NumValues(),
 		Dim:          b.Setup.Dim,
 		Seed:         b.Setup.Seed,
+		Workers:      par.Workers(b.Setup.Workers),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 	}
 	for _, method := range Methods {
 		if _, ok := sb.Searchers[method]; !ok {
@@ -82,6 +95,12 @@ func (b *Bench) Report(k int) (*Report, error) {
 			Method:  method,
 			BuildMS: float64(sb.BuildTime[method]) / float64(time.Millisecond),
 			Latency: make(map[string]LatencyJSON, len(classes)),
+		}
+		if breakdown := sb.BuildBreakdown[method]; len(breakdown) > 0 {
+			mr.BuildBreakdownMS = make(map[string]float64, len(breakdown))
+			for phase, d := range breakdown {
+				mr.BuildBreakdownMS[phase] = float64(d) / float64(time.Millisecond)
+			}
 		}
 		for _, c := range classes {
 			cell, err := b.Latency(method, "LD", c.class, k)

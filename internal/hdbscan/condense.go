@@ -3,6 +3,7 @@ package hdbscan
 import (
 	"sort"
 
+	"semdisco/internal/par"
 	"semdisco/internal/vec"
 )
 
@@ -273,7 +274,7 @@ func (ct *condensedTree) collectMembers(c int) []ctEntry {
 // the minimal sum of Euclidean distances to its co-members. Clusters are
 // small relative to the corpus, so the O(|C|²) scan is acceptable; for very
 // large clusters a uniform subsample of 256 members bounds the cost.
-func computeMedoids(points [][]float32, labels []int, numClusters int) []int {
+func computeMedoids(points [][]float32, labels []int, numClusters, workers int) []int {
 	if numClusters == 0 {
 		return nil
 	}
@@ -284,9 +285,11 @@ func computeMedoids(points [][]float32, labels []int, numClusters int) []int {
 		}
 	}
 	medoids := make([]int, numClusters)
-	for c, ms := range members {
-		medoids[c] = medoidOf(points, ms)
-	}
+	// Clusters are independent O(|c|²) problems of uneven size, so they pull
+	// from a shared queue rather than sharding contiguously.
+	par.Each(numClusters, workers, func(c int) {
+		medoids[c] = medoidOf(points, members[c])
+	})
 	return medoids
 }
 

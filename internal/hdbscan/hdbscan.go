@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 
+	"semdisco/internal/par"
 	"semdisco/internal/vec"
 )
 
@@ -31,6 +32,12 @@ type Config struct {
 	// noise. Matches the reference implementation's flag of the same name;
 	// defaults to false.
 	AllowSingleCluster bool
+	// Workers bounds the parallelism of the core-distance, MST and medoid
+	// stages. 0 or 1 runs serially. The result is bit-identical for every
+	// worker count: only independent per-point (or per-cluster) work is
+	// sharded, and the Prim frontier argmin reduces in chunk order with the
+	// same lowest-index tie-break the serial scan applies.
+	Workers int
 }
 
 // Result is a completed clustering.
@@ -70,8 +77,16 @@ func Cluster(points [][]float32, cfg Config) Result {
 		return Result{Labels: []int{Noise}, Probabilities: []float64{0}}
 	}
 
-	core := coreDistances(points, cfg.MinSamples)
-	edges := mstPrim(points, core)
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if n < parallelMinPoints {
+		workers = 1
+	}
+
+	core := coreDistances(points, cfg.MinSamples, workers)
+	edges := mstPrim(points, core, workers)
 	merges := singleLinkage(edges, n)
 	ct := condense(merges, n, cfg.MinClusterSize)
 	selected := ct.selectEOM(cfg.AllowSingleCluster)
@@ -83,7 +98,7 @@ func Cluster(points [][]float32, cfg Config) Result {
 			numClusters = l + 1
 		}
 	}
-	medoids := computeMedoids(points, labels, numClusters)
+	medoids := computeMedoids(points, labels, numClusters, workers)
 	stab := make([]float64, numClusters)
 	for _, c := range selected {
 		if ct.finalLabel[c] >= 0 {
@@ -99,9 +114,15 @@ func Cluster(points [][]float32, cfg Config) Result {
 	}
 }
 
+// parallelMinPoints gates the sharded paths: tiny inputs finish before the
+// goroutine fan-out pays for itself.
+const parallelMinPoints = 256
+
 // coreDistances returns, for each point, the distance to its k-th nearest
-// neighbour (the point itself not counted).
-func coreDistances(points [][]float32, k int) []float64 {
+// neighbour (the point itself not counted). Rows are independent, so the
+// scan shards across workers with a per-worker distance buffer; the output
+// does not depend on the worker count.
+func coreDistances(points [][]float32, k, workers int) []float64 {
 	n := len(points)
 	if k >= n {
 		k = n - 1
@@ -110,16 +131,17 @@ func coreDistances(points [][]float32, k int) []float64 {
 		k = 1
 	}
 	core := make([]float64, n)
-	dists := make([]float64, n)
-	for i := range points {
-		for j := range points {
-			dists[j] = float64(vec.L2(points[i], points[j]))
+	par.For(n, workers, func(lo, hi int) {
+		dists := make([]float64, n)
+		for i := lo; i < hi; i++ {
+			for j := range points {
+				dists[j] = float64(vec.L2(points[i], points[j]))
+			}
+			dists[i] = math.Inf(1) // exclude self, keeps slice length stable
+			// k-th smallest via partial selection.
+			core[i] = kthSmallest(dists, k)
 		}
-		dists[i] = math.Inf(1) // exclude self, keeps slice length stable
-		// k-th smallest via partial selection.
-		core[i] = kthSmallest(dists, k)
-		dists[i] = 0
-	}
+	})
 	return core
 }
 
@@ -139,7 +161,14 @@ type mstEdge struct {
 
 // mstPrim builds the minimum spanning tree of the complete graph under
 // mutual-reachability distance max(core[a], core[b], d(a,b)).
-func mstPrim(points [][]float32, core []float64) []mstEdge {
+//
+// Each Prim round fuses the relax step and the frontier argmin over a
+// chunk of vertices; chunks shard across workers and the per-chunk minima
+// reduce serially in chunk order with a strict < comparison, reproducing
+// the serial scan's lowest-index tie-break exactly. The relaxed distances
+// themselves are pure per-vertex computations, so the tree is bit-identical
+// at any worker count.
+func mstPrim(points [][]float32, core []float64, workers int) []mstEdge {
 	n := len(points)
 	inTree := make([]bool, n)
 	bestDist := make([]float64, n)
@@ -148,32 +177,45 @@ func mstPrim(points [][]float32, core []float64) []mstEdge {
 		bestDist[i] = math.Inf(1)
 		bestFrom[i] = -1
 	}
+	type cand struct {
+		next int
+		d    float64
+	}
+	chunk := (n + workers - 1) / workers
+	cands := make([]cand, workers)
 	edges := make([]mstEdge, 0, n-1)
 	cur := 0
 	inTree[0] = true
 	for len(edges) < n-1 {
-		// Relax edges from cur.
-		for j := 0; j < n; j++ {
-			if inTree[j] {
-				continue
+		// Relax edges from cur and pick the closest frontier vertex, fused
+		// per chunk.
+		par.For(n, workers, func(lo, hi int) {
+			best, bestD := -1, math.Inf(1)
+			for j := lo; j < hi; j++ {
+				if inTree[j] {
+					continue
+				}
+				d := float64(vec.L2(points[cur], points[j]))
+				if core[cur] > d {
+					d = core[cur]
+				}
+				if core[j] > d {
+					d = core[j]
+				}
+				if d < bestDist[j] {
+					bestDist[j] = d
+					bestFrom[j] = cur
+				}
+				if bestDist[j] < bestD {
+					best, bestD = j, bestDist[j]
+				}
 			}
-			d := float64(vec.L2(points[cur], points[j]))
-			if core[cur] > d {
-				d = core[cur]
-			}
-			if core[j] > d {
-				d = core[j]
-			}
-			if d < bestDist[j] {
-				bestDist[j] = d
-				bestFrom[j] = cur
-			}
-		}
-		// Pick the closest frontier vertex.
+			cands[lo/chunk] = cand{best, bestD}
+		})
 		next, nextD := -1, math.Inf(1)
-		for j := 0; j < n; j++ {
-			if !inTree[j] && bestDist[j] < nextD {
-				next, nextD = j, bestDist[j]
+		for w := 0; w*chunk < n && w < len(cands); w++ {
+			if c := cands[w]; c.next >= 0 && c.d < nextD {
+				next, nextD = c.next, c.d
 			}
 		}
 		if next < 0 {

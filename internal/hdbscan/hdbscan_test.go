@@ -350,3 +350,41 @@ func TestHDBSCANSilhouetteOnItsOwnClusters(t *testing.T) {
 		t.Fatalf("HDBSCAN's own clustering scores silhouette %v", s)
 	}
 }
+
+// TestWorkerCountInvariance pins the determinism contract: the sharded
+// core-distance, Prim and medoid stages must be bit-identical to the serial
+// run for every worker count. Uses > parallelMinPoints points so the
+// parallel gates actually open.
+func TestWorkerCountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var pts [][]float32
+	pts = append(pts, gauss2D(rng, 0, 0, 0.4, 120)...)
+	pts = append(pts, gauss2D(rng, 6, 6, 0.4, 120)...)
+	pts = append(pts, gauss2D(rng, -6, 6, 0.4, 120)...)
+	if len(pts) < parallelMinPoints {
+		t.Fatalf("test corpus too small (%d) to engage the parallel path", len(pts))
+	}
+	base := Cluster(pts, Config{MinClusterSize: 8, Workers: 1})
+	for _, workers := range []int{2, 3, 8} {
+		got := Cluster(pts, Config{MinClusterSize: 8, Workers: workers})
+		if got.NumClusters != base.NumClusters {
+			t.Fatalf("workers=%d: %d clusters, want %d", workers, got.NumClusters, base.NumClusters)
+		}
+		for i := range base.Labels {
+			if got.Labels[i] != base.Labels[i] {
+				t.Fatalf("workers=%d: label[%d] diverged", workers, i)
+			}
+			if got.Probabilities[i] != base.Probabilities[i] {
+				t.Fatalf("workers=%d: probability[%d] not bit-identical", workers, i)
+			}
+		}
+		for c := range base.Medoids {
+			if got.Medoids[c] != base.Medoids[c] {
+				t.Fatalf("workers=%d: medoid[%d] = %d, want %d", workers, c, got.Medoids[c], base.Medoids[c])
+			}
+			if got.Stabilities[c] != base.Stabilities[c] {
+				t.Fatalf("workers=%d: stability[%d] diverged", workers, c)
+			}
+		}
+	}
+}

@@ -95,7 +95,14 @@ func (ix *Index) Len() int {
 func (ix *Index) Add() int32 {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	return ix.addLocked()
+}
 
+// addLocked is the serial insertion body; the caller holds ix.mu. AddBatch
+// with Workers: 1 funnels through this exact path, which is what makes the
+// serial build bit-identical whether items arrive one Add at a time or in
+// one batch.
+func (ix *Index) addLocked() int32 {
 	id := int32(len(ix.nodes))
 	level := ix.randomLevel()
 	ix.nodes = append(ix.nodes, node{neighbors: make([][]int32, level+1)})

@@ -2,12 +2,21 @@
 // float32 vectors. It is the training routine behind the Product
 // Quantization codebooks and is exposed separately because the experiment
 // harness also uses it for diagnostics.
+//
+// Training parallelizes across points (Config.Workers) without giving up
+// determinism: only the embarrassingly-parallel per-point computations —
+// nearest-centroid assignment and the D² updates of the ++ seeding — are
+// sharded, while every floating-point reduction (inertia, centroid sums)
+// runs serially in point order. Results are therefore bit-identical for a
+// fixed seed regardless of worker count, including Workers: 1 versus the
+// historical serial implementation.
 package kmeans
 
 import (
 	"math"
 	"math/rand"
 
+	"semdisco/internal/par"
 	"semdisco/internal/vec"
 )
 
@@ -34,7 +43,14 @@ type Config struct {
 	Tol float64
 	// Seed drives the k-means++ initialization.
 	Seed int64
+	// Workers bounds the parallelism of the assignment and seeding steps.
+	// 0 or 1 runs serially; results do not depend on the value.
+	Workers int
 }
+
+// parallelMinPoints gates the sharded paths: below this the goroutine
+// fan-out costs more than the distance arithmetic it spreads.
+const parallelMinPoints = 256
 
 // Run clusters points (each of equal dimension) into cfg.K groups.
 // If there are fewer distinct points than K, surplus centroids duplicate
@@ -52,12 +68,19 @@ func Run(points [][]float32, cfg Config) Result {
 	if cfg.Tol == 0 {
 		cfg.Tol = 1e-4
 	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if len(points) < parallelMinPoints {
+		workers = 1
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	k := cfg.K
 	if k > len(points) {
 		k = len(points)
 	}
-	centroids := seedPlusPlus(points, k, rng)
+	centroids := seedPlusPlus(points, k, rng, workers)
 	// Pad duplicated centroids if the caller asked for more clusters than
 	// points; keeps downstream code simple (always exactly cfg.K entries).
 	for len(centroids) < cfg.K {
@@ -65,23 +88,36 @@ func Run(points [][]float32, cfg Config) Result {
 	}
 
 	assign := make([]int, len(points))
+	bestD := make([]float32, len(points))
 	counts := make([]int, cfg.K)
 	prevInertia := math.Inf(1)
 	var inertia float64
 	iter := 0
 	for ; iter < cfg.MaxIter; iter++ {
-		inertia = 0
-		for i, p := range points {
-			best, bestD := 0, float32(math.MaxFloat32)
-			for c, cent := range centroids {
-				if d := vec.L2Sq(p, cent); d < bestD {
-					best, bestD = c, d
+		// Assignment: each point's nearest centroid is independent, so the
+		// scan shards freely; per-point distances land in bestD and the
+		// inertia reduction below runs in point order, keeping the float64
+		// sum identical to the serial loop.
+		par.For(len(points), workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				p := points[i]
+				best, d := 0, float32(math.MaxFloat32)
+				for c, cent := range centroids {
+					if dc := vec.L2Sq(p, cent); dc < d {
+						best, d = c, dc
+					}
 				}
+				assign[i] = best
+				bestD[i] = d
 			}
-			assign[i] = best
-			inertia += float64(bestD)
+		})
+		inertia = 0
+		for i := range points {
+			inertia += float64(bestD[i])
 		}
-		// Recompute centroids.
+		// Recompute centroids. Serial in point order: the accumulation
+		// order defines the float32 rounding, and O(n·dim) is negligible
+		// next to the O(n·k·dim) assignment above.
 		dim := len(points[0])
 		sums := make([][]float32, cfg.K)
 		for c := range sums {
@@ -112,13 +148,17 @@ func Run(points [][]float32, cfg Config) Result {
 }
 
 // seedPlusPlus picks k starting centroids with the k-means++ D² weighting.
-func seedPlusPlus(points [][]float32, k int, rng *rand.Rand) [][]float32 {
+// The per-point distance updates shard across workers; the weighted pick
+// itself scans d2 serially, so the draw sequence matches the serial code.
+func seedPlusPlus(points [][]float32, k int, rng *rand.Rand, workers int) [][]float32 {
 	centroids := make([][]float32, 0, k)
 	centroids = append(centroids, vec.Clone(points[rng.Intn(len(points))]))
 	d2 := make([]float64, len(points))
-	for i, p := range points {
-		d2[i] = float64(vec.L2Sq(p, centroids[0]))
-	}
+	par.For(len(points), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d2[i] = float64(vec.L2Sq(points[i], centroids[0]))
+		}
+	})
 	for len(centroids) < k {
 		var total float64
 		for _, d := range d2 {
@@ -141,11 +181,13 @@ func seedPlusPlus(points [][]float32, k int, rng *rand.Rand) [][]float32 {
 		}
 		c := vec.Clone(points[next])
 		centroids = append(centroids, c)
-		for i, p := range points {
-			if d := float64(vec.L2Sq(p, c)); d < d2[i] {
-				d2[i] = d
+		par.For(len(points), workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if d := float64(vec.L2Sq(points[i], c)); d < d2[i] {
+					d2[i] = d
+				}
 			}
-		}
+		})
 	}
 	return centroids
 }

@@ -2,6 +2,7 @@ package kmeans
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"semdisco/internal/vec"
@@ -120,6 +121,58 @@ func TestPanicsOnBadInput(t *testing.T) {
 	mustPanic("K=0", func() { Run([][]float32{{1}}, Config{K: 0}) })
 	mustPanic("empty", func() { Run(nil, Config{K: 1}) })
 }
+
+// TestWorkerCountInvariance pins the determinism contract: for a fixed
+// seed the result must be bit-identical for every worker count, because
+// only per-point computations are sharded and every float reduction runs
+// serially in point order. Uses > parallelMinPoints points so the sharded
+// paths actually engage.
+func TestWorkerCountInvariance(t *testing.T) {
+	pts := blobs([][]float32{{0, 0, 0}, {6, 6, 6}, {-6, 6, 0}, {0, -6, 6}}, 120, 1.5, 11)
+	if len(pts) < parallelMinPoints {
+		t.Fatalf("test corpus too small (%d) to engage the parallel path", len(pts))
+	}
+	base := Run(pts, Config{K: 16, Seed: 11, Workers: 1})
+	for _, workers := range []int{2, 3, 8} {
+		got := Run(pts, Config{K: 16, Seed: 11, Workers: workers})
+		if got.Inertia != base.Inertia || got.Iterations != base.Iterations {
+			t.Fatalf("workers=%d: inertia %v iters %d, want %v / %d",
+				workers, got.Inertia, got.Iterations, base.Inertia, base.Iterations)
+		}
+		for i := range base.Assignment {
+			if got.Assignment[i] != base.Assignment[i] {
+				t.Fatalf("workers=%d: assignment[%d] diverged", workers, i)
+			}
+		}
+		for c := range base.Centroids {
+			for d := range base.Centroids[c] {
+				if got.Centroids[c][d] != base.Centroids[c][d] {
+					t.Fatalf("workers=%d: centroid %d dim %d not bit-identical", workers, c, d)
+				}
+			}
+		}
+	}
+}
+
+func benchKMeans(b *testing.B, workers int) {
+	rng := rand.New(rand.NewSource(21))
+	pts := make([][]float32, 2048)
+	for i := range pts {
+		v := make([]float32, 32)
+		for d := range v {
+			v[d] = rng.Float32()
+		}
+		pts[i] = v
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(pts, Config{K: 64, Seed: 21, MaxIter: 10, Workers: workers})
+	}
+}
+
+func BenchmarkRunSerial(b *testing.B)   { benchKMeans(b, 1) }
+func BenchmarkRunParallel(b *testing.B) { benchKMeans(b, runtime.GOMAXPROCS(0)) }
 
 func TestAssignmentIsNearest(t *testing.T) {
 	pts := blobs([][]float32{{0, 0}, {8, 8}}, 40, 1.0, 7)

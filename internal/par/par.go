@@ -1,0 +1,94 @@
+// Package par provides the small data-parallel primitives the index-build
+// pipeline is parallelized with: a chunked parallel-for over contiguous
+// ranges and a dynamic work queue for uneven job sizes.
+//
+// The primitives are deliberately deterministic-friendly: For always splits
+// [0, n) into the same contiguous chunks for a given worker count, and both
+// helpers degrade to a plain serial loop when workers <= 1 — which is what
+// lets callers promise bit-identical results for Workers: 1 builds.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: values <= 0 mean "use every core"
+// (GOMAXPROCS), anything else is taken as-is.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For splits [0, n) into up to `workers` contiguous chunks and runs fn on
+// each concurrently. fn must only write state owned by its [lo, hi) range;
+// chunk boundaries are a pure function of n and workers, so shard-local
+// writes are reproducible. workers <= 1 (or tiny n) runs fn(0, n) inline.
+func For(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Each runs fn(i) for every i in [0, n) on a pool of `workers` goroutines
+// pulling jobs from a shared atomic counter — the right shape when job
+// sizes are skewed (e.g. one HNSW graph per CTS cluster, where cluster
+// sizes follow a long tail). workers <= 1 runs serially in index order.
+func Each(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,69 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("explicit worker count must pass through")
+	}
+	if Workers(0) < 1 || Workers(-5) < 1 {
+		t.Fatal("non-positive counts must resolve to >= 1")
+	}
+}
+
+func TestForCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 64} {
+		n := 1000
+		hits := make([]int32, n)
+		For(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndTiny(t *testing.T) {
+	For(0, 4, func(lo, hi int) { t.Fatal("fn called for n=0") })
+	called := 0
+	For(1, 8, func(lo, hi int) {
+		called++
+		if lo != 0 || hi != 1 {
+			t.Fatalf("bad range [%d,%d)", lo, hi)
+		}
+	})
+	if called != 1 {
+		t.Fatalf("fn called %d times", called)
+	}
+}
+
+func TestEachCoversAllJobsOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 16} {
+		n := 500
+		hits := make([]int32, n)
+		Each(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestEachSerialOrder(t *testing.T) {
+	var order []int
+	Each(10, 1, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial Each out of order: %v", order)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"semdisco/internal/kmeans"
+	"semdisco/internal/par"
 	"semdisco/internal/vec"
 )
 
@@ -42,6 +43,12 @@ type Config struct {
 	Seed int64
 	// MaxIter caps k-means iterations per subspace. Defaults to 15.
 	MaxIter int
+	// Workers bounds training parallelism. The M subspaces train
+	// independently (each with its own derived seed), so training is
+	// sharded across them; when there are fewer subspaces than workers the
+	// surplus flows into each subspace's k-means. Results are identical
+	// for every worker count. 0 or 1 trains serially.
+	Workers int
 }
 
 // Train builds a quantizer from a sample of vectors. All vectors must share
@@ -84,21 +91,34 @@ func Train(sample [][]float32, cfg Config) (*Quantizer, error) {
 	if maxIter == 0 {
 		maxIter = 15
 	}
+	for i, v := range sample {
+		if len(v) != dim {
+			return nil, fmt.Errorf("pq: vector %d has dim %d, want %d", i, len(v), dim)
+		}
+	}
 	subDim := dim / m
 	q := &Quantizer{dim: dim, m: m, k: k, subDim: subDim,
 		codebooks: make([][][]float32, m)}
-	sub := make([][]float32, len(sample))
-	for s := 0; s < m; s++ {
+	workers := par.Workers(cfg.Workers)
+	// The M subquantizers are independent k-means problems with disjoint
+	// seeds, so they shard across workers directly; leftover parallelism
+	// (workers > M) is handed to each subspace's k-means, whose result is
+	// worker-count-invariant — either way the codebooks come out identical.
+	innerWorkers := 1
+	if m < workers {
+		innerWorkers = workers
+	}
+	par.Each(m, workers, func(s int) {
 		lo := s * subDim
+		sub := make([][]float32, len(sample))
 		for i, v := range sample {
-			if len(v) != dim {
-				return nil, fmt.Errorf("pq: vector %d has dim %d, want %d", i, len(v), dim)
-			}
 			sub[i] = v[lo : lo+subDim]
 		}
-		res := kmeans.Run(sub, kmeans.Config{K: k, Seed: cfg.Seed + int64(s), MaxIter: maxIter})
+		res := kmeans.Run(sub, kmeans.Config{
+			K: k, Seed: cfg.Seed + int64(s), MaxIter: maxIter, Workers: innerWorkers,
+		})
 		q.codebooks[s] = res.Centroids
-	}
+	})
 	return q, nil
 }
 
@@ -213,10 +233,12 @@ type SDC struct {
 	tables [][]float32 // tables[s][ci*k+cj]
 }
 
-// SDCTables precomputes the symmetric tables; cost O(M·K²·subDim).
+// SDCTables precomputes the symmetric tables; cost O(M·K²·subDim), sharded
+// across subspaces (each table is independent, so the output is identical
+// at any parallelism).
 func (q *Quantizer) SDCTables() *SDC {
 	s := &SDC{k: q.k, tables: make([][]float32, q.m)}
-	for sub := 0; sub < q.m; sub++ {
+	par.Each(q.m, par.Workers(0), func(sub int) {
 		t := make([]float32, q.k*q.k)
 		for i := 0; i < q.k; i++ {
 			for j := i + 1; j < q.k; j++ {
@@ -226,7 +248,7 @@ func (q *Quantizer) SDCTables() *SDC {
 			}
 		}
 		s.tables[sub] = t
-	}
+	})
 	return s
 }
 

@@ -294,3 +294,30 @@ func TestSDCSelfDistanceZero(t *testing.T) {
 		t.Fatalf("self distance %v", d)
 	}
 }
+
+// TestTrainWorkerCountInvariance pins the training determinism contract:
+// the M subquantizers use disjoint derived seeds and k-means itself is
+// worker-count-invariant, so the codebooks must come out bit-identical no
+// matter how training was sharded.
+func TestTrainWorkerCountInvariance(t *testing.T) {
+	sample := randomUnitVecs(400, 32, 13)
+	base, err := Train(sample, Config{M: 4, K: 16, Seed: 13, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		q, err := Train(sample, Config{M: 4, K: 16, Seed: 13, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range base.codebooks {
+			for c := range base.codebooks[s] {
+				for d := range base.codebooks[s][c] {
+					if q.codebooks[s][c][d] != base.codebooks[s][c][d] {
+						t.Fatalf("workers=%d: codebook[%d][%d][%d] not bit-identical", workers, s, c, d)
+					}
+				}
+			}
+		}
+	}
+}

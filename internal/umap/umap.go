@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"semdisco/internal/hnsw"
+	"semdisco/internal/par"
 	"semdisco/internal/vec"
 )
 
@@ -40,6 +41,13 @@ type Config struct {
 	// ExactKNNThreshold: inputs up to this size use exact O(n²) kNN, larger
 	// ones use an HNSW approximation. Defaults to 3000.
 	ExactKNNThreshold int
+	// Workers bounds build parallelism. 0 or 1 runs the historical serial
+	// pipeline, bit-identical for a fixed seed. With 2+ workers the kNN
+	// graph construction shards across points and the SGD runs lock-free
+	// Hogwild-style over edge shards, so the embedding varies slightly
+	// between runs (as with every parallel UMAP); cluster structure is
+	// preserved and asserted by the package tests.
+	Workers int
 }
 
 func (c *Config) fill(n int) {
@@ -85,17 +93,28 @@ func Fit(points [][]float32, cfg Config) [][]float32 {
 		k = n - 1
 	}
 
-	knnIdx, knnDist := knnGraph(points, k, cfg.ExactKNNThreshold, cfg.Seed)
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	knnIdx, knnDist := knnGraph(points, k, cfg.ExactKNNThreshold, cfg.Seed, workers)
 	rows, cols, weights := fuzzySimplicialSet(knnIdx, knnDist)
 	emb := randomProjectionInit(points, cfg.NComponents, cfg.Seed)
 	a, b := fitAB(1.0, float64(cfg.MinDist))
-	optimize(emb, rows, cols, weights, cfg, float32(a), float32(b))
+	if workers > 1 {
+		optimizeParallel(emb, rows, cols, weights, cfg, float32(a), float32(b), workers)
+	} else {
+		optimize(emb, rows, cols, weights, cfg, float32(a), float32(b))
+	}
 	return emb
 }
 
 // knnGraph returns, for each point, the indices and distances of its k
-// nearest neighbours (self excluded).
-func knnGraph(points [][]float32, k, exactThreshold int, seed int64) (idx [][]int32, dist [][]float32) {
+// nearest neighbours (self excluded). Rows are independent, so both the
+// exact and the query phase of the approximate path shard across workers
+// without changing the result; only the HNSW construction itself depends
+// on insert order when built concurrently.
+func knnGraph(points [][]float32, k, exactThreshold int, seed int64, workers int) (idx [][]int32, dist [][]float32) {
 	n := len(points)
 	idx = make([][]int32, n)
 	dist = make([][]float32, n)
@@ -104,57 +123,59 @@ func knnGraph(points [][]float32, k, exactThreshold int, seed int64) (idx [][]in
 			id int32
 			d  float32
 		}
-		buf := make([]nd, 0, n)
-		for i := range points {
-			buf = buf[:0]
-			for j := range points {
-				if i == j {
-					continue
+		par.For(n, workers, func(lo, hi int) {
+			buf := make([]nd, 0, n)
+			for i := lo; i < hi; i++ {
+				buf = buf[:0]
+				for j := range points {
+					if i == j {
+						continue
+					}
+					buf = append(buf, nd{int32(j), vec.L2(points[i], points[j])})
 				}
-				buf = append(buf, nd{int32(j), vec.L2(points[i], points[j])})
-			}
-			sort.Slice(buf, func(a, b int) bool {
-				if buf[a].d != buf[b].d {
-					return buf[a].d < buf[b].d
+				sort.Slice(buf, func(a, b int) bool {
+					if buf[a].d != buf[b].d {
+						return buf[a].d < buf[b].d
+					}
+					return buf[a].id < buf[b].id
+				})
+				m := k
+				if m > len(buf) {
+					m = len(buf)
 				}
-				return buf[a].id < buf[b].id
-			})
-			m := k
-			if m > len(buf) {
-				m = len(buf)
+				idx[i] = make([]int32, m)
+				dist[i] = make([]float32, m)
+				for t := 0; t < m; t++ {
+					idx[i][t] = buf[t].id
+					dist[i][t] = buf[t].d
+				}
 			}
-			idx[i] = make([]int32, m)
-			dist[i] = make([]float32, m)
-			for t := 0; t < m; t++ {
-				idx[i][t] = buf[t].id
-				dist[i][t] = buf[t].d
-			}
-		}
+		})
 		return idx, dist
 	}
 	// Approximate path: build an HNSW over the points.
 	ix := hnsw.New(hnsw.Config{M: 16, EfConstruction: 100, Seed: seed}, func(a, b int32) float32 {
 		return vec.L2Sq(points[a], points[b])
 	})
-	for range points {
-		ix.Add()
-	}
-	for i := range points {
-		self := int32(i)
-		res := ix.Search(func(id int32) float32 {
-			return vec.L2Sq(points[i], points[id])
-		}, k+1, 2*(k+1), func(id int32) bool { return id != self })
-		m := len(res)
-		if m > k {
-			m = k
+	ix.AddBatch(n, workers)
+	par.For(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			self := int32(i)
+			res := ix.Search(func(id int32) float32 {
+				return vec.L2Sq(points[i], points[id])
+			}, k+1, 2*(k+1), func(id int32) bool { return id != self })
+			m := len(res)
+			if m > k {
+				m = k
+			}
+			idx[i] = make([]int32, m)
+			dist[i] = make([]float32, m)
+			for t := 0; t < m; t++ {
+				idx[i][t] = res[t].ID
+				dist[i][t] = float32(math.Sqrt(float64(res[t].Dist)))
+			}
 		}
-		idx[i] = make([]int32, m)
-		dist[i] = make([]float32, m)
-		for t := 0; t < m; t++ {
-			idx[i][t] = res[t].ID
-			dist[i][t] = float32(math.Sqrt(float64(res[t].Dist)))
-		}
-	}
+	})
 	return idx, dist
 }
 

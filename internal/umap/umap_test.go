@@ -300,3 +300,40 @@ func TestTransformExactTrainingPoint(t *testing.T) {
 		t.Fatalf("self transform too far: %v vs %v", emb, own)
 	}
 }
+
+// TestParallelFitPreservesClusterStructure exercises the Hogwild SGD and
+// sharded kNN path: the parallel embedding is not bit-reproducible, but it
+// must keep the same cluster structure the serial path does. Run under
+// -race this doubles as the data-race check for the CAS embedding buffer.
+func TestParallelFitPreservesClusterStructure(t *testing.T) {
+	pts, labels := clusters(4, 40, 32, 1)
+	emb := Fit(pts, Config{NComponents: 4, NNeighbors: 10, NEpochs: 100, Seed: 1, Workers: 4})
+	if len(emb) != len(pts) || len(emb[0]) != 4 {
+		t.Fatalf("shape %dx%d", len(emb), len(emb[0]))
+	}
+	for i := range emb {
+		for _, x := range emb[i] {
+			if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+				t.Fatalf("non-finite coordinate at %d", i)
+			}
+		}
+	}
+	purity := neighborPurity(emb, labels)
+	if purity < 0.9 {
+		t.Fatalf("parallel neighbor purity %.3f < 0.9", purity)
+	}
+}
+
+// TestParallelApproxKNNPath drives Workers > 1 through the HNSW-approximate
+// kNN branch (threshold forced below n).
+func TestParallelApproxKNNPath(t *testing.T) {
+	pts, labels := clusters(3, 50, 24, 6)
+	emb := Fit(pts, Config{
+		NComponents: 4, NNeighbors: 10, NEpochs: 80, Seed: 6,
+		ExactKNNThreshold: 10, Workers: 4,
+	})
+	purity := neighborPurity(emb, labels)
+	if purity < 0.85 {
+		t.Fatalf("parallel approx-kNN purity %.3f < 0.85", purity)
+	}
+}

@@ -251,6 +251,53 @@ func TestWorstScore(t *testing.T) {
 	}
 }
 
+// TestDotMatchesFloat64Reference checks the unrolled kernel against a plain
+// float64 accumulation across lengths that exercise every tail case of the
+// 8-wide loop (0..9 plus larger odd sizes).
+func TestDotMatchesFloat64Reference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lengths := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 63, 64, 65, 192, 768, 1001}
+	for _, n := range lengths {
+		a := make([]float32, n)
+		b := make([]float32, n)
+		var ref float64
+		for i := range a {
+			a[i] = rng.Float32()*2 - 1
+			b[i] = rng.Float32()*2 - 1
+			ref += float64(a[i]) * float64(b[i])
+		}
+		got := Dot(a, b)
+		// float32 accumulation error grows with n; 1e-4 relative slack on
+		// unit-scale inputs is far above what reordering can introduce.
+		tol := 1e-4 * (1 + math.Abs(ref))
+		if math.Abs(float64(got)-ref) > tol {
+			t.Fatalf("n=%d Dot=%v float64 ref=%v", n, got, ref)
+		}
+	}
+}
+
+// TestL2SqMatchesFloat64Reference is the same reference check for L2Sq.
+func TestL2SqMatchesFloat64Reference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	lengths := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 63, 64, 65, 192, 768, 1001}
+	for _, n := range lengths {
+		a := make([]float32, n)
+		b := make([]float32, n)
+		var ref float64
+		for i := range a {
+			a[i] = rng.Float32()*2 - 1
+			b[i] = rng.Float32()*2 - 1
+			d := float64(a[i]) - float64(b[i])
+			ref += d * d
+		}
+		got := L2Sq(a, b)
+		tol := 1e-4 * (1 + math.Abs(ref))
+		if math.Abs(float64(got)-ref) > tol {
+			t.Fatalf("n=%d L2Sq=%v float64 ref=%v", n, got, ref)
+		}
+	}
+}
+
 func BenchmarkDot768(b *testing.B) {
 	x := make([]float32, 768)
 	y := make([]float32, 768)
@@ -261,5 +308,44 @@ func BenchmarkDot768(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = Dot(x, y)
+	}
+}
+
+func BenchmarkDot192(b *testing.B) {
+	x := make([]float32, 192)
+	y := make([]float32, 192)
+	for i := range x {
+		x[i] = float32(i) * 0.001
+		y[i] = float32(192-i) * 0.001
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Dot(x, y)
+	}
+}
+
+func BenchmarkL2Sq768(b *testing.B) {
+	x := make([]float32, 768)
+	y := make([]float32, 768)
+	for i := range x {
+		x[i] = float32(i) * 0.001
+		y[i] = float32(768-i) * 0.001
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = L2Sq(x, y)
+	}
+}
+
+func BenchmarkL2Sq192(b *testing.B) {
+	x := make([]float32, 192)
+	y := make([]float32, 192)
+	for i := range x {
+		x[i] = float32(i) * 0.001
+		y[i] = float32(192-i) * 0.001
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = L2Sq(x, y)
 	}
 }

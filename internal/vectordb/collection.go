@@ -10,6 +10,7 @@ import (
 
 	"semdisco/internal/hnsw"
 	"semdisco/internal/obs"
+	"semdisco/internal/par"
 	"semdisco/internal/pq"
 	"semdisco/internal/vec"
 )
@@ -66,6 +67,12 @@ type CollectionConfig struct {
 	Seed int64
 	// PQ, when non-nil, compresses vectors once TrainSize points arrived.
 	PQ *PQConfig
+	// Workers bounds the parallelism of InsertBatch and PQ training. 0 or 1
+	// runs serially; batch inserts are then bit-identical to the equivalent
+	// sequence of Insert calls. With 2+ workers the HNSW graph shape depends
+	// on insert interleaving (quality is asserted by the graph stats probe),
+	// while PQ codebooks and codes stay worker-count-invariant.
+	Workers int
 }
 
 // Result is one search hit.
@@ -220,11 +227,124 @@ func (c *Collection) Insert(vector []float32, payload map[string]string) (uint64
 	return id, nil
 }
 
+// InsertBatch adds many vectors at once and returns their assigned ids in
+// input order. payloads may be nil, or must have one entry per vector.
+//
+// It is semantically the same as calling Insert per vector — PQ training
+// still triggers on exactly the first TrainSize stored vectors, and graph
+// edges created before training use raw distances while later ones use the
+// SDC tables, exactly as the incremental path does. With cfg.Workers 0 or
+// 1 the resulting collection is bit-identical to the Insert loop; with 2+
+// workers the clone/normalize and PQ-encode steps shard across workers and
+// the HNSW inserts run concurrently.
+func (c *Collection) InsertBatch(vectors [][]float32, payloads []map[string]string) ([]uint64, error) {
+	if payloads != nil && len(payloads) != len(vectors) {
+		return nil, fmt.Errorf("vectordb: %d payloads for %d vectors", len(payloads), len(vectors))
+	}
+	for i, v := range vectors {
+		if len(v) != c.cfg.Dim {
+			return nil, fmt.Errorf("vectordb: vector %d dim %d, want %d", i, len(v), c.cfg.Dim)
+		}
+	}
+	workers := c.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	vs := make([][]float32, len(vectors))
+	pls := make([]map[string]string, len(vectors))
+	par.For(len(vectors), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := vec.Clone(vectors[i])
+			if c.cfg.Metric == Cosine {
+				vec.Normalize(v)
+			}
+			vs[i] = v
+			if payloads != nil {
+				pls[i] = clonePayload(payloads[i])
+			}
+		}
+	})
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	startSlot := len(c.ids)
+	ids := make([]uint64, len(vs))
+
+	// encodePendingLocked fills the codes of rows appended after the
+	// quantizer existed (left nil by the append loop). Encode is pure, so
+	// sharding it does not change the bytes.
+	encodePendingLocked := func() {
+		if c.quantizer == nil {
+			return
+		}
+		lo := c.index.Len()
+		par.For(len(c.ids)-lo, workers, func(a, b int) {
+			for off := a; off < b; off++ {
+				slot := lo + off
+				if c.codes[slot] == nil && c.vectors[slot] == nil {
+					c.codes[slot] = c.quantizer.Encode(vs[slot-startSlot])
+				}
+			}
+		})
+	}
+	// flushGraphLocked inserts every appended-but-unindexed row into the
+	// HNSW graph.
+	flushGraphLocked := func() {
+		pending := len(c.ids) - c.index.Len()
+		if pending == 0 {
+			return
+		}
+		encodePendingLocked()
+		first := c.index.AddBatch(pending, workers)
+		for slot := int(first); slot < len(c.ids); slot++ {
+			c.byID[c.ids[slot]] = int32(slot)
+		}
+	}
+
+	for i := range vs {
+		if c.quantizer == nil && c.cfg.PQ != nil && len(c.vectors)+1 >= c.cfg.PQ.TrainSize {
+			// The next append triggers PQ training, which flips itemDist
+			// from raw to SDC distances. Rows appended so far must enter
+			// the graph first, under the distances the serial Insert loop
+			// gave them.
+			flushGraphLocked()
+		}
+		ids[i] = c.nextID
+		c.nextID++
+		c.ids = append(c.ids, ids[i])
+		c.payloads = append(c.payloads, pls[i])
+		if c.quantizer != nil {
+			c.vectors = append(c.vectors, nil)
+			c.codes = append(c.codes, nil) // encoded in bulk at flush time
+		} else {
+			c.vectors = append(c.vectors, vs[i])
+			if c.codes != nil {
+				c.codes = append(c.codes, nil)
+			}
+			if c.cfg.PQ != nil && len(c.vectors) >= c.cfg.PQ.TrainSize {
+				if err := c.trainPQLocked(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	flushGraphLocked()
+	c.obsInserts.Add(int64(len(vs)))
+	return ids, nil
+}
+
 // trainPQLocked trains the quantizer on the buffered raw vectors, encodes
-// them, and drops raw storage. Caller holds the write lock.
+// them, and drops raw storage. Caller holds the write lock. Training and
+// encoding shard across cfg.Workers; both are worker-count-invariant, so
+// the codebooks and codes match the serial run exactly.
 func (c *Collection) trainPQLocked() error {
+	workers := c.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	start := time.Now()
-	q, err := pq.Train(c.vectors, pq.Config{M: c.cfg.PQ.M, K: c.cfg.PQ.K, Seed: c.cfg.Seed})
+	q, err := pq.Train(c.vectors, pq.Config{M: c.cfg.PQ.M, K: c.cfg.PQ.K, Seed: c.cfg.Seed, Workers: workers})
 	if err != nil {
 		return fmt.Errorf("vectordb: PQ training: %w", err)
 	}
@@ -232,10 +352,12 @@ func (c *Collection) trainPQLocked() error {
 	c.quantizer = q
 	c.sdc = q.SDCTables()
 	c.codes = make([][]byte, len(c.vectors))
-	for i, v := range c.vectors {
-		c.codes[i] = q.Encode(v)
-		c.vectors[i] = nil
-	}
+	par.For(len(c.vectors), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c.codes[i] = q.Encode(c.vectors[i])
+			c.vectors[i] = nil
+		}
+	})
 	return nil
 }
 

@@ -525,3 +525,161 @@ func TestScrollAndCount(t *testing.T) {
 		t.Fatal("limit 0 must return nil")
 	}
 }
+
+// TestInsertBatchSerialMatchesInsertLoop pins the Workers <= 1 determinism
+// contract for batch inserts, across the PQ training boundary: same ids,
+// same codes, same graph as the equivalent Insert loop.
+func TestInsertBatchSerialMatchesInsertLoop(t *testing.T) {
+	const (
+		dim = 16
+		n   = 120
+	)
+	cfg := CollectionConfig{
+		Dim: dim, M: 8, EfConstruction: 40, Seed: 9,
+		PQ: &PQConfig{M: 4, K: 16, TrainSize: 64},
+	}
+	rng := rand.New(rand.NewSource(9))
+	vecs := make([][]float32, n)
+	pays := make([]map[string]string, n)
+	for i := range vecs {
+		vecs[i] = randUnit(dim, rng)
+		pays[i] = map[string]string{"i": fmt.Sprint(i)}
+	}
+
+	serial := New()
+	cs, _ := serial.CreateCollection("c", cfg)
+	for i := range vecs {
+		if _, err := cs.Insert(vecs[i], pays[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batched := New()
+	cb, _ := batched.CreateCollection("c", cfg)
+	ids, err := cb.InsertBatch(vecs, pays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != n {
+		t.Fatalf("got %d ids", len(ids))
+	}
+	for i, id := range ids {
+		if id != uint64(i) {
+			t.Fatalf("id[%d] = %d", i, id)
+		}
+	}
+	if cs.quantizer == nil || cb.quantizer == nil {
+		t.Fatal("PQ must have trained in both paths")
+	}
+	for slot := range cs.codes {
+		if !bytes.Equal(cs.codes[slot], cb.codes[slot]) {
+			t.Fatalf("codes[%d] diverged", slot)
+		}
+	}
+	for l := 0; l <= cs.index.MaxLevel(); l++ {
+		ga, gb := cs.index.Graph(l), cb.index.Graph(l)
+		if len(ga) != len(gb) {
+			t.Fatalf("layer %d: %d vs %d nodes", l, len(ga), len(gb))
+		}
+		for id, nbs := range ga {
+			got := gb[id]
+			if len(got) != len(nbs) {
+				t.Fatalf("layer %d node %d: degree %d vs %d", l, id, len(got), len(nbs))
+			}
+			for i := range nbs {
+				if nbs[i] != got[i] {
+					t.Fatalf("layer %d node %d: adjacency diverged", l, id)
+				}
+			}
+		}
+	}
+	// Both must answer searches identically.
+	q := randUnit(dim, rng)
+	ra, _ := cs.Search(q, 5, 0, nil)
+	rb, _ := cb.Search(q, 5, 0, nil)
+	if len(ra) != len(rb) {
+		t.Fatalf("result counts %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].ID != rb[i].ID || ra[i].Score != rb[i].Score {
+			t.Fatalf("result %d diverged: %v vs %v", i, ra[i], rb[i])
+		}
+	}
+}
+
+// TestInsertBatchParallel exercises the concurrent construction path end to
+// end: graph intact (fully reachable), PQ trained, searches work, and the
+// codes match the serial run (encode is worker-count-invariant).
+func TestInsertBatchParallel(t *testing.T) {
+	const (
+		dim = 16
+		n   = 400
+	)
+	cfg := CollectionConfig{
+		Dim: dim, M: 8, EfConstruction: 60, Seed: 4,
+		PQ:      &PQConfig{M: 4, K: 16, TrainSize: 128},
+		Workers: 4,
+	}
+	rng := rand.New(rand.NewSource(4))
+	vecs := make([][]float32, n)
+	for i := range vecs {
+		vecs[i] = randUnit(dim, rng)
+	}
+	db := New()
+	c, _ := db.CreateCollection("c", cfg)
+	ids, err := c.InsertBatch(vecs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != n || c.Len() != n {
+		t.Fatalf("ids=%d len=%d", len(ids), c.Len())
+	}
+	st := c.GraphStats()
+	if st.ReachableFraction != 1.0 {
+		t.Fatalf("reachable fraction %v after parallel batch insert", st.ReachableFraction)
+	}
+	if c.quantizer == nil {
+		t.Fatal("PQ must have trained")
+	}
+	serialCfg := cfg
+	serialCfg.Workers = 1
+	sdb := New()
+	sc, _ := sdb.CreateCollection("c", serialCfg)
+	if _, err := sc.InsertBatch(vecs, nil); err != nil {
+		t.Fatal(err)
+	}
+	for slot := range sc.codes {
+		if !bytes.Equal(sc.codes[slot], c.codes[slot]) {
+			t.Fatalf("codes[%d] depend on worker count", slot)
+		}
+	}
+	res, err := c.Search(vecs[17], 3, 0, nil)
+	if err != nil || len(res) == 0 {
+		t.Fatalf("search after parallel build: res=%v err=%v", res, err)
+	}
+}
+
+// TestInsertBatchValidation covers the error paths.
+func TestInsertBatchValidation(t *testing.T) {
+	db := New()
+	c, _ := db.CreateCollection("c", CollectionConfig{Dim: 4})
+	if _, err := c.InsertBatch([][]float32{{1, 2}}, nil); err == nil {
+		t.Fatal("dim mismatch must fail")
+	}
+	if _, err := c.InsertBatch([][]float32{{1, 2, 3, 4}}, []map[string]string{{}, {}}); err == nil {
+		t.Fatal("payload count mismatch must fail")
+	}
+	ids, err := c.InsertBatch(nil, nil)
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("empty batch: %v %v", ids, err)
+	}
+	// Batch then single insert must compose.
+	if _, err := c.InsertBatch([][]float32{{1, 0, 0, 0}, {0, 1, 0, 0}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert([]float32{0, 0, 1, 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len=%d", c.Len())
+	}
+}
