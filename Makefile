@@ -1,7 +1,7 @@
 GO ?= go
 CORPUS ?= wikitables
 
-.PHONY: build vet test race check bench-smoke bench-json
+.PHONY: build vet test race race-cluster check bench-smoke bench-json
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race pass over the scatter-gather layer: the cluster router's
+# concurrent fan-out, hedging and cache invalidation, plus the LRU it
+# shares. Fast enough to run on every change to either package.
+race-cluster:
+	$(GO) test -race ./internal/cluster/... ./internal/cache/...
+
 check: vet race
 
 # One-iteration pass over every microbenchmark (HNSW build, k-means, vector
@@ -24,6 +30,7 @@ check: vet race
 # the cost of real measurement.
 bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/...
+	$(GO) run ./cmd/semdisco-bench -corpus $(CORPUS) -scale 0.05 -dim 96 -train=false -shards 2 -json /dev/null
 
 # Machine-readable benchmark report (build time, latency quantiles,
 # MAP/NDCG) for the selected corpus profile, written to BENCH_$(CORPUS).json

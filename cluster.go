@@ -1,0 +1,442 @@
+package semdisco
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"semdisco/internal/cluster"
+	"semdisco/internal/core"
+	"semdisco/internal/embed"
+	"semdisco/internal/obs"
+	"semdisco/internal/text"
+)
+
+// ShardPolicy selects how relations are partitioned across shards.
+type ShardPolicy = cluster.Policy
+
+const (
+	// ShardByHash assigns relations by a stable hash of their ID.
+	ShardByHash = cluster.PolicyHash
+	// ShardRoundRobin deals relations out evenly and routes later Adds to
+	// the smallest shard.
+	ShardRoundRobin = cluster.PolicyRoundRobin
+)
+
+// ClusterResult is a federated query answer: the merged top-k plus the
+// degradation metadata (which shards failed, whether hedges launched,
+// whether the answer came from cache).
+type ClusterResult = cluster.Result
+
+// ClusterStats is a Cluster's health snapshot: per-shard counters and
+// latency quantiles, cache effectiveness, degradation counts.
+type ClusterStats = cluster.Stats
+
+// ShardStats is one shard's slice of ClusterStats.
+type ShardStats = cluster.ShardStats
+
+// ClusterConfig parameterizes NewCluster. The embedded Config applies to
+// every shard's engine; all shards share one encoder whose IDF statistics
+// come from the full federation, so a query vector is identical no matter
+// which shard scores it.
+type ClusterConfig struct {
+	Config
+	// Shards is the partition count; default 4.
+	Shards int
+	// Policy selects the partitioning scheme; default ShardByHash.
+	Policy ShardPolicy
+	// Slack widens each shard's fetch to k+Slack before the merge;
+	// default 8.
+	Slack int
+	// ShardTimeout bounds each shard's search; an expired shard is cut off
+	// mid-scan and the query degrades to the remaining shards. 0 disables.
+	ShardTimeout time.Duration
+	// Hedge races a second attempt against a shard running past its
+	// observed p95 latency.
+	Hedge bool
+	// MinHedgeDelay floors the hedge trigger; default 1ms.
+	MinHedgeDelay time.Duration
+	// HedgeAfter is the per-shard sample count before hedging arms;
+	// default 16.
+	HedgeAfter int
+	// CacheSize bounds the query-result LRU (entries); 0 disables caching.
+	CacheSize int
+}
+
+// clusterShard pairs one partition's embedded corpus with its engine.
+type clusterShard struct {
+	emb      *core.Embedded
+	searcher core.EncodedSearcher
+}
+
+// Cluster is a sharded federation index: N per-partition engines behind a
+// scatter-gather router with per-shard deadlines, hedged retries and
+// partial-result degradation. Search methods are safe for concurrent use;
+// Add must not race with Search (the same contract as Engine.Add).
+type Cluster struct {
+	cfg    ClusterConfig
+	model  *embed.Model
+	stats  *text.CorpusStats
+	shards []clusterShard
+	router *cluster.Router
+	reg    *obs.Registry
+	// order maps relation ID to its global insertion rank; the router's
+	// merge tie-breaks on it so the federated ranking matches the
+	// single-engine ranking exactly for exact methods.
+	order     map[string]int
+	nextOrder int
+}
+
+// NewCluster partitions the federation into cfg.Shards slices, builds one
+// engine per slice (sharing a single encoder fit to the full federation),
+// and wires them behind a scatter-gather router. For ExS the cluster's
+// ranking is bit-identical to a single engine's; approximate methods
+// (ANNS, CTS) trade exactness per shard the same way they do monolithic.
+func NewCluster(fed *Federation, cfg ClusterConfig) (*Cluster, error) {
+	if fed == nil || fed.Len() == 0 {
+		return nil, fmt.Errorf("semdisco: empty federation")
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("semdisco: invalid shard count %d", cfg.Shards)
+	}
+	if cfg.Shards > fed.Len() {
+		return nil, fmt.Errorf("semdisco: %d shards for %d relations; shards must not exceed relations", cfg.Shards, fed.Len())
+	}
+
+	idf := cfg.IDF
+	var stats *text.CorpusStats
+	if idf == nil {
+		stats = federationStats(fed)
+		idf = statsIDF(stats)
+	}
+	model := embed.New(embed.Config{
+		Dim:     cfg.Dim,
+		Seed:    cfg.Seed,
+		Lexicon: cfg.Lexicon,
+		IDF:     idf,
+	})
+	var reg *obs.Registry
+	if !cfg.DisableMetrics {
+		reg = obs.NewRegistry()
+	}
+	model.SetObserver(reg)
+
+	// Partition in federation insertion order so each shard preserves the
+	// relative order of its relations — the invariant the merge's
+	// tie-breaking relies on.
+	parts := make([]*Federation, cfg.Shards)
+	for i := range parts {
+		parts[i] = NewFederation()
+	}
+	order := make(map[string]int, fed.Len())
+	for i, r := range fed.Relations() {
+		var shard int
+		switch cfg.Policy {
+		case ShardRoundRobin:
+			shard = i % cfg.Shards
+		default:
+			shard = cluster.HashShard(r.ID, cfg.Shards)
+		}
+		if err := parts[shard].Add(r); err != nil {
+			return nil, fmt.Errorf("semdisco: partitioning: %w", err)
+		}
+		order[r.ID] = i
+	}
+	for i, p := range parts {
+		if p.Len() == 0 {
+			return nil, fmt.Errorf("semdisco: shard %d would be empty under the %v policy; use fewer shards or ShardRoundRobin", i, cfg.Policy)
+		}
+	}
+
+	c := &Cluster{
+		cfg:       cfg,
+		model:     model,
+		stats:     stats,
+		reg:       reg,
+		order:     order,
+		nextOrder: fed.Len(),
+	}
+	relCounts := make([]int, cfg.Shards)
+	routerShards := make([]cluster.Shard, cfg.Shards)
+	for i, p := range parts {
+		sh, err := buildClusterShard(cfg.Config, p, model, reg)
+		if err != nil {
+			return nil, fmt.Errorf("semdisco: building shard %d: %w", i, err)
+		}
+		c.shards = append(c.shards, sh)
+		relCounts[i] = p.Len()
+		routerShards[i] = sh.searcher
+	}
+	router, err := cluster.NewRouter(routerShards, relCounts, c.routerOptions())
+	if err != nil {
+		return nil, fmt.Errorf("semdisco: %w", err)
+	}
+	c.router = router
+	return c, nil
+}
+
+// buildClusterShard embeds one partition with the shared model and builds
+// its engine.
+func buildClusterShard(cfg Config, part *Federation, model *embed.Model, reg *obs.Registry) (clusterShard, error) {
+	emb := core.EmbedFederation(part, model)
+	emb.Obs = reg
+	s, err := buildSearcher(cfg, emb)
+	if err != nil {
+		return clusterShard{}, err
+	}
+	es, ok := s.(core.EncodedSearcher)
+	if !ok {
+		return clusterShard{}, fmt.Errorf("method %v does not support encoded search", cfg.Method)
+	}
+	return clusterShard{emb: emb, searcher: es}, nil
+}
+
+// routerOptions translates the public config into the router's options.
+func (c *Cluster) routerOptions() cluster.Options {
+	return cluster.Options{
+		Policy:        c.cfg.Policy,
+		Slack:         c.cfg.Slack,
+		ShardTimeout:  c.cfg.ShardTimeout,
+		Hedge:         c.cfg.Hedge,
+		MinHedgeDelay: c.cfg.MinHedgeDelay,
+		HedgeAfter:    c.cfg.HedgeAfter,
+		Method:        c.cfg.Method.String(),
+		Encode:        c.model.Encode,
+		Order: func(relID string) int {
+			if o, ok := c.order[relID]; ok {
+				return o
+			}
+			return int(^uint(0) >> 1) // unknown IDs tie-break last
+		},
+		CacheSize: c.cfg.CacheSize,
+		Registry:  c.reg,
+	}
+}
+
+// Search answers a query by scatter-gather over all shards: the query is
+// encoded once, every shard ranks its partition concurrently, and the
+// per-shard top-(k+Slack) lists merge into the global top-k. A failed or
+// timed-out shard degrades the result (Result.Degraded, Result.ShardErrors)
+// instead of failing the query; only all shards failing — or the caller's
+// own context expiring — returns an error.
+func (c *Cluster) Search(query string, k int) (*ClusterResult, error) {
+	return c.router.Search(context.Background(), query, k)
+}
+
+// SearchContext is Search under a caller-controlled deadline; the context
+// is threaded into every shard's inner scan loops.
+func (c *Cluster) SearchContext(ctx context.Context, query string, k int) (*ClusterResult, error) {
+	return c.router.Search(ctx, query, k)
+}
+
+// SearchTraced is Search with the per-stage breakdown of the federated
+// query: encode, scatter (annotated with shard count, failures and
+// hedges), merge.
+func (c *Cluster) SearchTraced(query string, k int) (*ClusterResult, []TraceStage, error) {
+	tr := obs.NewTrace()
+	res, err := c.router.SearchTraced(context.Background(), query, k, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, toTraceStages(tr.Stages()), nil
+}
+
+// Add routes one new relation to a shard — its hash bucket under
+// ShardByHash, the currently smallest shard under ShardRoundRobin — and
+// indexes it there incrementally. The query-result cache is invalidated.
+// Add must not race with Search.
+func (c *Cluster) Add(r *Relation) error {
+	shard := c.router.Route(r.ID)
+	app, ok := c.shards[shard].searcher.(core.Appender)
+	if !ok {
+		return fmt.Errorf("semdisco: %v does not support incremental adds", c.cfg.Method)
+	}
+	if _, dup := c.order[r.ID]; dup {
+		return fmt.Errorf("semdisco: relation %q already indexed", r.ID)
+	}
+	if err := app.AddRelation(r); err != nil {
+		return err
+	}
+	c.order[r.ID] = c.nextOrder
+	c.nextOrder++
+	c.router.NoteAdd(shard)
+	return nil
+}
+
+// NumShards reports the cluster's shard count.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// NumRelations reports the total relation count across shards.
+func (c *Cluster) NumRelations() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += sh.emb.NumRelations()
+	}
+	return n
+}
+
+// Method reports the per-shard search strategy.
+func (c *Cluster) Method() Method { return c.cfg.Method }
+
+// Stats snapshots per-shard health: searches, errors, timeouts, hedges and
+// latency quantiles per shard, plus cache and degradation counters.
+func (c *Cluster) Stats() ClusterStats { return c.router.Stats() }
+
+// MetricsRegistry exposes the cluster's metrics registry (nil under
+// Config.DisableMetrics; a nil registry is valid everywhere).
+func (c *Cluster) MetricsRegistry() *obs.Registry { return c.reg }
+
+// clusterPersist is the gob envelope of a saved cluster: the shared
+// engine configuration, the full-federation IDF statistics, the global
+// order map the merge tie-breaks on, and one embedded-corpus blob per
+// shard. Index structures are rebuilt deterministically on load.
+type clusterPersist struct {
+	Version       int
+	Method        Method
+	Dim           int
+	Seed          int64
+	Threshold     float32
+	ExS           ExSOptions
+	ANNS          ANNSOptions
+	CTS           CTSOptions
+	Lexicon       *Lexicon
+	Stats         *text.CorpusStats
+	Policy        int
+	Slack         int
+	ShardTimeout  time.Duration
+	Hedge         bool
+	MinHedgeDelay time.Duration
+	HedgeAfter    int
+	CacheSize     int
+	Order         map[string]int
+	NextOrder     int
+	EmbBlobs      [][]byte
+}
+
+// Save writes the cluster so LoadCluster can restore it without
+// re-encoding any value: shard assignment, global merge order and every
+// shard's vectors persist; the per-shard index structures are rebuilt
+// deterministically from the stored vectors and the original seed.
+// Clusters configured with a custom IDF function cannot be saved.
+func (c *Cluster) Save(w io.Writer) error {
+	if c.cfg.IDF != nil {
+		return fmt.Errorf("semdisco: clusters with a custom IDF function cannot be saved")
+	}
+	blobs := make([][]byte, len(c.shards))
+	for i, sh := range c.shards {
+		var buf bytes.Buffer
+		if err := sh.emb.Persist(&buf); err != nil {
+			return fmt.Errorf("semdisco: save shard %d: %w", i, err)
+		}
+		blobs[i] = buf.Bytes()
+	}
+	return gob.NewEncoder(w).Encode(clusterPersist{
+		Version:       1,
+		Method:        c.cfg.Method,
+		Dim:           c.cfg.Dim,
+		Seed:          c.cfg.Seed,
+		Threshold:     c.cfg.Threshold,
+		ExS:           c.cfg.ExS,
+		ANNS:          c.cfg.ANNS,
+		CTS:           c.cfg.CTS,
+		Lexicon:       c.cfg.Lexicon,
+		Stats:         c.stats,
+		Policy:        int(c.cfg.Policy),
+		Slack:         c.cfg.Slack,
+		ShardTimeout:  c.cfg.ShardTimeout,
+		Hedge:         c.cfg.Hedge,
+		MinHedgeDelay: c.cfg.MinHedgeDelay,
+		HedgeAfter:    c.cfg.HedgeAfter,
+		CacheSize:     c.cfg.CacheSize,
+		Order:         c.order,
+		NextOrder:     c.nextOrder,
+		EmbBlobs:      blobs,
+	})
+}
+
+// LoadCluster restores a cluster written by Save: same shard assignment,
+// same merge order, identical search results.
+func LoadCluster(r io.Reader) (*Cluster, error) {
+	var p clusterPersist
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("semdisco: load cluster: %w", err)
+	}
+	if p.Version != 1 {
+		return nil, fmt.Errorf("semdisco: unsupported cluster version %d", p.Version)
+	}
+	cfg := ClusterConfig{
+		Config: Config{
+			Method:    p.Method,
+			Dim:       p.Dim,
+			Seed:      p.Seed,
+			Threshold: p.Threshold,
+			ExS:       p.ExS,
+			ANNS:      p.ANNS,
+			CTS:       p.CTS,
+			Lexicon:   p.Lexicon,
+		},
+		Shards:        len(p.EmbBlobs),
+		Policy:        ShardPolicy(p.Policy),
+		Slack:         p.Slack,
+		ShardTimeout:  p.ShardTimeout,
+		Hedge:         p.Hedge,
+		MinHedgeDelay: p.MinHedgeDelay,
+		HedgeAfter:    p.HedgeAfter,
+		CacheSize:     p.CacheSize,
+	}
+	var idf func(string) float64
+	if p.Stats != nil {
+		idf = statsIDF(p.Stats)
+	}
+	model := embed.New(embed.Config{
+		Dim:     cfg.Dim,
+		Seed:    cfg.Seed,
+		Lexicon: cfg.Lexicon,
+		IDF:     idf,
+	})
+	reg := obs.NewRegistry()
+	model.SetObserver(reg)
+	if p.Order == nil {
+		p.Order = make(map[string]int)
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		model:     model,
+		stats:     p.Stats,
+		reg:       reg,
+		order:     p.Order,
+		nextOrder: p.NextOrder,
+	}
+	relCounts := make([]int, len(p.EmbBlobs))
+	routerShards := make([]cluster.Shard, len(p.EmbBlobs))
+	for i, blob := range p.EmbBlobs {
+		emb, err := core.RestoreEmbedded(bytes.NewReader(blob), model)
+		if err != nil {
+			return nil, fmt.Errorf("semdisco: restore shard %d: %w", i, err)
+		}
+		emb.Obs = reg
+		s, err := buildSearcher(cfg.Config, emb)
+		if err != nil {
+			return nil, fmt.Errorf("semdisco: rebuild shard %d: %w", i, err)
+		}
+		es, ok := s.(core.EncodedSearcher)
+		if !ok {
+			return nil, fmt.Errorf("semdisco: method %v does not support encoded search", cfg.Method)
+		}
+		c.shards = append(c.shards, clusterShard{emb: emb, searcher: es})
+		relCounts[i] = emb.NumRelations()
+		routerShards[i] = es
+	}
+	router, err := cluster.NewRouter(routerShards, relCounts, c.routerOptions())
+	if err != nil {
+		return nil, fmt.Errorf("semdisco: %w", err)
+	}
+	c.router = router
+	return c, nil
+}

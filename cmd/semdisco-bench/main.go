@@ -41,6 +41,7 @@ func main() {
 		storage    = flag.Bool("storage", false, "report index storage and build cost per method")
 		sweep      = flag.Bool("sweep", false, "run the scaling sweep (builds the methods at several corpus scales)")
 		jsonOut    = flag.String("json", "", `write machine-readable results (build time, latency quantiles, MAP/NDCG) to this file; "-" for stdout`)
+		shards     = flag.Int("shards", 0, "also benchmark a sharded scatter-gather federation with this many shards (adds a per-shard breakdown to -json)")
 	)
 	flag.Parse()
 
@@ -156,6 +157,15 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			os.Exit(1)
+		}
+		if *shards > 0 {
+			report.Cluster, err = bench.ClusterReport(*shards, 20)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("sharded federation: %d shards, ExS-equivalent=%v\n",
+				report.Cluster.Shards, report.Cluster.EquivalentToExS)
 		}
 		var out io.Writer = os.Stdout
 		if *jsonOut != "-" {

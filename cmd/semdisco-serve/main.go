@@ -4,7 +4,16 @@
 //
 //	semdisco-serve -dir ./tables -addr :8080           # index CSVs, serve
 //	semdisco-serve -load engine.bin -addr :8080        # serve a saved engine
+//	semdisco-serve -dir ./tables -shards 4 -shard-timeout 100ms -hedge
 //	semdisco-serve -dir ./tables -pprof -log-format json
+//
+// With -shards N the corpus is partitioned into N shards behind a
+// scatter-gather router: queries fan out to all shards concurrently,
+// -shard-timeout bounds each shard's work, -hedge races a retry against
+// shards running past their p95, and a failed shard degrades the answer
+// (response carries "degraded" and "shard_errors") instead of failing the
+// query. /v1/stats then reports per-shard health. The engine-only debug
+// endpoints respond 501 in cluster mode.
 //
 // The JSON API is documented in internal/httpapi. Only embeddings are
 // held in the index, so serving it does not expose raw table contents
@@ -52,6 +61,15 @@ func main() {
 			"journal the full trace of 1 in every M queries (0 disables sampling)")
 		probeInterval = flag.Duration("recall-probe-interval", 0,
 			"probe recall@10 against an exhaustive scan this often (0 disables)")
+
+		shards = flag.Int("shards", 0,
+			"partition the corpus into this many shards behind a scatter-gather router (0 = single engine)")
+		shardTimeout = flag.Duration("shard-timeout", 0,
+			"per-shard search deadline; timed-out shards degrade the answer (0 disables)")
+		hedge = flag.Bool("hedge", false,
+			"hedge a retry against shards running past their observed p95 latency")
+		cacheSize = flag.Int("cache", 0,
+			"cluster query-result cache entries (0 disables)")
 	)
 	flag.Parse()
 	if *dir == "" && *loadPath == "" {
@@ -70,6 +88,25 @@ func main() {
 		os.Exit(2)
 	}
 	logger := slog.New(handler)
+
+	var m semdisco.Method
+	switch strings.ToLower(*method) {
+	case "cts":
+		m = semdisco.CTS
+	case "anns":
+		m = semdisco.ANNS
+	case "exs":
+		m = semdisco.ExS
+	default:
+		logger.Error("unknown method", "method", *method)
+		os.Exit(1)
+	}
+
+	if *shards > 0 {
+		serveCluster(logger, m, *dir, *loadPath, *addr, *dim, *seed,
+			*shards, *shardTimeout, *hedge, *cacheSize, *enablePprof)
+		return
+	}
 
 	var (
 		eng *semdisco.Engine
@@ -92,18 +129,6 @@ func main() {
 		fed, ferr := semdisco.LoadDir(*dir)
 		if ferr != nil {
 			fatal(logger, "loading corpus", ferr)
-		}
-		var m semdisco.Method
-		switch strings.ToLower(*method) {
-		case "cts":
-			m = semdisco.CTS
-		case "anns":
-			m = semdisco.ANNS
-		case "exs":
-			m = semdisco.ExS
-		default:
-			logger.Error("unknown method", "method", *method)
-			os.Exit(1)
 		}
 		start := time.Now()
 		eng, err = semdisco.Open(fed, semdisco.Config{Method: m, Dim: *dim, Seed: *seed})
@@ -144,6 +169,64 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	logger.Info("serving", "addr", *addr, "method", eng.Method().String())
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(logger, "server", err)
+	}
+}
+
+// serveCluster builds or loads a sharded cluster and serves it.
+func serveCluster(logger *slog.Logger, m semdisco.Method, dir, loadPath, addr string,
+	dim int, seed int64, shards int, shardTimeout time.Duration, hedge bool,
+	cacheSize int, enablePprof bool) {
+	var (
+		cl  *semdisco.Cluster
+		err error
+	)
+	if loadPath != "" {
+		f, ferr := os.Open(loadPath)
+		if ferr != nil {
+			fatal(logger, "opening cluster file", ferr)
+		}
+		cl, err = semdisco.LoadCluster(f)
+		f.Close()
+		if err != nil {
+			fatal(logger, "loading cluster", err)
+		}
+		logger.Info("cluster loaded", "path", loadPath,
+			"method", cl.Method().String(),
+			"shards", cl.NumShards(), "relations", cl.NumRelations())
+	} else {
+		fed, ferr := semdisco.LoadDir(dir)
+		if ferr != nil {
+			fatal(logger, "loading corpus", ferr)
+		}
+		start := time.Now()
+		cl, err = semdisco.NewCluster(fed, semdisco.ClusterConfig{
+			Config:       semdisco.Config{Method: m, Dim: dim, Seed: seed},
+			Shards:       shards,
+			ShardTimeout: shardTimeout,
+			Hedge:        hedge,
+			CacheSize:    cacheSize,
+		})
+		if err != nil {
+			fatal(logger, "building cluster", err)
+		}
+		logger.Info("cluster built", "method", m.String(),
+			"shards", cl.NumShards(), "relations", cl.NumRelations(),
+			"duration", time.Since(start).Round(time.Millisecond))
+	}
+
+	opts := []httpapi.Option{httpapi.WithLogger(logger)}
+	if enablePprof {
+		opts = append(opts, httpapi.WithPprof())
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           httpapi.NewCluster(cl, opts...),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	logger.Info("serving cluster", "addr", addr,
+		"method", cl.Method().String(), "shards", cl.NumShards())
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fatal(logger, "server", err)
 	}

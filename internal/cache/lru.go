@@ -1,0 +1,147 @@
+// Package cache provides a small, concurrency-safe LRU used by the cluster
+// router to memoize query results. The design follows the classic
+// map + intrusive doubly-linked-list shape (hash lookup O(1), recency
+// update O(1)) rather than an approximate-frequency scheme: the router's
+// working set is tiny (hot queries repeat verbatim) and strict LRU makes
+// eviction order — and therefore tests — deterministic.
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// entry is one cache slot, linked into the recency list. prev is toward
+// the most recently used end, next toward the least.
+type entry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *entry[K, V]
+}
+
+// LRU is a fixed-capacity least-recently-used cache. All methods are safe
+// for concurrent use. The zero value is not usable; construct with New.
+type LRU[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	items    map[K]*entry[K, V]
+	// head is most recently used, tail least. Both nil when empty.
+	head, tail *entry[K, V]
+
+	hits, misses atomic.Int64
+}
+
+// New returns an LRU holding at most capacity entries. capacity <= 0
+// panics: a cache that can hold nothing is a configuration bug, not a
+// degenerate mode worth supporting.
+func New[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity <= 0 {
+		panic("cache: capacity must be positive")
+	}
+	return &LRU[K, V]{
+		capacity: capacity,
+		items:    make(map[K]*entry[K, V], capacity),
+	}
+}
+
+// Get returns the cached value and marks it most recently used. The hit
+// and miss counters feed the router's observability.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	c.hits.Add(1)
+	c.moveToFront(e)
+	return e.val, true
+}
+
+// Put inserts or updates a value, evicting the least recently used entry
+// when the cache is full.
+func (c *LRU[K, V]) Put(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		e.val = val
+		c.moveToFront(e)
+		return
+	}
+	if len(c.items) >= c.capacity {
+		c.evictTail()
+	}
+	e := &entry[K, V]{key: key, val: val}
+	c.items[key] = e
+	c.pushFront(e)
+}
+
+// Purge drops every entry. Counters are preserved: the hit rate of a
+// router is a property of its query stream, not of invalidation events.
+func (c *LRU[K, V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.items)
+	c.head, c.tail = nil, nil
+}
+
+// Len reports the current entry count.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Stats reports the lifetime hit and miss counts.
+func (c *LRU[K, V]) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// pushFront links e as the most recently used entry. Caller holds mu.
+func (c *LRU[K, V]) pushFront(e *entry[K, V]) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// unlink removes e from the recency list. Caller holds mu.
+func (c *LRU[K, V]) unlink(e *entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// moveToFront marks e most recently used. Caller holds mu.
+func (c *LRU[K, V]) moveToFront(e *entry[K, V]) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// evictTail drops the least recently used entry. Caller holds mu.
+func (c *LRU[K, V]) evictTail() {
+	if c.tail == nil {
+		return
+	}
+	victim := c.tail
+	c.unlink(victim)
+	delete(c.items, victim.key)
+}

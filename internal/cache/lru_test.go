@@ -1,0 +1,113 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New[string, int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses; want 1, 1", hits, misses)
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a")    // a is now most recent
+	c.Put("c", 3) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c should be present")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestPutUpdatesAndRefreshes(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10) // update refreshes recency
+	c.Put("c", 3)  // evicts b, not a
+	if v, ok := c.Get("a"); !ok || v != 10 {
+		t.Fatalf("Get(a) = %d, %v; want 10, true", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New[string, int](4)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("len after purge = %d", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("purged entry still present")
+	}
+	// Reuse after purge must work.
+	c.Put("c", 3)
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatalf("Get(c) after purge = %d, %v", v, ok)
+	}
+}
+
+func TestSingleCapacity(t *testing.T) {
+	c := New[int, int](1)
+	for i := 0; i < 10; i++ {
+		c.Put(i, i)
+		if v, ok := c.Get(i); !ok || v != i {
+			t.Fatalf("Get(%d) = %d, %v", i, v, ok)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New[string, int](32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (w*31+i)%64)
+				if i%3 == 0 {
+					c.Put(key, i)
+				} else {
+					c.Get(key)
+				}
+				if i%97 == 0 {
+					c.Purge()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("len %d exceeds capacity", c.Len())
+	}
+}

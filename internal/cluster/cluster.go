@@ -1,0 +1,552 @@
+// Package cluster is the sharded query-federation layer: a Router that
+// owns N shards (each a core-level search engine over a corpus partition),
+// routes relations to shards at build and add time, and answers queries by
+// scatter-gather — encode once, fan out concurrently, merge per-shard
+// top-k′ into a global top-k with deterministic tie-breaking.
+//
+// The layer exists so per-query work can be bounded and parallelized the
+// way large-scale vector-set search systems (DESSERT, KOIOS) bound theirs:
+// instead of one monolithic index, each shard scans or walks only its
+// slice, and the router absorbs the operational failure modes of fan-out —
+// per-shard deadlines interrupt straggler work (context threaded down to
+// the scan/hop level), hedged retries race a second attempt against a
+// shard running past its p95, and a shard that still fails degrades the
+// answer to the healthy shards' results, annotated rather than discarded.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"semdisco/internal/cache"
+	"semdisco/internal/core"
+	"semdisco/internal/obs"
+	"semdisco/internal/par"
+)
+
+// Metric series recorded by the Router. Per-shard series carry a
+// shard="<index>" label.
+const (
+	// MetricSearches counts completed cluster searches.
+	MetricSearches = "semdisco_cluster_searches_total"
+	// MetricShardSearchSeconds is per-shard search latency.
+	MetricShardSearchSeconds = "semdisco_cluster_shard_search_seconds"
+	// MetricShardErrors counts failed shard searches, timeouts included.
+	MetricShardErrors = "semdisco_cluster_shard_errors_total"
+	// MetricShardTimeouts counts shard searches that hit the per-shard
+	// deadline.
+	MetricShardTimeouts = "semdisco_cluster_shard_timeouts_total"
+	// MetricHedges counts hedge attempts launched against slow shards.
+	MetricHedges = "semdisco_cluster_hedges_total"
+	// MetricHedgeWins counts hedges that beat their primary.
+	MetricHedgeWins = "semdisco_cluster_hedge_wins_total"
+	// MetricDegraded counts searches answered from a strict subset of
+	// shards.
+	MetricDegraded = "semdisco_cluster_degraded_total"
+	// MetricCacheHits / MetricCacheMisses track the query-result cache.
+	MetricCacheHits   = "semdisco_cluster_cache_hits_total"
+	MetricCacheMisses = "semdisco_cluster_cache_misses_total"
+)
+
+// Policy selects how relations are assigned to shards.
+type Policy int
+
+const (
+	// PolicyHash routes each relation by a hash of its ID: stateless,
+	// stable under reloads, and the same relation always lands on the same
+	// shard regardless of insertion order.
+	PolicyHash Policy = iota
+	// PolicyRoundRobin deals relations out in arrival order at build time
+	// and routes later Adds to the currently smallest shard, keeping the
+	// partition balanced as the corpus grows (rebalance-aware routing).
+	PolicyRoundRobin
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyHash:
+		return "hash"
+	case PolicyRoundRobin:
+		return "round-robin"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// HashShard returns the shard index a relation ID maps to under PolicyHash
+// (FNV-1a, mod n). Exported so build-time assignment and add-time routing
+// agree by construction.
+func HashShard(id string, n int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
+// Shard is one partition's search engine: rank the shard's relations for a
+// pre-encoded query vector, honoring ctx. core.ExS/ANNS/CTS satisfy it via
+// SearchEncoded.
+type Shard interface {
+	SearchEncoded(ctx context.Context, q []float32, k int) ([]core.Match, error)
+}
+
+// Options configures a Router.
+type Options struct {
+	// Policy selects the partitioning scheme; default PolicyHash.
+	Policy Policy
+	// Slack widens the per-shard fetch: each shard returns its top k+Slack
+	// and the router merges down to k. Exact methods (ExS) need no slack —
+	// the global top-k is a subset of the shards' top-k — but approximate
+	// shards benefit from the extra margin. Default 8.
+	Slack int
+	// ShardTimeout is the per-shard deadline; a shard still running when it
+	// expires is interrupted mid-scan and reported as a timeout. 0 disables.
+	ShardTimeout time.Duration
+	// Hedge enables hedged retries: when a shard runs past its observed p95
+	// latency, a second attempt is raced against the first and the earlier
+	// answer wins. Hedging needs HedgeAfter recorded latencies per shard
+	// before it arms.
+	Hedge bool
+	// MinHedgeDelay floors the hedge trigger so cold p95 estimates cannot
+	// hedge instantly. Default 1ms.
+	MinHedgeDelay time.Duration
+	// HedgeAfter is how many successful searches a shard must have before
+	// its p95 is trusted for hedging. Default 16.
+	HedgeAfter int
+	// Method labels metrics and stats ("ExS", "CTS", …).
+	Method string
+	// Encode embeds a query string once; the vector fans out to all shards.
+	Encode func(query string) []float32
+	// Order maps a relation ID to its global rank (federation insertion
+	// order). Merged results tie-break on it, which makes the merged
+	// ranking bit-identical to the single-engine ranking for ExS — the
+	// single engine breaks score ties by ascending relation index.
+	Order func(relID string) int
+	// CacheSize bounds the (query, k) → results LRU; 0 disables caching.
+	CacheSize int
+	// Registry receives the router's metrics; nil disables them.
+	Registry *obs.Registry
+}
+
+// ShardError is one shard's failure during a scatter-gather query.
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+func (e ShardError) Error() string { return fmt.Sprintf("shard %d: %v", e.Shard, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e ShardError) Unwrap() error { return e.Err }
+
+// Result is one scatter-gather answer plus its health metadata.
+type Result struct {
+	// Matches is the merged global top-k.
+	Matches []core.Match
+	// Degraded reports that at least one shard failed or timed out and
+	// Matches covers only the healthy shards' partitions.
+	Degraded bool
+	// ShardErrors lists the failed shards, ascending by shard index.
+	ShardErrors []ShardError
+	// Hedged counts hedge attempts launched for this query.
+	Hedged int
+	// CacheHit reports the answer came from the query-result cache.
+	CacheHit bool
+}
+
+// cacheKey identifies one cacheable query. The method is part of the
+// router's identity, not the key: one router serves one method.
+type cacheKey struct {
+	query string
+	k     int
+}
+
+// shardState is the router's per-shard bookkeeping: counters for stats and
+// the latency window behind the hedge trigger.
+type shardState struct {
+	searches atomic.Int64
+	errors   atomic.Int64
+	timeouts atomic.Int64
+	hedges   atomic.Int64
+	lat      *latencyWindow
+}
+
+// Router fans queries out over N shards and merges their answers. Search
+// is safe for concurrent use; Route/NoteAdd (the add path) must not race
+// with the owning layer's shard mutation, mirroring Engine.Add's contract.
+type Router struct {
+	shards []Shard
+	opts   Options
+	state  []*shardState
+	reg    *obs.Registry
+	cache  *cache.LRU[cacheKey, []core.Match]
+	// relCount[i] tracks shard i's relation count for rebalance-aware
+	// routing; degraded counts stats queries, not correctness.
+	relCount []atomic.Int64
+	searches atomic.Int64
+	degraded atomic.Int64
+}
+
+// NewRouter builds a Router over pre-built shards. relCounts mirrors each
+// shard's relation count (used by round-robin rebalance routing and
+// Stats); len(relCounts) must equal len(shards).
+func NewRouter(shards []Shard, relCounts []int, opts Options) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("cluster: at least one shard required")
+	}
+	if len(relCounts) != len(shards) {
+		return nil, fmt.Errorf("cluster: %d shards but %d relation counts", len(shards), len(relCounts))
+	}
+	if opts.Encode == nil {
+		return nil, errors.New("cluster: Options.Encode is required")
+	}
+	if opts.Order == nil {
+		return nil, errors.New("cluster: Options.Order is required")
+	}
+	if opts.Slack == 0 {
+		opts.Slack = 8
+	}
+	if opts.MinHedgeDelay == 0 {
+		opts.MinHedgeDelay = time.Millisecond
+	}
+	if opts.HedgeAfter == 0 {
+		opts.HedgeAfter = 16
+	}
+	r := &Router{
+		shards:   shards,
+		opts:     opts,
+		state:    make([]*shardState, len(shards)),
+		reg:      opts.Registry,
+		relCount: make([]atomic.Int64, len(shards)),
+	}
+	for i := range r.state {
+		r.state[i] = &shardState{lat: newLatencyWindow(latencyWindowSize)}
+		r.relCount[i].Store(int64(relCounts[i]))
+	}
+	if opts.CacheSize > 0 {
+		r.cache = cache.New[cacheKey, []core.Match](opts.CacheSize)
+	}
+	return r, nil
+}
+
+// NumShards reports the shard count.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Route returns the shard index a new relation should be added to: the
+// hash bucket under PolicyHash, the currently smallest shard (ties to the
+// lowest index) under PolicyRoundRobin.
+func (r *Router) Route(relID string) int {
+	if r.opts.Policy == PolicyHash {
+		return HashShard(relID, len(r.shards))
+	}
+	best, bestN := 0, r.relCount[0].Load()
+	for i := 1; i < len(r.shards); i++ {
+		if n := r.relCount[i].Load(); n < bestN {
+			best, bestN = i, n
+		}
+	}
+	return best
+}
+
+// NoteAdd records that one relation landed on shard i and invalidates the
+// query-result cache: any cached ranking may now be stale.
+func (r *Router) NoteAdd(i int) {
+	r.relCount[i].Add(1)
+	if r.cache != nil {
+		r.cache.Purge()
+	}
+}
+
+// Search answers a query by scatter-gather over all shards. See
+// SearchTraced for the trace-carrying variant.
+func (r *Router) Search(ctx context.Context, query string, k int) (*Result, error) {
+	return r.SearchTraced(ctx, query, k, nil)
+}
+
+// SearchTraced is Search with a per-stage breakdown (encode → scatter →
+// merge) recorded on tr; the scatter span is annotated with shard count,
+// failures and hedges. The error return is reserved for total failure —
+// the parent context expiring, or every shard failing; partial failure
+// returns a degraded Result instead.
+func (r *Router) SearchTraced(ctx context.Context, query string, k int, tr *obs.Trace) (*Result, error) {
+	if k <= 0 {
+		return &Result{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key := cacheKey{query: query, k: k}
+	if r.cache != nil {
+		if cached, ok := r.cache.Get(key); ok {
+			r.reg.Counter(MetricCacheHits).Inc()
+			r.searches.Add(1)
+			r.reg.Counter(MetricSearches).Inc()
+			return &Result{Matches: cloneMatches(cached), CacheHit: true}, nil
+		}
+		r.reg.Counter(MetricCacheMisses).Inc()
+	}
+
+	sp := tr.StartSpan("encode")
+	q := r.opts.Encode(query)
+	sp.End()
+
+	n := len(r.shards)
+	kPrime := k + r.opts.Slack
+	type shardOut struct {
+		matches []core.Match
+		err     error
+		hedged  bool
+	}
+	outs := make([]shardOut, n)
+	sp = tr.StartSpan("scatter").
+		AnnotateInt("shards", n).
+		AnnotateInt("k_prime", kPrime)
+	par.Each(n, n, func(i int) {
+		outs[i].matches, outs[i].err, outs[i].hedged = r.searchShard(ctx, i, q, kPrime)
+	})
+
+	res := &Result{}
+	perShard := make([][]core.Match, 0, n)
+	for i := range outs {
+		if outs[i].hedged {
+			res.Hedged++
+		}
+		if outs[i].err != nil {
+			res.ShardErrors = append(res.ShardErrors, ShardError{Shard: i, Err: outs[i].err})
+			continue
+		}
+		perShard = append(perShard, outs[i].matches)
+	}
+	sp.AnnotateInt("failed_shards", len(res.ShardErrors)).AnnotateInt("hedges", res.Hedged)
+	sp.End()
+
+	// The parent context dying is a query-level failure: whatever shards
+	// returned, the caller's deadline is spent.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(perShard) == 0 {
+		return nil, fmt.Errorf("cluster: all %d shards failed: %w", n, res.ShardErrors[0])
+	}
+
+	sp = tr.StartSpan("merge")
+	res.Matches = r.merge(perShard, k)
+	sp.AnnotateInt("matches", len(res.Matches)).End()
+
+	res.Degraded = len(res.ShardErrors) > 0
+	r.searches.Add(1)
+	r.reg.Counter(MetricSearches).Inc()
+	if res.Degraded {
+		r.degraded.Add(1)
+		r.reg.Counter(MetricDegraded).Inc()
+	} else if r.cache != nil {
+		// Only complete answers are worth remembering: a degraded result
+		// would outlive the failure that caused it.
+		r.cache.Put(key, cloneMatches(res.Matches))
+	}
+	return res, nil
+}
+
+// searchShard runs one shard's query under the per-shard deadline, with a
+// hedged retry when the primary runs past the shard's observed p95.
+func (r *Router) searchShard(ctx context.Context, i int, q []float32, k int) ([]core.Match, error, bool) {
+	sctx := ctx
+	if r.opts.ShardTimeout > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(ctx, r.opts.ShardTimeout)
+		defer cancel()
+	}
+	delay, hedge := r.hedgeDelay(i)
+	if !hedge {
+		m, err := r.runShard(sctx, ctx, i, q, k)
+		return m, err, false
+	}
+
+	type outcome struct {
+		matches []core.Match
+		err     error
+		isHedge bool
+	}
+	ch := make(chan outcome, 2) // buffered: the loser never blocks or leaks
+	launch := func(isHedge bool) {
+		go func() {
+			m, err := r.runShard(sctx, ctx, i, q, k)
+			ch <- outcome{m, err, isHedge}
+		}()
+	}
+	launch(false)
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	hedged := false
+	var first outcome
+	select {
+	case first = <-ch:
+	case <-timer.C:
+		hedged = true
+		r.state[i].hedges.Add(1)
+		r.reg.Counter(MetricHedges).Inc()
+		launch(true)
+		first = <-ch
+	}
+	if first.err == nil {
+		if first.isHedge {
+			r.reg.Counter(MetricHedgeWins).Inc()
+		}
+		return first.matches, nil, hedged
+	}
+	if hedged {
+		// The first finisher failed; its twin may still come through.
+		if second := <-ch; second.err == nil {
+			if second.isHedge {
+				r.reg.Counter(MetricHedgeWins).Inc()
+			}
+			return second.matches, nil, hedged
+		}
+	}
+	return nil, first.err, hedged
+}
+
+// runShard executes one shard search attempt, recording latency and
+// classifying failures. parent distinguishes a shard-deadline timeout from
+// the whole query's context dying.
+func (r *Router) runShard(sctx, parent context.Context, i int, q []float32, k int) ([]core.Match, error) {
+	st := r.state[i]
+	st.searches.Add(1)
+	start := time.Now()
+	m, err := r.shards[i].SearchEncoded(sctx, q, k)
+	d := time.Since(start)
+	r.reg.Histogram(obs.L(MetricShardSearchSeconds, "shard", strconv.Itoa(i))).Observe(d)
+	if err == nil {
+		st.lat.record(d)
+		return m, nil
+	}
+	st.errors.Add(1)
+	r.reg.Counter(obs.L(MetricShardErrors, "shard", strconv.Itoa(i))).Inc()
+	if errors.Is(err, context.DeadlineExceeded) && parent.Err() == nil {
+		st.timeouts.Add(1)
+		r.reg.Counter(obs.L(MetricShardTimeouts, "shard", strconv.Itoa(i))).Inc()
+	}
+	return nil, err
+}
+
+// hedgeDelay returns when a hedge should launch for shard i, and whether
+// hedging is armed at all: it needs the feature enabled and enough
+// latency history for the p95 to mean something.
+func (r *Router) hedgeDelay(i int) (time.Duration, bool) {
+	if !r.opts.Hedge {
+		return 0, false
+	}
+	p95, ok := r.state[i].lat.p95(r.opts.HedgeAfter)
+	if !ok {
+		return 0, false
+	}
+	if p95 < r.opts.MinHedgeDelay {
+		p95 = r.opts.MinHedgeDelay
+	}
+	return p95, true
+}
+
+// merge folds per-shard top-k′ lists into the global top-k. Ordering is
+// score descending with ties broken by ascending global relation order —
+// the same comparator the single-engine ranking uses (score descending,
+// relation index ascending), so for exact shards the merged ranking is
+// bit-identical to the monolith's.
+func (r *Router) merge(perShard [][]core.Match, k int) []core.Match {
+	total := 0
+	for _, ms := range perShard {
+		total += len(ms)
+	}
+	type ranked struct {
+		m     core.Match
+		order int
+	}
+	all := make([]ranked, 0, total)
+	for _, ms := range perShard {
+		for _, m := range ms {
+			all = append(all, ranked{m: m, order: r.opts.Order(m.RelationID)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].m.Score != all[j].m.Score {
+			return all[i].m.Score > all[j].m.Score
+		}
+		return all[i].order < all[j].order
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make([]core.Match, len(all))
+	for i, a := range all {
+		out[i] = a.m
+	}
+	return out
+}
+
+// ShardStats is one shard's health snapshot.
+type ShardStats struct {
+	Shard     int     `json:"shard"`
+	Relations int     `json:"relations"`
+	Searches  int64   `json:"searches"`
+	Errors    int64   `json:"errors"`
+	Timeouts  int64   `json:"timeouts"`
+	Hedges    int64   `json:"hedges"`
+	P50MS     float64 `json:"p50_ms"`
+	P95MS     float64 `json:"p95_ms"`
+}
+
+// Stats is the router's point-in-time health snapshot.
+type Stats struct {
+	Shards      []ShardStats `json:"shards"`
+	Policy      string       `json:"policy"`
+	Searches    int64        `json:"searches"`
+	Degraded    int64        `json:"degraded"`
+	CacheHits   int64        `json:"cache_hits"`
+	CacheMisses int64        `json:"cache_misses"`
+	CacheLen    int          `json:"cache_len"`
+}
+
+// Stats snapshots per-shard counters and latency quantiles.
+func (r *Router) Stats() Stats {
+	s := Stats{
+		Policy:   r.opts.Policy.String(),
+		Searches: r.searches.Load(),
+		Degraded: r.degraded.Load(),
+	}
+	if r.cache != nil {
+		s.CacheHits, s.CacheMisses = r.cache.Stats()
+		s.CacheLen = r.cache.Len()
+	}
+	for i, st := range r.state {
+		p50 := st.lat.quantile(0.50)
+		p95 := st.lat.quantile(0.95)
+		s.Shards = append(s.Shards, ShardStats{
+			Shard:     i,
+			Relations: int(r.relCount[i].Load()),
+			Searches:  st.searches.Load(),
+			Errors:    st.errors.Load(),
+			Timeouts:  st.timeouts.Load(),
+			Hedges:    st.hedges.Load(),
+			P50MS:     float64(p50) / float64(time.Millisecond),
+			P95MS:     float64(p95) / float64(time.Millisecond),
+		})
+	}
+	return s
+}
+
+func cloneMatches(ms []core.Match) []core.Match {
+	out := make([]core.Match, len(ms))
+	copy(out, ms)
+	return out
+}

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindowSize bounds the per-shard latency history used to estimate
+// the hedge trigger. A sliding window rather than a lifetime histogram:
+// hedging should react to what the shard is doing now, and an index that
+// warmed its caches an hour ago should not hedge off cold-start latencies.
+const latencyWindowSize = 128
+
+// latencyWindow is a fixed-size ring of recent successful search
+// durations. Only successes are recorded — a timed-out search reports the
+// deadline, not the shard's speed, and recording it would inflate the p95
+// until hedging disables itself.
+type latencyWindow struct {
+	mu    sync.Mutex
+	buf   []time.Duration
+	next  int
+	count int
+}
+
+func newLatencyWindow(size int) *latencyWindow {
+	return &latencyWindow{buf: make([]time.Duration, size)}
+}
+
+func (w *latencyWindow) record(d time.Duration) {
+	w.mu.Lock()
+	w.buf[w.next] = d
+	w.next = (w.next + 1) % len(w.buf)
+	if w.count < len(w.buf) {
+		w.count++
+	}
+	w.mu.Unlock()
+}
+
+// p95 returns the 95th-percentile latency over the window, or false when
+// fewer than minSamples observations exist — too little history for the
+// estimate to gate hedging.
+func (w *latencyWindow) p95(minSamples int) (time.Duration, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.count < minSamples {
+		return 0, false
+	}
+	return w.quantileLocked(0.95), true
+}
+
+// quantile returns the q-quantile over the window, 0 when empty.
+func (w *latencyWindow) quantile(q float64) time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.count == 0 {
+		return 0
+	}
+	return w.quantileLocked(q)
+}
+
+// quantileLocked sorts a copy of the live slots; caller holds mu. The
+// window is small (≤128 entries) so the sort is noise next to a search.
+func (w *latencyWindow) quantileLocked(q float64) time.Duration {
+	tmp := make([]time.Duration, w.count)
+	copy(tmp, w.buf[:w.count])
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	idx := int(q * float64(w.count-1))
+	return tmp[idx]
+}

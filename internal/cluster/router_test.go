@@ -1,0 +1,377 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"semdisco/internal/core"
+	"semdisco/internal/obs"
+)
+
+// stubShard answers from a fixed match list, optionally failing or
+// blocking until the context dies. delay, if set, sleeps before answering
+// (still honoring ctx).
+type stubShard struct {
+	matches []core.Match
+	err     error
+	delay   time.Duration
+	block   bool // ignore delay; wait for ctx and return its error
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (s *stubShard) SearchEncoded(ctx context.Context, q []float32, k int) ([]core.Match, error) {
+	s.mu.Lock()
+	s.calls++
+	s.mu.Unlock()
+	if s.block {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	if s.delay > 0 {
+		select {
+		case <-time.After(s.delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	if k > len(s.matches) {
+		k = len(s.matches)
+	}
+	out := make([]core.Match, k)
+	copy(out, s.matches[:k])
+	return out, nil
+}
+
+func (s *stubShard) callCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// testOrder maps "rel-<i>" back to i for merge tie-breaking.
+func testOrder(id string) int {
+	var i int
+	fmt.Sscanf(id, "rel-%d", &i)
+	return i
+}
+
+func testOpts() Options {
+	return Options{
+		Encode: func(q string) []float32 { return []float32{1} },
+		Order:  testOrder,
+	}
+}
+
+func mustRouter(t *testing.T, shards []Shard, opts Options) *Router {
+	t.Helper()
+	counts := make([]int, len(shards))
+	r, err := NewRouter(shards, counts, opts)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	return r
+}
+
+func m(i int, score float32) core.Match {
+	return core.Match{RelationID: fmt.Sprintf("rel-%d", i), Score: score}
+}
+
+func TestMergeOrderAndTieBreak(t *testing.T) {
+	// Scores collide across shards; ties must break by global order
+	// (ascending relation index), interleaving the shards' lists exactly
+	// as a single engine would rank them.
+	shards := []Shard{
+		&stubShard{matches: []core.Match{m(0, 0.9), m(2, 0.5), m(4, 0.5)}},
+		&stubShard{matches: []core.Match{m(1, 0.9), m(3, 0.5), m(5, 0.1)}},
+	}
+	r := mustRouter(t, shards, testOpts())
+	res, err := r.Search(context.Background(), "q", 5)
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if res.Degraded {
+		t.Fatal("unexpected degradation")
+	}
+	want := []core.Match{m(0, 0.9), m(1, 0.9), m(2, 0.5), m(3, 0.5), m(4, 0.5)}
+	if len(res.Matches) != len(want) {
+		t.Fatalf("got %d matches, want %d", len(res.Matches), len(want))
+	}
+	for i := range want {
+		if res.Matches[i] != want[i] {
+			t.Errorf("match %d = %+v, want %+v", i, res.Matches[i], want[i])
+		}
+	}
+}
+
+func TestDegradationWithinDeadline(t *testing.T) {
+	// One shard never answers; the per-shard deadline must cut it off and
+	// the query must come back degraded with the healthy shard's results,
+	// well before the parent context's much larger deadline.
+	healthy := &stubShard{matches: []core.Match{m(0, 0.9), m(1, 0.8)}}
+	stuck := &stubShard{block: true}
+	opts := testOpts()
+	opts.ShardTimeout = 50 * time.Millisecond
+	r := mustRouter(t, []Shard{healthy, stuck}, opts)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	res, err := r.Search(ctx, "q", 2)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("degraded search took %v; the shard deadline did not fire", elapsed)
+	}
+	if !res.Degraded {
+		t.Fatal("want Degraded=true")
+	}
+	if len(res.ShardErrors) != 1 || res.ShardErrors[0].Shard != 1 {
+		t.Fatalf("shard errors = %+v, want shard 1", res.ShardErrors)
+	}
+	if !errors.Is(res.ShardErrors[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("shard error = %v, want deadline exceeded", res.ShardErrors[0].Err)
+	}
+	if len(res.Matches) != 2 || res.Matches[0] != m(0, 0.9) {
+		t.Fatalf("matches = %+v, want healthy shard's results", res.Matches)
+	}
+	st := r.Stats()
+	if st.Shards[1].Timeouts != 1 {
+		t.Errorf("shard 1 timeouts = %d, want 1", st.Shards[1].Timeouts)
+	}
+	if st.Degraded != 1 {
+		t.Errorf("degraded counter = %d, want 1", st.Degraded)
+	}
+}
+
+func TestAllShardsFailed(t *testing.T) {
+	boom := errors.New("boom")
+	r := mustRouter(t, []Shard{&stubShard{err: boom}, &stubShard{err: boom}}, testOpts())
+	_, err := r.Search(context.Background(), "q", 3)
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("want wrapped shard error, got %v", err)
+	}
+}
+
+func TestParentContextCancelled(t *testing.T) {
+	r := mustRouter(t, []Shard{&stubShard{matches: []core.Match{m(0, 1)}}}, testOpts())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := r.Search(ctx, "q", 3)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestHedging(t *testing.T) {
+	// Warm the latency window with fast queries, then make the shard slow:
+	// a hedge must launch after the (floored) p95 and its result must win.
+	slow := &stubShard{matches: []core.Match{m(0, 1)}}
+	opts := testOpts()
+	opts.Hedge = true
+	opts.HedgeAfter = 4
+	opts.MinHedgeDelay = 5 * time.Millisecond
+	opts.CacheSize = 0
+	reg := obs.NewRegistry()
+	opts.Registry = reg
+	r := mustRouter(t, []Shard{slow}, opts)
+
+	for i := 0; i < 4; i++ {
+		if _, err := r.Search(context.Background(), fmt.Sprintf("warm-%d", i), 1); err != nil {
+			t.Fatalf("warm search: %v", err)
+		}
+	}
+	slow.delay = 200 * time.Millisecond
+	// The hedge is equally slow, but it must at least fire.
+	res, err := r.Search(context.Background(), "slow", 1)
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if res.Hedged != 1 {
+		t.Fatalf("hedged = %d, want 1", res.Hedged)
+	}
+	if slow.callCount() != 4+2 {
+		t.Fatalf("shard saw %d calls, want 6 (4 warm + primary + hedge)", slow.callCount())
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[MetricHedges] != 1 {
+		t.Errorf("hedge counter = %d, want 1", snap.Counters[MetricHedges])
+	}
+	if r.Stats().Shards[0].Hedges != 1 {
+		t.Errorf("shard hedge stat = %d, want 1", r.Stats().Shards[0].Hedges)
+	}
+}
+
+func TestCacheHitAndInvalidation(t *testing.T) {
+	shard := &stubShard{matches: []core.Match{m(0, 1), m(1, 0.5)}}
+	opts := testOpts()
+	opts.CacheSize = 8
+	reg := obs.NewRegistry()
+	opts.Registry = reg
+	r := mustRouter(t, []Shard{shard}, opts)
+
+	first, err := r.Search(context.Background(), "q", 2)
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if first.CacheHit {
+		t.Fatal("first search must miss")
+	}
+	second, err := r.Search(context.Background(), "q", 2)
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if !second.CacheHit {
+		t.Fatal("second search must hit the cache")
+	}
+	if shard.callCount() != 1 {
+		t.Fatalf("shard saw %d calls, want 1 (second served from cache)", shard.callCount())
+	}
+	// Mutating the cached slice must not corrupt the cache.
+	second.Matches[0].Score = -1
+	third, _ := r.Search(context.Background(), "q", 2)
+	if third.Matches[0].Score != 1 {
+		t.Fatal("cache returned aliased slice")
+	}
+	// A different k is a different answer.
+	if res, _ := r.Search(context.Background(), "q", 1); res.CacheHit {
+		t.Fatal("k=1 must not hit the k=2 entry")
+	}
+
+	// Adding a relation invalidates everything.
+	r.NoteAdd(0)
+	after, err := r.Search(context.Background(), "q", 2)
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if after.CacheHit {
+		t.Fatal("cache must be purged after NoteAdd")
+	}
+	hits, misses := reg.Snapshot().Counters[MetricCacheHits], reg.Snapshot().Counters[MetricCacheMisses]
+	if hits < 2 || misses < 2 {
+		t.Errorf("cache counters hits=%d misses=%d; want >=2 each", hits, misses)
+	}
+}
+
+func TestDegradedResultNotCached(t *testing.T) {
+	healthy := &stubShard{matches: []core.Match{m(0, 1)}}
+	failing := &stubShard{err: errors.New("down")}
+	opts := testOpts()
+	opts.CacheSize = 4
+	r := mustRouter(t, []Shard{healthy, failing}, opts)
+
+	res, err := r.Search(context.Background(), "q", 1)
+	if err != nil || !res.Degraded {
+		t.Fatalf("want degraded success, got %+v, %v", res, err)
+	}
+	res2, err := r.Search(context.Background(), "q", 1)
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if res2.CacheHit {
+		t.Fatal("degraded result must not be served from cache")
+	}
+}
+
+func TestRoutePolicies(t *testing.T) {
+	shards := []Shard{&stubShard{}, &stubShard{}, &stubShard{}}
+	hash := mustRouter(t, shards, testOpts())
+	for _, id := range []string{"a", "b", "rel-42", "customers"} {
+		want := HashShard(id, 3)
+		if got := hash.Route(id); got != want {
+			t.Errorf("hash route(%q) = %d, want %d", id, got, want)
+		}
+		if got := hash.Route(id); got != want {
+			t.Errorf("hash route(%q) unstable", id)
+		}
+	}
+
+	opts := testOpts()
+	opts.Policy = PolicyRoundRobin
+	rr, err := NewRouter(shards, []int{2, 0, 1}, opts)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	// Smallest shard first, ties to the lowest index.
+	if got := rr.Route("x"); got != 1 {
+		t.Fatalf("rr route = %d, want 1 (smallest shard)", got)
+	}
+	rr.NoteAdd(1)
+	if got := rr.Route("y"); got != 1 {
+		t.Fatalf("rr route = %d, want 1 (tied smallest, lowest index)", got)
+	}
+	rr.NoteAdd(1)
+	if got := rr.Route("z"); got != 2 {
+		t.Fatalf("rr route = %d, want 2", got)
+	}
+}
+
+func TestConcurrentSearch(t *testing.T) {
+	shards := []Shard{
+		&stubShard{matches: []core.Match{m(0, 0.9), m(2, 0.7)}},
+		&stubShard{matches: []core.Match{m(1, 0.8), m(3, 0.6)}},
+	}
+	opts := testOpts()
+	opts.CacheSize = 16
+	opts.Hedge = true
+	opts.HedgeAfter = 2
+	opts.ShardTimeout = time.Second
+	r := mustRouter(t, shards, opts)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := fmt.Sprintf("q-%d", (w+i)%4)
+				res, err := r.Search(context.Background(), q, 3)
+				if err != nil {
+					t.Errorf("search: %v", err)
+					return
+				}
+				if len(res.Matches) != 3 {
+					t.Errorf("got %d matches, want 3", len(res.Matches))
+					return
+				}
+				if i%17 == 0 {
+					r.NoteAdd(r.Route(fmt.Sprintf("rel-new-%d-%d", w, i)))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Stats().Searches; got != 8*50 {
+		t.Errorf("searches = %d, want %d", got, 8*50)
+	}
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	shard := []Shard{&stubShard{}}
+	if _, err := NewRouter(nil, nil, testOpts()); err == nil {
+		t.Error("want error for zero shards")
+	}
+	if _, err := NewRouter(shard, []int{1, 2}, testOpts()); err == nil {
+		t.Error("want error for count mismatch")
+	}
+	o := testOpts()
+	o.Encode = nil
+	if _, err := NewRouter(shard, []int{0}, o); err == nil {
+		t.Error("want error for missing Encode")
+	}
+	o = testOpts()
+	o.Order = nil
+	if _, err := NewRouter(shard, []int{0}, o); err == nil {
+		t.Error("want error for missing Order")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -123,6 +124,12 @@ func (s *ANNS) Search(query string, k int) ([]Match, error) {
 // SearchTraced implements TracedSearcher: Algorithm 2 with a per-stage
 // breakdown (encode → retrieve → rank).
 func (s *ANNS) SearchTraced(query string, k int, tr *obs.Trace) ([]Match, error) {
+	return s.SearchTracedContext(context.Background(), query, k, tr)
+}
+
+// SearchTracedContext implements ContextSearcher: SearchTraced with
+// cooperative cancellation threaded into the HNSW walk.
+func (s *ANNS) SearchTracedContext(ctx context.Context, query string, k int, tr *obs.Trace) ([]Match, error) {
 	if k <= 0 {
 		return nil, nil
 	}
@@ -140,7 +147,7 @@ func (s *ANNS) SearchTraced(query string, k int, tr *obs.Trace) ([]Match, error)
 		ef = fanout
 	}
 	sp = o.stage("retrieve").AnnotateInt("fanout", fanout).AnnotateInt("ef", ef)
-	hits, err := s.coll.Search(q, fanout, ef, nil)
+	hits, err := s.coll.SearchContext(ctx, q, fanout, ef, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -154,6 +161,27 @@ func (s *ANNS) SearchTraced(query string, k int, tr *obs.Trace) ([]Match, error)
 	o.endStage(sp.AnnotateInt("matches", len(matches)))
 	o.finish()
 	return matches, nil
+}
+
+// SearchEncoded implements EncodedSearcher: rank relations for an
+// already-encoded query vector, honoring ctx between HNSW hops.
+func (s *ANNS) SearchEncoded(ctx context.Context, q []float32, k int) ([]Match, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	fanout := s.fanout
+	if fanout == 0 {
+		fanout = 32 * k
+	}
+	ef := s.efSearch
+	if ef < fanout {
+		ef = fanout
+	}
+	hits, err := s.coll.SearchContext(ctx, q, fanout, ef, nil)
+	if err != nil {
+		return nil, err
+	}
+	return s.foldHits(hits, k)
 }
 
 // Stats exposes the underlying collection's storage statistics.

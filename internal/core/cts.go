@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -287,6 +288,13 @@ func (s *CTS) Search(query string, k int) ([]Match, error) {
 // SearchTraced implements TracedSearcher: Algorithm 3 with a per-stage
 // breakdown (encode → medoid_match → descent → rank).
 func (s *CTS) SearchTraced(query string, k int, tr *obs.Trace) ([]Match, error) {
+	return s.SearchTracedContext(context.Background(), query, k, tr)
+}
+
+// SearchTracedContext implements ContextSearcher: SearchTraced with
+// cooperative cancellation checked between clusters and inside each
+// cluster's HNSW walk.
+func (s *CTS) SearchTracedContext(ctx context.Context, query string, k int, tr *obs.Trace) ([]Match, error) {
 	if k <= 0 {
 		return nil, nil
 	}
@@ -294,23 +302,29 @@ func (s *CTS) SearchTraced(query string, k int, tr *obs.Trace) ([]Match, error) 
 	sp := o.stage("encode")
 	q := s.emb.Enc.Encode(query)
 	o.endStage(sp)
-	matches, err := s.searchObserved(q, k, o)
+	matches, err := s.searchObserved(ctx, q, k, o)
 	if err == nil {
 		o.finish()
 	}
 	return matches, err
 }
 
-// searchEncoded runs the cluster walk for an already-encoded query vector.
-func (s *CTS) searchEncoded(q []float32, k int) ([]Match, error) {
+// SearchEncoded implements EncodedSearcher: the cluster walk for an
+// already-encoded query vector under a context.
+func (s *CTS) SearchEncoded(ctx context.Context, q []float32, k int) ([]Match, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	return s.searchObserved(q, k, startSearch(nil, s.Name(), nil))
+	return s.searchObserved(ctx, q, k, startSearch(nil, s.Name(), nil))
+}
+
+// searchEncoded runs the cluster walk for an already-encoded query vector.
+func (s *CTS) searchEncoded(q []float32, k int) ([]Match, error) {
+	return s.SearchEncoded(context.Background(), q, k)
 }
 
 // searchObserved is the cluster walk, instrumented through o.
-func (s *CTS) searchObserved(q []float32, k int, o *searchObs) ([]Match, error) {
+func (s *CTS) searchObserved(ctx context.Context, q []float32, k int, o *searchObs) ([]Match, error) {
 	// Rank clusters by medoid similarity (original space; medoids are data
 	// points, so the query needs no reduction).
 	sp := o.stage("medoid_match").AnnotateInt("clusters_total", len(s.medoidVecs))
@@ -340,6 +354,9 @@ func (s *CTS) searchObserved(q []float32, k int, o *searchObs) ([]Match, error) 
 	hitCount := make([]float32, n)
 	totalHits := 0
 	for _, sc := range selected {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		coll := s.clusterColl[sc.ID]
 		// Beams wider than the cluster only add heap overhead.
 		pc, pcEf := perCluster, ef
@@ -349,7 +366,7 @@ func (s *CTS) searchObserved(q []float32, k int, o *searchObs) ([]Match, error) 
 				pcEf = l
 			}
 		}
-		hits, err := coll.Search(q, pc, pcEf, nil)
+		hits, err := coll.SearchContext(ctx, q, pc, pcEf, nil)
 		if err != nil {
 			return nil, err
 		}

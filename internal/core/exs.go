@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"semdisco/internal/obs"
 	"semdisco/internal/vec"
@@ -75,6 +77,13 @@ func (s *ExS) Search(query string, k int) ([]Match, error) {
 // breakdown (encode → scan → rank) recorded on tr and on the method's
 // stage histograms.
 func (s *ExS) SearchTraced(query string, k int, tr *obs.Trace) ([]Match, error) {
+	return s.SearchTracedContext(context.Background(), query, k, tr)
+}
+
+// SearchTracedContext implements ContextSearcher: SearchTraced with
+// cooperative cancellation checked between scan chunks, so a cluster
+// deadline interrupts the exhaustive scan mid-corpus.
+func (s *ExS) SearchTracedContext(ctx context.Context, query string, k int, tr *obs.Trace) ([]Match, error) {
 	if k <= 0 {
 		return nil, nil
 	}
@@ -82,31 +91,57 @@ func (s *ExS) SearchTraced(query string, k int, tr *obs.Trace) ([]Match, error) 
 	sp := o.stage("encode")
 	q := s.emb.Enc.Encode(query)
 	o.endStage(sp)
-	matches, err := s.searchObserved(q, k, o)
+	matches, err := s.searchObserved(ctx, q, k, o)
 	if err == nil {
 		o.finish()
 	}
 	return matches, err
 }
 
-// searchEncoded ranks relations for an already-encoded query vector.
-func (s *ExS) searchEncoded(q []float32, k int) ([]Match, error) {
+// SearchEncoded implements EncodedSearcher: rank relations for an
+// already-encoded query vector, honoring ctx between scan chunks. This is
+// the cluster layer's shard entry point — the router encodes once and fans
+// the vector out.
+func (s *ExS) SearchEncoded(ctx context.Context, q []float32, k int) ([]Match, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	return s.searchObserved(q, k, startSearch(nil, s.Name(), nil))
+	return s.searchObserved(ctx, q, k, startSearch(nil, s.Name(), nil))
 }
 
+// searchEncoded ranks relations for an already-encoded query vector.
+func (s *ExS) searchEncoded(q []float32, k int) ([]Match, error) {
+	return s.SearchEncoded(context.Background(), q, k)
+}
+
+// cancelCheckRelations is how many relations each scan worker scores
+// between two context polls: small enough that a deadline lands within a
+// fraction of a millisecond, large enough that ctx.Err() stays free.
+const cancelCheckRelations = 64
+
 // searchObserved is the scan + rank body, instrumented through o.
-func (s *ExS) searchObserved(q []float32, k int, o *searchObs) ([]Match, error) {
+func (s *ExS) searchObserved(ctx context.Context, q []float32, k int, o *searchObs) ([]Match, error) {
 	n := s.emb.NumRelations()
 	scores := make([]float32, n)
 	sp := o.stage("scan").
 		AnnotateInt("relations", n).
 		AnnotateInt("values_scanned", len(s.emb.Values))
 
+	// A single stop flag lets whichever worker observes the expired context
+	// first pull every other chunk out of the scan.
+	var stop atomic.Bool
+	cancellable := ctx.Done() != nil
 	scoreRange := func(lo, hi int) {
 		for rel := lo; rel < hi; rel++ {
+			if cancellable && rel%cancelCheckRelations == 0 {
+				if stop.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					stop.Store(true)
+					return
+				}
+			}
 			scores[rel] = s.scoreRelation(q, rel)
 		}
 	}
@@ -134,6 +169,9 @@ func (s *ExS) searchObserved(q []float32, k int, o *searchObs) ([]Match, error) 
 		scoreRange(0, n)
 	}
 	o.endStage(sp)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	sp = o.stage("rank")
 	scored := make([]vec.Scored, n)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"semdisco/internal/vec"
@@ -19,22 +20,7 @@ func (s *ExS) searchVec(q []float32, k int) ([]Match, error) {
 
 // searchVec implements vectorSearcher for ANNS.
 func (s *ANNS) searchVec(q []float32, k int) ([]Match, error) {
-	if k <= 0 {
-		return nil, nil
-	}
-	fanout := s.fanout
-	if fanout == 0 {
-		fanout = 32 * k
-	}
-	ef := s.efSearch
-	if ef < fanout {
-		ef = fanout
-	}
-	hits, err := s.coll.Search(q, fanout, ef, nil)
-	if err != nil {
-		return nil, err
-	}
-	return s.foldHits(hits, k)
+	return s.SearchEncoded(context.Background(), q, k)
 }
 
 // searchVec implements vectorSearcher for CTS by re-entering the cluster

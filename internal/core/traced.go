@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"semdisco/internal/obs"
@@ -54,6 +55,24 @@ const (
 // recorded, no per-request overhead beyond a few atomic adds).
 type TracedSearcher interface {
 	SearchTraced(query string, k int, tr *obs.Trace) ([]Match, error)
+}
+
+// ContextSearcher is implemented by searchers whose query work honors a
+// context: cancellation is polled between ExS scan chunks, between CTS
+// clusters, and between HNSW hops, so an expired deadline interrupts the
+// search mid-flight instead of after the fact. ExS, ANNS and CTS all
+// implement it.
+type ContextSearcher interface {
+	SearchTracedContext(ctx context.Context, query string, k int, tr *obs.Trace) ([]Match, error)
+}
+
+// EncodedSearcher is the shard contract of the cluster layer: rank
+// relations for an already-encoded query vector under a context. The
+// router encodes the query once and fans the vector out to every shard.
+// ExS, ANNS and CTS all implement it.
+type EncodedSearcher interface {
+	Searcher
+	SearchEncoded(ctx context.Context, q []float32, k int) ([]Match, error)
 }
 
 // searchObs accumulates the per-query observability of one method: stage

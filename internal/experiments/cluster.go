@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"semdisco/internal/cluster"
+	"semdisco/internal/core"
+	"semdisco/internal/corpus"
+	"semdisco/internal/table"
+)
+
+// ClusterReportJSON is the sharded-federation section of the benchmark
+// report: federated query latency per class, the per-shard breakdown, and
+// the merge-equivalence check against the monolithic ExS ranking.
+type ClusterReportJSON struct {
+	Shards int    `json:"shards"`
+	Policy string `json:"policy"`
+	Method string `json:"method"`
+	// Latency maps query class to federated (scatter-gather) timing.
+	Latency map[string]LatencyJSON `json:"latency"`
+	// EquivalentToExS reports whether the federated ExS ranking matched the
+	// single-engine ExS ranking on every long query — the cluster layer's
+	// correctness invariant.
+	EquivalentToExS bool `json:"equivalent_to_exs"`
+	// ShardStats is the per-shard breakdown after the run: relation counts,
+	// search counters and latency quantiles.
+	ShardStats []cluster.ShardStats `json:"shard_stats"`
+}
+
+// ClusterReport shards the LD partition's ExS index n ways behind a
+// scatter-gather router (sharing the partition's encoder, so query vectors
+// are identical) and measures federated query latency per class, verifying
+// along the way that the merged ranking is identical to the monolith's.
+func (b *Bench) ClusterReport(shards, k int) (*ClusterReportJSON, error) {
+	if k <= 0 {
+		k = 20
+	}
+	sb := b.PerSize["LD"]
+	single, ok := sb.Searchers["ExS"]
+	if !ok {
+		return nil, fmt.Errorf("experiments: ExS not built")
+	}
+	if shards < 1 || shards > sb.Fed.Len() {
+		return nil, fmt.Errorf("experiments: invalid shard count %d for %d relations", shards, sb.Fed.Len())
+	}
+
+	// Partition round-robin in federation order so every shard preserves
+	// relative relation order, the invariant the merge tie-breaks on.
+	parts := make([]*table.Federation, shards)
+	for i := range parts {
+		parts[i] = table.NewFederation()
+	}
+	order := make(map[string]int, sb.Fed.Len())
+	for i, rel := range sb.Fed.Relations() {
+		if err := parts[i%shards].Add(rel); err != nil {
+			return nil, err
+		}
+		order[rel.ID] = i
+	}
+	routerShards := make([]cluster.Shard, shards)
+	relCounts := make([]int, shards)
+	for i, p := range parts {
+		emb := core.EmbedFederation(p, sb.Model)
+		routerShards[i] = core.NewExS(emb, core.ExSOptions{})
+		relCounts[i] = p.Len()
+	}
+	router, err := cluster.NewRouter(routerShards, relCounts, cluster.Options{
+		Policy: cluster.PolicyRoundRobin,
+		Method: "ExS",
+		Encode: sb.Model.Encode,
+		Order:  func(relID string) int { return order[relID] },
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	report := &ClusterReportJSON{
+		Shards:          shards,
+		Policy:          cluster.PolicyRoundRobin.String(),
+		Method:          "ExS",
+		Latency:         make(map[string]LatencyJSON, len(classes)),
+		EquivalentToExS: true,
+	}
+	ctx := context.Background()
+	for _, c := range classes {
+		queries := b.Corpus.QueriesOf(c.class)
+		if len(queries) == 0 {
+			continue
+		}
+		if _, err := router.Search(ctx, queries[0].Text, k); err != nil { // warm-up
+			return nil, err
+		}
+		durations := make([]float64, 0, len(queries))
+		var total float64
+		for _, q := range queries {
+			start := time.Now()
+			res, err := router.Search(ctx, q.Text, k)
+			if err != nil {
+				return nil, err
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			durations = append(durations, ms)
+			total += ms
+			if c.class == corpus.Long {
+				want, err := single.Search(q.Text, k)
+				if err != nil {
+					return nil, err
+				}
+				if !matchesEqual(res.Matches, want) {
+					report.EquivalentToExS = false
+				}
+			}
+		}
+		sort.Float64s(durations)
+		p95 := len(durations) * 95 / 100
+		if p95 >= len(durations) {
+			p95 = len(durations) - 1
+		}
+		report.Latency[c.key] = LatencyJSON{
+			MeanMS: total / float64(len(durations)),
+			P50MS:  durations[len(durations)/2],
+			P95MS:  durations[p95],
+		}
+	}
+	report.ShardStats = router.Stats().Shards
+	return report, nil
+}
+
+func matchesEqual(a, b []core.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

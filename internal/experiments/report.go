@@ -58,6 +58,9 @@ type Report struct {
 	Workers    int            `json:"workers"`
 	GOMAXPROCS int            `json:"gomaxprocs"`
 	Methods    []MethodReport `json:"methods"`
+	// Cluster is the sharded-federation benchmark (semdisco-bench -shards),
+	// absent when sharding was not requested.
+	Cluster *ClusterReportJSON `json:"cluster,omitempty"`
 }
 
 // classes maps the report's JSON keys to the corpus query classes.

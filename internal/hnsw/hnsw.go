@@ -188,15 +188,23 @@ func (ix *Index) neighborsAt(id int32, l int) []int32 {
 // measuring distance to stored item `target`. Results are sorted ascending
 // by distance.
 func (ix *Index) searchLayerConstruct(ep, target int32, ef, l int) []Neighbor {
-	return ix.searchLayer(ep, func(id int32) float32 { return ix.dist(id, target) }, ef, l, nil)
+	return ix.searchLayer(ep, func(id int32) float32 { return ix.dist(id, target) }, ef, l, nil, nil)
 }
+
+// cancelCheckHops is how many beam-search node expansions pass between two
+// cancellation checks: frequent enough that a deadline interrupts a walk
+// within a handful of distance computations, rare enough that the check
+// never shows up in profiles.
+const cancelCheckHops = 64
 
 // searchLayer runs the beam search at layer l starting from ep with beam
 // width ef, using qd for distances and skipping items rejected by filter.
 // The entry point is always evaluated even if filtered, so the walk can
 // escape filtered regions. Results sorted ascending by distance; filtered
-// items never appear in the result.
-func (ix *Index) searchLayer(ep int32, qd func(int32) float32, ef, l int, filter func(int32) bool) []Neighbor {
+// items never appear in the result. cancelled, when non-nil, is polled
+// every cancelCheckHops expansions; a true return abandons the walk and
+// yields nil.
+func (ix *Index) searchLayer(ep int32, qd func(int32) float32, ef, l int, filter func(int32) bool, cancelled func() bool) []Neighbor {
 	visited := make(map[int32]struct{}, ef*4)
 	visited[ep] = struct{}{}
 
@@ -207,7 +215,14 @@ func (ix *Index) searchLayer(ep int32, qd func(int32) float32, ef, l int, filter
 		results = maxHeap{{ep, epDist}}
 	}
 
+	hops := 0
 	for candidates.Len() > 0 {
+		if cancelled != nil {
+			hops++
+			if hops%cancelCheckHops == 0 && cancelled() {
+				return nil
+			}
+		}
 		c := heap.Pop(candidates).(Neighbor)
 		if len(results) >= ef && c.Dist > results[0].Dist {
 			break
@@ -293,11 +308,21 @@ func (ix *Index) shrink(id int32, l, maxConn int) {
 // still traversed through rejected nodes so the filtered region remains
 // reachable.
 func (ix *Index) Search(qd func(id int32) float32, k, ef int, filter func(int32) bool) []Neighbor {
+	res, _ := ix.SearchCancel(qd, k, ef, filter, nil)
+	return res
+}
+
+// SearchCancel is Search with cooperative cancellation: cancelled, when
+// non-nil, is polled between hops of the greedy descent and every
+// cancelCheckHops expansions of the layer-0 beam. A true return abandons
+// the walk; the second result reports whether the search ran to completion
+// (false means it was cancelled and the neighbor slice is nil).
+func (ix *Index) SearchCancel(qd func(id int32) float32, k, ef int, filter func(int32) bool, cancelled func() bool) ([]Neighbor, bool) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 
 	if ix.entry < 0 || k <= 0 {
-		return nil
+		return nil, true
 	}
 	if ef < k {
 		ef = k
@@ -306,6 +331,9 @@ func (ix *Index) Search(qd func(id int32) float32, k, ef int, filter func(int32)
 	epD := qd(ep)
 	for l := ix.maxLevel; l >= 1; l-- {
 		for {
+			if cancelled != nil && cancelled() {
+				return nil, false
+			}
 			improved := false
 			for _, n := range ix.neighborsAt(ep, l) {
 				if d := qd(n); d < epD {
@@ -318,11 +346,14 @@ func (ix *Index) Search(qd func(id int32) float32, k, ef int, filter func(int32)
 			}
 		}
 	}
-	res := ix.searchLayer(ep, qd, ef, 0, filter)
+	res := ix.searchLayer(ep, qd, ef, 0, filter, cancelled)
+	if res == nil && cancelled != nil && cancelled() {
+		return nil, false
+	}
 	if len(res) > k {
 		res = res[:k]
 	}
-	return res
+	return res, true
 }
 
 // MaxLevel reports the current top layer, for diagnostics.

@@ -1,0 +1,73 @@
+package httpapi
+
+import (
+	"net/http"
+
+	"semdisco"
+)
+
+// requireEngine gates engine-only surfaces (datasets, debug endpoints):
+// in cluster mode they respond 501 rather than pretending a monolithic
+// engine exists behind the router.
+func (s *Server) requireEngine(w http.ResponseWriter) bool {
+	if s.eng != nil {
+		return true
+	}
+	writeJSON(w, http.StatusNotImplemented,
+		ErrorResponse{"endpoint not available in cluster mode"})
+	return false
+}
+
+// add routes an ingest to whichever backend the server fronts. Caller
+// holds the write lock.
+func (s *Server) add(rel *semdisco.Relation) error {
+	if s.cluster != nil {
+		return s.cluster.Add(rel)
+	}
+	return s.eng.Add(rel)
+}
+
+// clusterSearch answers /v1/search by scatter-gather. The request context
+// is threaded into every shard's scan loops, so a client hanging up stops
+// shard work; degradation metadata rides along in the response instead of
+// failing the query. Caller holds the read lock.
+func (s *Server) clusterSearch(w http.ResponseWriter, r *http.Request, req SearchRequest) {
+	if len(req.Sources) > 0 {
+		writeJSON(w, http.StatusNotImplemented,
+			ErrorResponse{"source-filtered search not available in cluster mode"})
+		return
+	}
+	var (
+		res    *semdisco.ClusterResult
+		stages []semdisco.TraceStage
+		err    error
+	)
+	if req.Trace {
+		res, stages, err = s.cluster.SearchTraced(req.Query, req.K)
+	} else {
+		res, err = s.cluster.SearchContext(r.Context(), req.Query, req.K)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{err.Error()})
+		return
+	}
+	resp := SearchResponse{
+		Matches:  make([]MatchJSON, len(res.Matches)),
+		Degraded: res.Degraded,
+		CacheHit: res.CacheHit,
+	}
+	for i, m := range res.Matches {
+		resp.Matches[i] = MatchJSON{RelationID: m.RelationID, Score: m.Score}
+	}
+	for _, se := range res.ShardErrors {
+		resp.ShardErrors = append(resp.ShardErrors, se.Error())
+	}
+	if stages != nil {
+		t := &TraceJSON{Stages: stages}
+		for _, st := range stages {
+			t.TotalMS += st.DurationMS
+		}
+		resp.Trace = t
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -41,6 +41,9 @@ func queryInt(r *http.Request, name string, def int) (int, bool) {
 // handleDebugSlow serves the slow-query log: up to ?n records (default 20,
 // capped at 100), slowest first, each with its full stage trace.
 func (s *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
+	if !s.requireEngine(w) {
+		return
+	}
 	n, ok := queryInt(r, "n", defaultSlowN)
 	if !ok || n < 0 {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{"n must be a non-negative integer"})
@@ -63,6 +66,9 @@ func (s *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
 // handleDebugIndex serves the engine's index-health introspection: HNSW
 // graph shape and reachability, PQ distortion, CTS cluster balance.
 func (s *Server) handleDebugIndex(w http.ResponseWriter, _ *http.Request) {
+	if !s.requireEngine(w) {
+		return
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, s.eng.IndexHealth())
@@ -73,6 +79,9 @@ func (s *Server) handleDebugIndex(w http.ResponseWriter, _ *http.Request) {
 // replayed query — so at most one runs at a time; concurrent requests get
 // a 429 with Retry-After rather than queueing up probe work.
 func (s *Server) handleDebugRecall(w http.ResponseWriter, r *http.Request) {
+	if !s.requireEngine(w) {
+		return
+	}
 	k, ok := queryInt(r, "k", defaultProbeK)
 	if !ok || k < 0 {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{"k must be a positive integer"})
@@ -103,6 +112,9 @@ func (s *Server) handleDebugRecall(w http.ResponseWriter, r *http.Request) {
 // handleDebugJournal streams the structured event journal (slow and
 // sampled query traces) as JSON lines, oldest first.
 func (s *Server) handleDebugJournal(w http.ResponseWriter, _ *http.Request) {
+	if !s.requireEngine(w) {
+		return
+	}
 	j := s.eng.Journal()
 	if j == nil {
 		writeJSON(w, http.StatusNotFound, ErrorResponse{"diagnostics are disabled on this engine"})
@@ -118,7 +130,7 @@ func (s *Server) handleDebugJournal(w http.ResponseWriter, _ *http.Request) {
 // Each probe takes the server's read lock, so probes never race adds, and
 // the probe mutex, so they never pile up behind a slow manual probe.
 func (s *Server) StartRecallProbe(done <-chan struct{}, interval time.Duration, k int) {
-	if interval <= 0 {
+	if interval <= 0 || s.eng == nil {
 		return
 	}
 	if k <= 0 {

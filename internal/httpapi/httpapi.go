@@ -45,6 +45,10 @@ type Server struct {
 	mu      sync.RWMutex
 	probeMu sync.Mutex // at most one recall probe at a time
 	eng     *semdisco.Engine
+	// cluster is set instead of eng when the server fronts a sharded
+	// federation (NewCluster). Engine-only surfaces (datasets, the debug
+	// endpoints) respond 501 in cluster mode.
+	cluster *semdisco.Cluster
 	mux     *http.ServeMux
 	log     *slog.Logger  // nil: request logging off
 	reg     *obs.Registry // engine registry; nil when metrics are disabled
@@ -73,12 +77,23 @@ func WithPprof() Option {
 
 // New builds a Server around an engine.
 func New(eng *semdisco.Engine, opts ...Option) *Server {
-	s := &Server{
-		eng:   eng,
-		mux:   http.NewServeMux(),
-		reg:   eng.MetricsRegistry(),
-		start: time.Now(),
-	}
+	s := &Server{eng: eng, reg: eng.MetricsRegistry()}
+	s.init(opts)
+	return s
+}
+
+// NewCluster builds a Server around a sharded cluster: /v1/search answers
+// by scatter-gather (with degradation metadata in the response), /v1/stats
+// reports per-shard health, /v1/relations routes adds to shards.
+func NewCluster(cl *semdisco.Cluster, opts ...Option) *Server {
+	s := &Server{cluster: cl, reg: cl.MetricsRegistry()}
+	s.init(opts)
+	return s
+}
+
+func (s *Server) init(opts []Option) {
+	s.mux = http.NewServeMux()
+	s.start = time.Now()
 	route := func(method, path string, h http.HandlerFunc) {
 		s.mux.HandleFunc(method+" "+path, h)
 		// The method-less fallback catches wrong-method requests, which
@@ -99,7 +114,6 @@ func New(eng *semdisco.Engine, opts ...Option) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
-	return s
 }
 
 // logAttrs is the per-request annotation bag handlers append to (query
@@ -191,10 +205,18 @@ type TraceJSON struct {
 	Stages  []semdisco.TraceStage `json:"stages"`
 }
 
-// SearchResponse is the body returned by /v1/search.
+// SearchResponse is the body returned by /v1/search. The cluster-mode
+// fields report federated-query health: a degraded answer covers only the
+// healthy shards' partitions.
 type SearchResponse struct {
 	Matches []MatchJSON `json:"matches"`
 	Trace   *TraceJSON  `json:"trace,omitempty"`
+	// Degraded is set in cluster mode when one or more shards failed or
+	// timed out; ShardErrors names them.
+	Degraded    bool     `json:"degraded,omitempty"`
+	ShardErrors []string `json:"shard_errors,omitempty"`
+	// CacheHit reports the answer came from the cluster's query cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
 }
 
 // MatchJSON is one relation match.
@@ -216,10 +238,13 @@ type DatasetsResponse struct {
 }
 
 // StatsResponse is the body returned by /v1/stats: the engine's full
-// observability snapshot plus server uptime.
+// observability snapshot plus server uptime. In cluster mode Cluster
+// carries per-shard health (relation counts, searches, errors, timeouts,
+// hedges, latency quantiles) and the query-cache counters.
 type StatsResponse struct {
 	semdisco.EngineStats
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Cluster       *semdisco.ClusterStats `json:"cluster,omitempty"`
+	UptimeSeconds float64                `json:"uptime_seconds"`
 }
 
 // ErrorResponse is returned with every non-2xx status.
@@ -240,10 +265,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, StatsResponse{
-		EngineStats:   s.eng.Stats(),
-		UptimeSeconds: time.Since(s.start).Seconds(),
-	})
+	resp := StatsResponse{UptimeSeconds: time.Since(s.start).Seconds()}
+	if s.cluster != nil {
+		cs := s.cluster.Stats()
+		resp.Cluster = &cs
+		resp.Method = s.cluster.Method().String()
+		resp.NumRelations = s.cluster.NumRelations()
+	} else {
+		resp.EngineStats = s.eng.Stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -253,6 +284,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.cluster != nil {
+		s.clusterSearch(w, r, req)
+		return
+	}
 	var (
 		matches []semdisco.Match
 		stages  []semdisco.TraceStage
@@ -287,6 +322,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	req, ok := decodeSearch(w, r)
 	if !ok {
+		return
+	}
+	if !s.requireEngine(w) {
 		return
 	}
 	s.mu.RLock()
@@ -327,7 +365,7 @@ func (s *Server) handleAddRelation(w http.ResponseWriter, r *http.Request) {
 	annotate(r, slog.String("relation", rel.ID))
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	err := s.eng.Add(&semdisco.Relation{
+	err := s.add(&semdisco.Relation{
 		ID:           rel.ID,
 		Source:       rel.Source,
 		PageTitle:    rel.PageTitle,

@@ -2,6 +2,7 @@ package vectordb
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -398,6 +399,30 @@ func (c *Collection) Vector(id uint64) ([]float32, bool) {
 // index. ef overrides the collection's default beam width when positive.
 // filter may be nil.
 func (c *Collection) Search(query []float32, k, ef int, filter Filter) ([]Result, error) {
+	return c.search(query, k, ef, filter, nil)
+}
+
+// SearchContext is Search with cooperative cancellation: the HNSW walk
+// polls ctx between hops, so an expired deadline interrupts the search
+// mid-graph instead of after it, and the context's error is returned.
+func (c *Collection) SearchContext(ctx context.Context, query []float32, k, ef int, filter Filter) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ctx.Done() == nil { // never cancellable: skip the per-hop polling
+		return c.search(query, k, ef, filter, nil)
+	}
+	out, err := c.search(query, k, ef, filter, func() bool { return ctx.Err() != nil })
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (c *Collection) search(query []float32, k, ef int, filter Filter, cancelled func() bool) ([]Result, error) {
 	if len(query) != c.cfg.Dim {
 		return nil, fmt.Errorf("vectordb: query dim %d, want %d", len(query), c.cfg.Dim)
 	}
@@ -418,7 +443,10 @@ func (c *Collection) Search(query []float32, k, ef int, filter Filter) ([]Result
 		}
 		return filter == nil || filter(c.payloads[slot])
 	}
-	found := c.index.Search(qd, k, ef, accept)
+	found, done := c.index.SearchCancel(qd, k, ef, accept, cancelled)
+	if !done {
+		return nil, nil // caller (SearchContext) surfaces ctx.Err()
+	}
 	out := make([]Result, 0, len(found))
 	for _, n := range found {
 		out = append(out, Result{

@@ -1,6 +1,7 @@
 package semdisco
 
 import (
+	"context"
 	"time"
 
 	"semdisco/internal/core"
@@ -23,7 +24,7 @@ type TraceStage struct {
 // independent of the metrics registry: the full stage breakdown is
 // returned even under Config.DisableMetrics.
 func (e *Engine) SearchTraced(query string, k int) ([]Match, []TraceStage, error) {
-	matches, tr, err := e.searchWithTrace(query, k)
+	matches, tr, err := e.searchWithTrace(context.Background(), query, k)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -34,14 +35,16 @@ func (e *Engine) SearchTraced(query string, k int) ([]Match, []TraceStage, error
 // SearchTraced: it runs the query with a live trace and feeds the outcome
 // — duration, result count, stage spans, error — to the diagnostics layer
 // (slow-query log, sampler, journal; no-op when diagnostics are disabled).
-func (e *Engine) searchWithTrace(query string, k int) ([]Match, *obs.Trace, error) {
+func (e *Engine) searchWithTrace(ctx context.Context, query string, k int) ([]Match, *obs.Trace, error) {
 	tr := obs.NewTrace()
 	start := time.Now()
 	var (
 		matches []Match
 		err     error
 	)
-	if ts, ok := e.searcher.(core.TracedSearcher); ok {
+	if cs, ok := e.searcher.(core.ContextSearcher); ok {
+		matches, err = cs.SearchTracedContext(ctx, query, k, tr)
+	} else if ts, ok := e.searcher.(core.TracedSearcher); ok {
 		matches, err = ts.SearchTraced(query, k, tr)
 	} else {
 		sp := tr.StartSpan("search")

@@ -24,6 +24,7 @@
 package semdisco
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -208,10 +209,23 @@ func buildSearcher(cfg Config, emb *core.Embedded) (core.Searcher, error) {
 // traced and feeds the slow-query log; the overhead is a few timestamps
 // and map writes per query.
 func (e *Engine) Search(query string, k int) ([]Match, error) {
+	return e.SearchContext(context.Background(), query, k)
+}
+
+// SearchContext is Search with cooperative cancellation: the context is
+// threaded into the method's inner loops (between ExS scan chunks, between
+// CTS clusters, between HNSW hops), so an expired deadline or a cancelled
+// request interrupts the query mid-index and returns the context's error.
+// This is what lets a cluster deadline actually stop shard work rather
+// than merely abandoning its result.
+func (e *Engine) SearchContext(ctx context.Context, query string, k int) ([]Match, error) {
 	if e.diag == nil {
+		if cs, ok := e.searcher.(core.ContextSearcher); ok {
+			return cs.SearchTracedContext(ctx, query, k, nil)
+		}
 		return e.searcher.Search(query, k)
 	}
-	matches, _, err := e.searchWithTrace(query, k)
+	matches, _, err := e.searchWithTrace(ctx, query, k)
 	return matches, err
 }
 
