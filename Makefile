@@ -1,7 +1,7 @@
 GO ?= go
 CORPUS ?= wikitables
 
-.PHONY: build vet test race race-cluster check bench-smoke bench-json
+.PHONY: build vet test race race-cluster check bench-smoke bench-json trace-smoke
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,13 @@ check: vet race
 bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/...
 	$(GO) run ./cmd/semdisco-bench -corpus $(CORPUS) -scale 0.05 -dim 96 -train=false -shards 2 -json /dev/null
+
+# End-to-end tracing smoke: serve a freshly generated corpus as a 4-shard
+# hedged cluster with every trace retained, run one search, and assert the
+# span tree comes back from /v1/debug/traces/{id} and its exemplar shows
+# up on the OpenMetrics scrape. Needs curl and jq.
+trace-smoke:
+	sh ./scripts/trace-smoke.sh
 
 # Machine-readable benchmark report (build time, latency quantiles,
 # MAP/NDCG) for the selected corpus profile, written to BENCH_$(CORPUS).json

@@ -83,6 +83,7 @@ type Cluster struct {
 	shards []clusterShard
 	router *cluster.Router
 	reg    *obs.Registry
+	traces *obs.TraceStore // nil when Config.Tracing.Disable
 	// order maps relation ID to its global insertion rank; the router's
 	// merge tie-breaks on it so the federated ranking matches the
 	// single-engine ranking exactly for exact methods.
@@ -125,6 +126,7 @@ func NewCluster(fed *Federation, cfg ClusterConfig) (*Cluster, error) {
 	if !cfg.DisableMetrics {
 		reg = obs.NewRegistry()
 	}
+	reg.SetHelps(core.MetricHelp)
 	model.SetObserver(reg)
 
 	// Partition in federation insertion order so each shard preserves the
@@ -159,6 +161,7 @@ func NewCluster(fed *Federation, cfg ClusterConfig) (*Cluster, error) {
 		model:     model,
 		stats:     stats,
 		reg:       reg,
+		traces:    newTraceStore(cfg.Tracing),
 		order:     order,
 		nextOrder: fed.Len(),
 	}
@@ -226,25 +229,87 @@ func (c *Cluster) routerOptions() cluster.Options {
 // instead of failing the query; only all shards failing — or the caller's
 // own context expiring — returns an error.
 func (c *Cluster) Search(query string, k int) (*ClusterResult, error) {
-	return c.router.Search(context.Background(), query, k)
+	return c.SearchContext(context.Background(), query, k)
 }
 
 // SearchContext is Search under a caller-controlled deadline; the context
-// is threaded into every shard's inner scan loops.
+// is threaded into every shard's inner scan loops. With tracing enabled
+// (the default) the query runs under a root span — continuing a propagated
+// trace when ctx carries one — and interesting outcomes (degraded, hedged,
+// errored, slow) land in the trace store under Result.TraceID.
 func (c *Cluster) SearchContext(ctx context.Context, query string, k int) (*ClusterResult, error) {
-	return c.router.Search(ctx, query, k)
+	if c.traces == nil {
+		return c.router.Search(ctx, query, k)
+	}
+	res, _, err := c.searchTraced(ctx, query, k)
+	return res, err
 }
 
 // SearchTraced is Search with the per-stage breakdown of the federated
 // query: encode, scatter (annotated with shard count, failures and
-// hedges), merge.
+// hedges, one child span per shard attempt), merge.
 func (c *Cluster) SearchTraced(query string, k int) (*ClusterResult, []TraceStage, error) {
-	tr := obs.NewTrace()
-	res, err := c.router.SearchTraced(context.Background(), query, k, tr)
+	return c.SearchTracedContext(context.Background(), query, k)
+}
+
+// SearchTracedContext is SearchTraced under a caller-controlled context; a
+// propagated span context (see obs.ContextWithSpan) is continued instead
+// of minting a fresh trace ID.
+func (c *Cluster) SearchTracedContext(ctx context.Context, query string, k int) (*ClusterResult, []TraceStage, error) {
+	res, tr, err := c.searchTraced(ctx, query, k)
 	if err != nil {
 		return nil, nil, err
 	}
 	return res, toTraceStages(tr.Stages()), nil
+}
+
+// searchTraced is the shared traced path behind SearchContext and
+// SearchTraced: the federated query runs under a root span, the finished
+// span tree is offered to the tail-based trace store with the scatter-
+// gather outcome (degradation, hedges, per-shard errors), and a retained
+// trace is linked from the cluster latency histogram via an exemplar.
+func (c *Cluster) searchTraced(ctx context.Context, query string, k int) (*ClusterResult, *obs.Trace, error) {
+	tr := obs.NewTraceFrom(ctx)
+	root := tr.StartRoot("cluster_search")
+	res, err := c.router.SearchTraced(ctx, query, k, tr)
+	if res != nil {
+		root.AnnotateInt("matches", len(res.Matches))
+		res.TraceID = tr.ID().String()
+	}
+	dur := root.End()
+	o := obs.TraceOutcome{
+		Duration:  dur,
+		Query:     query,
+		Method:    c.cfg.Method.String(),
+		K:         k,
+		RequestID: obs.RequestIDFrom(ctx),
+	}
+	if err != nil {
+		o.Err = err.Error()
+	}
+	if res != nil {
+		o.Matches = len(res.Matches)
+		o.Degraded = res.Degraded
+		o.Hedged = res.Hedged
+		for _, se := range res.ShardErrors {
+			o.ShardErrors = append(o.ShardErrors, se.Error())
+		}
+	}
+	offerTrace(c.traces, c.reg, cluster.MetricSearchSeconds, tr, o)
+	return res, tr, err
+}
+
+// Traces exposes the cluster's tail-sampling trace store: retained span
+// trees (root → encode/scatter/merge, per-shard attempt children)
+// listable, fetchable by trace ID and exportable as JSON lines. Nil when
+// tracing is disabled.
+func (c *Cluster) Traces() *obs.TraceStore { return c.traces }
+
+// ConfigureTracing replaces the cluster's tracing subsystem, e.g. to apply
+// a retention threshold to a cluster restored with LoadCluster. Call it
+// before serving traffic; it must not race with Search.
+func (c *Cluster) ConfigureTracing(tc TracingConfig) {
+	c.traces = newTraceStore(tc)
 }
 
 // Add routes one new relation to a shard — its hash bucket under
@@ -401,6 +466,7 @@ func LoadCluster(r io.Reader) (*Cluster, error) {
 		IDF:     idf,
 	})
 	reg := obs.NewRegistry()
+	reg.SetHelps(core.MetricHelp)
 	model.SetObserver(reg)
 	if p.Order == nil {
 		p.Order = make(map[string]int)
@@ -410,6 +476,7 @@ func LoadCluster(r io.Reader) (*Cluster, error) {
 		model:     model,
 		stats:     p.Stats,
 		reg:       reg,
+		traces:    newTraceStore(TracingConfig{}),
 		order:     p.Order,
 		nextOrder: p.NextOrder,
 	}

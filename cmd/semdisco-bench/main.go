@@ -42,6 +42,7 @@ func main() {
 		sweep      = flag.Bool("sweep", false, "run the scaling sweep (builds the methods at several corpus scales)")
 		jsonOut    = flag.String("json", "", `write machine-readable results (build time, latency quantiles, MAP/NDCG) to this file; "-" for stdout`)
 		shards     = flag.Int("shards", 0, "also benchmark a sharded scatter-gather federation with this many shards (adds a per-shard breakdown to -json)")
+		tracingOH  = flag.Bool("tracing-overhead", false, "also measure span-tree tracing overhead on ExS p50 (adds a tracing section to -json)")
 	)
 	flag.Parse()
 
@@ -166,6 +167,16 @@ func main() {
 			}
 			fmt.Printf("sharded federation: %d shards, ExS-equivalent=%v\n",
 				report.Cluster.Shards, report.Cluster.EquivalentToExS)
+		}
+		if *tracingOH {
+			report.Tracing, err = bench.TracingReport(20)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("tracing overhead: p50 %.3fms -> %.3fms (%.1f%%), %d traces kept\n",
+				report.Tracing.BaselineP50MS, report.Tracing.TracedP50MS,
+				report.Tracing.OverheadPct, report.Tracing.TracesKept)
 		}
 		var out io.Writer = os.Stdout
 		if *jsonOut != "-" {

@@ -30,6 +30,15 @@
 // /v1/debug/index the index-health report, and /v1/debug/recall an
 // on-demand recall probe; -recall-probe-interval probes periodically and
 // exports semdisco_recall_at_k on /metrics.
+//
+// Tracing: every request runs under a W3C trace context (inbound
+// traceparent headers are continued; X-Trace-Id / Traceparent /
+// X-Request-Id are stamped on responses), and interesting traces — slow
+// per -trace-threshold, degraded, hedged, errored, plus a 1-in-M head
+// sample per -trace-head-sample — are retained in a -trace-store-sized
+// ring served at /v1/debug/traces. Scrapes accepting OpenMetrics get
+// histogram exemplars on /metrics linking latency buckets to stored trace
+// IDs. -no-trace turns the subsystem off.
 package main
 
 import (
@@ -61,6 +70,15 @@ func main() {
 			"journal the full trace of 1 in every M queries (0 disables sampling)")
 		probeInterval = flag.Duration("recall-probe-interval", 0,
 			"probe recall@10 against an exhaustive scan this often (0 disables)")
+
+		noTrace = flag.Bool("no-trace", false,
+			"disable span-tree tracing and the /v1/debug/traces store")
+		traceStore = flag.Int("trace-store", 0,
+			"retained-trace ring capacity (0 = default 256)")
+		traceThreshold = flag.Duration("trace-threshold", 0,
+			"retain every trace whose request ran at least this long (0 disables the latency criterion)")
+		traceHeadSample = flag.Int("trace-head-sample", 0,
+			"keep 1 in every M otherwise-uninteresting traces (0 = default 64, negative disables)")
 
 		shards = flag.Int("shards", 0,
 			"partition the corpus into this many shards behind a scatter-gather router (0 = single engine)")
@@ -102,9 +120,16 @@ func main() {
 		os.Exit(1)
 	}
 
+	tracing := semdisco.TracingConfig{
+		Disable:          *noTrace,
+		StoreSize:        *traceStore,
+		LatencyThreshold: *traceThreshold,
+		HeadSampleEvery:  *traceHeadSample,
+	}
+
 	if *shards > 0 {
 		serveCluster(logger, m, *dir, *loadPath, *addr, *dim, *seed,
-			*shards, *shardTimeout, *hedge, *cacheSize, *enablePprof)
+			*shards, *shardTimeout, *hedge, *cacheSize, *enablePprof, tracing)
 		return
 	}
 
@@ -122,6 +147,7 @@ func main() {
 		if err != nil {
 			fatal(logger, "loading engine", err)
 		}
+		eng.ConfigureTracing(tracing)
 		logger.Info("engine loaded", "path", *loadPath,
 			"method", eng.Method().String(),
 			"relations", eng.NumRelations(), "values", eng.NumValues())
@@ -131,7 +157,7 @@ func main() {
 			fatal(logger, "loading corpus", ferr)
 		}
 		start := time.Now()
-		eng, err = semdisco.Open(fed, semdisco.Config{Method: m, Dim: *dim, Seed: *seed})
+		eng, err = semdisco.Open(fed, semdisco.Config{Method: m, Dim: *dim, Seed: *seed, Tracing: tracing})
 		if err != nil {
 			fatal(logger, "building index", err)
 		}
@@ -177,7 +203,7 @@ func main() {
 // serveCluster builds or loads a sharded cluster and serves it.
 func serveCluster(logger *slog.Logger, m semdisco.Method, dir, loadPath, addr string,
 	dim int, seed int64, shards int, shardTimeout time.Duration, hedge bool,
-	cacheSize int, enablePprof bool) {
+	cacheSize int, enablePprof bool, tracing semdisco.TracingConfig) {
 	var (
 		cl  *semdisco.Cluster
 		err error
@@ -192,6 +218,7 @@ func serveCluster(logger *slog.Logger, m semdisco.Method, dir, loadPath, addr st
 		if err != nil {
 			fatal(logger, "loading cluster", err)
 		}
+		cl.ConfigureTracing(tracing)
 		logger.Info("cluster loaded", "path", loadPath,
 			"method", cl.Method().String(),
 			"shards", cl.NumShards(), "relations", cl.NumRelations())
@@ -202,7 +229,7 @@ func serveCluster(logger *slog.Logger, m semdisco.Method, dir, loadPath, addr st
 		}
 		start := time.Now()
 		cl, err = semdisco.NewCluster(fed, semdisco.ClusterConfig{
-			Config:       semdisco.Config{Method: m, Dim: dim, Seed: seed},
+			Config:       semdisco.Config{Method: m, Dim: dim, Seed: seed, Tracing: tracing},
 			Shards:       shards,
 			ShardTimeout: shardTimeout,
 			Hedge:        hedge,

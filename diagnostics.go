@@ -57,19 +57,23 @@ func newDiagnostics(dc DiagnosticsConfig, reg *obs.Registry) *diagnostics {
 // observe records one completed (or failed) query: always into the
 // recent-query ring and — threshold permitting — the slow ring; slow or
 // sampled queries additionally journal their exemplar trace.
-func (d *diagnostics) observe(method, query string, k int, matches []Match, dur time.Duration, tr *obs.Trace, err error) {
+func (d *diagnostics) observe(method, query string, k int, matches []Match, dur time.Duration, tr *obs.Trace, requestID string, err error) {
 	if d == nil {
 		return
 	}
 	d.recent.Add(query)
 	rec := obs.QueryRecord{
-		Time:     time.Now(),
-		Query:    query,
-		Method:   method,
-		K:        k,
-		Matches:  len(matches),
-		Duration: dur,
-		Stages:   tr.Stages(),
+		Time:      time.Now(),
+		Query:     query,
+		Method:    method,
+		K:         k,
+		Matches:   len(matches),
+		Duration:  dur,
+		Stages:    tr.Stages(),
+		RequestID: requestID,
+	}
+	if id := tr.ID(); !id.IsZero() {
+		rec.TraceID = id.String()
 	}
 	if len(matches) > 0 {
 		rec.TopScore = matches[0].Score
@@ -107,6 +111,8 @@ type SlowQuery struct {
 	TopScore   float32      `json:"top_score"`
 	DurationMS float64      `json:"duration_ms"`
 	Stages     []TraceStage `json:"stages,omitempty"`
+	TraceID    string       `json:"trace_id,omitempty"`
+	RequestID  string       `json:"request_id,omitempty"`
 	Err        string       `json:"error,omitempty"`
 }
 
@@ -131,6 +137,8 @@ func (e *Engine) SlowQueries(n int) []SlowQuery {
 			TopScore:   r.TopScore,
 			DurationMS: float64(r.Duration) / float64(time.Millisecond),
 			Stages:     toTraceStages(r.Stages),
+			TraceID:    r.TraceID,
+			RequestID:  r.RequestID,
 			Err:        r.Err,
 		}
 	}

@@ -198,6 +198,7 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		IDF:     idf,
 	})
 	reg := obs.NewRegistry()
+	reg.SetHelps(core.MetricHelp)
 	model.SetObserver(reg)
 	emb, err := core.RestoreEmbedded(bytes.NewReader(p.EmbBlob), model)
 	if err != nil {
@@ -212,6 +213,7 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		p.RelSource = make(map[string]string)
 	}
 	return &Engine{cfg: cfg, model: model, emb: emb, searcher: s, obs: reg,
-		diag:  newDiagnostics(DiagnosticsConfig{}, reg),
-		stats: p.Stats, relSource: p.RelSource}, nil
+		diag:   newDiagnostics(DiagnosticsConfig{}, reg),
+		traces: newTraceStore(TracingConfig{}),
+		stats:  p.Stats, relSource: p.RelSource}, nil
 }

@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"semdisco"
 )
@@ -37,8 +38,11 @@ func main() {
 	lex.AddSynonyms("COVID", "coronavirus", "Vaxzevria", "CoronaVac", "Comirnaty")
 
 	// Metrics are on by default; Config.DisableMetrics turns them off.
+	// Tracing is too — HeadSampleEvery: 1 retains every trace instead of
+	// only interesting ones, so the example below can always show one.
 	eng, err := semdisco.Open(fed, semdisco.Config{
 		Method: semdisco.CTS, Dim: 192, Seed: 1, Lexicon: lex,
+		Tracing: semdisco.TracingConfig{HeadSampleEvery: 1},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -57,6 +61,15 @@ func main() {
 	fmt.Println("trace:")
 	for _, st := range stages {
 		fmt.Printf("  %-14s %8.3fms  %v\n", st.Name, st.DurationMS, st.Annotations)
+	}
+
+	// Every search also ran under a span tree offered to the trace store;
+	// render the most recent one by its parent links. A served engine
+	// exposes the same tree at /v1/debug/traces/{trace_id}.
+	if stored := eng.Traces().List(1); len(stored) > 0 {
+		st := stored[0]
+		fmt.Printf("\nstored trace %s (kind=%s, %.3fms):\n", st.TraceID, st.Kind, st.DurationMS)
+		printSpanTree(st.Spans)
 	}
 
 	// A few more (untraced) queries to populate the latency histograms.
@@ -113,6 +126,38 @@ func main() {
 	}
 	fmt.Printf("\nrecall probe: recall@%d=%.3f over %d queries (source: %s)\n",
 		res.K, res.Recall, res.Probed, res.Source)
+}
+
+// printSpanTree renders a stored trace's flat span list as an indented
+// tree: children under their parents, the root (whose parent is absent
+// from the trace) at the top level.
+func printSpanTree(spans []semdisco.StoredSpan) {
+	known := make(map[string]bool, len(spans))
+	for _, sp := range spans {
+		known[sp.SpanID] = true
+	}
+	children := make(map[string][]semdisco.StoredSpan)
+	var roots []semdisco.StoredSpan
+	for _, sp := range spans {
+		if known[sp.ParentID] {
+			children[sp.ParentID] = append(children[sp.ParentID], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	var walk func(sp semdisco.StoredSpan, depth int)
+	walk = func(sp semdisco.StoredSpan, depth int) {
+		fmt.Printf("  %*s%-14s %8.3fms  %v\n", 2*depth, "", sp.Name, sp.DurationMS, sp.Annotations)
+		kids := children[sp.SpanID]
+		sort.Slice(kids, func(i, j int) bool { return kids[i].StartOffsetMS < kids[j].StartOffsetMS })
+		for _, c := range kids {
+			walk(c, depth+1)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].StartOffsetMS < roots[j].StartOffsetMS })
+	for _, r := range roots {
+		walk(r, 0)
+	}
 }
 
 func must(err error) {

@@ -34,6 +34,9 @@ import (
 const (
 	// MetricSearches counts completed cluster searches.
 	MetricSearches = "semdisco_cluster_searches_total"
+	// MetricSearchSeconds is end-to-end federated query latency, the
+	// cluster-level histogram trace exemplars attach to.
+	MetricSearchSeconds = "semdisco_cluster_search_seconds"
 	// MetricShardSearchSeconds is per-shard search latency.
 	MetricShardSearchSeconds = "semdisco_cluster_shard_search_seconds"
 	// MetricShardErrors counts failed shard searches, timeouts included.
@@ -52,6 +55,21 @@ const (
 	MetricCacheHits   = "semdisco_cluster_cache_hits_total"
 	MetricCacheMisses = "semdisco_cluster_cache_misses_total"
 )
+
+// MetricHelp maps the router's metric base names to their Prometheus
+// HELP texts; NewRouter registers them on the registry it is given.
+var MetricHelp = map[string]string{
+	MetricSearches:           "Completed cluster searches.",
+	MetricSearchSeconds:      "End-to-end federated query latency in seconds.",
+	MetricShardSearchSeconds: "Per-shard search latency in seconds.",
+	MetricShardErrors:        "Failed shard searches, timeouts included.",
+	MetricShardTimeouts:      "Shard searches that hit the per-shard deadline.",
+	MetricHedges:             "Hedge attempts launched against slow shards.",
+	MetricHedgeWins:          "Hedge attempts that beat their primary.",
+	MetricDegraded:           "Searches answered from a strict subset of shards.",
+	MetricCacheHits:          "Query-result cache hits.",
+	MetricCacheMisses:        "Query-result cache misses.",
+}
 
 // Policy selects how relations are assigned to shards.
 type Policy int
@@ -154,6 +172,10 @@ func (e ShardError) Unwrap() error { return e.Err }
 type Result struct {
 	// Matches is the merged global top-k.
 	Matches []core.Match
+	// TraceID is the hex trace ID the query ran under, "" when untraced.
+	// Interesting outcomes (degraded, hedged, errored, slow) are retained
+	// in the owning layer's trace store under this ID.
+	TraceID string
 	// Degraded reports that at least one shard failed or timed out and
 	// Matches covers only the healthy shards' partitions.
 	Degraded bool
@@ -230,6 +252,7 @@ func NewRouter(shards []Shard, relCounts []int, opts Options) (*Router, error) {
 		reg:      opts.Registry,
 		relCount: make([]atomic.Int64, len(shards)),
 	}
+	r.reg.SetHelps(MetricHelp)
 	for i := range r.state {
 		r.state[i] = &shardState{lat: newLatencyWindow(latencyWindowSize)}
 		r.relCount[i].Store(int64(relCounts[i]))
@@ -274,11 +297,13 @@ func (r *Router) Search(ctx context.Context, query string, k int) (*Result, erro
 	return r.SearchTraced(ctx, query, k, nil)
 }
 
-// SearchTraced is Search with a per-stage breakdown (encode → scatter →
-// merge) recorded on tr; the scatter span is annotated with shard count,
-// failures and hedges. The error return is reserved for total failure —
-// the parent context expiring, or every shard failing; partial failure
-// returns a degraded Result instead.
+// SearchTraced is Search with the span tree of the federated query
+// recorded on tr: encode → scatter → merge, with one child span under
+// scatter per shard attempt (hedge retries included), each annotated with
+// its shard index, attempt kind and failure detail. The scatter span
+// itself is annotated with shard count, failures and hedges. The error
+// return is reserved for total failure — the parent context expiring, or
+// every shard failing; partial failure returns a degraded Result instead.
 func (r *Router) SearchTraced(ctx context.Context, query string, k int, tr *obs.Trace) (*Result, error) {
 	if k <= 0 {
 		return &Result{}, nil
@@ -286,12 +311,14 @@ func (r *Router) SearchTraced(ctx context.Context, query string, k int, tr *obs.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	key := cacheKey{query: query, k: k}
 	if r.cache != nil {
 		if cached, ok := r.cache.Get(key); ok {
 			r.reg.Counter(MetricCacheHits).Inc()
 			r.searches.Add(1)
 			r.reg.Counter(MetricSearches).Inc()
+			r.reg.Histogram(MetricSearchSeconds).Observe(time.Since(start))
 			return &Result{Matches: cloneMatches(cached), CacheHit: true}, nil
 		}
 		r.reg.Counter(MetricCacheMisses).Inc()
@@ -313,7 +340,7 @@ func (r *Router) SearchTraced(ctx context.Context, query string, k int, tr *obs.
 		AnnotateInt("shards", n).
 		AnnotateInt("k_prime", kPrime)
 	par.Each(n, n, func(i int) {
-		outs[i].matches, outs[i].err, outs[i].hedged = r.searchShard(ctx, i, q, kPrime)
+		outs[i].matches, outs[i].err, outs[i].hedged = r.searchShard(ctx, sp, i, q, kPrime)
 	})
 
 	res := &Result{}
@@ -347,6 +374,7 @@ func (r *Router) SearchTraced(ctx context.Context, query string, k int, tr *obs.
 	res.Degraded = len(res.ShardErrors) > 0
 	r.searches.Add(1)
 	r.reg.Counter(MetricSearches).Inc()
+	r.reg.Histogram(MetricSearchSeconds).Observe(time.Since(start))
 	if res.Degraded {
 		r.degraded.Add(1)
 		r.reg.Counter(MetricDegraded).Inc()
@@ -359,8 +387,9 @@ func (r *Router) SearchTraced(ctx context.Context, query string, k int, tr *obs.
 }
 
 // searchShard runs one shard's query under the per-shard deadline, with a
-// hedged retry when the primary runs past the shard's observed p95.
-func (r *Router) searchShard(ctx context.Context, i int, q []float32, k int) ([]core.Match, error, bool) {
+// hedged retry when the primary runs past the shard's observed p95. Each
+// attempt records a child span under the scatter span.
+func (r *Router) searchShard(ctx context.Context, scatter *obs.Span, i int, q []float32, k int) ([]core.Match, error, bool) {
 	sctx := ctx
 	if r.opts.ShardTimeout > 0 {
 		var cancel context.CancelFunc
@@ -369,7 +398,7 @@ func (r *Router) searchShard(ctx context.Context, i int, q []float32, k int) ([]
 	}
 	delay, hedge := r.hedgeDelay(i)
 	if !hedge {
-		m, err := r.runShard(sctx, ctx, i, q, k)
+		m, err := r.runShard(sctx, ctx, scatter, i, q, k, "primary")
 		return m, err, false
 	}
 
@@ -380,8 +409,12 @@ func (r *Router) searchShard(ctx context.Context, i int, q []float32, k int) ([]
 	}
 	ch := make(chan outcome, 2) // buffered: the loser never blocks or leaks
 	launch := func(isHedge bool) {
+		attempt := "primary"
+		if isHedge {
+			attempt = "hedge"
+		}
 		go func() {
-			m, err := r.runShard(sctx, ctx, i, q, k)
+			m, err := r.runShard(sctx, ctx, scatter, i, q, k, attempt)
 			ch <- outcome{m, err, isHedge}
 		}()
 	}
@@ -418,26 +451,34 @@ func (r *Router) searchShard(ctx context.Context, i int, q []float32, k int) ([]
 	return nil, first.err, hedged
 }
 
-// runShard executes one shard search attempt, recording latency and
-// classifying failures. parent distinguishes a shard-deadline timeout from
-// the whole query's context dying.
-func (r *Router) runShard(sctx, parent context.Context, i int, q []float32, k int) ([]core.Match, error) {
+// runShard executes one shard search attempt, recording latency, its span
+// (a child of the scatter span, annotated with shard index, attempt kind
+// and failure detail) and classifying failures. parent distinguishes a
+// shard-deadline timeout from the whole query's context dying.
+func (r *Router) runShard(sctx, parent context.Context, scatter *obs.Span, i int, q []float32, k int, attempt string) ([]core.Match, error) {
 	st := r.state[i]
 	st.searches.Add(1)
+	sp := scatter.StartChild("shard").
+		AnnotateInt("shard", i).
+		Annotate("attempt", attempt)
 	start := time.Now()
 	m, err := r.shards[i].SearchEncoded(sctx, q, k)
 	d := time.Since(start)
 	r.reg.Histogram(obs.L(MetricShardSearchSeconds, "shard", strconv.Itoa(i))).Observe(d)
 	if err == nil {
 		st.lat.record(d)
+		sp.AnnotateInt("matches", len(m)).End()
 		return m, nil
 	}
 	st.errors.Add(1)
 	r.reg.Counter(obs.L(MetricShardErrors, "shard", strconv.Itoa(i))).Inc()
+	sp.Annotate("error", err.Error())
 	if errors.Is(err, context.DeadlineExceeded) && parent.Err() == nil {
 		st.timeouts.Add(1)
 		r.reg.Counter(obs.L(MetricShardTimeouts, "shard", strconv.Itoa(i))).Inc()
+		sp.Annotate("timeout", "true")
 	}
+	sp.End()
 	return nil, err
 }
 

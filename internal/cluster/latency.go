@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"semdisco/internal/obs"
 )
 
 // latencyWindowSize bounds the per-shard latency history used to estimate
@@ -59,12 +61,13 @@ func (w *latencyWindow) quantile(q float64) time.Duration {
 	return w.quantileLocked(q)
 }
 
-// quantileLocked sorts a copy of the live slots; caller holds mu. The
-// window is small (≤128 entries) so the sort is noise next to a search.
+// quantileLocked sorts a copy of the live slots and interpolates via the
+// shared obs.SampleQuantile estimator, so the p95 that arms a hedge is
+// the same number /v1/stats reports; caller holds mu. The window is small
+// (≤128 entries) so the sort is noise next to a search.
 func (w *latencyWindow) quantileLocked(q float64) time.Duration {
 	tmp := make([]time.Duration, w.count)
 	copy(tmp, w.buf[:w.count])
 	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
-	idx := int(q * float64(w.count-1))
-	return tmp[idx]
+	return obs.SampleQuantile(tmp, q)
 }

@@ -375,3 +375,121 @@ func TestNewRouterValidation(t *testing.T) {
 		t.Error("want error for missing Order")
 	}
 }
+
+func TestSearchTracedSpanTree(t *testing.T) {
+	// The acceptance scenario for the tracing subsystem: a 4-shard query
+	// where two shards answer promptly, one is slow enough that its hedge
+	// launches, and one rides into its per-shard deadline. The recorded
+	// span tree must tell the whole story — root → encode/scatter/merge,
+	// one shard child per attempt under scatter with the hedge and the
+	// timeout annotated, and every parent link correct.
+	fast0 := &stubShard{matches: []core.Match{m(0, 0.9)}}
+	fast1 := &stubShard{matches: []core.Match{m(1, 0.8)}}
+	slow := &stubShard{matches: []core.Match{m(2, 0.7)}}
+	stuck := &stubShard{matches: []core.Match{m(3, 0.6)}}
+	opts := testOpts()
+	opts.Hedge = true
+	opts.HedgeAfter = 4
+	opts.MinHedgeDelay = 5 * time.Millisecond
+	opts.ShardTimeout = 250 * time.Millisecond
+	opts.CacheSize = 0
+	r := mustRouter(t, []Shard{fast0, fast1, slow, stuck}, opts)
+
+	// Warm every shard's latency window so the hedge delay is the floored
+	// MinHedgeDelay, then degrade shards 2 and 3.
+	for i := 0; i < 4; i++ {
+		if _, err := r.Search(context.Background(), fmt.Sprintf("warm-%d", i), 1); err != nil {
+			t.Fatalf("warm search: %v", err)
+		}
+	}
+	slow.delay = 100 * time.Millisecond
+	stuck.block = true
+
+	tr := obs.NewTrace()
+	root := tr.StartRoot("cluster_search")
+	res, err := r.SearchTraced(context.Background(), "q", 4, tr)
+	root.End()
+	if err != nil {
+		t.Fatalf("SearchTraced: %v", err)
+	}
+	if !res.Degraded {
+		t.Error("want Degraded=true with a timed-out shard")
+	}
+	if res.Hedged < 1 {
+		t.Errorf("hedged = %d, want at least 1", res.Hedged)
+	}
+	if len(res.ShardErrors) != 1 || res.ShardErrors[0].Shard != 3 {
+		t.Fatalf("shard errors = %+v, want shard 3 only", res.ShardErrors)
+	}
+	if !errors.Is(res.ShardErrors[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("shard 3 error = %v, want deadline exceeded", res.ShardErrors[0].Err)
+	}
+	if len(res.Matches) != 3 {
+		t.Fatalf("matches = %+v, want the 3 healthy shards' results", res.Matches)
+	}
+
+	spans := tr.Spans()
+	byName := make(map[string]obs.SpanRecord)
+	var shardSpans []obs.SpanRecord
+	for _, sp := range spans {
+		if sp.Name == "shard" {
+			shardSpans = append(shardSpans, sp)
+		} else {
+			byName[sp.Name] = sp
+		}
+	}
+	rootRec, ok := byName["cluster_search"]
+	if !ok {
+		t.Fatal("root span not recorded")
+	}
+	if !rootRec.Parent.IsZero() {
+		t.Errorf("root span has parent %s, want none", rootRec.Parent)
+	}
+	for _, name := range []string{"encode", "scatter", "merge"} {
+		sp, ok := byName[name]
+		if !ok {
+			t.Fatalf("stage span %q not recorded", name)
+		}
+		if sp.Parent != rootRec.SpanID {
+			t.Errorf("%s parent = %s, want root %s", name, sp.Parent, rootRec.SpanID)
+		}
+	}
+	scatter := byName["scatter"]
+	if scatter.Annotations["shards"] != "4" {
+		t.Errorf("scatter shards annotation = %q, want 4", scatter.Annotations["shards"])
+	}
+	if byName["merge"].Annotations["matches"] != "3" {
+		t.Errorf("merge matches annotation = %q, want 3", byName["merge"].Annotations["matches"])
+	}
+
+	// Per-shard attempts: shards 0 and 1 one primary each; shard 3 a
+	// primary and a hedge, both timed out. (Shard 2's winning attempt is
+	// always recorded; its losing twin may land late, so it is not
+	// counted on.)
+	attempts := make(map[string][]obs.SpanRecord) // "shard/attempt" -> spans
+	for _, sp := range shardSpans {
+		if sp.Parent != scatter.SpanID {
+			t.Errorf("shard span parent = %s, want scatter %s", sp.Parent, scatter.SpanID)
+		}
+		key := sp.Annotations["shard"] + "/" + sp.Annotations["attempt"]
+		attempts[key] = append(attempts[key], sp)
+	}
+	for _, key := range []string{"0/primary", "1/primary", "3/primary", "3/hedge"} {
+		if len(attempts[key]) != 1 {
+			t.Errorf("attempt %s recorded %d spans, want 1", key, len(attempts[key]))
+		}
+	}
+	for _, key := range []string{"3/primary", "3/hedge"} {
+		for _, sp := range attempts[key] {
+			if sp.Annotations["timeout"] != "true" {
+				t.Errorf("%s span missing timeout annotation: %v", key, sp.Annotations)
+			}
+			if sp.Annotations["error"] == "" {
+				t.Errorf("%s span missing error annotation", key)
+			}
+		}
+	}
+	if len(attempts["2/primary"])+len(attempts["2/hedge"]) < 1 {
+		t.Error("slow shard recorded no attempt spans")
+	}
+}

@@ -49,6 +49,27 @@ const (
 	MetricMedoidDrift = "semdisco_index_medoid_drift_mean"
 )
 
+// MetricHelp maps the engine's metric base names to their Prometheus
+// HELP texts, registered on the registry at engine construction so the
+// exposition emits both # HELP and # TYPE per the text-format spec.
+var MetricHelp = map[string]string{
+	MetricSearches:          "Completed searches by method.",
+	MetricSearchSeconds:     "End-to-end query latency in seconds by method.",
+	MetricStageSeconds:      "Per-stage query latency in seconds by method and stage.",
+	MetricBuildSeconds:      "Index-build phase wall-clock seconds by phase.",
+	MetricClusters:          "CTS cluster count.",
+	MetricValues:            "Number of indexed value vectors.",
+	MetricSlowQueries:       "Queries at or over the slow-log threshold by method.",
+	MetricSampledTraces:     "Queries whose exemplar trace was journaled by head sampling.",
+	MetricRecallAtK:         "Latest online recall probe result by method and k.",
+	MetricReachableFraction: "Share of HNSW layer-0 nodes reachable from the entry point.",
+	MetricPQDistortion:      "Mean sampled PQ reconstruction error.",
+	MetricClusterSizeCV:     "Coefficient of variation of CTS cluster sizes.",
+	MetricMedoidDrift:       "Mean CTS medoid drift since build.",
+	"semdisco_embed_cache_hits_total":   "Encoder token-cache hits.",
+	"semdisco_embed_cache_misses_total": "Encoder token-cache misses.",
+}
+
 // TracedSearcher is implemented by searchers that can report a per-stage
 // breakdown of one query. ExS, ANNS and CTS implement it; tr may be nil,
 // in which case the call behaves exactly like Search (metrics still

@@ -61,6 +61,9 @@ type Report struct {
 	// Cluster is the sharded-federation benchmark (semdisco-bench -shards),
 	// absent when sharding was not requested.
 	Cluster *ClusterReportJSON `json:"cluster,omitempty"`
+	// Tracing is the tracing-overhead measurement (semdisco-bench
+	// -tracing-overhead), absent when not requested.
+	Tracing *TracingReportJSON `json:"tracing,omitempty"`
 }
 
 // classes maps the report's JSON keys to the corpus query classes.

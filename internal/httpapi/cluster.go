@@ -43,7 +43,7 @@ func (s *Server) clusterSearch(w http.ResponseWriter, r *http.Request, req Searc
 		err    error
 	)
 	if req.Trace {
-		res, stages, err = s.cluster.SearchTraced(req.Query, req.K)
+		res, stages, err = s.cluster.SearchTracedContext(r.Context(), req.Query, req.K)
 	} else {
 		res, err = s.cluster.SearchContext(r.Context(), req.Query, req.K)
 	}
@@ -53,6 +53,7 @@ func (s *Server) clusterSearch(w http.ResponseWriter, r *http.Request, req Searc
 	}
 	resp := SearchResponse{
 		Matches:  make([]MatchJSON, len(res.Matches)),
+		TraceID:  res.TraceID,
 		Degraded: res.Degraded,
 		CacheHit: res.CacheHit,
 	}

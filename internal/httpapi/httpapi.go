@@ -15,12 +15,21 @@
 //	GET  /v1/debug/index        index health: HNSW graphs, PQ distortion, cluster balance
 //	GET  /v1/debug/recall       online recall probe vs exhaustive scan (?k=10, max 50)
 //	GET  /v1/debug/journal      slow/sampled query trace journal as JSON lines
+//	GET  /v1/debug/traces       retained traces, newest first (?n=20, ?format=jsonl)
+//	GET  /v1/debug/traces/{id}  one retained trace rendered as a span tree
 //	GET  /debug/pprof/          runtime profiles (only with WithPprof)
+//
+// Every request runs under a W3C trace context: an inbound traceparent
+// header is continued, otherwise a trace ID is minted; the ID is stamped
+// on the X-Trace-Id and Traceparent response headers and correlates the
+// access log, the slow-query log and the stored span trees. An inbound
+// X-Request-Id (defaulting to the trace ID) rides along the same way.
 //
 // Every non-2xx response carries an ErrorResponse JSON body, including
 // wrong-method (405) and unknown-route (404) requests. When a logger is
 // attached (WithLogger), each request is logged with method, path, status,
-// duration and — for search requests — query length and k.
+// duration, trace and request IDs and — for search requests — query
+// length and k.
 package httpapi
 
 import (
@@ -31,6 +40,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -110,6 +120,8 @@ func (s *Server) init(opts []Option) {
 	route("GET", "/v1/debug/index", s.handleDebugIndex)
 	route("GET", "/v1/debug/recall", s.handleDebugRecall)
 	route("GET", "/v1/debug/journal", s.handleDebugJournal)
+	route("GET", "/v1/debug/traces", s.handleDebugTraces)
+	route("GET", "/v1/debug/traces/{id}", s.handleDebugTrace)
 	s.mux.HandleFunc("/", s.handleNotFound)
 	for _, opt := range opts {
 		opt(s)
@@ -147,13 +159,39 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// ServeHTTP implements http.Handler: metrics + logging middleware around
-// the mux.
+// ServeHTTP implements http.Handler: trace propagation + metrics + logging
+// middleware around the mux. Every request runs under a W3C trace context —
+// the inbound traceparent header's when one parses, a freshly minted one
+// otherwise — and under a correlation ID (inbound X-Request-Id, defaulting
+// to the trace ID). Both are stamped on the response headers (X-Trace-Id,
+// Traceparent, X-Request-Id), threaded through the request context into
+// the engine's trace store and slow-query log, and attached to the access
+// log line, so one grep joins the log, the slow log, the journal and the
+// stored span tree.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	bag := &logAttrs{}
-	r = r.WithContext(context.WithValue(r.Context(), logAttrsKey{}, bag))
+	ctx := context.WithValue(r.Context(), logAttrsKey{}, bag)
+
+	sc, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	if !ok {
+		// No (or malformed) inbound context: this request starts the trace,
+		// with the server itself as the root span's remote parent.
+		sc = obs.SpanContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Flags: obs.FlagSampled}
+	}
+	requestID := r.Header.Get("X-Request-Id")
+	if requestID == "" {
+		requestID = sc.TraceID.String()
+	}
+	ctx = obs.ContextWithSpan(ctx, sc)
+	ctx = obs.ContextWithRequestID(ctx, requestID)
+	r = r.WithContext(ctx)
+
+	hdr := sw.Header()
+	hdr.Set("X-Trace-Id", sc.TraceID.String())
+	hdr.Set("Traceparent", sc.Traceparent())
+	hdr.Set("X-Request-Id", requestID)
 
 	s.mux.ServeHTTP(sw, r)
 
@@ -172,6 +210,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			slog.String("path", r.URL.Path),
 			slog.Int("status", sw.status),
 			slog.Duration("duration", elapsed),
+			slog.String("trace_id", sc.TraceID.String()),
+			slog.String("request_id", requestID),
 		}
 		bag.mu.Lock()
 		attrs = append(attrs, bag.attrs...)
@@ -210,7 +250,12 @@ type TraceJSON struct {
 // healthy shards' partitions.
 type SearchResponse struct {
 	Matches []MatchJSON `json:"matches"`
-	Trace   *TraceJSON  `json:"trace,omitempty"`
+	// TraceID is the hex trace ID the query ran under (also on the
+	// X-Trace-Id response header). When the outcome was interesting — slow,
+	// degraded, hedged, errored, or head-sampled — the full span tree is
+	// retrievable at /v1/debug/traces/{trace_id}.
+	TraceID string     `json:"trace_id,omitempty"`
+	Trace   *TraceJSON `json:"trace,omitempty"`
 	// Degraded is set in cluster mode when one or more shards failed or
 	// timed out; ShardErrors names them.
 	Degraded    bool     `json:"degraded,omitempty"`
@@ -256,7 +301,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the Prometheus text exposition. Scrapers accepting
+// OpenMetrics get that format instead, with histogram bucket exemplars
+// linking latency spikes to stored trace IDs — exemplar syntax is not
+// valid in the plain 0.0.4 format, so it only appears when negotiated.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = s.reg.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_ = s.reg.WritePrometheus(w)
@@ -297,15 +352,21 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	case len(req.Sources) > 0:
 		matches, err = s.eng.SearchSources(req.Query, req.K, req.Sources...)
 	case req.Trace:
-		matches, stages, err = s.eng.SearchTraced(req.Query, req.K)
+		matches, stages, err = s.eng.SearchTracedContext(r.Context(), req.Query, req.K)
 	default:
-		matches, err = s.eng.Search(req.Query, req.K)
+		matches, err = s.eng.SearchContext(r.Context(), req.Query, req.K)
 	}
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{err.Error()})
 		return
 	}
 	resp := SearchResponse{Matches: make([]MatchJSON, len(matches))}
+	if sc, ok := obs.SpanContextFrom(r.Context()); ok && len(req.Sources) == 0 {
+		// Engine searches continue the middleware's span context, so its
+		// trace ID is the one the stored trace carries. Source-filtered
+		// searches are not traced.
+		resp.TraceID = sc.TraceID.String()
+	}
 	for i, m := range matches {
 		resp.Matches[i] = MatchJSON{RelationID: m.RelationID, Score: m.Score}
 	}

@@ -27,6 +27,8 @@ type Event struct {
 	Matches    int          `json:"matches"`
 	DurationMS float64      `json:"duration_ms"`
 	Stages     []EventStage `json:"stages,omitempty"`
+	TraceID    string       `json:"trace_id,omitempty"`
+	RequestID  string       `json:"request_id,omitempty"`
 	Err        string       `json:"error,omitempty"`
 }
 
@@ -40,6 +42,8 @@ func EventFromRecord(kind string, r QueryRecord) Event {
 		K:          r.K,
 		Matches:    r.Matches,
 		DurationMS: float64(r.Duration) / float64(time.Millisecond),
+		TraceID:    r.TraceID,
+		RequestID:  r.RequestID,
 		Err:        r.Err,
 	}
 	if len(r.Stages) > 0 {

@@ -89,9 +89,10 @@ const numBuckets = 28
 // Histogram is a fixed-bucket exponential latency histogram. Observe is a
 // few atomic adds — cheap enough to leave on for every query in production.
 type Histogram struct {
-	count    atomic.Int64
-	sumNanos atomic.Int64
-	buckets  [numBuckets]atomic.Int64
+	count     atomic.Int64
+	sumNanos  atomic.Int64
+	buckets   [numBuckets]atomic.Int64
+	exemplars [numBuckets]atomic.Pointer[Exemplar]
 }
 
 // bucketBound returns the inclusive upper bound of bucket i in seconds;
@@ -100,11 +101,8 @@ func bucketBound(i int) float64 {
 	return float64(uint64(1)<<uint(i)) * 1e-6
 }
 
-// Observe records one duration. No-op on a nil receiver.
-func (h *Histogram) Observe(d time.Duration) {
-	if h == nil {
-		return
-	}
+// bucketIndex returns the bucket a duration falls into.
+func bucketIndex(d time.Duration) int {
 	if d < 0 {
 		d = 0
 	}
@@ -116,16 +114,53 @@ func (h *Histogram) Observe(d time.Duration) {
 	if idx >= numBuckets {
 		idx = numBuckets - 1
 	}
-	h.buckets[idx].Add(1)
+	return idx
+}
+
+// Observe records one duration. No-op on a nil receiver.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(d)].Add(1)
 	h.count.Add(1)
 	h.sumNanos.Add(int64(d))
 }
 
-// HistSnapshot is a point-in-time copy of a histogram.
+// Exemplar links one bucket of a histogram to a concrete trace: the most
+// recent interesting observation in that latency range, so a p99 spike on
+// a dashboard resolves to a stored span tree instead of a mystery.
+type Exemplar struct {
+	// TraceID is the hex trace ID of the exemplar observation.
+	TraceID string `json:"trace_id"`
+	// Value is the observed latency in seconds.
+	Value float64 `json:"value"`
+	// Time is when the observation was recorded.
+	Time time.Time `json:"time"`
+}
+
+// SetExemplar attaches a trace exemplar to the bucket d falls into,
+// without changing any count — callers Observe the duration separately,
+// and only attach exemplars for traces that were actually retained so
+// every exemplar resolves. No-op on a nil receiver or empty trace ID.
+func (h *Histogram) SetExemplar(d time.Duration, traceID string) {
+	if h == nil || traceID == "" {
+		return
+	}
+	h.exemplars[bucketIndex(d)].Store(&Exemplar{
+		TraceID: traceID,
+		Value:   d.Seconds(),
+		Time:    time.Now(),
+	})
+}
+
+// HistSnapshot is a point-in-time copy of a histogram. Exemplars holds
+// the latest per-bucket trace exemplar, nil where none was recorded.
 type HistSnapshot struct {
-	Count   int64
-	Sum     time.Duration
-	Buckets [numBuckets]int64
+	Count     int64
+	Sum       time.Duration
+	Buckets   [numBuckets]int64
+	Exemplars [numBuckets]*Exemplar
 }
 
 // Snapshot copies the histogram's current state. The copy is not atomic
@@ -140,6 +175,7 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	s.Sum = time.Duration(h.sumNanos.Load())
 	for i := range h.buckets {
 		s.Buckets[i] = h.buckets[i].Load()
+		s.Exemplars[i] = h.exemplars[i].Load()
 	}
 	return s
 }
@@ -180,6 +216,31 @@ func (s HistSnapshot) Quantile(q float64) time.Duration {
 	return time.Duration(bucketBound(numBuckets-2) * float64(time.Second))
 }
 
+// SampleQuantile estimates the q-quantile of an ascending-sorted sample
+// by linear interpolation between adjacent order statistics — the same
+// interpolation HistSnapshot.Quantile applies inside a bucket, shared so
+// every quantile this codebase reports (hedge triggers, shard p95s,
+// histogram summaries) agrees on the estimator. Returns 0 when empty.
+func SampleQuantile(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[lo+1]-sorted[lo]))
+}
+
 // Registry is a concurrency-safe set of named metrics. Series names may
 // carry inline Prometheus-style labels (see L); the full string is the key.
 type Registry struct {
@@ -187,6 +248,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	help       map[string]string // base name -> HELP text
 }
 
 // NewRegistry returns an empty registry.
@@ -195,7 +257,44 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		help:       make(map[string]string),
 	}
+}
+
+// SetHelp registers the HELP text emitted for a metric's base name in the
+// Prometheus exposition. No-op on a nil registry.
+func (r *Registry) SetHelp(base, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[base] = help
+	r.mu.Unlock()
+}
+
+// SetHelps registers HELP texts in bulk; see SetHelp.
+func (r *Registry) SetHelps(m map[string]string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	for base, help := range m {
+		r.help[base] = help
+	}
+	r.mu.Unlock()
+}
+
+// helpFor returns the registered HELP text for a base name, "" when none.
+func (r *Registry) helpFor(base string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.help[base]
+}
+
+// escapeHelp escapes backslash and newline per the text-format spec.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 // L formats a series name with label pairs:
@@ -341,9 +440,24 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 // WritePrometheus renders every metric in the Prometheus text exposition
-// format (version 0.0.4), sorted by series name for stable output.
+// format (version 0.0.4), sorted by series name for stable output, with
+// HELP lines for every metric whose help text was registered (SetHelp).
 // Histograms render cumulative buckets with seconds-valued le bounds.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WriteOpenMetrics renders the same exposition in OpenMetrics style:
+// histogram bucket lines carry trace exemplars ("# {trace_id=...} v ts")
+// where one was recorded, and the output ends with "# EOF". Serve it when
+// the scraper negotiated application/openmetrics-text; the plain text
+// format (WritePrometheus) stays exemplar-free because the 0.0.4 parser
+// rejects exemplar syntax.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.writeExposition(w, true)
+}
+
+func (r *Registry) writeExposition(w io.Writer, exemplars bool) error {
 	if r == nil {
 		_, err := io.WriteString(w, "# metrics disabled\n")
 		return err
@@ -357,6 +471,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		for _, series := range names {
 			base, _ := ParseName(series)
 			if base != lastBase {
+				if help := r.helpFor(base); help != "" {
+					fmt.Fprintf(&b, "# HELP %s %s\n", base, escapeHelp(help))
+				}
 				fmt.Fprintf(&b, "# TYPE %s %s\n", base, typ)
 				lastBase = base
 			}
@@ -399,12 +516,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if i < numBuckets-1 {
 				le = formatFloat(bucketBound(i))
 			}
-			fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d\n", base, inner, le, cum)
+			fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d", base, inner, le, cum)
+			if ex := h.Exemplars[i]; exemplars && ex != nil {
+				fmt.Fprintf(&b, " # {trace_id=%q} %s %.3f",
+					ex.TraceID, formatFloat(ex.Value), float64(ex.Time.UnixMilli())/1e3)
+			}
+			b.WriteByte('\n')
 		}
 		fmt.Fprintf(&b, "%s_sum%s %s\n", base, suffix, formatFloat(h.Sum.Seconds()))
 		fmt.Fprintf(&b, "%s_count%s %d\n", base, suffix, h.Count)
 	})
 
+	if exemplars {
+		b.WriteString("# EOF\n")
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }

@@ -27,6 +27,11 @@ type QueryRecord struct {
 	Duration time.Duration
 	// Stages is the per-stage breakdown recorded while the query ran.
 	Stages []Stage
+	// TraceID is the hex trace ID the query ran under, "" when untraced —
+	// the join key into the trace store and the access log.
+	TraceID string
+	// RequestID is the HTTP correlation ID, "" for in-process callers.
+	RequestID string
 	// Err is the error text for failed queries, "" on success.
 	Err string
 }

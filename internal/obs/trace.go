@@ -6,7 +6,9 @@ import (
 	"time"
 )
 
-// Stage is one completed, named step of a traced request.
+// Stage is one completed, named step of a traced request — the flat view
+// of a span, kept for callers that want the stage breakdown without the
+// tree structure.
 type Stage struct {
 	// Name identifies the step ("encode", "medoid_match", "descent", …).
 	Name string
@@ -17,44 +19,148 @@ type Stage struct {
 	Annotations map[string]string
 }
 
-// Trace collects the stage breakdown of one request. A nil *Trace is the
-// off switch: StartSpan still times (so metrics stay correct) but nothing
-// is retained, making per-request tracing free unless a caller opts in.
+// Trace collects the span tree of one request: a 128-bit trace ID, an
+// optional root span, and the completed spans with parent links. A nil
+// *Trace is the off switch: StartSpan still times (so metrics stay
+// correct) but nothing is retained, making per-request tracing free
+// unless a caller opts in.
 type Trace struct {
+	id     TraceID
+	flags  byte
+	remote SpanID // inbound traceparent's span ID; zero for local roots
+	start  time.Time
+
 	mu     sync.Mutex
-	stages []Stage
+	rootID SpanID
+	spans  []SpanRecord
 }
 
-// NewTrace returns an empty trace.
-func NewTrace() *Trace { return &Trace{} }
+// NewTrace returns an empty trace with a fresh random trace ID.
+func NewTrace() *Trace {
+	return &Trace{id: NewTraceID(), flags: FlagSampled, start: time.Now()}
+}
 
-// StartSpan begins timing a named stage. Valid on a nil receiver.
+// NewTraceWith returns an empty trace continuing a propagated context:
+// the caller's trace ID is adopted and remote becomes the parent of this
+// process's root span, so spans from both sides join one tree.
+func NewTraceWith(id TraceID, remote SpanID, flags byte) *Trace {
+	if id.IsZero() {
+		return NewTrace()
+	}
+	return &Trace{id: id, flags: flags | FlagSampled, remote: remote, start: time.Now()}
+}
+
+// ID returns the trace's 128-bit identifier; zero on a nil trace.
+func (t *Trace) ID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	return t.id
+}
+
+// Flags returns the W3C trace-flags byte; 0 on a nil trace.
+func (t *Trace) Flags() byte {
+	if t == nil {
+		return 0
+	}
+	return t.flags
+}
+
+// Remote returns the inbound parent span ID this trace continues from;
+// zero when the trace was started locally.
+func (t *Trace) Remote() SpanID {
+	if t == nil {
+		return SpanID{}
+	}
+	return t.remote
+}
+
+// Start returns when the trace was created.
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// StartRoot begins the trace's root span. Spans later started with
+// StartSpan become its children; the root itself is parented to the
+// remote span when the trace was propagated in. Valid on a nil receiver.
+func (t *Trace) StartRoot(name string) *Span {
+	if t == nil {
+		return &Span{name: name, start: time.Now()}
+	}
+	s := &Span{tr: t, id: NewSpanID(), name: name, start: time.Now()}
+	t.mu.Lock()
+	t.rootID = s.id
+	t.mu.Unlock()
+	return s
+}
+
+// StartSpan begins timing a named stage, parented under the trace's root
+// span when one has been started. Valid on a nil receiver.
 func (t *Trace) StartSpan(name string) *Span {
-	return &Span{tr: t, name: name, start: time.Now()}
+	if t == nil {
+		return &Span{name: name, start: time.Now()}
+	}
+	t.mu.Lock()
+	parent := t.rootID
+	t.mu.Unlock()
+	return &Span{tr: t, id: NewSpanID(), parent: parent, name: name, start: time.Now()}
 }
 
-func (t *Trace) add(s Stage) {
+// RootID returns the root span's ID, zero before StartRoot.
+func (t *Trace) RootID() SpanID {
+	if t == nil {
+		return SpanID{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rootID
+}
+
+func (t *Trace) add(rec SpanRecord) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
-	t.stages = append(t.stages, s)
+	t.spans = append(t.spans, rec)
 	t.mu.Unlock()
 }
 
-// Stages returns a copy of the recorded stages in completion order.
+// Spans returns a copy of every completed span in completion order,
+// including the root.
+func (t *Trace) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Stages returns the flat stage view of the recorded spans in completion
+// order. The root span is excluded: it covers the whole request, and
+// including it would double-count every stage in Total.
 func (t *Trace) Stages() []Stage {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]Stage, len(t.stages))
-	copy(out, t.stages)
+	out := make([]Stage, 0, len(t.spans))
+	for _, rec := range t.spans {
+		if rec.SpanID == t.rootID && !t.rootID.IsZero() {
+			continue
+		}
+		out = append(out, Stage{Name: rec.Name, Duration: rec.Duration, Annotations: rec.Annotations})
+	}
 	return out
 }
 
-// Total sums the recorded stage durations.
+// Total sums the recorded stage durations (root span excluded).
 func (t *Trace) Total() time.Duration {
 	var sum time.Duration
 	for _, s := range t.Stages() {
@@ -65,9 +171,11 @@ func (t *Trace) Total() time.Duration {
 
 // Span is one in-flight stage. It always measures time — End reports the
 // duration even when the parent trace is nil — but annotations and the
-// recorded stage are dropped unless a trace is attached.
+// recorded span are dropped unless a trace is attached.
 type Span struct {
 	tr          *Trace
+	id          SpanID
+	parent      SpanID
 	name        string
 	start       time.Time
 	annotations map[string]string
@@ -79,6 +187,25 @@ func (s *Span) Name() string {
 		return ""
 	}
 	return s.name
+}
+
+// ID returns the span's identifier; zero on a nil span or when the parent
+// trace is nil (untraced spans never mint IDs).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.id
+}
+
+// StartChild begins a new span parented under this one — the fan-out
+// primitive: the scatter span starts one child per shard attempt. Valid
+// on a nil span or with a nil trace (the child times but records nothing).
+func (s *Span) StartChild(name string) *Span {
+	if s == nil || s.tr == nil {
+		return &Span{name: name, start: time.Now()}
+	}
+	return &Span{tr: s.tr, id: NewSpanID(), parent: s.id, name: name, start: time.Now()}
 }
 
 // Annotate attaches a key/value detail to the span. No-op on a nil span or
@@ -110,7 +237,14 @@ func (s *Span) End() time.Duration {
 	}
 	d := time.Since(s.start)
 	if s.tr != nil {
-		s.tr.add(Stage{Name: s.name, Duration: d, Annotations: s.annotations})
+		s.tr.add(SpanRecord{
+			SpanID:      s.id,
+			Parent:      s.parent,
+			Name:        s.name,
+			Start:       s.start,
+			Duration:    d,
+			Annotations: s.annotations,
+		})
 	}
 	return d
 }

@@ -24,7 +24,15 @@ type TraceStage struct {
 // independent of the metrics registry: the full stage breakdown is
 // returned even under Config.DisableMetrics.
 func (e *Engine) SearchTraced(query string, k int) ([]Match, []TraceStage, error) {
-	matches, tr, err := e.searchWithTrace(context.Background(), query, k)
+	return e.SearchTracedContext(context.Background(), query, k)
+}
+
+// SearchTracedContext is SearchTraced under a caller-controlled context:
+// cancellation is threaded into the index walk, a propagated span context
+// (see obs.ContextWithSpan) is continued instead of minting a fresh trace
+// ID, and the request correlation ID rides into the diagnostics records.
+func (e *Engine) SearchTracedContext(ctx context.Context, query string, k int) ([]Match, []TraceStage, error) {
+	matches, tr, err := e.searchWithTrace(ctx, query, k)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -32,12 +40,14 @@ func (e *Engine) SearchTraced(query string, k int) ([]Match, []TraceStage, error
 }
 
 // searchWithTrace is the shared traced-search path behind Search and
-// SearchTraced: it runs the query with a live trace and feeds the outcome
-// — duration, result count, stage spans, error — to the diagnostics layer
-// (slow-query log, sampler, journal; no-op when diagnostics are disabled).
+// SearchTraced: it runs the query under a root span — continuing a
+// propagated trace when ctx carries one — and feeds the outcome to the
+// diagnostics layer (slow-query log, sampler, journal) and the tail-based
+// trace store, linking the latency histogram to the trace via an exemplar
+// when it is retained. Both layers are nil-safe no-ops when disabled.
 func (e *Engine) searchWithTrace(ctx context.Context, query string, k int) ([]Match, *obs.Trace, error) {
-	tr := obs.NewTrace()
-	start := time.Now()
+	tr := obs.NewTraceFrom(ctx)
+	root := tr.StartRoot("search")
 	var (
 		matches []Match
 		err     error
@@ -47,11 +57,27 @@ func (e *Engine) searchWithTrace(ctx context.Context, query string, k int) ([]Ma
 	} else if ts, ok := e.searcher.(core.TracedSearcher); ok {
 		matches, err = ts.SearchTraced(query, k, tr)
 	} else {
-		sp := tr.StartSpan("search")
 		matches, err = e.searcher.Search(query, k)
-		sp.End()
 	}
-	e.diag.observe(e.Method().String(), query, k, matches, time.Since(start), tr, err)
+	root.AnnotateInt("matches", len(matches))
+	dur := root.End()
+	method := e.Method().String()
+	requestID := obs.RequestIDFrom(ctx)
+	e.diag.observe(method, query, k, matches, dur, tr, requestID, err)
+	if e.traces != nil {
+		o := obs.TraceOutcome{
+			Duration:  dur,
+			Query:     query,
+			Method:    method,
+			K:         k,
+			Matches:   len(matches),
+			RequestID: requestID,
+		}
+		if err != nil {
+			o.Err = err.Error()
+		}
+		offerTrace(e.traces, e.obs, obs.L(core.MetricSearchSeconds, "method", method), tr, o)
+	}
 	return matches, tr, err
 }
 

@@ -98,6 +98,12 @@ type Config struct {
 	// journal; the zero value enables them with defaults. See
 	// DiagnosticsConfig.
 	Diagnostics DiagnosticsConfig
+	// Tracing tunes the span-tree tracing subsystem: every search runs
+	// under a 128-bit trace ID, and the tail-based trace store retains the
+	// traces whose outcome is interesting (slow, degraded, hedged, failed)
+	// plus a 1-in-M head sample. The zero value enables tracing with
+	// defaults. See TracingConfig.
+	Tracing TracingConfig
 
 	// ExS tuning.
 	ExS ExSOptions
@@ -116,6 +122,7 @@ type Engine struct {
 	searcher  core.Searcher
 	obs       *obs.Registry     // nil when Config.DisableMetrics
 	diag      *diagnostics      // nil when Config.Diagnostics.Disable
+	traces    *obs.TraceStore   // nil when Config.Tracing.Disable
 	stats     *text.CorpusStats // nil when Config.IDF was supplied
 	relSource map[string]string // relation ID -> source (dataset)
 }
@@ -143,6 +150,7 @@ func Open(fed *Federation, cfg Config) (*Engine, error) {
 	if !cfg.DisableMetrics {
 		reg = obs.NewRegistry()
 	}
+	reg.SetHelps(core.MetricHelp)
 	model.SetObserver(reg)
 	embedStart := time.Now()
 	emb := core.EmbedFederation(fed, model)
@@ -158,8 +166,9 @@ func Open(fed *Federation, cfg Config) (*Engine, error) {
 		relSource[r.ID] = r.Source
 	}
 	return &Engine{cfg: cfg, model: model, emb: emb, searcher: s, obs: reg,
-		diag:  newDiagnostics(cfg.Diagnostics, reg),
-		stats: stats, relSource: relSource}, nil
+		diag:   newDiagnostics(cfg.Diagnostics, reg),
+		traces: newTraceStore(cfg.Tracing),
+		stats:  stats, relSource: relSource}, nil
 }
 
 // buildSearcher constructs the configured method's index over an embedded
@@ -219,7 +228,7 @@ func (e *Engine) Search(query string, k int) ([]Match, error) {
 // This is what lets a cluster deadline actually stop shard work rather
 // than merely abandoning its result.
 func (e *Engine) SearchContext(ctx context.Context, query string, k int) ([]Match, error) {
-	if e.diag == nil {
+	if e.diag == nil && e.traces == nil {
 		if cs, ok := e.searcher.(core.ContextSearcher); ok {
 			return cs.SearchTracedContext(ctx, query, k, nil)
 		}
