@@ -1,13 +1,22 @@
 GO ?= go
 CORPUS ?= wikitables
 
-.PHONY: build vet test race race-cluster check bench-smoke bench-json trace-smoke
+.PHONY: build vet lint test race race-cluster check bench-smoke bench-json trace-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet: staticcheck when it is on PATH (CI installs
+# it), vet alone otherwise — the build must not fetch tools implicitly.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; go vet only"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -23,7 +32,7 @@ race:
 race-cluster:
 	$(GO) test -race ./internal/cluster/... ./internal/cache/...
 
-check: vet race
+check: lint race
 
 # One-iteration pass over every microbenchmark (HNSW build, k-means, vector
 # kernels, ...): catches benchmarks that no longer compile or crash, without
@@ -40,8 +49,9 @@ trace-smoke:
 	sh ./scripts/trace-smoke.sh
 
 # Machine-readable benchmark report (build time, latency quantiles,
-# MAP/NDCG) for the selected corpus profile, written to BENCH_$(CORPUS).json
-# at the repo root and echoed to stdout. Scaled down and untrained to keep
-# the run short; raise -scale for paper-grade numbers.
+# MAP/NDCG, per-method cost-model numbers) for the selected corpus profile,
+# written to BENCH_$(CORPUS).json at the repo root and echoed to stdout.
+# Scaled down and untrained to keep the run short; raise -scale for
+# paper-grade numbers.
 bench-json:
-	$(GO) run ./cmd/semdisco-bench -corpus $(CORPUS) -scale 0.15 -dim 192 -train=false -json BENCH_$(CORPUS).json
+	$(GO) run ./cmd/semdisco-bench -corpus $(CORPUS) -scale 0.15 -dim 192 -train=false -cost -json BENCH_$(CORPUS).json

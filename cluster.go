@@ -81,9 +81,11 @@ type Cluster struct {
 	model  *embed.Model
 	stats  *text.CorpusStats
 	shards []clusterShard
-	router *cluster.Router
-	reg    *obs.Registry
-	traces *obs.TraceStore // nil when Config.Tracing.Disable
+	router   *cluster.Router
+	reg      *obs.Registry
+	traces   *obs.TraceStore // nil when Config.Tracing.Disable
+	workload *obs.Workload   // heavy hitters, shard load skew, costliest queries
+	slo      *obs.SLOEngine  // nil when Config.SLO.Disable
 	// order maps relation ID to its global insertion rank; the router's
 	// merge tie-breaks on it so the federated ranking matches the
 	// single-engine ranking exactly for exact methods.
@@ -162,6 +164,8 @@ func NewCluster(fed *Federation, cfg ClusterConfig) (*Cluster, error) {
 		stats:     stats,
 		reg:       reg,
 		traces:    newTraceStore(cfg.Tracing),
+		workload:  newWorkload(cfg.Shards, reg),
+		slo:       newSLOEngine(cfg.SLO, reg),
 		order:     order,
 		nextOrder: fed.Len(),
 	}
@@ -219,6 +223,7 @@ func (c *Cluster) routerOptions() cluster.Options {
 		},
 		CacheSize: c.cfg.CacheSize,
 		Registry:  c.reg,
+		Workload:  c.workload,
 	}
 }
 
@@ -273,10 +278,17 @@ func (c *Cluster) searchTraced(ctx context.Context, query string, k int) (*Clust
 	root := tr.StartRoot("cluster_search")
 	res, err := c.router.SearchTraced(ctx, query, k, tr)
 	if res != nil {
-		root.AnnotateInt("matches", len(res.Matches))
+		root.AnnotateInt("matches", len(res.Matches)).
+			AnnotateInt("distance_comps", int(res.Cost.DistanceComps)).
+			AnnotateInt("pq_lookups", int(res.Cost.PQLookups))
 		res.TraceID = tr.ID().String()
 	}
 	dur := root.End()
+	failed := err != nil || (res != nil && res.Degraded)
+	c.slo.Record(dur, failed)
+	if res != nil {
+		c.workload.Record(query, c.cfg.Method.String(), res.TraceID, res.Cost, dur, time.Now())
+	}
 	o := obs.TraceOutcome{
 		Duration:  dur,
 		Query:     query,
@@ -477,6 +489,8 @@ func LoadCluster(r io.Reader) (*Cluster, error) {
 		stats:     p.Stats,
 		reg:       reg,
 		traces:    newTraceStore(TracingConfig{}),
+		workload:  newWorkload(len(p.EmbBlobs), reg),
+		slo:       newSLOEngine(SLOConfig{}, reg),
 		order:     p.Order,
 		nextOrder: p.NextOrder,
 	}

@@ -43,6 +43,7 @@ func main() {
 		jsonOut    = flag.String("json", "", `write machine-readable results (build time, latency quantiles, MAP/NDCG) to this file; "-" for stdout`)
 		shards     = flag.Int("shards", 0, "also benchmark a sharded scatter-gather federation with this many shards (adds a per-shard breakdown to -json)")
 		tracingOH  = flag.Bool("tracing-overhead", false, "also measure span-tree tracing overhead on ExS p50 (adds a tracing section to -json)")
+		costOut    = flag.Bool("cost", false, "also report per-method cost-model numbers (distance comps per query) and accounting overhead (adds a cost section to -json)")
 	)
 	flag.Parse()
 
@@ -177,6 +178,19 @@ func main() {
 			fmt.Printf("tracing overhead: p50 %.3fms -> %.3fms (%.1f%%), %d traces kept\n",
 				report.Tracing.BaselineP50MS, report.Tracing.TracedP50MS,
 				report.Tracing.OverheadPct, report.Tracing.TracesKept)
+		}
+		if *costOut {
+			report.Cost, err = bench.CostReport(20)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				os.Exit(1)
+			}
+			for _, mc := range report.Cost.Methods {
+				fmt.Printf("cost %s: %.0f distance comps/query, %.0f hops, %.0f pq lookups\n",
+					mc.Method, mc.MeanDistanceComps, mc.MeanHNSWHops, mc.MeanPQLookups)
+			}
+			fmt.Printf("cost accounting overhead: p50 %.3fms -> %.3fms (%.1f%%)\n",
+				report.Cost.BaselineP50MS, report.Cost.AccountedP50MS, report.Cost.OverheadPct)
 		}
 		var out io.Writer = os.Stdout
 		if *jsonOut != "-" {

@@ -39,6 +39,13 @@
 // ring served at /v1/debug/traces. Scrapes accepting OpenMetrics get
 // histogram exemplars on /metrics linking latency buckets to stored trace
 // IDs. -no-trace turns the subsystem off.
+//
+// Cost accounting and SLOs: every search response carries a "cost" block
+// (distance computations, graph hops, PQ lookups, bytes scanned),
+// /v1/debug/workload serves heavy-hitter queries and shard-load skew, and
+// /v1/debug/slo serves multi-window error-budget burn rates.
+// -slo-availability, -slo-latency-objective and -slo-latency-threshold set
+// the objectives; -no-slo turns the SLO engine off.
 package main
 
 import (
@@ -79,6 +86,15 @@ func main() {
 			"retain every trace whose request ran at least this long (0 disables the latency criterion)")
 		traceHeadSample = flag.Int("trace-head-sample", 0,
 			"keep 1 in every M otherwise-uninteresting traces (0 = default 64, negative disables)")
+
+		noSLO = flag.Bool("no-slo", false,
+			"disable the SLO burn-rate engine and the /v1/debug/slo endpoint")
+		sloAvailability = flag.Float64("slo-availability", 0,
+			"availability objective as a fraction, e.g. 0.999 (0 = default 0.999)")
+		sloLatencyObjective = flag.Float64("slo-latency-objective", 0,
+			"latency objective as a fraction of requests under -slo-latency-threshold (0 = default 0.99)")
+		sloLatencyThreshold = flag.Duration("slo-latency-threshold", 0,
+			"latency objective cutoff (0 = default 500ms)")
 
 		shards = flag.Int("shards", 0,
 			"partition the corpus into this many shards behind a scatter-gather router (0 = single engine)")
@@ -126,10 +142,16 @@ func main() {
 		LatencyThreshold: *traceThreshold,
 		HeadSampleEvery:  *traceHeadSample,
 	}
+	slo := semdisco.SLOConfig{
+		Disable:          *noSLO,
+		Availability:     *sloAvailability,
+		LatencyObjective: *sloLatencyObjective,
+		LatencyThreshold: *sloLatencyThreshold,
+	}
 
 	if *shards > 0 {
 		serveCluster(logger, m, *dir, *loadPath, *addr, *dim, *seed,
-			*shards, *shardTimeout, *hedge, *cacheSize, *enablePprof, tracing)
+			*shards, *shardTimeout, *hedge, *cacheSize, *enablePprof, tracing, slo)
 		return
 	}
 
@@ -148,6 +170,7 @@ func main() {
 			fatal(logger, "loading engine", err)
 		}
 		eng.ConfigureTracing(tracing)
+		eng.ConfigureSLO(slo)
 		logger.Info("engine loaded", "path", *loadPath,
 			"method", eng.Method().String(),
 			"relations", eng.NumRelations(), "values", eng.NumValues())
@@ -157,7 +180,7 @@ func main() {
 			fatal(logger, "loading corpus", ferr)
 		}
 		start := time.Now()
-		eng, err = semdisco.Open(fed, semdisco.Config{Method: m, Dim: *dim, Seed: *seed, Tracing: tracing})
+		eng, err = semdisco.Open(fed, semdisco.Config{Method: m, Dim: *dim, Seed: *seed, Tracing: tracing, SLO: slo})
 		if err != nil {
 			fatal(logger, "building index", err)
 		}
@@ -203,7 +226,7 @@ func main() {
 // serveCluster builds or loads a sharded cluster and serves it.
 func serveCluster(logger *slog.Logger, m semdisco.Method, dir, loadPath, addr string,
 	dim int, seed int64, shards int, shardTimeout time.Duration, hedge bool,
-	cacheSize int, enablePprof bool, tracing semdisco.TracingConfig) {
+	cacheSize int, enablePprof bool, tracing semdisco.TracingConfig, slo semdisco.SLOConfig) {
 	var (
 		cl  *semdisco.Cluster
 		err error
@@ -219,6 +242,7 @@ func serveCluster(logger *slog.Logger, m semdisco.Method, dir, loadPath, addr st
 			fatal(logger, "loading cluster", err)
 		}
 		cl.ConfigureTracing(tracing)
+		cl.ConfigureSLO(slo)
 		logger.Info("cluster loaded", "path", loadPath,
 			"method", cl.Method().String(),
 			"shards", cl.NumShards(), "relations", cl.NumRelations())
@@ -229,7 +253,7 @@ func serveCluster(logger *slog.Logger, m semdisco.Method, dir, loadPath, addr st
 		}
 		start := time.Now()
 		cl, err = semdisco.NewCluster(fed, semdisco.ClusterConfig{
-			Config:       semdisco.Config{Method: m, Dim: dim, Seed: seed, Tracing: tracing},
+			Config:       semdisco.Config{Method: m, Dim: dim, Seed: seed, Tracing: tracing, SLO: slo},
 			Shards:       shards,
 			ShardTimeout: shardTimeout,
 			Hedge:        hedge,

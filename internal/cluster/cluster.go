@@ -54,6 +54,12 @@ const (
 	// MetricCacheHits / MetricCacheMisses track the query-result cache.
 	MetricCacheHits   = "semdisco_cluster_cache_hits_total"
 	MetricCacheMisses = "semdisco_cluster_cache_misses_total"
+	// MetricCacheHitSeconds is the latency of cache-served searches. Cache
+	// hits land here instead of MetricSearchSeconds so the end-to-end
+	// latency histogram — and every p95 estimate derived from it — keeps
+	// describing real scatter-gather work rather than being dragged toward
+	// zero by memory lookups.
+	MetricCacheHitSeconds = "semdisco_cluster_cache_hit_seconds"
 )
 
 // MetricHelp maps the router's metric base names to their Prometheus
@@ -69,6 +75,7 @@ var MetricHelp = map[string]string{
 	MetricDegraded:           "Searches answered from a strict subset of shards.",
 	MetricCacheHits:          "Query-result cache hits.",
 	MetricCacheMisses:        "Query-result cache misses.",
+	MetricCacheHitSeconds:    "Latency of cache-served searches in seconds.",
 }
 
 // Policy selects how relations are assigned to shards.
@@ -155,6 +162,9 @@ type Options struct {
 	CacheSize int
 	// Registry receives the router's metrics; nil disables them.
 	Registry *obs.Registry
+	// Workload, when non-nil, receives one per-shard load observation per
+	// shard attempt, feeding the load-skew (Gini) gauge.
+	Workload *obs.Workload
 }
 
 // ShardError is one shard's failure during a scatter-gather query.
@@ -185,6 +195,12 @@ type Result struct {
 	Hedged int
 	// CacheHit reports the answer came from the query-result cache.
 	CacheHit bool
+	// Cost aggregates the work every shard attempt performed for this
+	// query. A cache hit reports only CacheHits: 1 — no index work ran.
+	Cost obs.CostReport
+	// ShardCosts is the per-shard breakdown, indexed by shard; failed
+	// shards report the work their failing attempt still performed.
+	ShardCosts []obs.CostReport
 }
 
 // cacheKey identifies one cacheable query. The method is part of the
@@ -318,8 +334,13 @@ func (r *Router) SearchTraced(ctx context.Context, query string, k int, tr *obs.
 			r.reg.Counter(MetricCacheHits).Inc()
 			r.searches.Add(1)
 			r.reg.Counter(MetricSearches).Inc()
-			r.reg.Histogram(MetricSearchSeconds).Observe(time.Since(start))
-			return &Result{Matches: cloneMatches(cached), CacheHit: true}, nil
+			// Cache hits get their own latency series; folding their
+			// near-zero durations into MetricSearchSeconds would drag the
+			// end-to-end p95 below what any scatter-gather actually costs.
+			r.reg.Histogram(MetricCacheHitSeconds).Observe(time.Since(start))
+			res := &Result{Matches: cloneMatches(cached), CacheHit: true, Cost: obs.CostReport{CacheHits: 1}}
+			obs.CostFrom(ctx).AddCacheHits(1)
+			return res, nil
 		}
 		r.reg.Counter(MetricCacheMisses).Inc()
 	}
@@ -332,6 +353,7 @@ func (r *Router) SearchTraced(ctx context.Context, query string, k int, tr *obs.
 	kPrime := k + r.opts.Slack
 	type shardOut struct {
 		matches []core.Match
+		cost    obs.CostReport
 		err     error
 		hedged  bool
 	}
@@ -340,12 +362,14 @@ func (r *Router) SearchTraced(ctx context.Context, query string, k int, tr *obs.
 		AnnotateInt("shards", n).
 		AnnotateInt("k_prime", kPrime)
 	par.Each(n, n, func(i int) {
-		outs[i].matches, outs[i].err, outs[i].hedged = r.searchShard(ctx, sp, i, q, kPrime)
+		outs[i].matches, outs[i].cost, outs[i].err, outs[i].hedged = r.searchShard(ctx, sp, i, q, kPrime)
 	})
 
-	res := &Result{}
+	res := &Result{ShardCosts: make([]obs.CostReport, n)}
 	perShard := make([][]core.Match, 0, n)
 	for i := range outs {
+		res.ShardCosts[i] = outs[i].cost
+		res.Cost.Add(outs[i].cost)
 		if outs[i].hedged {
 			res.Hedged++
 		}
@@ -355,6 +379,9 @@ func (r *Router) SearchTraced(ctx context.Context, query string, k int, tr *obs.
 		}
 		perShard = append(perShard, outs[i].matches)
 	}
+	// Fold the aggregate into a caller-provided accumulator, so a layer
+	// above the router (or a test) can account federated work uniformly.
+	obs.CostFrom(ctx).AddReport(res.Cost)
 	sp.AnnotateInt("failed_shards", len(res.ShardErrors)).AnnotateInt("hedges", res.Hedged)
 	sp.End()
 
@@ -389,7 +416,7 @@ func (r *Router) SearchTraced(ctx context.Context, query string, k int, tr *obs.
 // searchShard runs one shard's query under the per-shard deadline, with a
 // hedged retry when the primary runs past the shard's observed p95. Each
 // attempt records a child span under the scatter span.
-func (r *Router) searchShard(ctx context.Context, scatter *obs.Span, i int, q []float32, k int) ([]core.Match, error, bool) {
+func (r *Router) searchShard(ctx context.Context, scatter *obs.Span, i int, q []float32, k int) ([]core.Match, obs.CostReport, error, bool) {
 	sctx := ctx
 	if r.opts.ShardTimeout > 0 {
 		var cancel context.CancelFunc
@@ -398,12 +425,13 @@ func (r *Router) searchShard(ctx context.Context, scatter *obs.Span, i int, q []
 	}
 	delay, hedge := r.hedgeDelay(i)
 	if !hedge {
-		m, err := r.runShard(sctx, ctx, scatter, i, q, k, "primary")
-		return m, err, false
+		m, cost, err := r.runShard(sctx, ctx, scatter, i, q, k, "primary")
+		return m, cost, err, false
 	}
 
 	type outcome struct {
 		matches []core.Match
+		cost    obs.CostReport
 		err     error
 		isHedge bool
 	}
@@ -414,8 +442,8 @@ func (r *Router) searchShard(ctx context.Context, scatter *obs.Span, i int, q []
 			attempt = "hedge"
 		}
 		go func() {
-			m, err := r.runShard(sctx, ctx, scatter, i, q, k, attempt)
-			ch <- outcome{m, err, isHedge}
+			m, cost, err := r.runShard(sctx, ctx, scatter, i, q, k, attempt)
+			ch <- outcome{m, cost, err, isHedge}
 		}()
 	}
 	launch(false)
@@ -437,7 +465,7 @@ func (r *Router) searchShard(ctx context.Context, scatter *obs.Span, i int, q []
 		if first.isHedge {
 			r.reg.Counter(MetricHedgeWins).Inc()
 		}
-		return first.matches, nil, hedged
+		return first.matches, first.cost, nil, hedged
 	}
 	if hedged {
 		// The first finisher failed; its twin may still come through.
@@ -445,30 +473,36 @@ func (r *Router) searchShard(ctx context.Context, scatter *obs.Span, i int, q []
 			if second.isHedge {
 				r.reg.Counter(MetricHedgeWins).Inc()
 			}
-			return second.matches, nil, hedged
+			return second.matches, second.cost, nil, hedged
 		}
 	}
-	return nil, first.err, hedged
+	return nil, first.cost, first.err, hedged
 }
 
 // runShard executes one shard search attempt, recording latency, its span
 // (a child of the scatter span, annotated with shard index, attempt kind
 // and failure detail) and classifying failures. parent distinguishes a
 // shard-deadline timeout from the whole query's context dying.
-func (r *Router) runShard(sctx, parent context.Context, scatter *obs.Span, i int, q []float32, k int, attempt string) ([]core.Match, error) {
+func (r *Router) runShard(sctx, parent context.Context, scatter *obs.Span, i int, q []float32, k int, attempt string) ([]core.Match, obs.CostReport, error) {
 	st := r.state[i]
 	st.searches.Add(1)
+	r.opts.Workload.RecordShard(i)
 	sp := scatter.StartChild("shard").
 		AnnotateInt("shard", i).
 		Annotate("attempt", attempt)
+	cost := &obs.Cost{}
 	start := time.Now()
-	m, err := r.shards[i].SearchEncoded(sctx, q, k)
+	m, err := r.shards[i].SearchEncoded(obs.ContextWithCost(sctx, cost), q, k)
 	d := time.Since(start)
+	rep := cost.Report()
 	r.reg.Histogram(obs.L(MetricShardSearchSeconds, "shard", strconv.Itoa(i))).Observe(d)
 	if err == nil {
 		st.lat.record(d)
-		sp.AnnotateInt("matches", len(m)).End()
-		return m, nil
+		sp.AnnotateInt("matches", len(m)).
+			AnnotateInt("distance_comps", int(rep.DistanceComps)).
+			AnnotateInt("pq_lookups", int(rep.PQLookups)).
+			End()
+		return m, rep, nil
 	}
 	st.errors.Add(1)
 	r.reg.Counter(obs.L(MetricShardErrors, "shard", strconv.Itoa(i))).Inc()
@@ -479,7 +513,7 @@ func (r *Router) runShard(sctx, parent context.Context, scatter *obs.Span, i int
 		sp.Annotate("timeout", "true")
 	}
 	sp.End()
-	return nil, err
+	return nil, rep, err
 }
 
 // hedgeDelay returns when a hedge should launch for shard i, and whether

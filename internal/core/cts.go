@@ -334,6 +334,13 @@ func (s *CTS) searchObserved(ctx context.Context, q []float32, k int, o *searchO
 	}
 	selected := top.Sorted()
 	o.endStage(sp.AnnotateInt("clusters_selected", len(selected)))
+	if cost := obs.CostFrom(ctx); cost != nil {
+		// One dot product per medoid; the per-cluster descents below account
+		// their own work through the collections' context plumbing.
+		cost.AddDistanceComps(int64(len(s.medoidVecs)))
+		cost.AddBytesScanned(int64(len(s.medoidVecs)) * int64(s.emb.Enc.Dim()) * 4)
+		cost.AddCandidatesPruned(int64(len(s.medoidVecs) - len(selected)))
+	}
 
 	fanout := s.fanout
 	if fanout == 0 {

@@ -131,18 +131,29 @@ func (s *ExS) searchObserved(ctx context.Context, q []float32, k int, o *searchO
 	// first pull every other chunk out of the scan.
 	var stop atomic.Bool
 	cancellable := ctx.Done() != nil
+	cost := obs.CostFrom(ctx)
+	vecBytes := int64(s.emb.Enc.Dim()) * 4
 	scoreRange := func(lo, hi int) {
+		// Each worker counts its scanned values in a plain local and flushes
+		// once at the end, so cost accounting adds no atomics to the scan.
+		var scanned int64
 		for rel := lo; rel < hi; rel++ {
 			if cancellable && rel%cancelCheckRelations == 0 {
 				if stop.Load() {
-					return
+					break
 				}
 				if ctx.Err() != nil {
 					stop.Store(true)
-					return
+					break
 				}
 			}
 			scores[rel] = s.scoreRelation(q, rel)
+			scanned += int64(len(s.emb.PerRel[rel]))
+		}
+		if cost != nil && scanned > 0 {
+			cost.AddDistanceComps(scanned)
+			cost.AddValuesScanned(scanned)
+			cost.AddBytesScanned(scanned * vecBytes)
 		}
 	}
 	if s.parallel && n > 1 && len(s.emb.Values) > parallelScanMinValues {
@@ -190,6 +201,10 @@ func (s *ExS) searchObserved(ctx context.Context, q []float32, k int, o *searchO
 		}
 	}
 	o.endStage(sp.AnnotateInt("matches", len(out)))
+	if cost != nil {
+		cost.AddCandidatesGenerated(int64(n))
+		cost.AddCandidatesPruned(int64(n - len(out)))
+	}
 	return out, nil
 }
 

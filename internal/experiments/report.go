@@ -64,6 +64,9 @@ type Report struct {
 	// Tracing is the tracing-overhead measurement (semdisco-bench
 	// -tracing-overhead), absent when not requested.
 	Tracing *TracingReportJSON `json:"tracing,omitempty"`
+	// Cost is the per-method cost-model section (semdisco-bench -cost),
+	// absent when not requested.
+	Cost *CostReportJSON `json:"cost,omitempty"`
 }
 
 // classes maps the report's JSON keys to the corpus query classes.

@@ -36,6 +36,17 @@ type Neighbor struct {
 	Dist float32
 }
 
+// SearchStats counts the work one search performed, in graph units: hops
+// (greedy-descent moves plus layer-0 beam expansions), candidates admitted
+// to the beam, and candidates pruned (evaluated neighbours that failed the
+// beam bound, plus beam evictions). Distance computations are not counted
+// here — the caller owns qd and can count them exactly.
+type SearchStats struct {
+	Hops       int64
+	Candidates int64
+	Pruned     int64
+}
+
 // Index is an HNSW graph. Add must not race with Search; a sync.RWMutex
 // internally allows concurrent Search calls after (or between) Adds.
 type Index struct {
@@ -188,7 +199,7 @@ func (ix *Index) neighborsAt(id int32, l int) []int32 {
 // measuring distance to stored item `target`. Results are sorted ascending
 // by distance.
 func (ix *Index) searchLayerConstruct(ep, target int32, ef, l int) []Neighbor {
-	return ix.searchLayer(ep, func(id int32) float32 { return ix.dist(id, target) }, ef, l, nil, nil)
+	return ix.searchLayer(ep, func(id int32) float32 { return ix.dist(id, target) }, ef, l, nil, nil, nil)
 }
 
 // cancelCheckHops is how many beam-search node expansions pass between two
@@ -203,8 +214,10 @@ const cancelCheckHops = 64
 // escape filtered regions. Results sorted ascending by distance; filtered
 // items never appear in the result. cancelled, when non-nil, is polled
 // every cancelCheckHops expansions; a true return abandons the walk and
-// yields nil.
-func (ix *Index) searchLayer(ep int32, qd func(int32) float32, ef, l int, filter func(int32) bool, cancelled func() bool) []Neighbor {
+// yields nil. st, when non-nil, receives the walk's work counters; it is
+// written once at the end from plain locals, so the loop body stays free
+// of pointer chasing.
+func (ix *Index) searchLayer(ep int32, qd func(int32) float32, ef, l int, filter func(int32) bool, cancelled func() bool, st *SearchStats) []Neighbor {
 	visited := make(map[int32]struct{}, ef*4)
 	visited[ep] = struct{}{}
 
@@ -216,6 +229,7 @@ func (ix *Index) searchLayer(ep int32, qd func(int32) float32, ef, l int, filter
 	}
 
 	hops := 0
+	var expansions, admitted, pruned int64
 	for candidates.Len() > 0 {
 		if cancelled != nil {
 			hops++
@@ -227,6 +241,7 @@ func (ix *Index) searchLayer(ep int32, qd func(int32) float32, ef, l int, filter
 		if len(results) >= ef && c.Dist > results[0].Dist {
 			break
 		}
+		expansions++
 		for _, n := range ix.neighborsAt(c.ID, l) {
 			if _, seen := visited[n]; seen {
 				continue
@@ -234,15 +249,24 @@ func (ix *Index) searchLayer(ep int32, qd func(int32) float32, ef, l int, filter
 			visited[n] = struct{}{}
 			d := qd(n)
 			if len(results) < ef || d < results[0].Dist {
+				admitted++
 				heap.Push(candidates, Neighbor{n, d})
 				if filter == nil || filter(n) {
 					heap.Push(&results, Neighbor{n, d})
 					if len(results) > ef {
 						heap.Pop(&results)
+						pruned++
 					}
 				}
+			} else {
+				pruned++
 			}
 		}
+	}
+	if st != nil {
+		st.Hops += expansions
+		st.Candidates += admitted
+		st.Pruned += pruned
 	}
 	out := make([]Neighbor, len(results))
 	copy(out, results)
@@ -318,11 +342,21 @@ func (ix *Index) Search(qd func(id int32) float32, k, ef int, filter func(int32)
 // the walk; the second result reports whether the search ran to completion
 // (false means it was cancelled and the neighbor slice is nil).
 func (ix *Index) SearchCancel(qd func(id int32) float32, k, ef int, filter func(int32) bool, cancelled func() bool) ([]Neighbor, bool) {
+	res, done, _ := ix.SearchCancelStats(qd, k, ef, filter, cancelled)
+	return res, done
+}
+
+// SearchCancelStats is SearchCancel that additionally reports the walk's
+// work counters — hops, candidates admitted to the beam, candidates pruned
+// — for per-query cost accounting. The stats are meaningful even when the
+// search was cancelled (they cover the work done up to the abort).
+func (ix *Index) SearchCancelStats(qd func(id int32) float32, k, ef int, filter func(int32) bool, cancelled func() bool) ([]Neighbor, bool, SearchStats) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 
+	var st SearchStats
 	if ix.entry < 0 || k <= 0 {
-		return nil, true
+		return nil, true, st
 	}
 	if ef < k {
 		ef = k
@@ -332,7 +366,7 @@ func (ix *Index) SearchCancel(qd func(id int32) float32, k, ef int, filter func(
 	for l := ix.maxLevel; l >= 1; l-- {
 		for {
 			if cancelled != nil && cancelled() {
-				return nil, false
+				return nil, false, st
 			}
 			improved := false
 			for _, n := range ix.neighborsAt(ep, l) {
@@ -344,16 +378,20 @@ func (ix *Index) SearchCancel(qd func(id int32) float32, k, ef int, filter func(
 			if !improved {
 				break
 			}
+			st.Hops++
 		}
 	}
-	res := ix.searchLayer(ep, qd, ef, 0, filter, cancelled)
+	res := ix.searchLayer(ep, qd, ef, 0, filter, cancelled, &st)
 	if res == nil && cancelled != nil && cancelled() {
-		return nil, false
+		return nil, false, st
+	}
+	if n := int64(len(res)) - int64(k); n > 0 {
+		st.Pruned += n
 	}
 	if len(res) > k {
 		res = res[:k]
 	}
-	return res, true
+	return res, true, st
 }
 
 // MaxLevel reports the current top layer, for diagnostics.

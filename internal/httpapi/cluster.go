@@ -51,11 +51,13 @@ func (s *Server) clusterSearch(w http.ResponseWriter, r *http.Request, req Searc
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{err.Error()})
 		return
 	}
+	cost := res.Cost
 	resp := SearchResponse{
 		Matches:  make([]MatchJSON, len(res.Matches)),
 		TraceID:  res.TraceID,
 		Degraded: res.Degraded,
 		CacheHit: res.CacheHit,
+		Cost:     &cost,
 	}
 	for i, m := range res.Matches {
 		resp.Matches[i] = MatchJSON{RelationID: m.RelationID, Score: m.Score}

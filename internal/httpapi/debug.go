@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -12,10 +13,11 @@ import (
 // Bounds on the debug endpoints: they exist for humans with curl, and must
 // not become a way to make the server do unbounded work.
 const (
-	defaultSlowN  = 20  // /v1/debug/slow default ?n
-	maxSlowN      = 100 // /v1/debug/slow cap on ?n
-	defaultProbeK = 10  // /v1/debug/recall default ?k
-	maxProbeK     = 50  // /v1/debug/recall cap on ?k
+	defaultSlowN  = 20   // /v1/debug/slow default ?n
+	maxSlowN      = 100  // /v1/debug/slow cap on ?n
+	defaultProbeK = 10   // /v1/debug/recall default ?k
+	maxProbeK     = 50   // /v1/debug/recall cap on ?k
+	maxJournalN   = 1000 // /v1/debug/journal cap on ?n
 )
 
 // SlowQueriesResponse is the body of /v1/debug/slow.
@@ -38,22 +40,35 @@ func queryInt(r *http.Request, name string, def int) (int, bool) {
 	return v, true
 }
 
+// limitParam is the one clamping convention every list-style debug
+// endpoint shares: an absent or explicit-zero ?name= selects def, a
+// negative or non-numeric value rejects (the caller answers 400), and
+// values above max clamp to max. A def of 0 means "no limit" (the
+// journal's natural default — its retention is already bounded).
+func limitParam(r *http.Request, name string, def, max int) (int, bool) {
+	n, ok := queryInt(r, name, def)
+	if !ok || n < 0 {
+		return 0, false
+	}
+	if n == 0 {
+		n = def
+	}
+	if n > max {
+		n = max
+	}
+	return n, true
+}
+
 // handleDebugSlow serves the slow-query log: up to ?n records (default 20,
 // capped at 100), slowest first, each with its full stage trace.
 func (s *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
 	if !s.requireEngine(w) {
 		return
 	}
-	n, ok := queryInt(r, "n", defaultSlowN)
-	if !ok || n < 0 {
+	n, ok := limitParam(r, "n", defaultSlowN, maxSlowN)
+	if !ok {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{"n must be a non-negative integer"})
 		return
-	}
-	if n == 0 {
-		n = defaultSlowN
-	}
-	if n > maxSlowN {
-		n = maxSlowN
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -82,16 +97,10 @@ func (s *Server) handleDebugRecall(w http.ResponseWriter, r *http.Request) {
 	if !s.requireEngine(w) {
 		return
 	}
-	k, ok := queryInt(r, "k", defaultProbeK)
-	if !ok || k < 0 {
+	k, ok := limitParam(r, "k", defaultProbeK, maxProbeK)
+	if !ok {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{"k must be a positive integer"})
 		return
-	}
-	if k == 0 {
-		k = defaultProbeK
-	}
-	if k > maxProbeK {
-		k = maxProbeK
 	}
 	if !s.probeMu.TryLock() {
 		w.Header().Set("Retry-After", "5")
@@ -110,9 +119,17 @@ func (s *Server) handleDebugRecall(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleDebugJournal streams the structured event journal (slow and
-// sampled query traces) as JSON lines, oldest first.
-func (s *Server) handleDebugJournal(w http.ResponseWriter, _ *http.Request) {
+// sampled query traces) as JSON lines, oldest first. ?n limits the stream
+// to the newest n events (absent or 0 streams everything retained, capped
+// at 1000); negative or non-numeric values are rejected, the same
+// convention as the other list endpoints.
+func (s *Server) handleDebugJournal(w http.ResponseWriter, r *http.Request) {
 	if !s.requireEngine(w) {
+		return
+	}
+	n, ok := limitParam(r, "n", 0, maxJournalN)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{"n must be a non-negative integer"})
 		return
 	}
 	j := s.eng.Journal()
@@ -122,7 +139,12 @@ func (s *Server) handleDebugJournal(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	_ = j.WriteJSONL(w)
+	enc := json.NewEncoder(w)
+	for _, e := range j.Events(n) {
+		if err := enc.Encode(e); err != nil {
+			return
+		}
+	}
 }
 
 // StartRecallProbe launches a goroutine probing recall@k every interval

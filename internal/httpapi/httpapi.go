@@ -14,9 +14,11 @@
 //	GET  /v1/debug/slow         slow-query log with per-stage traces (?n=20, max 100)
 //	GET  /v1/debug/index        index health: HNSW graphs, PQ distortion, cluster balance
 //	GET  /v1/debug/recall       online recall probe vs exhaustive scan (?k=10, max 50)
-//	GET  /v1/debug/journal      slow/sampled query trace journal as JSON lines
+//	GET  /v1/debug/journal      slow/sampled query trace journal as JSON lines (?n limits)
 //	GET  /v1/debug/traces       retained traces, newest first (?n=20, ?format=jsonl)
 //	GET  /v1/debug/traces/{id}  one retained trace rendered as a span tree
+//	GET  /v1/debug/workload     workload analytics: heavy hitters, shard load skew, costliest queries
+//	GET  /v1/debug/slo          SLO burn rates per objective and window, with alert states
 //	GET  /debug/pprof/          runtime profiles (only with WithPprof)
 //
 // Every request runs under a W3C trace context: an inbound traceparent
@@ -122,6 +124,8 @@ func (s *Server) init(opts []Option) {
 	route("GET", "/v1/debug/journal", s.handleDebugJournal)
 	route("GET", "/v1/debug/traces", s.handleDebugTraces)
 	route("GET", "/v1/debug/traces/{id}", s.handleDebugTrace)
+	route("GET", "/v1/debug/workload", s.handleDebugWorkload)
+	route("GET", "/v1/debug/slo", s.handleDebugSLO)
 	s.mux.HandleFunc("/", s.handleNotFound)
 	for _, opt := range opts {
 		opt(s)
@@ -262,6 +266,10 @@ type SearchResponse struct {
 	ShardErrors []string `json:"shard_errors,omitempty"`
 	// CacheHit reports the answer came from the cluster's query cache.
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// Cost is the query's work accounting: distance computations, graph
+	// hops, PQ table lookups, values/bytes scanned, candidate counts. In
+	// cluster mode it is the sum across every shard attempt.
+	Cost *semdisco.CostReport `json:"cost,omitempty"`
 }
 
 // MatchJSON is one relation match.
@@ -346,6 +354,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var (
 		matches []semdisco.Match
 		stages  []semdisco.TraceStage
+		cost    *semdisco.CostReport
 		err     error
 	)
 	switch {
@@ -354,13 +363,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	case req.Trace:
 		matches, stages, err = s.eng.SearchTracedContext(r.Context(), req.Query, req.K)
 	default:
-		matches, err = s.eng.SearchContext(r.Context(), req.Query, req.K)
+		var rep semdisco.CostReport
+		matches, rep, err = s.eng.SearchCost(r.Context(), req.Query, req.K)
+		cost = &rep
 	}
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{err.Error()})
 		return
 	}
-	resp := SearchResponse{Matches: make([]MatchJSON, len(matches))}
+	resp := SearchResponse{Matches: make([]MatchJSON, len(matches)), Cost: cost}
 	if sc, ok := obs.SpanContextFrom(r.Context()); ok && len(req.Sources) == 0 {
 		// Engine searches continue the middleware's span context, so its
 		// trace ID is the one the stored trace carries. Source-filtered

@@ -111,16 +111,10 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 		_ = store.WriteJSONL(w)
 		return
 	}
-	n, ok := queryInt(r, "n", defaultTracesN)
-	if !ok || n < 0 {
+	n, ok := limitParam(r, "n", defaultTracesN, maxTracesN)
+	if !ok {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{"n must be a non-negative integer"})
 		return
-	}
-	if n == 0 {
-		n = defaultTracesN
-	}
-	if n > maxTracesN {
-		n = maxTracesN
 	}
 	writeJSON(w, http.StatusOK, TracesResponse{
 		Offered: store.Offered(),

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Cost accumulates the work one query performed, in hardware-independent
+// units: distance computations, HNSW graph hops, Product-Quantization table
+// lookups, values and bytes touched by exhaustive scans, candidates
+// generated and pruned, and cache hits. It is the observability primitive
+// DESSERT-style cost models ask for — time explains *when* a query was
+// slow, cost explains *why*.
+//
+// A *Cost travels down the stack inside a context (ContextWithCost); each
+// layer extracts it once per query and flushes plain local counters into it
+// at chunk boundaries, so the hot loops never touch an atomic per
+// iteration. A nil *Cost is a valid no-op, so instrumented code never
+// branches on whether accounting is enabled — a query run without a Cost
+// in its context pays only a single context lookup.
+type Cost struct {
+	distanceComps atomic.Int64
+	hnswHops      atomic.Int64
+	pqLookups     atomic.Int64
+	valuesScanned atomic.Int64
+	bytesScanned  atomic.Int64
+	candGenerated atomic.Int64
+	candPruned    atomic.Int64
+	cacheHits     atomic.Int64
+}
+
+// AddDistanceComps records n full-precision distance computations.
+func (c *Cost) AddDistanceComps(n int64) {
+	if c != nil {
+		c.distanceComps.Add(n)
+	}
+}
+
+// AddHNSWHops records n graph hops (greedy-descent moves plus beam
+// expansions).
+func (c *Cost) AddHNSWHops(n int64) {
+	if c != nil {
+		c.hnswHops.Add(n)
+	}
+}
+
+// AddPQLookups records n asymmetric-distance (ADC) table lookups.
+func (c *Cost) AddPQLookups(n int64) {
+	if c != nil {
+		c.pqLookups.Add(n)
+	}
+}
+
+// AddValuesScanned records n value vectors touched by an exhaustive scan.
+func (c *Cost) AddValuesScanned(n int64) {
+	if c != nil {
+		c.valuesScanned.Add(n)
+	}
+}
+
+// AddBytesScanned records n bytes of vector data read.
+func (c *Cost) AddBytesScanned(n int64) {
+	if c != nil {
+		c.bytesScanned.Add(n)
+	}
+}
+
+// AddCandidatesGenerated records n candidates produced before ranking.
+func (c *Cost) AddCandidatesGenerated(n int64) {
+	if c != nil {
+		c.candGenerated.Add(n)
+	}
+}
+
+// AddCandidatesPruned records n candidates discarded before the final
+// answer.
+func (c *Cost) AddCandidatesPruned(n int64) {
+	if c != nil {
+		c.candPruned.Add(n)
+	}
+}
+
+// AddCacheHits records n cache hits that short-circuited work.
+func (c *Cost) AddCacheHits(n int64) {
+	if c != nil {
+		c.cacheHits.Add(n)
+	}
+}
+
+// AddReport folds a finished report's counters into the accumulator —
+// how an aggregating layer (the cluster router) accounts work its shards
+// already summed up.
+func (c *Cost) AddReport(r CostReport) {
+	if c == nil {
+		return
+	}
+	c.distanceComps.Add(r.DistanceComps)
+	c.hnswHops.Add(r.HNSWHops)
+	c.pqLookups.Add(r.PQLookups)
+	c.valuesScanned.Add(r.ValuesScanned)
+	c.bytesScanned.Add(r.BytesScanned)
+	c.candGenerated.Add(r.CandidatesGenerated)
+	c.candPruned.Add(r.CandidatesPruned)
+	c.cacheHits.Add(r.CacheHits)
+}
+
+// Report snapshots the accumulated counters. Zero-valued on a nil
+// receiver.
+func (c *Cost) Report() CostReport {
+	if c == nil {
+		return CostReport{}
+	}
+	return CostReport{
+		DistanceComps:       c.distanceComps.Load(),
+		HNSWHops:            c.hnswHops.Load(),
+		PQLookups:           c.pqLookups.Load(),
+		ValuesScanned:       c.valuesScanned.Load(),
+		BytesScanned:        c.bytesScanned.Load(),
+		CandidatesGenerated: c.candGenerated.Load(),
+		CandidatesPruned:    c.candPruned.Load(),
+		CacheHits:           c.cacheHits.Load(),
+	}
+}
+
+// CostReport is the plain snapshot of a Cost, shaped for JSON responses
+// and trace annotations.
+type CostReport struct {
+	// DistanceComps counts full-precision vector distance computations —
+	// the unit DESSERT-style cost models are stated in.
+	DistanceComps int64 `json:"distance_comps"`
+	// HNSWHops counts graph hops across every HNSW walk of the query.
+	HNSWHops int64 `json:"hnsw_hops,omitempty"`
+	// PQLookups counts Product-Quantization ADC table lookups.
+	PQLookups int64 `json:"pq_lookups,omitempty"`
+	// ValuesScanned counts value vectors touched by exhaustive scans.
+	ValuesScanned int64 `json:"values_scanned,omitempty"`
+	// BytesScanned counts bytes of vector data read.
+	BytesScanned int64 `json:"bytes_scanned,omitempty"`
+	// CandidatesGenerated counts candidates produced before ranking.
+	CandidatesGenerated int64 `json:"candidates_generated,omitempty"`
+	// CandidatesPruned counts candidates discarded before the answer.
+	CandidatesPruned int64 `json:"candidates_pruned,omitempty"`
+	// CacheHits counts caches that answered instead of the index.
+	CacheHits int64 `json:"cache_hits,omitempty"`
+}
+
+// Add folds another report into this one (used by the cluster router to
+// aggregate per-shard costs).
+func (r *CostReport) Add(o CostReport) {
+	r.DistanceComps += o.DistanceComps
+	r.HNSWHops += o.HNSWHops
+	r.PQLookups += o.PQLookups
+	r.ValuesScanned += o.ValuesScanned
+	r.BytesScanned += o.BytesScanned
+	r.CandidatesGenerated += o.CandidatesGenerated
+	r.CandidatesPruned += o.CandidatesPruned
+	r.CacheHits += o.CacheHits
+}
+
+// Total is a single scalar summary of a report — the dominant work terms —
+// used to rank "costliest queries". Distance computations and PQ lookups
+// are the per-vector work; hops cover graph traversal overhead.
+func (r CostReport) Total() int64 {
+	return r.DistanceComps + r.PQLookups + r.HNSWHops
+}
+
+type costKey struct{}
+
+// ContextWithCost attaches a cost accumulator; searches run under the
+// returned context account their work into it.
+func ContextWithCost(ctx context.Context, c *Cost) context.Context {
+	return context.WithValue(ctx, costKey{}, c)
+}
+
+// CostFrom extracts the context's cost accumulator, nil when none — and a
+// nil *Cost is a valid no-op everywhere.
+func CostFrom(ctx context.Context) *Cost {
+	c, _ := ctx.Value(costKey{}).(*Cost)
+	return c
+}

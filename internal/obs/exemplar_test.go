@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestOpenMetricsExemplarOnlyWhereRecorded checks the exemplar suffix is
+// emitted only on the one bucket that has an exemplar: buckets that saw
+// observations but never a SetExemplar render as plain bucket lines, and
+// the 0.0.4 Prometheus exposition never carries exemplar syntax at all.
+func TestOpenMetricsExemplarOnlyWhereRecorded(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("probe_seconds")
+	h.Observe(10 * time.Microsecond) // a bucket with counts but no exemplar
+	h.Observe(5 * time.Millisecond)
+	h.SetExemplar(5*time.Millisecond, "cafe01")
+
+	var b strings.Builder
+	if err := reg.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("OpenMetrics output does not end with # EOF:\n%s", out)
+	}
+
+	var exemplarLines, bucketLines int
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "probe_seconds_bucket{") {
+			continue
+		}
+		bucketLines++
+		if strings.Contains(line, "# {trace_id=") {
+			exemplarLines++
+			if !strings.Contains(line, `# {trace_id="cafe01"} 0.005 `) {
+				t.Fatalf("malformed exemplar suffix: %s", line)
+			}
+		}
+	}
+	if bucketLines != numBuckets {
+		t.Fatalf("emitted %d bucket lines, want %d", bucketLines, numBuckets)
+	}
+	if exemplarLines != 1 {
+		t.Fatalf("emitted %d exemplar suffixes, want exactly 1:\n%s", exemplarLines, out)
+	}
+
+	b.Reset()
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "# {") {
+		t.Fatalf("Prometheus 0.0.4 exposition carries exemplar syntax:\n%s", b.String())
+	}
+	if strings.Contains(b.String(), "# EOF") {
+		t.Fatal("Prometheus 0.0.4 exposition carries the OpenMetrics EOF marker")
+	}
+}
+
+// TestOpenMetricsLabelEscaping round-trips a label value containing every
+// character the text format escapes — backslash, double quote, newline —
+// through L → exposition → ParseName.
+func TestOpenMetricsLabelEscaping(t *testing.T) {
+	raw := "say \"hi\"\\there\nnow"
+	series := L("q_seconds", "query", raw)
+
+	base, labels := ParseName(series)
+	if base != "q_seconds" || labels["query"] != raw {
+		t.Fatalf("ParseName round-trip: base=%q labels=%#v", base, labels)
+	}
+
+	reg := NewRegistry()
+	h := reg.Histogram(series)
+	h.Observe(time.Millisecond)
+	h.SetExemplar(time.Millisecond, "feed02")
+
+	var b strings.Builder
+	if err := reg.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	escaped := `query="say \"hi\"\\there\nnow"`
+	if !strings.Contains(out, "q_seconds_bucket{"+escaped+",le=") {
+		t.Fatalf("bucket lines do not carry the escaped label:\n%s", out)
+	}
+	if !strings.Contains(out, "q_seconds_sum{"+escaped+"} ") ||
+		!strings.Contains(out, "q_seconds_count{"+escaped+"} 1") {
+		t.Fatalf("sum/count lines do not carry the escaped label:\n%s", out)
+	}
+	if strings.Contains(out, "\nnow") {
+		t.Fatalf("a raw newline leaked into the exposition:\n%s", out)
+	}
+	if !strings.Contains(out, `# {trace_id="feed02"}`) {
+		t.Fatalf("exemplar missing on escaped-label series:\n%s", out)
+	}
+
+	// Every emitted bucket series must parse back to the original value.
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "q_seconds_bucket{") {
+			continue
+		}
+		name := line[:strings.IndexByte(line, '}')+1]
+		if _, l := ParseName(name); l["query"] != raw {
+			t.Fatalf("bucket series %q does not round-trip: %#v", name, l)
+		}
+	}
+}

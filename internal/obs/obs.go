@@ -299,7 +299,10 @@ func escapeHelp(s string) string {
 
 // L formats a series name with label pairs:
 // L("searches_total", "method", "CTS") → `searches_total{method="CTS"}`.
-// Pairs must come key,value; a trailing odd key is ignored.
+// Pairs must come key,value; a trailing odd key is ignored. Label values
+// are escaped per the Prometheus text format (backslash, double quote and
+// newline), so a value like `say "hi"` produces a series that the
+// exposition can emit verbatim and ParseName can round-trip.
 func L(name string, pairs ...string) string {
 	if len(pairs) < 2 {
 		return name
@@ -313,15 +316,61 @@ func L(name string, pairs ...string) string {
 		}
 		b.WriteString(pairs[i])
 		b.WriteString(`="`)
-		b.WriteString(pairs[i+1])
+		b.WriteString(escapeLabelValue(pairs[i+1]))
 		b.WriteString(`"`)
 	}
 	b.WriteByte('}')
 	return b.String()
 }
 
+// escapeLabelValue escapes backslash, double quote and newline per the
+// Prometheus text-format label-value rules.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// unescapeLabelValue reverses escapeLabelValue.
+func unescapeLabelValue(v string) string {
+	if !strings.ContainsRune(v, '\\') {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			i++
+			switch v[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default: // \\ and \" unescape to the literal character
+				b.WriteByte(v[i])
+			}
+			continue
+		}
+		b.WriteByte(v[i])
+	}
+	return b.String()
+}
+
 // ParseName splits a series name into its base name and label map.
-// Labels produced by L round-trip; malformed labels come back empty.
+// Labels produced by L round-trip, including escaped quotes, backslashes,
+// newlines, and values containing commas; malformed labels come back
+// empty.
 func ParseName(series string) (base string, labels map[string]string) {
 	open := strings.IndexByte(series, '{')
 	if open < 0 || !strings.HasSuffix(series, "}") {
@@ -329,15 +378,42 @@ func ParseName(series string) (base string, labels map[string]string) {
 	}
 	base = series[:open]
 	labels = make(map[string]string)
-	for _, part := range strings.Split(series[open+1:len(series)-1], ",") {
-		eq := strings.IndexByte(part, '=')
+	inner := series[open+1 : len(series)-1]
+	for len(inner) > 0 {
+		eq := strings.IndexByte(inner, '=')
 		if eq < 0 {
+			break
+		}
+		key := inner[:eq]
+		rest := inner[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			// Unquoted value: take up to the next comma (legacy tolerance).
+			end := strings.IndexByte(rest, ',')
+			if end < 0 {
+				labels[key] = rest
+				break
+			}
+			labels[key] = rest[:end]
+			inner = rest[end+1:]
 			continue
 		}
-		v := part[eq+1:]
-		v = strings.TrimPrefix(v, `"`)
-		v = strings.TrimSuffix(v, `"`)
-		labels[part[:eq]] = v
+		// Quoted value: scan to the closing quote, honoring escapes.
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			break
+		}
+		labels[key] = unescapeLabelValue(rest[1:end])
+		inner = strings.TrimPrefix(rest[end+1:], ",")
 	}
 	return base, labels
 }

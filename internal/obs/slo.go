@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SLO metric names.
+const (
+	// MetricSLOBurnRate is the per-objective, per-window burn-rate gauge:
+	// semdisco_slo_burn_rate{objective="availability"|"latency",window="5m"|"1h"|"6h"}.
+	MetricSLOBurnRate = "semdisco_slo_burn_rate"
+)
+
+// Burn-rate alert thresholds, after the multiwindow policy of the Google
+// SRE workbook: a fast burn fires when both the 5m and 1h windows burn
+// error budget at ≥ 14.4× the sustainable rate (a 99.9% objective would
+// exhaust its 30-day budget in ~2 days); a slow burn fires at ≥ 6× on
+// both the 1h and 6h windows. Requiring the short AND long window keeps
+// alerts from flapping on a single bad minute.
+const (
+	fastBurnThreshold = 14.4
+	slowBurnThreshold = 6.0
+)
+
+// SLO window geometry: 6h of history in 30-second buckets.
+const (
+	sloBucketSeconds = 30
+	sloBuckets       = 6 * 3600 / sloBucketSeconds
+)
+
+// SLOEngineConfig sets the objectives. Zero fields take the defaults
+// (99.9% availability, 99% of requests under 500ms).
+type SLOEngineConfig struct {
+	// AvailabilityObjective is the target fraction of non-failing,
+	// non-degraded requests, e.g. 0.999.
+	AvailabilityObjective float64
+	// LatencyObjective is the target fraction of requests completing under
+	// LatencyThreshold, e.g. 0.99.
+	LatencyObjective float64
+	// LatencyThreshold is the latency SLO's cutoff.
+	LatencyThreshold time.Duration
+	// Now overrides the clock, for tests. Nil uses time.Now.
+	Now func() time.Time
+}
+
+// SLOWindow is one objective×window burn-rate reading.
+type SLOWindow struct {
+	Window string `json:"window"`
+	// Total and Bad are the request counts inside the window.
+	Total int64 `json:"total"`
+	Bad   int64 `json:"bad"`
+	// BadFraction is Bad/Total (0 when the window is empty).
+	BadFraction float64 `json:"bad_fraction"`
+	// BurnRate is BadFraction divided by the objective's error budget
+	// (1 − objective): 1.0 burns the budget exactly at the sustainable
+	// rate, 14.4 exhausts a 30-day budget in ~2 days.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// SLOObjectiveStatus is one objective's full reading: its target, the
+// three window burn rates and the alert state ("ok", "slow_burn",
+// "fast_burn").
+type SLOObjectiveStatus struct {
+	Objective string  `json:"objective"`
+	Target    float64 `json:"target"`
+	// ThresholdMS is set for the latency objective only.
+	ThresholdMS float64     `json:"threshold_ms,omitempty"`
+	State       string      `json:"state"`
+	Windows     []SLOWindow `json:"windows"`
+}
+
+// SLOSnapshot is the engine's point-in-time view, shaped for the
+// /v1/debug/slo endpoint.
+type SLOSnapshot struct {
+	Objectives []SLOObjectiveStatus `json:"objectives"`
+}
+
+// sloBucket accumulates one 30-second slice of traffic. epoch is the
+// bucket's absolute index (unix seconds / 30); a ring slot whose epoch is
+// stale reads as empty.
+type sloBucket struct {
+	epoch   int64
+	total   int64
+	unavail int64
+	slow    int64
+}
+
+// SLOEngine tracks availability and latency objectives over rolling
+// 5m/1h/6h windows and derives multiwindow burn-rate alert states. It is
+// fed one Record call per finished request (the engine and cluster search
+// paths do this) and costs one mutex acquisition and a couple of adds per
+// request; window sums are only walked when a bucket rolls over or a
+// snapshot is taken. A nil *SLOEngine is a valid no-op.
+type SLOEngine struct {
+	cfg SLOEngineConfig
+	now func() time.Time
+
+	mu      sync.Mutex
+	buckets [sloBuckets]sloBucket
+
+	gauges map[string]*Gauge
+}
+
+// NewSLOEngine builds an engine. reg, when non-nil, receives the six
+// burn-rate gauges (refreshed on bucket rollover and on Snapshot).
+func NewSLOEngine(cfg SLOEngineConfig, reg *Registry) *SLOEngine {
+	if cfg.AvailabilityObjective <= 0 || cfg.AvailabilityObjective >= 1 {
+		cfg.AvailabilityObjective = 0.999
+	}
+	if cfg.LatencyObjective <= 0 || cfg.LatencyObjective >= 1 {
+		cfg.LatencyObjective = 0.99
+	}
+	if cfg.LatencyThreshold <= 0 {
+		cfg.LatencyThreshold = 500 * time.Millisecond
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	e := &SLOEngine{cfg: cfg, now: now, gauges: make(map[string]*Gauge, 6)}
+	for _, obj := range []string{"availability", "latency"} {
+		for _, win := range []string{"5m", "1h", "6h"} {
+			e.gauges[obj+"/"+win] = reg.Gauge(L(MetricSLOBurnRate, "objective", obj, "window", win))
+		}
+	}
+	return e
+}
+
+// Record accounts one finished request: failed marks it bad for the
+// availability objective (errors and degraded responses both count —
+// a partial answer spends error budget), latency over the threshold marks
+// it bad for the latency objective.
+func (e *SLOEngine) Record(latency time.Duration, failed bool) {
+	if e == nil {
+		return
+	}
+	epoch := e.now().Unix() / sloBucketSeconds
+	e.mu.Lock()
+	b := &e.buckets[epoch%sloBuckets]
+	rolled := b.epoch != epoch
+	if rolled {
+		*b = sloBucket{epoch: epoch}
+	}
+	b.total++
+	if failed {
+		b.unavail++
+	}
+	if latency > e.cfg.LatencyThreshold {
+		b.slow++
+	}
+	var snap *SLOSnapshot
+	if rolled {
+		s := e.snapshotLocked(epoch)
+		snap = &s
+	}
+	e.mu.Unlock()
+	if snap != nil {
+		e.publish(*snap)
+	}
+}
+
+var sloWindows = []struct {
+	name    string
+	buckets int64
+}{
+	{"5m", 5 * 60 / sloBucketSeconds},
+	{"1h", 3600 / sloBucketSeconds},
+	{"6h", 6 * 3600 / sloBucketSeconds},
+}
+
+// Snapshot computes every objective's window burn rates and alert state,
+// and refreshes the burn-rate gauges. Zero-valued on nil.
+func (e *SLOEngine) Snapshot() SLOSnapshot {
+	if e == nil {
+		return SLOSnapshot{}
+	}
+	epoch := e.now().Unix() / sloBucketSeconds
+	e.mu.Lock()
+	s := e.snapshotLocked(epoch)
+	e.mu.Unlock()
+	e.publish(s)
+	return s
+}
+
+func (e *SLOEngine) snapshotLocked(epoch int64) SLOSnapshot {
+	avail := SLOObjectiveStatus{Objective: "availability", Target: e.cfg.AvailabilityObjective}
+	lat := SLOObjectiveStatus{
+		Objective:   "latency",
+		Target:      e.cfg.LatencyObjective,
+		ThresholdMS: float64(e.cfg.LatencyThreshold) / float64(time.Millisecond),
+	}
+	for _, w := range sloWindows {
+		var total, unavail, slow int64
+		min := epoch - w.buckets + 1
+		for i := range e.buckets {
+			b := &e.buckets[i]
+			if b.epoch >= min && b.epoch <= epoch {
+				total += b.total
+				unavail += b.unavail
+				slow += b.slow
+			}
+		}
+		avail.Windows = append(avail.Windows, sloWindow(w.name, total, unavail, e.cfg.AvailabilityObjective))
+		lat.Windows = append(lat.Windows, sloWindow(w.name, total, slow, e.cfg.LatencyObjective))
+	}
+	avail.State = burnState(avail.Windows)
+	lat.State = burnState(lat.Windows)
+	return SLOSnapshot{Objectives: []SLOObjectiveStatus{avail, lat}}
+}
+
+func sloWindow(name string, total, bad int64, objective float64) SLOWindow {
+	w := SLOWindow{Window: name, Total: total, Bad: bad}
+	if total > 0 {
+		w.BadFraction = float64(bad) / float64(total)
+		w.BurnRate = w.BadFraction / (1 - objective)
+	}
+	return w
+}
+
+// burnState derives the multiwindow alert state from the [5m, 1h, 6h]
+// readings: fast_burn when 5m AND 1h exceed 14.4×, slow_burn when 1h AND
+// 6h exceed 6×, ok otherwise.
+func burnState(ws []SLOWindow) string {
+	if len(ws) != 3 {
+		return "ok"
+	}
+	if ws[0].BurnRate >= fastBurnThreshold && ws[1].BurnRate >= fastBurnThreshold {
+		return "fast_burn"
+	}
+	if ws[1].BurnRate >= slowBurnThreshold && ws[2].BurnRate >= slowBurnThreshold {
+		return "slow_burn"
+	}
+	return "ok"
+}
+
+// publish pushes a snapshot's burn rates onto the gauges.
+func (e *SLOEngine) publish(s SLOSnapshot) {
+	for _, obj := range s.Objectives {
+		for _, w := range obj.Windows {
+			e.gauges[obj.Objective+"/"+w.Window].Set(w.BurnRate)
+		}
+	}
+}
+
+// String renders the alert states compactly, for logs.
+func (s SLOSnapshot) String() string {
+	out := ""
+	for _, o := range s.Objectives {
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%s", o.Objective, o.State)
+	}
+	return out
+}

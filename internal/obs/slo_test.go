@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// sloStates extracts objective → state from a snapshot.
+func sloStates(s SLOSnapshot) map[string]string {
+	m := make(map[string]string, len(s.Objectives))
+	for _, o := range s.Objectives {
+		m[o.Objective] = o.State
+	}
+	return m
+}
+
+// TestSLOBurnStateTransitions drives the multiwindow burn-rate policy
+// through its three states with an injected clock: a failure burst pushes
+// both short windows past 14.4× (fast_burn); ten minutes of clean traffic
+// later the 5m window recovers but the 1h/6h windows still burn ≥ 6×
+// (slow_burn); two hours on, the 1h window has aged the burst out (ok).
+func TestSLOBurnStateTransitions(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	reg := NewRegistry()
+	e := NewSLOEngine(SLOEngineConfig{Now: func() time.Time { return now }}, reg)
+
+	// Clean traffic: everything ok, burn 0.
+	for i := 0; i < 10; i++ {
+		e.Record(10*time.Millisecond, false)
+	}
+	if st := sloStates(e.Snapshot()); st["availability"] != "ok" || st["latency"] != "ok" {
+		t.Fatalf("baseline states = %v, want ok/ok", st)
+	}
+
+	// A burst of slow failures: 50 of 60 requests bad → 5m and 1h bad
+	// fraction ~0.83 → burn ~833× (availability) and ~83× (latency), both
+	// far past the 14.4 fast threshold on both windows.
+	for i := 0; i < 50; i++ {
+		e.Record(600*time.Millisecond, true)
+	}
+	snap := e.Snapshot()
+	if st := sloStates(snap); st["availability"] != "fast_burn" || st["latency"] != "fast_burn" {
+		t.Fatalf("burst states = %v, want fast_burn/fast_burn", st)
+	}
+	for _, o := range snap.Objectives {
+		if o.Windows[0].Window != "5m" || o.Windows[0].BurnRate < fastBurnThreshold {
+			t.Fatalf("%s 5m window = %+v, want burn ≥ %v", o.Objective, o.Windows[0], fastBurnThreshold)
+		}
+	}
+	// Snapshot published the burn gauges.
+	g := reg.Snapshot().Gauges[L(MetricSLOBurnRate, "objective", "availability", "window", "5m")]
+	if g < fastBurnThreshold {
+		t.Fatalf("availability 5m burn gauge = %v, want ≥ %v", g, fastBurnThreshold)
+	}
+
+	// Ten minutes later the 5m window sees only clean traffic, but the
+	// burst still dominates the 1h and 6h windows: 50 bad of 360 → burn
+	// ~139× (availability), ~14× (latency) — a slow burn, not a fast one.
+	now = now.Add(10 * time.Minute)
+	for i := 0; i < 300; i++ {
+		e.Record(10*time.Millisecond, false)
+	}
+	snap = e.Snapshot()
+	if st := sloStates(snap); st["availability"] != "slow_burn" || st["latency"] != "slow_burn" {
+		t.Fatalf("post-burst states = %v, want slow_burn/slow_burn", st)
+	}
+	for _, o := range snap.Objectives {
+		if o.Windows[0].BurnRate >= fastBurnThreshold {
+			t.Fatalf("%s 5m window still fast: %+v", o.Objective, o.Windows[0])
+		}
+	}
+
+	// Two hours later the burst has aged out of the 1h window; slow_burn
+	// requires 1h AND 6h, so the state returns to ok even though the 6h
+	// window still remembers the failures.
+	now = now.Add(2 * time.Hour)
+	for i := 0; i < 10; i++ {
+		e.Record(10*time.Millisecond, false)
+	}
+	snap = e.Snapshot()
+	if st := sloStates(snap); st["availability"] != "ok" || st["latency"] != "ok" {
+		t.Fatalf("recovered states = %v, want ok/ok", st)
+	}
+	for _, o := range snap.Objectives {
+		if o.Windows[2].Window != "6h" || o.Windows[2].Bad != 50 {
+			t.Fatalf("%s 6h window = %+v, want the 50 bad requests still visible", o.Objective, o.Windows[2])
+		}
+	}
+}
+
+// TestSLOEngineDefaults checks the zero config resolves to the documented
+// objectives.
+func TestSLOEngineDefaults(t *testing.T) {
+	e := NewSLOEngine(SLOEngineConfig{Now: func() time.Time { return time.Unix(1_700_000_000, 0) }}, nil)
+	s := e.Snapshot()
+	if len(s.Objectives) != 2 {
+		t.Fatalf("objectives = %+v", s.Objectives)
+	}
+	if a := s.Objectives[0]; a.Objective != "availability" || a.Target != 0.999 {
+		t.Fatalf("availability objective = %+v", a)
+	}
+	if l := s.Objectives[1]; l.Objective != "latency" || l.Target != 0.99 || l.ThresholdMS != 500 {
+		t.Fatalf("latency objective = %+v", l)
+	}
+	if got := s.String(); got != "availability=ok latency=ok" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestSLOEngineNilNoop(t *testing.T) {
+	var e *SLOEngine
+	e.Record(time.Second, true)
+	if s := e.Snapshot(); len(s.Objectives) != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+}

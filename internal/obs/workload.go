@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Workload metric names.
+const (
+	// MetricWorkloadQueries counts queries seen by the workload analyzer.
+	MetricWorkloadQueries = "semdisco_workload_queries_total"
+	// MetricWorkloadGini is the Gini coefficient of the per-shard load
+	// distribution: 0 = perfectly balanced, →1 = one shard takes everything.
+	MetricWorkloadGini = "semdisco_workload_shard_load_gini"
+)
+
+// WorkloadConfig sizes the workload analyzer. The zero value picks
+// defaults: 64 heavy-hitter slots, 32 costliest-query slots, 1 shard.
+type WorkloadConfig struct {
+	// TopQueries is the space-saving sketch capacity — how many distinct
+	// query keys are tracked as heavy-hitter candidates. Default 64.
+	TopQueries int
+	// Costliest is how many of the costliest queries are retained.
+	// Default 32.
+	Costliest int
+	// Shards is the number of per-shard load accumulators. Default 1 (a
+	// single-node engine).
+	Shards int
+}
+
+// HeavyHitter is one entry of the space-saving sketch: a normalized query
+// key, its estimated count, and the maximum overestimation error
+// (count - error is a guaranteed lower bound on the true frequency).
+type HeavyHitter struct {
+	Query string `json:"query"`
+	Count int64  `json:"count"`
+	Error int64  `json:"error,omitempty"`
+}
+
+// CostlyQuery is one retained costliest-query record.
+type CostlyQuery struct {
+	Query    string        `json:"query"`
+	Method   string        `json:"method,omitempty"`
+	TraceID  string        `json:"trace_id,omitempty"`
+	Cost     CostReport    `json:"cost"`
+	Duration time.Duration `json:"duration_ns"`
+	When     time.Time     `json:"when"`
+}
+
+// WorkloadSnapshot is the analyzer's point-in-time view, shaped for the
+// /v1/debug/workload endpoint.
+type WorkloadSnapshot struct {
+	Queries int64 `json:"queries"`
+	// HeavyHitters lists sketch entries sorted by estimated count,
+	// descending.
+	HeavyHitters []HeavyHitter `json:"heavy_hitters"`
+	// ShardLoad is the absolute query count routed to each shard.
+	ShardLoad []int64 `json:"shard_load"`
+	// LoadGini is the Gini coefficient of ShardLoad: 0 balanced, →1 skewed.
+	LoadGini float64 `json:"load_gini"`
+	// LoadImbalance is max(ShardLoad)/mean(ShardLoad); 1.0 is perfectly
+	// balanced. 0 before any query.
+	LoadImbalance float64 `json:"load_imbalance"`
+	// Costliest lists retained costliest queries, highest total cost first.
+	Costliest []CostlyQuery `json:"costliest"`
+}
+
+// Workload is the workload analyzer: a space-saving (Misra-Gries family)
+// heavy-hitter sketch over normalized query keys, per-shard load counters
+// with a Gini skew gauge, and a top-N costliest-queries board. It is the
+// signal source the roadmap's compaction and cache-admission policies key
+// off. A nil *Workload is a valid no-op.
+type Workload struct {
+	mu       sync.Mutex
+	queries  int64
+	sketch   map[string]*sketchEntry
+	capacity int
+	shard    []int64
+	costly   []CostlyQuery // sorted ascending by Cost.Total(); index 0 is the cheapest
+	costlyN  int
+
+	obsQueries *Counter
+	obsGini    *Gauge
+}
+
+type sketchEntry struct {
+	count int64
+	err   int64
+}
+
+// NewWorkload builds an analyzer. reg, when non-nil, receives the query
+// counter and the Gini gauge.
+func NewWorkload(cfg WorkloadConfig, reg *Registry) *Workload {
+	if cfg.TopQueries <= 0 {
+		cfg.TopQueries = 64
+	}
+	if cfg.Costliest <= 0 {
+		cfg.Costliest = 32
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	return &Workload{
+		sketch:     make(map[string]*sketchEntry, cfg.TopQueries),
+		capacity:   cfg.TopQueries,
+		shard:      make([]int64, cfg.Shards),
+		costlyN:    cfg.Costliest,
+		obsQueries: reg.Counter(MetricWorkloadQueries),
+		obsGini:    reg.Gauge(MetricWorkloadGini),
+	}
+}
+
+// NormalizeQueryKey folds a query into its sketch key: lower-cased, with
+// runs of whitespace collapsed to single spaces — so "Average  RENT" and
+// "average rent" count as the same workload item.
+func NormalizeQueryKey(q string) string {
+	return strings.Join(strings.Fields(strings.ToLower(q)), " ")
+}
+
+// Record accounts one finished query: its normalized key into the sketch
+// and its cost onto the costliest board. Shard routing is recorded
+// separately via RecordShard (a scatter-gather query touches many shards).
+func (w *Workload) Record(query, method, traceID string, cost CostReport, dur time.Duration, when time.Time) {
+	if w == nil {
+		return
+	}
+	key := NormalizeQueryKey(query)
+	w.mu.Lock()
+	w.queries++
+	w.recordSketchLocked(key)
+	w.recordCostLocked(CostlyQuery{
+		Query: key, Method: method, TraceID: traceID,
+		Cost: cost, Duration: dur, When: when,
+	})
+	w.mu.Unlock()
+	w.obsQueries.Inc()
+}
+
+// recordSketchLocked is the space-saving update: hits increment; misses
+// take over the minimum-count slot, inheriting its count as error bound.
+func (w *Workload) recordSketchLocked(key string) {
+	if e, ok := w.sketch[key]; ok {
+		e.count++
+		return
+	}
+	if len(w.sketch) < w.capacity {
+		w.sketch[key] = &sketchEntry{count: 1}
+		return
+	}
+	minKey, minCount := "", int64(-1)
+	for k, e := range w.sketch {
+		if minCount < 0 || e.count < minCount {
+			minKey, minCount = k, e.count
+		}
+	}
+	delete(w.sketch, minKey)
+	w.sketch[key] = &sketchEntry{count: minCount + 1, err: minCount}
+}
+
+func (w *Workload) recordCostLocked(cq CostlyQuery) {
+	total := cq.Cost.Total()
+	if len(w.costly) < w.costlyN {
+		w.costly = append(w.costly, cq)
+		sort.Slice(w.costly, func(i, j int) bool {
+			return w.costly[i].Cost.Total() < w.costly[j].Cost.Total()
+		})
+		return
+	}
+	if total <= w.costly[0].Cost.Total() {
+		return
+	}
+	w.costly[0] = cq
+	// Bubble the replacement up to keep the slice sorted ascending.
+	for i := 1; i < len(w.costly) && w.costly[i].Cost.Total() < total; i++ {
+		w.costly[i-1], w.costly[i] = w.costly[i], w.costly[i-1]
+	}
+}
+
+// RecordShard accounts one sub-query routed to shard i and refreshes the
+// Gini gauge. Out-of-range shards are ignored.
+func (w *Workload) RecordShard(i int) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if i < 0 || i >= len(w.shard) {
+		w.mu.Unlock()
+		return
+	}
+	w.shard[i]++
+	g := giniLocked(w.shard)
+	w.mu.Unlock()
+	w.obsGini.Set(g)
+}
+
+// giniLocked computes the Gini coefficient of the load vector using the
+// sorted-rank formula. Zero for ≤1 shard or no load.
+func giniLocked(load []int64) float64 {
+	n := len(load)
+	if n <= 1 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	var sum float64
+	for i, v := range load {
+		sorted[i] = float64(v)
+		sum += float64(v)
+	}
+	if sum == 0 {
+		return 0
+	}
+	sort.Float64s(sorted)
+	var weighted float64
+	for i, v := range sorted {
+		weighted += float64(i+1) * v
+	}
+	return (2*weighted)/(float64(n)*sum) - float64(n+1)/float64(n)
+}
+
+// Snapshot returns the current analyzer state. Zero-valued on nil.
+func (w *Workload) Snapshot() WorkloadSnapshot {
+	if w == nil {
+		return WorkloadSnapshot{}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := WorkloadSnapshot{
+		Queries:      w.queries,
+		HeavyHitters: make([]HeavyHitter, 0, len(w.sketch)),
+		ShardLoad:    append([]int64(nil), w.shard...),
+		LoadGini:     giniLocked(w.shard),
+	}
+	for k, e := range w.sketch {
+		s.HeavyHitters = append(s.HeavyHitters, HeavyHitter{Query: k, Count: e.count, Error: e.err})
+	}
+	sort.Slice(s.HeavyHitters, func(i, j int) bool {
+		if s.HeavyHitters[i].Count != s.HeavyHitters[j].Count {
+			return s.HeavyHitters[i].Count > s.HeavyHitters[j].Count
+		}
+		return s.HeavyHitters[i].Query < s.HeavyHitters[j].Query
+	})
+	var total, max int64
+	for _, v := range w.shard {
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	if total > 0 {
+		mean := float64(total) / float64(len(w.shard))
+		s.LoadImbalance = float64(max) / mean
+	}
+	s.Costliest = make([]CostlyQuery, len(w.costly))
+	// The board is kept ascending; the snapshot reads best-first.
+	for i, cq := range w.costly {
+		s.Costliest[len(w.costly)-1-i] = cq
+	}
+	return s
+}

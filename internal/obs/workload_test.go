@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestNormalizeQueryKey(t *testing.T) {
+	cases := map[string]string{
+		"Average  RENT":        "average rent",
+		"  covid\tvaccines\n ": "covid vaccines",
+		"":                     "",
+	}
+	for in, want := range cases {
+		if got := NormalizeQueryKey(in); got != want {
+			t.Errorf("NormalizeQueryKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWorkloadSketchReplacement exercises the space-saving update: a miss
+// against a full sketch evicts the minimum-count entry and inherits its
+// count as the error bound, so Count-Error stays a true lower bound.
+func TestWorkloadSketchReplacement(t *testing.T) {
+	w := NewWorkload(WorkloadConfig{TopQueries: 2}, nil)
+	rec := func(q string, n int) {
+		for i := 0; i < n; i++ {
+			w.Record(q, "ExS", "", CostReport{DistanceComps: 1}, time.Millisecond, time.Time{})
+		}
+	}
+	rec("Alpha  One", 3) // normalizes to "alpha one"
+	rec("beta", 1)
+	rec("gamma", 1) // sketch full: evicts beta (count 1), inherits error
+
+	s := w.Snapshot()
+	if s.Queries != 5 {
+		t.Fatalf("Queries = %d, want 5", s.Queries)
+	}
+	if len(s.HeavyHitters) != 2 {
+		t.Fatalf("heavy hitters = %+v, want 2 entries", s.HeavyHitters)
+	}
+	top := s.HeavyHitters[0]
+	if top.Query != "alpha one" || top.Count != 3 || top.Error != 0 {
+		t.Fatalf("top hitter = %+v, want {alpha one 3 0}", top)
+	}
+	second := s.HeavyHitters[1]
+	if second.Query != "gamma" || second.Count != 2 || second.Error != 1 {
+		t.Fatalf("second hitter = %+v, want {gamma 2 1}", second)
+	}
+	if second.Count-second.Error != 1 {
+		t.Fatalf("lower bound = %d, want 1 (true gamma frequency)", second.Count-second.Error)
+	}
+}
+
+// TestWorkloadGini pins the shard-skew gauge on two known distributions:
+// one shard taking everything on a 4-shard cluster has Gini 0.75 and
+// imbalance 4.0; a perfectly balanced load has Gini 0 and imbalance 1.0.
+func TestWorkloadGini(t *testing.T) {
+	reg := NewRegistry()
+	skew := NewWorkload(WorkloadConfig{Shards: 4}, reg)
+	for i := 0; i < 30; i++ {
+		skew.RecordShard(0)
+	}
+	skew.RecordShard(99) // out of range: ignored
+	s := skew.Snapshot()
+	if math.Abs(s.LoadGini-0.75) > 1e-9 {
+		t.Fatalf("skewed Gini = %v, want 0.75", s.LoadGini)
+	}
+	if math.Abs(s.LoadImbalance-4.0) > 1e-9 {
+		t.Fatalf("skewed imbalance = %v, want 4.0", s.LoadImbalance)
+	}
+	if len(s.ShardLoad) != 4 || s.ShardLoad[0] != 30 {
+		t.Fatalf("shard load = %v", s.ShardLoad)
+	}
+	if g := reg.Snapshot().Gauges[MetricWorkloadGini]; math.Abs(g-0.75) > 1e-9 {
+		t.Fatalf("gini gauge = %v, want 0.75", g)
+	}
+
+	bal := NewWorkload(WorkloadConfig{Shards: 4}, nil)
+	for i := 0; i < 20; i++ {
+		bal.RecordShard(i % 4)
+	}
+	s = bal.Snapshot()
+	if s.LoadGini != 0 {
+		t.Fatalf("balanced Gini = %v, want 0", s.LoadGini)
+	}
+	if math.Abs(s.LoadImbalance-1.0) > 1e-9 {
+		t.Fatalf("balanced imbalance = %v, want 1.0", s.LoadImbalance)
+	}
+}
+
+// TestWorkloadCostliestBoard checks the top-N board keeps the N costliest
+// queries and snapshots them highest-cost first.
+func TestWorkloadCostliestBoard(t *testing.T) {
+	w := NewWorkload(WorkloadConfig{Costliest: 2}, nil)
+	for _, c := range []struct {
+		q     string
+		comps int64
+	}{{"cheap", 10}, {"dear", 30}, {"mid", 20}, {"cheaper", 5}} {
+		w.Record(c.q, "ANNS", "t-"+c.q, CostReport{DistanceComps: c.comps}, time.Millisecond, time.Time{})
+	}
+	s := w.Snapshot()
+	if len(s.Costliest) != 2 {
+		t.Fatalf("costliest = %+v, want 2 entries", s.Costliest)
+	}
+	if s.Costliest[0].Query != "dear" || s.Costliest[0].Cost.DistanceComps != 30 {
+		t.Fatalf("costliest[0] = %+v, want dear/30", s.Costliest[0])
+	}
+	if s.Costliest[1].Query != "mid" || s.Costliest[1].TraceID != "t-mid" {
+		t.Fatalf("costliest[1] = %+v, want mid", s.Costliest[1])
+	}
+}
+
+func TestWorkloadNilNoop(t *testing.T) {
+	var w *Workload
+	w.Record("q", "ExS", "", CostReport{}, time.Millisecond, time.Time{})
+	w.RecordShard(0)
+	if s := w.Snapshot(); s.Queries != 0 || s.HeavyHitters != nil {
+		t.Fatalf("nil workload snapshot = %+v", s)
+	}
+}

@@ -405,14 +405,18 @@ func (c *Collection) Search(query []float32, k, ef int, filter Filter) ([]Result
 // SearchContext is Search with cooperative cancellation: the HNSW walk
 // polls ctx between hops, so an expired deadline interrupts the search
 // mid-graph instead of after it, and the context's error is returned.
+// When the context carries a cost accumulator (obs.ContextWithCost), the
+// walk's distance computations, ADC lookups and graph hops are accounted
+// into it.
 func (c *Collection) SearchContext(ctx context.Context, query []float32, k, ef int, filter Filter) ([]Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	cost := obs.CostFrom(ctx)
 	if ctx.Done() == nil { // never cancellable: skip the per-hop polling
-		return c.search(query, k, ef, filter, nil)
+		return c.searchCost(query, k, ef, filter, nil, cost)
 	}
-	out, err := c.search(query, k, ef, filter, func() bool { return ctx.Err() != nil })
+	out, err := c.searchCost(query, k, ef, filter, func() bool { return ctx.Err() != nil }, cost)
 	if err != nil {
 		return nil, err
 	}
@@ -423,6 +427,10 @@ func (c *Collection) SearchContext(ctx context.Context, query []float32, k, ef i
 }
 
 func (c *Collection) search(query []float32, k, ef int, filter Filter, cancelled func() bool) ([]Result, error) {
+	return c.searchCost(query, k, ef, filter, cancelled, nil)
+}
+
+func (c *Collection) searchCost(query []float32, k, ef int, filter Filter, cancelled func() bool, cost *obs.Cost) ([]Result, error) {
 	if len(query) != c.cfg.Dim {
 		return nil, fmt.Errorf("vectordb: query dim %d, want %d", len(query), c.cfg.Dim)
 	}
@@ -437,13 +445,44 @@ func (c *Collection) search(query []float32, k, ef int, filter Filter, cancelled
 	defer c.mu.RUnlock()
 
 	qd := c.queryDistLocked(q)
+	// The HNSW walk is single-goroutine, so when accounting is on the qd
+	// closure bumps plain locals and one flush after the walk pays the
+	// atomics — the hot loop never sees them.
+	var dists, lookups int64
+	if cost != nil {
+		inner := qd
+		if c.quantizer != nil {
+			codes := c.codes
+			qd = func(slot int32) float32 {
+				if codes[slot] != nil {
+					lookups++
+				} else {
+					dists++
+				}
+				return inner(slot)
+			}
+		} else {
+			qd = func(slot int32) float32 {
+				dists++
+				return inner(slot)
+			}
+		}
+	}
 	accept := func(slot int32) bool {
 		if _, dead := c.deleted[slot]; dead {
 			return false
 		}
 		return filter == nil || filter(c.payloads[slot])
 	}
-	found, done := c.index.SearchCancel(qd, k, ef, accept, cancelled)
+	found, done, st := c.index.SearchCancelStats(qd, k, ef, accept, cancelled)
+	if cost != nil {
+		cost.AddDistanceComps(dists)
+		cost.AddPQLookups(lookups)
+		cost.AddHNSWHops(st.Hops)
+		cost.AddCandidatesGenerated(st.Candidates)
+		cost.AddCandidatesPruned(st.Pruned)
+		cost.AddBytesScanned(dists*int64(c.cfg.Dim)*4 + lookups*c.codeBytesLocked())
+	}
 	if !done {
 		return nil, nil // caller (SearchContext) surfaces ctx.Err()
 	}
@@ -456,6 +495,17 @@ func (c *Collection) search(query []float32, k, ef int, filter Filter, cancelled
 		})
 	}
 	return out, nil
+}
+
+// codeBytesLocked is the PQ code width in bytes, for byte accounting.
+// Caller holds at least a read lock.
+func (c *Collection) codeBytesLocked() int64 {
+	for _, code := range c.codes {
+		if code != nil {
+			return int64(len(code))
+		}
+	}
+	return 0
 }
 
 // SearchExact scans every live point; ground truth for tests and the

@@ -32,7 +32,7 @@ func (e *Engine) SearchTraced(query string, k int) ([]Match, []TraceStage, error
 // (see obs.ContextWithSpan) is continued instead of minting a fresh trace
 // ID, and the request correlation ID rides into the diagnostics records.
 func (e *Engine) SearchTracedContext(ctx context.Context, query string, k int) ([]Match, []TraceStage, error) {
-	matches, tr, err := e.searchWithTrace(ctx, query, k)
+	matches, tr, _, err := e.searchWithTrace(ctx, query, k)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -41,11 +41,18 @@ func (e *Engine) SearchTracedContext(ctx context.Context, query string, k int) (
 
 // searchWithTrace is the shared traced-search path behind Search and
 // SearchTraced: it runs the query under a root span — continuing a
-// propagated trace when ctx carries one — and feeds the outcome to the
-// diagnostics layer (slow-query log, sampler, journal) and the tail-based
-// trace store, linking the latency histogram to the trace via an exemplar
-// when it is retained. Both layers are nil-safe no-ops when disabled.
-func (e *Engine) searchWithTrace(ctx context.Context, query string, k int) ([]Match, *obs.Trace, error) {
+// propagated trace when ctx carries one — with a cost accumulator in the
+// context so the index layers account their work, and feeds the outcome to
+// the diagnostics layer (slow-query log, sampler, journal), the workload
+// analyzer, the SLO engine and the tail-based trace store, linking the
+// latency histogram to the trace via an exemplar when it is retained. All
+// these layers are nil-safe no-ops when disabled.
+func (e *Engine) searchWithTrace(ctx context.Context, query string, k int) ([]Match, *obs.Trace, obs.CostReport, error) {
+	cost := obs.CostFrom(ctx)
+	if cost == nil {
+		cost = &obs.Cost{}
+		ctx = obs.ContextWithCost(ctx, cost)
+	}
 	tr := obs.NewTraceFrom(ctx)
 	root := tr.StartRoot("search")
 	var (
@@ -59,11 +66,18 @@ func (e *Engine) searchWithTrace(ctx context.Context, query string, k int) ([]Ma
 	} else {
 		matches, err = e.searcher.Search(query, k)
 	}
-	root.AnnotateInt("matches", len(matches))
+	rep := cost.Report()
+	root.AnnotateInt("matches", len(matches)).
+		AnnotateInt("distance_comps", int(rep.DistanceComps)).
+		AnnotateInt("hnsw_hops", int(rep.HNSWHops)).
+		AnnotateInt("pq_lookups", int(rep.PQLookups))
 	dur := root.End()
 	method := e.Method().String()
 	requestID := obs.RequestIDFrom(ctx)
 	e.diag.observe(method, query, k, matches, dur, tr, requestID, err)
+	e.workload.Record(query, method, tr.ID().String(), rep, dur, time.Now())
+	e.workload.RecordShard(0)
+	e.slo.Record(dur, err != nil)
 	if e.traces != nil {
 		o := obs.TraceOutcome{
 			Duration:  dur,
@@ -78,7 +92,7 @@ func (e *Engine) searchWithTrace(ctx context.Context, query string, k int) ([]Ma
 		}
 		offerTrace(e.traces, e.obs, obs.L(core.MetricSearchSeconds, "method", method), tr, o)
 	}
-	return matches, tr, err
+	return matches, tr, rep, err
 }
 
 // toTraceStages converts internal trace stages to the public form.

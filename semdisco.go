@@ -104,6 +104,10 @@ type Config struct {
 	// plus a 1-in-M head sample. The zero value enables tracing with
 	// defaults. See TracingConfig.
 	Tracing TracingConfig
+	// SLO tunes the service-level-objective burn-rate engine (availability
+	// and latency objectives over rolling 5m/1h/6h windows). The zero value
+	// enables it with defaults. See SLOConfig.
+	SLO SLOConfig
 
 	// ExS tuning.
 	ExS ExSOptions
@@ -123,6 +127,8 @@ type Engine struct {
 	obs       *obs.Registry     // nil when Config.DisableMetrics
 	diag      *diagnostics      // nil when Config.Diagnostics.Disable
 	traces    *obs.TraceStore   // nil when Config.Tracing.Disable
+	workload  *obs.Workload     // heavy hitters, costliest queries
+	slo       *obs.SLOEngine    // nil when Config.SLO.Disable
 	stats     *text.CorpusStats // nil when Config.IDF was supplied
 	relSource map[string]string // relation ID -> source (dataset)
 }
@@ -166,9 +172,11 @@ func Open(fed *Federation, cfg Config) (*Engine, error) {
 		relSource[r.ID] = r.Source
 	}
 	return &Engine{cfg: cfg, model: model, emb: emb, searcher: s, obs: reg,
-		diag:   newDiagnostics(cfg.Diagnostics, reg),
-		traces: newTraceStore(cfg.Tracing),
-		stats:  stats, relSource: relSource}, nil
+		diag:     newDiagnostics(cfg.Diagnostics, reg),
+		traces:   newTraceStore(cfg.Tracing),
+		workload: newWorkload(1, reg),
+		slo:      newSLOEngine(cfg.SLO, reg),
+		stats:    stats, relSource: relSource}, nil
 }
 
 // buildSearcher constructs the configured method's index over an embedded
@@ -234,7 +242,7 @@ func (e *Engine) SearchContext(ctx context.Context, query string, k int) ([]Matc
 		}
 		return e.searcher.Search(query, k)
 	}
-	matches, _, err := e.searchWithTrace(ctx, query, k)
+	matches, _, _, err := e.searchWithTrace(ctx, query, k)
 	return matches, err
 }
 
