@@ -1,7 +1,7 @@
 GO ?= go
 CORPUS ?= wikitables
 
-.PHONY: build vet lint test race race-cluster check bench-smoke bench-json trace-smoke
+.PHONY: build vet lint test race race-cluster check bench-smoke bench-json bench-kernels trace-smoke
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,14 @@ check: lint race
 # the cost of real measurement.
 bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/...
-	$(GO) run ./cmd/semdisco-bench -corpus $(CORPUS) -scale 0.05 -dim 96 -train=false -shards 2 -json /dev/null
+	$(GO) run ./cmd/semdisco-bench -corpus $(CORPUS) -scale 0.05 -dim 96 -train=false -shards 2 -batch -json /dev/null
+
+# Kernel micro-benchmarks: the batched DotBatch/L2SqBatch kernels against
+# repeated single-query Dot calls, plus the bounded top-k selection. The
+# transcript lands in benchrun_kernels.txt so kernel regressions show up in
+# review diffs.
+bench-kernels:
+	$(GO) test -run=^$$ -bench 'Dot|L2Sq|TopK|FullSort' -benchtime=2s ./internal/vec/ | tee benchrun_kernels.txt
 
 # End-to-end tracing smoke: serve a freshly generated corpus as a 4-shard
 # hedged cluster with every trace retained, run one search, and assert the
@@ -54,4 +61,4 @@ trace-smoke:
 # Scaled down and untrained to keep the run short; raise -scale for
 # paper-grade numbers.
 bench-json:
-	$(GO) run ./cmd/semdisco-bench -corpus $(CORPUS) -scale 0.15 -dim 192 -train=false -cost -json BENCH_$(CORPUS).json
+	$(GO) run ./cmd/semdisco-bench -corpus $(CORPUS) -scale 0.15 -dim 192 -train=false -cost -batch -json BENCH_$(CORPUS).json

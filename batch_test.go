@@ -1,0 +1,126 @@
+package semdisco
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestEngineSearchBatchMatchesSearch pins the public batch contract for
+// every method: SearchBatch answers are identical to per-query Search —
+// bit-identical for ExS — and skipped (K ≤ 0) items come back empty.
+func TestEngineSearchBatchMatchesSearch(t *testing.T) {
+	fed := synthFederation(t, 40)
+	for _, m := range []Method{ExS, ANNS, CTS} {
+		eng, err := Open(fed, Config{Method: m, Dim: 64, Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		queries := make([]Query, 10)
+		for i := range queries {
+			queries[i] = Query{Text: fmt.Sprintf("abc def %d", i%4), K: 1 + i%5}
+		}
+		queries[4].K = 0
+		queries[7].K = -2
+
+		results, err := eng.SearchBatch(context.Background(), queries)
+		if err != nil {
+			t.Fatalf("%v batch: %v", m, err)
+		}
+		if len(results) != len(queries) {
+			t.Fatalf("%v: %d results for %d queries", m, len(results), len(queries))
+		}
+		for i, q := range queries {
+			if q.K <= 0 {
+				if len(results[i].Matches) != 0 {
+					t.Errorf("%v item %d: skipped query got matches", m, i)
+				}
+				continue
+			}
+			want, err := eng.Search(q.Text, q.K)
+			if err != nil {
+				t.Fatalf("%v sequential: %v", m, err)
+			}
+			if len(results[i].Matches) != len(want) {
+				t.Fatalf("%v item %d: %d matches vs %d sequential", m, i, len(results[i].Matches), len(want))
+			}
+			for j := range want {
+				if results[i].Matches[j] != want[j] {
+					t.Errorf("%v item %d match %d: %+v vs %+v", m, i, j, results[i].Matches[j], want[j])
+				}
+			}
+			if m == ExS && results[i].Cost.DistanceComps == 0 {
+				t.Errorf("%v item %d: no cost accounted", m, i)
+			}
+		}
+	}
+}
+
+// TestEngineSearchBatchEmptyAndCancelled covers the trivial shapes.
+func TestEngineSearchBatchEmptyAndCancelled(t *testing.T) {
+	eng, err := Open(synthFederation(t, 10), Config{Method: ExS, Dim: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := eng.SearchBatch(context.Background(), nil); err != nil || res != nil {
+		t.Fatalf("empty batch: %v, %v", res, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.SearchBatch(ctx, []Query{{Text: "abc", K: 3}}); err == nil {
+		t.Fatal("dead context must fail the batch")
+	}
+}
+
+// TestClusterSearchBatchMatchesSearch checks the federated batch facade:
+// per-item answers equal SearchContext's, duplicates coalesce, cache hits
+// ride along.
+func TestClusterSearchBatchMatchesSearch(t *testing.T) {
+	fed := synthFederation(t, 40)
+	cfg := clusterCfg(4)
+	cfg.CacheSize = 16
+	cl, err := NewCluster(fed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Query{
+		{Text: "abc def", K: 5},
+		{Text: "ghi jkl", K: 3},
+		{Text: "abc def", K: 5}, // in-batch duplicate
+		{Text: "mno", K: 0},     // skipped
+	}
+	results, err := cl.SearchBatch(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results[3].Matches) != 0 {
+		t.Error("k=0 item got matches")
+	}
+	if !results[2].Coalesced {
+		t.Error("in-batch duplicate not coalesced")
+	}
+	for _, i := range []int{0, 1} {
+		want, err := cl.SearchContext(context.Background(), queries[i].Text, queries[i].K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The sequential comparison runs second, so it may hit the cache the
+		// batch populated; matches must agree either way.
+		if len(results[i].Matches) != len(want.Matches) {
+			t.Fatalf("item %d: %d matches vs %d sequential", i, len(results[i].Matches), len(want.Matches))
+		}
+		for j := range want.Matches {
+			if results[i].Matches[j] != want.Matches[j] {
+				t.Errorf("item %d match %d: %+v vs %+v", i, j, results[i].Matches[j], want.Matches[j])
+			}
+		}
+	}
+	// A repeat batch should answer from the cluster cache.
+	again, err := cl.SearchBatch(context.Background(), queries[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again[0].CacheHit {
+		t.Error("repeat batch item missed the cache")
+	}
+}

@@ -44,6 +44,7 @@ func main() {
 		shards     = flag.Int("shards", 0, "also benchmark a sharded scatter-gather federation with this many shards (adds a per-shard breakdown to -json)")
 		tracingOH  = flag.Bool("tracing-overhead", false, "also measure span-tree tracing overhead on ExS p50 (adds a tracing section to -json)")
 		costOut    = flag.Bool("cost", false, "also report per-method cost-model numbers (distance comps per query) and accounting overhead (adds a cost section to -json)")
+		batchOut   = flag.Bool("batch", false, "also benchmark batched execution: 64-query fused batch vs sequential loop per method (adds a batch section to -json)")
 	)
 	flag.Parse()
 
@@ -191,6 +192,17 @@ func main() {
 			}
 			fmt.Printf("cost accounting overhead: p50 %.3fms -> %.3fms (%.1f%%)\n",
 				report.Cost.BaselineP50MS, report.Cost.AccountedP50MS, report.Cost.OverheadPct)
+		}
+		if *batchOut {
+			report.Batch, err = bench.BatchReport(20)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				os.Exit(1)
+			}
+			for _, mb := range report.Batch.Methods {
+				fmt.Printf("batch %s: %d queries, %.0f qps sequential -> %.0f qps batched (%.2fx), identical=%v\n",
+					mb.Method, mb.Queries, mb.SequentialQPS, mb.BatchQPS, mb.Speedup, mb.Identical)
+			}
 		}
 		var out io.Writer = os.Stdout
 		if *jsonOut != "-" {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -60,6 +61,14 @@ const (
 	// describing real scatter-gather work rather than being dragged toward
 	// zero by memory lookups.
 	MetricCacheHitSeconds = "semdisco_cluster_cache_hit_seconds"
+	// MetricCoalesced counts searches answered by riding a concurrent
+	// identical in-flight search instead of scattering their own.
+	MetricCoalesced = "semdisco_cluster_coalesced_total"
+	// MetricBatchSearches counts SearchBatch fan-outs (one per batch, not
+	// per query; the queries inside still count into MetricSearches).
+	MetricBatchSearches = "semdisco_cluster_batch_searches_total"
+	// MetricBatchQueries counts queries answered through SearchBatch.
+	MetricBatchQueries = "semdisco_cluster_batch_queries_total"
 )
 
 // MetricHelp maps the router's metric base names to their Prometheus
@@ -76,6 +85,9 @@ var MetricHelp = map[string]string{
 	MetricCacheHits:          "Query-result cache hits.",
 	MetricCacheMisses:        "Query-result cache misses.",
 	MetricCacheHitSeconds:    "Latency of cache-served searches in seconds.",
+	MetricCoalesced:          "Searches coalesced onto a concurrent identical in-flight search.",
+	MetricBatchSearches:      "Batched scatter-gather fan-outs.",
+	MetricBatchQueries:       "Queries answered through the batch path.",
 }
 
 // Policy selects how relations are assigned to shards.
@@ -195,6 +207,10 @@ type Result struct {
 	Hedged int
 	// CacheHit reports the answer came from the query-result cache.
 	CacheHit bool
+	// Coalesced reports the answer was shared from a concurrent identical
+	// in-flight search (same query, same k): this request scattered no
+	// work of its own, so its Cost is empty.
+	Coalesced bool
 	// Cost aggregates the work every shard attempt performed for this
 	// query. A cache hit reports only CacheHits: 1 — no index work ran.
 	Cost obs.CostReport
@@ -220,6 +236,18 @@ type shardState struct {
 	lat      *latencyWindow
 }
 
+// inflightCall is one in-progress scatter-gather that concurrent identical
+// requests can ride. done is closed after res/err are set and the call is
+// unregistered, so a woken follower can never re-join a finished call.
+type inflightCall struct {
+	done chan struct{}
+	res  *Result
+	err  error
+	// waiters counts followers parked on done; tests use it to pin the
+	// exactly-one-scan contract without sleeping.
+	waiters atomic.Int64
+}
+
 // Router fans queries out over N shards and merges their answers. Search
 // is safe for concurrent use; Route/NoteAdd (the add path) must not race
 // with the owning layer's shard mutation, mirroring Engine.Add's contract.
@@ -229,6 +257,10 @@ type Router struct {
 	state  []*shardState
 	reg    *obs.Registry
 	cache  *cache.LRU[cacheKey, []core.Match]
+	// inflight coalesces concurrent identical (query, k) searches onto one
+	// scatter (singleflight); guarded by inflightMu.
+	inflightMu sync.Mutex
+	inflight   map[cacheKey]*inflightCall
 	// relCount[i] tracks shard i's relation count for rebalance-aware
 	// routing; degraded counts stats queries, not correctness.
 	relCount []atomic.Int64
@@ -266,6 +298,7 @@ func NewRouter(shards []Shard, relCounts []int, opts Options) (*Router, error) {
 		opts:     opts,
 		state:    make([]*shardState, len(shards)),
 		reg:      opts.Registry,
+		inflight: make(map[cacheKey]*inflightCall),
 		relCount: make([]atomic.Int64, len(shards)),
 	}
 	r.reg.SetHelps(MetricHelp)
@@ -329,22 +362,78 @@ func (r *Router) SearchTraced(ctx context.Context, query string, k int, tr *obs.
 	}
 	start := time.Now()
 	key := cacheKey{query: query, k: k}
-	if r.cache != nil {
-		if cached, ok := r.cache.Get(key); ok {
-			r.reg.Counter(MetricCacheHits).Inc()
-			r.searches.Add(1)
-			r.reg.Counter(MetricSearches).Inc()
-			// Cache hits get their own latency series; folding their
-			// near-zero durations into MetricSearchSeconds would drag the
-			// end-to-end p95 below what any scatter-gather actually costs.
-			r.reg.Histogram(MetricCacheHitSeconds).Observe(time.Since(start))
-			res := &Result{Matches: cloneMatches(cached), CacheHit: true, Cost: obs.CostReport{CacheHits: 1}}
-			obs.CostFrom(ctx).AddCacheHits(1)
-			return res, nil
-		}
-		r.reg.Counter(MetricCacheMisses).Inc()
+	if res, ok := r.cacheLookup(ctx, key, start); ok {
+		return res, nil
 	}
 
+	// Singleflight coalescing: if an identical (query, k) search is already
+	// scattering, ride it instead of duplicating the fan-out. The loop
+	// re-checks after a leader fails — its deadline may have expired while
+	// ours is still live, in which case we become (or follow) a new leader.
+	for {
+		r.inflightMu.Lock()
+		if c, ok := r.inflight[key]; ok {
+			c.waiters.Add(1)
+			r.inflightMu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if c.err == nil {
+				r.reg.Counter(MetricCoalesced).Inc()
+				r.searches.Add(1)
+				r.reg.Counter(MetricSearches).Inc()
+				res := *c.res // shallow copy of the shared result
+				res.Matches = cloneMatches(c.res.Matches)
+				res.Coalesced = true
+				// The leader did the work; this request scattered nothing.
+				res.Cost = obs.CostReport{}
+				res.ShardCosts = nil
+				return &res, nil
+			}
+			continue
+		}
+		c := &inflightCall{done: make(chan struct{})}
+		r.inflight[key] = c
+		r.inflightMu.Unlock()
+
+		res, err := r.searchScatter(ctx, query, k, tr, start, key)
+		c.res, c.err = res, err
+		r.inflightMu.Lock()
+		delete(r.inflight, key)
+		r.inflightMu.Unlock()
+		close(c.done)
+		return res, err
+	}
+}
+
+// cacheLookup serves a query from the result cache when possible,
+// recording the cache metrics either way (when caching is enabled).
+func (r *Router) cacheLookup(ctx context.Context, key cacheKey, start time.Time) (*Result, bool) {
+	if r.cache == nil {
+		return nil, false
+	}
+	cached, ok := r.cache.Get(key)
+	if !ok {
+		r.reg.Counter(MetricCacheMisses).Inc()
+		return nil, false
+	}
+	r.reg.Counter(MetricCacheHits).Inc()
+	r.searches.Add(1)
+	r.reg.Counter(MetricSearches).Inc()
+	// Cache hits get their own latency series; folding their near-zero
+	// durations into MetricSearchSeconds would drag the end-to-end p95
+	// below what any scatter-gather actually costs.
+	r.reg.Histogram(MetricCacheHitSeconds).Observe(time.Since(start))
+	res := &Result{Matches: cloneMatches(cached), CacheHit: true, Cost: obs.CostReport{CacheHits: 1}}
+	obs.CostFrom(ctx).AddCacheHits(1)
+	return res, true
+}
+
+// searchScatter is the uncached, uncoalesced scatter-gather body of one
+// federated query: encode → fan out → merge → record.
+func (r *Router) searchScatter(ctx context.Context, query string, k int, tr *obs.Trace, start time.Time, key cacheKey) (*Result, error) {
 	sp := tr.StartSpan("encode")
 	q := r.opts.Encode(query)
 	sp.End()

@@ -1,0 +1,454 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"semdisco/internal/obs"
+	"semdisco/internal/vec"
+	"semdisco/internal/vectordb"
+)
+
+// BatchSearcher is implemented by searchers with a fused multi-query path:
+// rank relations for a block of already-encoded query vectors in one pass
+// over the index. ks[i] is query i's result bound (≤ 0 skips it with a nil
+// row); costs, when non-nil, carries one optional accumulator per query,
+// charged the same work the equivalent sequential SearchEncoded call would
+// record. ExS, ANNS and CTS all implement it.
+//
+// For ExS the batch results are bit-identical to per-query SearchEncoded
+// calls; for ANNS and CTS they are identical too — the fused pass only
+// amortizes locks, scratch state and cluster probes, never changing which
+// nodes a walk evaluates or the order hits are folded.
+type BatchSearcher interface {
+	SearchEncodedBatch(ctx context.Context, qs [][]float32, ks []int, costs []*obs.Cost) ([][]Match, error)
+}
+
+// batchValueBlock is how many value vectors the ExS batch scan gathers per
+// kernel call: 64 vectors × 192 dims × 4 B = 48 KiB of values per block,
+// sized so a block plus the query rows streams through L1/L2 while the
+// DotBatch register blocking reuses each value across 4 queries.
+const batchValueBlock = 64
+
+// exsBatchScratch is one scan worker's reusable state: the gathered value
+// block, the kernel output, and per-query aggregation state reset per
+// relation.
+type exsBatchScratch struct {
+	vblock  [][]float32 // value-vector block (slice headers only, no copy)
+	weights []float32   // matching multiplicities
+	dots    []float32   // kernel output, nq×len(vblock)
+	sums    []float32   // per-query running sum (AggMean)
+	best    []float32   // per-query running max (AggMax)
+	topm    [][]float32 // per-query AggTopM selection buffers
+}
+
+func (s *ExS) newBatchScratch(nq int) *exsBatchScratch {
+	sc := &exsBatchScratch{
+		vblock:  make([][]float32, 0, batchValueBlock),
+		weights: make([]float32, 0, batchValueBlock),
+		dots:    make([]float32, nq*batchValueBlock),
+		sums:    make([]float32, nq),
+		best:    make([]float32, nq),
+	}
+	if s.agg == AggTopM {
+		sc.topm = make([][]float32, nq)
+		for i := range sc.topm {
+			sc.topm[i] = make([]float32, 0, s.topM)
+		}
+	}
+	return sc
+}
+
+// SearchEncodedBatch implements BatchSearcher for the exhaustive scan: one
+// blocked pass over the corpus scores every query of the batch against each
+// value block while it is hot in cache, via the vec.DotBatch kernel. Per
+// relation, each query's partial aggregates accumulate in PerRel order —
+// the same similarity values (DotBatch is bit-identical to Dot) folded in
+// the same order — so every row of the result is bit-identical to the
+// sequential SearchEncoded call.
+func (s *ExS) SearchEncodedBatch(ctx context.Context, qs [][]float32, ks []int, costs []*obs.Cost) ([][]Match, error) {
+	if err := checkBatchArgs(len(qs), ks, costs); err != nil {
+		return nil, err
+	}
+	nq := len(qs)
+	if nq == 0 {
+		return nil, nil
+	}
+	n := s.emb.NumRelations()
+	// scores[qi*n+rel] is query qi's score for relation rel.
+	scores := make([]float32, nq*n)
+
+	var stop atomic.Bool
+	cancellable := ctx.Done() != nil
+	vecBytes := int64(s.emb.Enc.Dim()) * 4
+	scoreRange := func(lo, hi int) {
+		var scanned int64
+		sc := s.newBatchScratch(nq)
+		for rel := lo; rel < hi; rel++ {
+			if cancellable && rel%cancelCheckRelations == 0 {
+				if stop.Load() {
+					break
+				}
+				if ctx.Err() != nil {
+					stop.Store(true)
+					break
+				}
+			}
+			s.scoreRelationBatch(qs, rel, n, scores, sc)
+			scanned += int64(len(s.emb.PerRel[rel]))
+		}
+		if scanned > 0 && costs != nil {
+			// Every query of the batch scanned the same values; charge each
+			// query's accumulator what its sequential scan would record.
+			for _, cost := range costs {
+				if cost != nil {
+					cost.AddDistanceComps(scanned)
+					cost.AddValuesScanned(scanned)
+					cost.AddBytesScanned(scanned * vecBytes)
+				}
+			}
+		}
+	}
+	if s.parallel && n > 1 && len(s.emb.Values) > parallelScanMinValues {
+		workers := runtime.GOMAXPROCS(0)
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				scoreRange(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		scoreRange(0, n)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	out := make([][]Match, nq)
+	for qi := range qs {
+		k := ks[qi]
+		if k <= 0 {
+			continue
+		}
+		row := scores[qi*n : (qi+1)*n]
+		matches := make([]Match, 0, k)
+		for _, sc := range vec.TopKDesc(row, k) {
+			if sc.Score < s.threshold {
+				break
+			}
+			matches = append(matches, Match{RelationID: s.emb.RelIDs[sc.ID], Score: sc.Score})
+		}
+		out[qi] = matches
+		if costs != nil && costs[qi] != nil {
+			costs[qi].AddCandidatesGenerated(int64(n))
+			costs[qi].AddCandidatesPruned(int64(n - len(matches)))
+		}
+	}
+	return out, nil
+}
+
+// scoreRelationBatch folds one relation's value similarities for every
+// query of the batch, writing scores[qi*n+rel]. Value vectors are gathered
+// in blocks so the DotBatch kernel reuses each across the query block.
+func (s *ExS) scoreRelationBatch(qs [][]float32, rel, n int, scores []float32, sc *exsBatchScratch) {
+	idxs := s.emb.PerRel[rel]
+	if len(idxs) == 0 {
+		return // scores rows are zero-initialized, matching the sequential 0
+	}
+	nq := len(qs)
+	for i := range sc.sums[:nq] {
+		sc.sums[i] = 0
+		sc.best[i] = -1
+		if sc.topm != nil {
+			sc.topm[i] = sc.topm[i][:0]
+		}
+	}
+	for start := 0; start < len(idxs); start += batchValueBlock {
+		end := start + batchValueBlock
+		if end > len(idxs) {
+			end = len(idxs)
+		}
+		bl := end - start
+		vblock := sc.vblock[:0]
+		weights := sc.weights[:0]
+		for _, vi := range idxs[start:end] {
+			v := &s.emb.Values[vi]
+			vblock = append(vblock, v.Vec)
+			weights = append(weights, v.Weight)
+		}
+		dots := sc.dots[:nq*bl]
+		vec.DotBatch(qs, vblock, dots)
+		switch s.agg {
+		case AggMax:
+			for qi := 0; qi < nq; qi++ {
+				row := dots[qi*bl : (qi+1)*bl]
+				best := sc.best[qi]
+				for _, sim := range row {
+					if sim > best {
+						best = sim
+					}
+				}
+				sc.best[qi] = best
+			}
+		case AggTopM:
+			for qi := 0; qi < nq; qi++ {
+				row := dots[qi*bl : (qi+1)*bl]
+				buf := sc.topm[qi]
+				for _, sim := range row {
+					buf = insertTopM(buf, sim, s.topM)
+				}
+				sc.topm[qi] = buf
+			}
+		default: // AggMean
+			for qi := 0; qi < nq; qi++ {
+				row := dots[qi*bl : (qi+1)*bl]
+				sum := sc.sums[qi]
+				for j, sim := range row {
+					sum += weights[j] * sim
+				}
+				sc.sums[qi] = sum
+			}
+		}
+	}
+	switch s.agg {
+	case AggMax:
+		for qi := 0; qi < nq; qi++ {
+			scores[qi*n+rel] = sc.best[qi]
+		}
+	case AggTopM:
+		for qi := 0; qi < nq; qi++ {
+			buf := sc.topm[qi]
+			var sum float32
+			for _, x := range buf {
+				sum += x
+			}
+			scores[qi*n+rel] = sum / float32(len(buf))
+		}
+	default:
+		tw := s.emb.TotalWeight[rel]
+		for qi := 0; qi < nq; qi++ {
+			scores[qi*n+rel] = sc.sums[qi] / tw
+		}
+	}
+}
+
+// SearchEncodedBatch implements BatchSearcher for ANNS: the whole block of
+// queries shares one collection lock acquisition and one reusable HNSW
+// scratch (generation-stamped visited set + heap backings), so the per-walk
+// allocations are paid once per batch instead of once per query. Each walk
+// itself is identical to the sequential one.
+func (s *ANNS) SearchEncodedBatch(ctx context.Context, qs [][]float32, ks []int, costs []*obs.Cost) ([][]Match, error) {
+	if err := checkBatchArgs(len(qs), ks, costs); err != nil {
+		return nil, err
+	}
+	nq := len(qs)
+	if nq == 0 {
+		return nil, nil
+	}
+	fanouts := make([]int, nq)
+	efs := make([]int, nq)
+	for i, k := range ks {
+		if k <= 0 {
+			continue
+		}
+		fanout := s.fanout
+		if fanout == 0 {
+			fanout = 32 * k
+		}
+		ef := s.efSearch
+		if ef < fanout {
+			ef = fanout
+		}
+		fanouts[i], efs[i] = fanout, ef
+	}
+	hitsPerQuery, err := s.coll.SearchBatch(ctx, qs, fanouts, efs, nil, costs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Match, nq)
+	for i, k := range ks {
+		if k <= 0 {
+			continue
+		}
+		matches, err := s.foldHits(hitsPerQuery[i], k)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = matches
+	}
+	return out, nil
+}
+
+// ctsPlan is one query's cluster itinerary: the clusters it selected (in
+// medoid-score order, exactly as the sequential walk visits them) and the
+// per-cluster retrieval parameters.
+type ctsPlan struct {
+	selected       []vec.Scored
+	perCluster, ef int
+	// hits[j] holds the results from selected[j]'s collection, filled by
+	// the grouped probe phase and folded in itinerary order afterwards.
+	hits [][]vectordb.Result
+}
+
+// SearchEncodedBatch implements BatchSearcher for CTS with cluster-probe
+// deduplication: queries selecting the same cluster are grouped, so each
+// distinct cluster collection is visited once per batch — one lock
+// acquisition and one HNSW scratch per cluster rather than per
+// (query, cluster) pair. Every per-query hit list is buffered and folded in
+// the query's own medoid-score order, the exact accumulation order of the
+// sequential walk, so results match per-query SearchEncoded calls.
+func (s *CTS) SearchEncodedBatch(ctx context.Context, qs [][]float32, ks []int, costs []*obs.Cost) ([][]Match, error) {
+	if err := checkBatchArgs(len(qs), ks, costs); err != nil {
+		return nil, err
+	}
+	nq := len(qs)
+	if nq == 0 {
+		return nil, nil
+	}
+
+	// Medoid match for the whole batch in one kernel pass. DotBatch is
+	// bit-identical to the sequential vec.Dot loop, and clusters are pushed
+	// in the same ascending order, so each query selects exactly the
+	// clusters its sequential walk would.
+	numClusters := len(s.medoidVecs)
+	medoidDots := make([]float32, nq*numClusters)
+	vec.DotBatch(qs, s.medoidVecs, medoidDots)
+
+	plans := make([]*ctsPlan, nq)
+	// queriesOf[c] lists the batch indices that selected cluster c, with the
+	// position of c in each query's itinerary.
+	type probe struct{ qi, pos int }
+	queriesOf := make([][]probe, numClusters)
+	dim := s.emb.Enc.Dim()
+	for qi, k := range ks {
+		if k <= 0 {
+			continue
+		}
+		top := vec.NewTopK(minInt(s.topClusters, numClusters))
+		row := medoidDots[qi*numClusters : (qi+1)*numClusters]
+		for c, sim := range row {
+			top.Push(c, sim)
+		}
+		selected := top.Sorted()
+		if costs != nil && costs[qi] != nil {
+			costs[qi].AddDistanceComps(int64(numClusters))
+			costs[qi].AddBytesScanned(int64(numClusters) * int64(dim) * 4)
+			costs[qi].AddCandidatesPruned(int64(numClusters - len(selected)))
+		}
+		fanout := s.fanout
+		if fanout == 0 {
+			fanout = 32 * k
+		}
+		perCluster := fanout / len(selected)
+		if perCluster < k {
+			perCluster = k
+		}
+		ef := s.efSearch
+		if ef < perCluster {
+			ef = perCluster
+		}
+		p := &ctsPlan{selected: selected, perCluster: perCluster, ef: ef,
+			hits: make([][]vectordb.Result, len(selected))}
+		plans[qi] = p
+		for pos, sel := range selected {
+			queriesOf[sel.ID] = append(queriesOf[sel.ID], probe{qi, pos})
+		}
+	}
+
+	// Probe each distinct cluster once with every query that selected it.
+	for c, probes := range queriesOf {
+		if len(probes) == 0 {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		coll := s.clusterColl[c]
+		l := coll.Len()
+		subQs := make([][]float32, len(probes))
+		subKs := make([]int, len(probes))
+		subEfs := make([]int, len(probes))
+		var subCosts []*obs.Cost
+		if costs != nil {
+			subCosts = make([]*obs.Cost, len(probes))
+		}
+		for j, pr := range probes {
+			p := plans[pr.qi]
+			pc, pcEf := p.perCluster, p.ef
+			if pc > l { // beams wider than the cluster only add heap overhead
+				pc = l
+				if pcEf > l {
+					pcEf = l
+				}
+			}
+			subQs[j] = qs[pr.qi]
+			subKs[j] = pc
+			subEfs[j] = pcEf
+			if costs != nil {
+				subCosts[j] = costs[pr.qi]
+			}
+		}
+		hits, err := coll.SearchBatch(ctx, subQs, subKs, subEfs, nil, subCosts)
+		if err != nil {
+			return nil, err
+		}
+		for j, pr := range probes {
+			plans[pr.qi].hits[pr.pos] = hits[j]
+		}
+	}
+
+	// Fold each query's buffered hits in its own itinerary order — the
+	// order the sequential walk accumulates them — then rank.
+	out := make([][]Match, nq)
+	for qi, p := range plans {
+		if p == nil {
+			continue
+		}
+		n := s.emb.NumRelations()
+		sums := make([]float32, n)
+		hitCount := make([]float32, n)
+		for _, hits := range p.hits {
+			for _, h := range hits {
+				vi, err := strconv.Atoi(h.Payload["vi"])
+				if err != nil || vi < 0 || vi >= len(s.emb.Values) {
+					return nil, fmt.Errorf("core: cts: corrupt payload %q", h.Payload["vi"])
+				}
+				v := &s.emb.Values[vi]
+				if h.Score > 0 {
+					sums[v.Rel] += v.Weight * h.Score
+				}
+				hitCount[v.Rel]++
+			}
+		}
+		out[qi] = rankRelations(s.emb.RelIDs, sums, hitCount, s.emb.TotalWeight, s.threshold, ks[qi])
+	}
+	return out, nil
+}
+
+// checkBatchArgs validates the parallel-slice shape shared by every
+// SearchEncodedBatch implementation.
+func checkBatchArgs(nq int, ks []int, costs []*obs.Cost) error {
+	if len(ks) != nq {
+		return fmt.Errorf("core: batch: %d ks for %d queries", len(ks), nq)
+	}
+	if costs != nil && len(costs) != nq {
+		return fmt.Errorf("core: batch: %d costs for %d queries", len(costs), nq)
+	}
+	return nil
+}

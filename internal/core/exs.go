@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -137,6 +136,7 @@ func (s *ExS) searchObserved(ctx context.Context, q []float32, k int, o *searchO
 		// Each worker counts its scanned values in a plain local and flushes
 		// once at the end, so cost accounting adds no atomics to the scan.
 		var scanned int64
+		topm := s.newTopMScratch()
 		for rel := lo; rel < hi; rel++ {
 			if cancellable && rel%cancelCheckRelations == 0 {
 				if stop.Load() {
@@ -147,7 +147,7 @@ func (s *ExS) searchObserved(ctx context.Context, q []float32, k int, o *searchO
 					break
 				}
 			}
-			scores[rel] = s.scoreRelation(q, rel)
+			scores[rel] = s.scoreRelation(q, rel, topm)
 			scanned += int64(len(s.emb.PerRel[rel]))
 		}
 		if cost != nil && scanned > 0 {
@@ -185,13 +185,12 @@ func (s *ExS) searchObserved(ctx context.Context, q []float32, k int, o *searchO
 	}
 
 	sp = o.stage("rank")
-	scored := make([]vec.Scored, n)
-	for i := range scores {
-		scored[i] = vec.Scored{ID: i, Score: scores[i]}
-	}
-	vec.SortScoredDesc(scored)
+	// Bounded selection: only the top k of the n relation scores are ever
+	// requested, so heap-selecting them beats materializing and sorting all
+	// n. TopKDesc returns exactly the prefix the full sort would, ties
+	// included, so the ranking is unchanged bit for bit.
 	out := make([]Match, 0, k)
-	for _, sc := range scored {
+	for _, sc := range vec.TopKDesc(scores, k) {
 		if sc.Score < s.threshold {
 			break
 		}
@@ -208,8 +207,43 @@ func (s *ExS) searchObserved(ctx context.Context, q []float32, k int, o *searchO
 	return out, nil
 }
 
-// scoreRelation folds the similarities of one relation's values.
-func (s *ExS) scoreRelation(q []float32, rel int) float32 {
+// newTopMScratch returns a reusable AggTopM selection buffer for one
+// worker, or nil when the aggregator never needs one.
+func (s *ExS) newTopMScratch() []float32 {
+	if s.agg != AggTopM {
+		return nil
+	}
+	return make([]float32, 0, s.topM)
+}
+
+// insertTopM folds x into buf, a descending-sorted buffer of the m largest
+// values seen so far. Replacement is strict (x must beat the current
+// minimum), so among equal values the earliest arrivals are kept — the same
+// multiset a full descending sort selects — and summing buf front to back
+// adds the values in descending order, exactly like sort-then-sum. That
+// makes the bounded selection bit-identical to the historical
+// sort.Slice-the-whole-relation path while doing O(len·m) work on a buffer
+// that never reallocates.
+func insertTopM(buf []float32, x float32, m int) []float32 {
+	if len(buf) == m {
+		if x <= buf[m-1] {
+			return buf
+		}
+		buf = buf[:m-1]
+	}
+	i := len(buf)
+	buf = append(buf, x)
+	for ; i > 0 && buf[i-1] < x; i-- {
+		buf[i] = buf[i-1]
+	}
+	buf[i] = x
+	return buf
+}
+
+// scoreRelation folds the similarities of one relation's values. topm is
+// the worker's reusable AggTopM buffer (see newTopMScratch); ignored by
+// the other aggregators.
+func (s *ExS) scoreRelation(q []float32, rel int, topm []float32) float32 {
 	idxs := s.emb.PerRel[rel]
 	if len(idxs) == 0 {
 		return 0
@@ -224,20 +258,15 @@ func (s *ExS) scoreRelation(q []float32, rel int) float32 {
 		}
 		return best
 	case AggTopM:
-		sims := make([]float32, 0, len(idxs))
+		buf := topm[:0]
 		for _, vi := range idxs {
-			sims = append(sims, vec.Dot(q, s.emb.Values[vi].Vec))
-		}
-		sort.Slice(sims, func(i, j int) bool { return sims[i] > sims[j] })
-		m := s.topM
-		if m > len(sims) {
-			m = len(sims)
+			buf = insertTopM(buf, vec.Dot(q, s.emb.Values[vi].Vec), s.topM)
 		}
 		var sum float32
-		for _, x := range sims[:m] {
+		for _, x := range buf {
 			sum += x
 		}
-		return sum / float32(m)
+		return sum / float32(len(buf))
 	default: // AggMean: multiplicity-weighted mean = paper's plain average
 		var sum float32
 		for _, vi := range idxs {

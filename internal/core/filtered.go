@@ -42,8 +42,9 @@ func (s *ExS) SearchFiltered(query string, k int, allow func(string) bool) ([]Ma
 	set := s.emb.allowedSet(allow)
 	q := s.emb.Enc.Encode(query)
 	scored := make([]vec.Scored, 0, len(set))
+	topm := s.newTopMScratch()
 	for rel := range set {
-		scored = append(scored, vec.Scored{ID: int(rel), Score: s.scoreRelation(q, int(rel))})
+		scored = append(scored, vec.Scored{ID: int(rel), Score: s.scoreRelation(q, int(rel), topm)})
 	}
 	vec.SortScoredDesc(scored)
 	out := make([]Match, 0, k)

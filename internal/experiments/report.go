@@ -67,6 +67,10 @@ type Report struct {
 	// Cost is the per-method cost-model section (semdisco-bench -cost),
 	// absent when not requested.
 	Cost *CostReportJSON `json:"cost,omitempty"`
+	// Batch is the batched-execution section (semdisco-bench -batch):
+	// sequential vs fused-batch throughput per method, absent when not
+	// requested.
+	Batch *BatchReportJSON `json:"batch,omitempty"`
 }
 
 // classes maps the report's JSON keys to the corpus query classes.

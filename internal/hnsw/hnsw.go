@@ -199,7 +199,7 @@ func (ix *Index) neighborsAt(id int32, l int) []int32 {
 // measuring distance to stored item `target`. Results are sorted ascending
 // by distance.
 func (ix *Index) searchLayerConstruct(ep, target int32, ef, l int) []Neighbor {
-	return ix.searchLayer(ep, func(id int32) float32 { return ix.dist(id, target) }, ef, l, nil, nil, nil)
+	return ix.searchLayer(ep, func(id int32) float32 { return ix.dist(id, target) }, ef, l, nil, nil, nil, nil)
 }
 
 // cancelCheckHops is how many beam-search node expansions pass between two
@@ -216,16 +216,42 @@ const cancelCheckHops = 64
 // every cancelCheckHops expansions; a true return abandons the walk and
 // yields nil. st, when non-nil, receives the walk's work counters; it is
 // written once at the end from plain locals, so the loop body stays free
-// of pointer chasing.
-func (ix *Index) searchLayer(ep int32, qd func(int32) float32, ef, l int, filter func(int32) bool, cancelled func() bool, st *SearchStats) []Neighbor {
-	visited := make(map[int32]struct{}, ef*4)
-	visited[ep] = struct{}{}
+// of pointer chasing. sc, when non-nil, supplies the visited set and heap
+// backings (see Scratch); a nil sc allocates per call. The visited
+// semantics are identical either way, so scratch reuse never changes which
+// nodes a walk evaluates.
+func (ix *Index) searchLayer(ep int32, qd func(int32) float32, ef, l int, filter func(int32) bool, cancelled func() bool, st *SearchStats, sc *Scratch) []Neighbor {
+	var seen func(int32) bool // marks n visited; reports whether it already was
+	var candidates *minHeap
+	var results *maxHeap
+	if sc != nil {
+		gen := sc.begin(len(ix.nodes))
+		visited := sc.visited
+		seen = func(n int32) bool {
+			if visited[n] == gen {
+				return true
+			}
+			visited[n] = gen
+			return false
+		}
+		candidates, results = &sc.cand, &sc.res
+	} else {
+		visited := make(map[int32]struct{}, ef*4)
+		seen = func(n int32) bool {
+			if _, ok := visited[n]; ok {
+				return true
+			}
+			visited[n] = struct{}{}
+			return false
+		}
+		candidates, results = new(minHeap), new(maxHeap)
+	}
+	seen(ep)
 
 	epDist := qd(ep)
-	candidates := &minHeap{{ep, epDist}}
-	var results maxHeap
+	*candidates = append(*candidates, Neighbor{ep, epDist})
 	if filter == nil || filter(ep) {
-		results = maxHeap{{ep, epDist}}
+		*results = append(*results, Neighbor{ep, epDist})
 	}
 
 	hops := 0
@@ -238,23 +264,22 @@ func (ix *Index) searchLayer(ep int32, qd func(int32) float32, ef, l int, filter
 			}
 		}
 		c := heap.Pop(candidates).(Neighbor)
-		if len(results) >= ef && c.Dist > results[0].Dist {
+		if len(*results) >= ef && c.Dist > (*results)[0].Dist {
 			break
 		}
 		expansions++
 		for _, n := range ix.neighborsAt(c.ID, l) {
-			if _, seen := visited[n]; seen {
+			if seen(n) {
 				continue
 			}
-			visited[n] = struct{}{}
 			d := qd(n)
-			if len(results) < ef || d < results[0].Dist {
+			if len(*results) < ef || d < (*results)[0].Dist {
 				admitted++
 				heap.Push(candidates, Neighbor{n, d})
 				if filter == nil || filter(n) {
-					heap.Push(&results, Neighbor{n, d})
-					if len(results) > ef {
-						heap.Pop(&results)
+					heap.Push(results, Neighbor{n, d})
+					if len(*results) > ef {
+						heap.Pop(results)
 						pruned++
 					}
 				}
@@ -268,8 +293,8 @@ func (ix *Index) searchLayer(ep int32, qd func(int32) float32, ef, l int, filter
 		st.Candidates += admitted
 		st.Pruned += pruned
 	}
-	out := make([]Neighbor, len(results))
-	copy(out, results)
+	out := make([]Neighbor, len(*results))
+	copy(out, *results)
 	sortNeighbors(out)
 	return out
 }
@@ -351,6 +376,16 @@ func (ix *Index) SearchCancel(qd func(id int32) float32, k, ef int, filter func(
 // — for per-query cost accounting. The stats are meaningful even when the
 // search was cancelled (they cover the work done up to the abort).
 func (ix *Index) SearchCancelStats(qd func(id int32) float32, k, ef int, filter func(int32) bool, cancelled func() bool) ([]Neighbor, bool, SearchStats) {
+	return ix.SearchScratch(nil, qd, k, ef, filter, cancelled)
+}
+
+// SearchScratch is SearchCancelStats with caller-owned working state: sc,
+// when non-nil, supplies the layer-0 walk's visited set and heap backings,
+// so a caller running a block of queries pays the allocations once. Results
+// are identical to SearchCancelStats — the scratch only changes where the
+// bookkeeping lives, not which nodes are evaluated. sc must not be shared
+// between concurrent searches.
+func (ix *Index) SearchScratch(sc *Scratch, qd func(id int32) float32, k, ef int, filter func(int32) bool, cancelled func() bool) ([]Neighbor, bool, SearchStats) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 
@@ -381,7 +416,7 @@ func (ix *Index) SearchCancelStats(qd func(id int32) float32, k, ef int, filter 
 			st.Hops++
 		}
 	}
-	res := ix.searchLayer(ep, qd, ef, 0, filter, cancelled, &st)
+	res := ix.searchLayer(ep, qd, ef, 0, filter, cancelled, &st, sc)
 	if res == nil && cancelled != nil && cancelled() {
 		return nil, false, st
 	}

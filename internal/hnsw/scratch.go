@@ -1,0 +1,42 @@
+package hnsw
+
+// Scratch holds the per-search working state of a beam search — the visited
+// set and both heap backings — so a caller issuing many searches in a row
+// (the batched query path) allocates them once instead of per query.
+//
+// The visited set is a generation-stamped array: slot i is "visited" when
+// visited[i] equals the current generation, so resetting between searches is
+// a single counter increment rather than an O(n) clear or a fresh map. The
+// array is sized to the graph on first use and regrown as the graph grows.
+//
+// A Scratch is owned by one goroutine at a time; concurrent searches need
+// one Scratch each. The zero value is ready to use.
+type Scratch struct {
+	visited []uint32
+	gen     uint32
+	cand    minHeap
+	res     maxHeap
+}
+
+// NewScratch returns an empty scratch. Equivalent to new(Scratch); provided
+// so callers outside the package don't depend on the zero value being valid.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// begin readies the scratch for one search over a graph of n nodes and
+// returns the generation stamp marking this search's visits.
+func (sc *Scratch) begin(n int) uint32 {
+	if len(sc.visited) < n {
+		// Fresh zeroed array: zero never equals a post-increment generation.
+		sc.visited = make([]uint32, n+n/2+8)
+	}
+	sc.gen++
+	if sc.gen == 0 { // wrapped after ~4B searches: clear and restart
+		for i := range sc.visited {
+			sc.visited[i] = 0
+		}
+		sc.gen = 1
+	}
+	sc.cand = sc.cand[:0]
+	sc.res = sc.res[:0]
+	return sc.gen
+}

@@ -9,6 +9,7 @@
 //	GET  /metrics               Prometheus text exposition of engine + HTTP metrics
 //	GET  /v1/stats              engine statistics (counters, latency quantiles, build phases)
 //	POST /v1/search             {"query": "...", "k": 10, "sources": ["WHO"], "trace": true}
+//	POST /v1/search/batch       {"queries": [{"query": "...", "k": 10}, ...]} — fused batched execution
 //	POST /v1/datasets           {"query": "...", "k": 5}
 //	POST /v1/relations          a Relation to index incrementally
 //	GET  /v1/debug/slow         slow-query log with per-stage traces (?n=20, max 100)
@@ -116,6 +117,7 @@ func (s *Server) init(opts []Option) {
 	route("GET", "/metrics", s.handleMetrics)
 	route("GET", "/v1/stats", s.handleStats)
 	route("POST", "/v1/search", s.handleSearch)
+	route("POST", "/v1/search/batch", s.handleSearchBatch)
 	route("POST", "/v1/datasets", s.handleDatasets)
 	route("POST", "/v1/relations", s.handleAddRelation)
 	route("GET", "/v1/debug/slow", s.handleDebugSlow)

@@ -1,0 +1,67 @@
+//go:build amd64
+
+package vec
+
+// The amd64 batched kernels run their 8-wide bodies in SSE2 assembly
+// (dotbatch_amd64.s). Bit-identity with the scalar kernels is preserved by
+// construction: Dot keeps four independent accumulator chains where chain j
+// receives a[i+j]*b[i+j] + a[i+4+j]*b[i+4+j] per 8-element block, and the
+// assembly maps chain j onto SSE lane j of one XMM accumulator — MULPS and
+// ADDPS round each lane exactly like the scalar MULSS/ADDSS sequence, in the
+// same order. The Go wrappers combine the four lanes as (s0+s1)+(s2+s3) and
+// run the scalar remainder loop, completing the exact Dot/L2Sq recipe.
+//
+// SSE2 is in the amd64 baseline, so there is no runtime feature dispatch.
+
+const batchKernelAsm = true
+
+//go:noescape
+func dot4x8(q0, q1, q2, q3, v *float32, iters int, out *[16]float32)
+
+//go:noescape
+func l2sq4x8(q0, q1, q2, q3, v *float32, iters int, out *[16]float32)
+
+// dot4Asm computes four dot products against a shared value vector via the
+// SSE2 body. Caller guarantees len(v) >= 8 and all lengths equal.
+func dot4Asm(q0, q1, q2, q3, v []float32) (o0, o1, o2, o3 float32) {
+	n := len(v)
+	iters := n / 8
+	var acc [16]float32
+	dot4x8(&q0[0], &q1[0], &q2[0], &q3[0], &v[0], iters, &acc)
+	o0 = (acc[0] + acc[1]) + (acc[2] + acc[3])
+	o1 = (acc[4] + acc[5]) + (acc[6] + acc[7])
+	o2 = (acc[8] + acc[9]) + (acc[10] + acc[11])
+	o3 = (acc[12] + acc[13]) + (acc[14] + acc[15])
+	for i := iters * 8; i < n; i++ {
+		x := v[i]
+		o0 += q0[i] * x
+		o1 += q1[i] * x
+		o2 += q2[i] * x
+		o3 += q3[i] * x
+	}
+	return o0, o1, o2, o3
+}
+
+// l2sq4Asm is dot4Asm's squared-distance twin.
+func l2sq4Asm(q0, q1, q2, q3, v []float32) (o0, o1, o2, o3 float32) {
+	n := len(v)
+	iters := n / 8
+	var acc [16]float32
+	l2sq4x8(&q0[0], &q1[0], &q2[0], &q3[0], &v[0], iters, &acc)
+	o0 = (acc[0] + acc[1]) + (acc[2] + acc[3])
+	o1 = (acc[4] + acc[5]) + (acc[6] + acc[7])
+	o2 = (acc[8] + acc[9]) + (acc[10] + acc[11])
+	o3 = (acc[12] + acc[13]) + (acc[14] + acc[15])
+	for i := iters * 8; i < n; i++ {
+		x := v[i]
+		e0 := q0[i] - x
+		o0 += e0 * e0
+		e1 := q1[i] - x
+		o1 += e1 * e1
+		e2 := q2[i] - x
+		o2 += e2 * e2
+		e3 := q3[i] - x
+		o3 += e3 * e3
+	}
+	return o0, o1, o2, o3
+}

@@ -1,0 +1,19 @@
+//go:build !amd64
+
+package vec
+
+// Non-amd64 builds run the batched kernels through the pure-Go 4-query
+// bodies in batch.go, which carry the same bit-identity contract (each
+// query's accumulator chains mirror Dot/L2Sq exactly).
+
+const batchKernelAsm = false
+
+// dot4Asm and l2sq4Asm are never called when batchKernelAsm is false; the
+// stubs exist so batch.go compiles on every GOARCH.
+func dot4Asm(q0, q1, q2, q3, v []float32) (o0, o1, o2, o3 float32) {
+	panic("vec: assembly kernel unavailable on this GOARCH")
+}
+
+func l2sq4Asm(q0, q1, q2, q3, v []float32) (o0, o1, o2, o3 float32) {
+	panic("vec: assembly kernel unavailable on this GOARCH")
+}

@@ -74,6 +74,80 @@ func SortScoredDesc(s []Scored) {
 	})
 }
 
+// TopKDesc returns the k best entries of scores — descending score, ties
+// broken by ascending index — without sorting the whole slice. The returned
+// prefix is bit-identical to building one Scored per index, running
+// SortScoredDesc over all of them, and truncating to k: the selection heap
+// orders on the full (score, ID) comparator, so tie handling matches the
+// full sort exactly. TopK is NOT a substitute here: its heap compares scores
+// only and never replaces on equality, so under ties it can retain a
+// different (higher-ID) element than the sort would.
+//
+// Cost is O(n log k) against the full sort's O(n log n); for the rank stage
+// of an exhaustive scan with small k this removes the dominant superlinear
+// term.
+func TopKDesc(scores []float32, k int) []Scored {
+	n := len(scores)
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	if k >= n {
+		out := make([]Scored, n)
+		for i, s := range scores {
+			out[i] = Scored{ID: i, Score: s}
+		}
+		SortScoredDesc(out)
+		return out
+	}
+	// sortsAfter(a, b): a would appear after b in SortScoredDesc order. The
+	// heap keeps its "last-sorting" element at the root, so the retained set
+	// is exactly the k first elements of the full sort. The order is total
+	// (IDs are distinct), which is what makes the selected set unique.
+	sortsAfter := func(a, b Scored) bool {
+		if a.Score != b.Score {
+			return a.Score < b.Score
+		}
+		return a.ID > b.ID
+	}
+	h := make([]Scored, 0, k)
+	for i, s := range scores {
+		e := Scored{ID: i, Score: s}
+		if len(h) < k {
+			h = append(h, e)
+			for j := len(h) - 1; j > 0; {
+				p := (j - 1) / 2
+				if !sortsAfter(h[j], h[p]) {
+					break
+				}
+				h[j], h[p] = h[p], h[j]
+				j = p
+			}
+			continue
+		}
+		if sortsAfter(e, h[0]) {
+			continue
+		}
+		h[0] = e
+		for j := 0; ; {
+			l, r := 2*j+1, 2*j+2
+			m := j
+			if l < k && sortsAfter(h[l], h[m]) {
+				m = l
+			}
+			if r < k && sortsAfter(h[r], h[m]) {
+				m = r
+			}
+			if m == j {
+				break
+			}
+			h[j], h[m] = h[m], h[j]
+			j = m
+		}
+	}
+	SortScoredDesc(h)
+	return h
+}
+
 type scoredMinHeap []Scored
 
 func (h scoredMinHeap) Len() int            { return len(h) }

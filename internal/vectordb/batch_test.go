@@ -1,0 +1,91 @@
+package vectordb
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"semdisco/internal/obs"
+)
+
+// TestSearchBatchMatchesSearch pins the collection batch contract: one
+// SearchBatch call returns exactly what per-query Search calls return, row
+// by row, and charges each query's accumulator the same work.
+func TestSearchBatchMatchesSearch(t *testing.T) {
+	db := New()
+	c, _ := db.CreateCollection("t", CollectionConfig{Dim: 16, Seed: 1})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 400; i++ {
+		if _, err := c.Insert(randUnit(16, rng), map[string]string{"i": fmt.Sprint(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nq := 12
+	queries := make([][]float32, nq)
+	ks := make([]int, nq)
+	efs := make([]int, nq)
+	for i := range queries {
+		queries[i] = randUnit(16, rng)
+		ks[i] = 1 + i%7
+		efs[i] = 32 + i
+	}
+	ks[3] = 0 // skipped row
+
+	costs := make([]*obs.Cost, nq)
+	for i := range costs {
+		costs[i] = &obs.Cost{}
+	}
+	rows, err := c.SearchBatch(context.Background(), queries, ks, efs, nil, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if ks[i] <= 0 {
+			if rows[i] != nil {
+				t.Fatalf("row %d: skipped query got %d results", i, len(rows[i]))
+			}
+			continue
+		}
+		want, err := c.Search(queries[i], ks[i], efs[i], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqCost := &obs.Cost{}
+		if _, err := c.SearchContext(obs.ContextWithCost(context.Background(), seqCost), queries[i], ks[i], efs[i], nil); err != nil {
+			t.Fatal(err)
+		}
+		if len(rows[i]) != len(want) {
+			t.Fatalf("row %d: %d vs %d results", i, len(rows[i]), len(want))
+		}
+		for j := range want {
+			if rows[i][j].ID != want[j].ID || rows[i][j].Score != want[j].Score {
+				t.Errorf("row %d result %d: %+v vs %+v", i, j, rows[i][j], want[j])
+			}
+		}
+		if got, wantRep := costs[i].Report(), seqCost.Report(); got != wantRep {
+			t.Errorf("row %d cost: batch %+v vs sequential %+v", i, got, wantRep)
+		}
+	}
+}
+
+// TestSearchBatchValidation covers shape mismatches, dimension errors and
+// cancellation.
+func TestSearchBatchValidation(t *testing.T) {
+	db := New()
+	c, _ := db.CreateCollection("t", CollectionConfig{Dim: 4, Seed: 1})
+	c.Insert([]float32{1, 0, 0, 0}, nil)
+
+	q := [][]float32{{1, 0, 0, 0}}
+	if _, err := c.SearchBatch(context.Background(), q, []int{1, 2}, nil, nil, nil); err == nil {
+		t.Fatal("ks length mismatch must fail")
+	}
+	if _, err := c.SearchBatch(context.Background(), [][]float32{{1}}, []int{1}, nil, nil, nil); err == nil {
+		t.Fatal("wrong dim must fail")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.SearchBatch(ctx, q, []int{1}, nil, nil, nil); err == nil {
+		t.Fatal("dead context must fail")
+	}
+}

@@ -443,30 +443,57 @@ func (c *Collection) searchCost(query []float32, k, ef int, filter Filter, cance
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	return c.searchOneLocked(q, k, ef, filter, cancelled, cost, nil), nil
+}
 
-	qd := c.queryDistLocked(q)
-	// The HNSW walk is single-goroutine, so when accounting is on the qd
-	// closure bumps plain locals and one flush after the walk pays the
-	// atomics — the hot loop never sees them.
-	var dists, lookups int64
-	if cost != nil {
-		inner := qd
-		if c.quantizer != nil {
-			codes := c.codes
-			qd = func(slot int32) float32 {
-				if codes[slot] != nil {
-					lookups++
-				} else {
-					dists++
-				}
-				return inner(slot)
+// qdCounter tallies one walk's distance computations and ADC lookups in
+// plain locals; the flush after the walk pays the cost accumulator's
+// atomics once, so the hot loop never sees them.
+type qdCounter struct {
+	dists, lookups int64
+}
+
+// countingQDLocked wraps qd to bump ctr per evaluation. Caller holds at
+// least a read lock.
+func (c *Collection) countingQDLocked(qd func(int32) float32, ctr *qdCounter) func(int32) float32 {
+	if c.quantizer != nil {
+		codes := c.codes
+		return func(slot int32) float32 {
+			if codes[slot] != nil {
+				ctr.lookups++
+			} else {
+				ctr.dists++
 			}
-		} else {
-			qd = func(slot int32) float32 {
-				dists++
-				return inner(slot)
-			}
+			return qd(slot)
 		}
+	}
+	return func(slot int32) float32 {
+		ctr.dists++
+		return qd(slot)
+	}
+}
+
+// flushCostLocked charges one walk's tallies and graph stats to cost.
+// Caller holds at least a read lock.
+func (c *Collection) flushCostLocked(cost *obs.Cost, ctr qdCounter, st hnsw.SearchStats) {
+	cost.AddDistanceComps(ctr.dists)
+	cost.AddPQLookups(ctr.lookups)
+	cost.AddHNSWHops(st.Hops)
+	cost.AddCandidatesGenerated(st.Candidates)
+	cost.AddCandidatesPruned(st.Pruned)
+	cost.AddBytesScanned(ctr.dists*int64(c.cfg.Dim)*4 + ctr.lookups*c.codeBytesLocked())
+}
+
+// searchOneLocked runs one already-normalized query through the index and
+// materializes results. Caller holds at least a read lock. q must already
+// be cloned/normalized per the metric. sc may be nil (per-call state).
+// A nil return with no error means the walk was cancelled; the caller
+// surfaces ctx.Err().
+func (c *Collection) searchOneLocked(q []float32, k, ef int, filter Filter, cancelled func() bool, cost *obs.Cost, sc *hnsw.Scratch) []Result {
+	qd := c.queryDistLocked(q)
+	var ctr qdCounter
+	if cost != nil {
+		qd = c.countingQDLocked(qd, &ctr)
 	}
 	accept := func(slot int32) bool {
 		if _, dead := c.deleted[slot]; dead {
@@ -474,17 +501,12 @@ func (c *Collection) searchCost(query []float32, k, ef int, filter Filter, cance
 		}
 		return filter == nil || filter(c.payloads[slot])
 	}
-	found, done, st := c.index.SearchCancelStats(qd, k, ef, accept, cancelled)
+	found, done, st := c.index.SearchScratch(sc, qd, k, ef, accept, cancelled)
 	if cost != nil {
-		cost.AddDistanceComps(dists)
-		cost.AddPQLookups(lookups)
-		cost.AddHNSWHops(st.Hops)
-		cost.AddCandidatesGenerated(st.Candidates)
-		cost.AddCandidatesPruned(st.Pruned)
-		cost.AddBytesScanned(dists*int64(c.cfg.Dim)*4 + lookups*c.codeBytesLocked())
+		c.flushCostLocked(cost, ctr, st)
 	}
 	if !done {
-		return nil, nil // caller (SearchContext) surfaces ctx.Err()
+		return nil
 	}
 	out := make([]Result, 0, len(found))
 	for _, n := range found {
@@ -493,6 +515,75 @@ func (c *Collection) searchCost(query []float32, k, ef int, filter Filter, cance
 			Score:   c.distToScore(n.Dist),
 			Payload: clonePayload(c.payloads[n.ID]),
 		})
+	}
+	return out
+}
+
+// SearchBatch runs a block of queries in one pass: one lock acquisition and
+// one reusable HNSW scratch (visited set + heap backings) across the whole
+// block, instead of per query. ks[i] and efs[i] are query i's result count
+// and beam width (efs may be nil, or entries ≤ 0, for the collection
+// default); a ks[i] ≤ 0 skips query i with a nil row. costs, when non-nil,
+// carries one optional accumulator per query, each charged exactly the
+// work its own walk performed. Results per query are identical to the
+// equivalent Search calls — scratch reuse changes where the walk's
+// bookkeeping lives, not which nodes it evaluates.
+func (c *Collection) SearchBatch(ctx context.Context, queries [][]float32, ks, efs []int, filter Filter, costs []*obs.Cost) ([][]Result, error) {
+	if len(ks) != len(queries) {
+		return nil, fmt.Errorf("vectordb: %d ks for %d queries", len(ks), len(queries))
+	}
+	if efs != nil && len(efs) != len(queries) {
+		return nil, fmt.Errorf("vectordb: %d efs for %d queries", len(efs), len(queries))
+	}
+	if costs != nil && len(costs) != len(queries) {
+		return nil, fmt.Errorf("vectordb: %d costs for %d queries", len(costs), len(queries))
+	}
+	for i, q := range queries {
+		if len(q) != c.cfg.Dim {
+			return nil, fmt.Errorf("vectordb: query %d dim %d, want %d", i, len(q), c.cfg.Dim)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var cancelled func() bool
+	if ctx.Done() != nil {
+		cancelled = func() bool { return ctx.Err() != nil }
+	}
+
+	// Clone/normalize outside the lock, like the single-query path.
+	qs := make([][]float32, len(queries))
+	for i, q := range queries {
+		v := vec.Clone(q)
+		if c.cfg.Metric == Cosine {
+			vec.Normalize(v)
+		}
+		qs[i] = v
+	}
+
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sc := hnsw.NewScratch()
+	out := make([][]Result, len(queries))
+	for i, q := range qs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if ks[i] <= 0 {
+			continue
+		}
+		ef := c.cfg.EfSearch
+		if efs != nil && efs[i] > 0 {
+			ef = efs[i]
+		}
+		var cost *obs.Cost
+		if costs != nil {
+			cost = costs[i]
+		}
+		out[i] = c.searchOneLocked(q, ks[i], ef, filter, cancelled, cost, sc)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
