@@ -1,7 +1,7 @@
 GO ?= go
 CORPUS ?= wikitables
 
-.PHONY: build vet lint test race race-cluster check bench-smoke bench-json bench-kernels trace-smoke
+.PHONY: build vet lint test race race-cluster check bench-smoke bench-json bench-kernels trace-smoke segment-churn-smoke
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ check: lint race
 # the cost of real measurement.
 bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./internal/...
-	$(GO) run ./cmd/semdisco-bench -corpus $(CORPUS) -scale 0.05 -dim 96 -train=false -shards 2 -batch -json /dev/null
+	$(GO) run ./cmd/semdisco-bench -corpus $(CORPUS) -scale 0.05 -dim 96 -train=false -shards 2 -batch -churn -json /dev/null
 
 # Kernel micro-benchmarks: the batched DotBatch/L2SqBatch kernels against
 # repeated single-query Dot calls, plus the bounded top-k selection. The
@@ -47,6 +47,14 @@ bench-smoke:
 # review diffs.
 bench-kernels:
 	$(GO) test -run=^$$ -bench 'Dot|L2Sq|TopK|FullSort' -benchtime=2s ./internal/vec/ | tee benchrun_kernels.txt
+
+# Segment-store churn smoke: race-checked delete/update/add churn against
+# the engine and segment store, pinning that a churned, compacted index
+# ranks bit-identically to one built fresh from the surviving corpus and
+# that searches never block or degrade while a compaction swaps segments.
+segment-churn-smoke:
+	$(GO) test -race -run 'TestEngineChurnEquivalence|TestEngineSearchNonBlockingDuringCompaction|TestClusterDeleteUpdate' .
+	$(GO) test -race -run 'TestSegmentStoreChurnEquivalence|TestSegmentStoreSearchDuringCompaction|TestSegmentStoreConcurrentChurn' ./internal/core/
 
 # End-to-end tracing smoke: serve a freshly generated corpus as a 4-shard
 # hedged cluster with every trace retained, run one search, and assert the
@@ -61,4 +69,4 @@ trace-smoke:
 # Scaled down and untrained to keep the run short; raise -scale for
 # paper-grade numbers.
 bench-json:
-	$(GO) run ./cmd/semdisco-bench -corpus $(CORPUS) -scale 0.15 -dim 192 -train=false -cost -batch -json BENCH_$(CORPUS).json
+	$(GO) run ./cmd/semdisco-bench -corpus $(CORPUS) -scale 0.15 -dim 192 -train=false -cost -batch -churn -json BENCH_$(CORPUS).json

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"semdisco/internal/cluster"
-	"semdisco/internal/core"
 	"semdisco/internal/obs"
 )
 
@@ -78,27 +77,13 @@ func (e *Engine) SearchBatch(ctx context.Context, queries []Query) ([]BatchResul
 	}
 
 	ms := make([][]Match, len(queries))
-	if bs, ok := e.searcher.(core.BatchSearcher); ok && len(qs) > 0 {
-		rows, err := bs.SearchEncodedBatch(ctx, qs, ks, costs)
+	if len(qs) > 0 {
+		rows, err := e.store.SearchEncodedBatch(ctx, qs, ks, costs)
 		if err != nil {
 			return nil, err
 		}
 		for s, i := range active {
 			ms[i] = rows[s]
-		}
-	} else {
-		// Sequential fallback still amortizes encoding.
-		for s, i := range active {
-			var err error
-			ictx := obs.ContextWithCost(ctx, costs[s])
-			if es, ok := e.searcher.(core.EncodedSearcher); ok {
-				ms[i], err = es.SearchEncoded(ictx, qs[s], ks[s])
-			} else {
-				ms[i], err = e.searcher.Search(queries[i].Text, ks[s])
-			}
-			if err != nil {
-				return nil, err
-			}
 		}
 	}
 

@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"semdisco/internal/cluster"
@@ -66,30 +67,38 @@ type ClusterConfig struct {
 	CacheSize int
 }
 
-// clusterShard pairs one partition's embedded corpus with its engine.
+// clusterShard is one partition's segment store.
 type clusterShard struct {
-	emb      *core.Embedded
-	searcher core.EncodedSearcher
+	store *core.SegmentStore
 }
 
-// Cluster is a sharded federation index: N per-partition engines behind a
-// scatter-gather router with per-shard deadlines, hedged retries and
-// partial-result degradation. Search methods are safe for concurrent use;
-// Add must not race with Search (the same contract as Engine.Add).
+// Cluster is a sharded federation index: N per-partition segment stores
+// behind a scatter-gather router with per-shard deadlines, hedged retries
+// and partial-result degradation. Search, Add, Delete and Update are all
+// safe for concurrent use: mutations land in the owning shard's mutable
+// segment (or tombstone in place) and fence the router's result cache and
+// coalescer.
 type Cluster struct {
-	cfg    ClusterConfig
-	model  *embed.Model
-	stats  *text.CorpusStats
-	shards []clusterShard
+	cfg      ClusterConfig
+	model    *embed.Model
+	stats    *text.CorpusStats
+	shards   []clusterShard
 	router   *cluster.Router
 	reg      *obs.Registry
 	traces   *obs.TraceStore // nil when Config.Tracing.Disable
 	workload *obs.Workload   // heavy hitters, shard load skew, costliest queries
 	slo      *obs.SLOEngine  // nil when Config.SLO.Disable
+	// orderMu guards order/owner/nextOrder: mutations write them, the
+	// router's merge tie-break reads order on every query.
+	orderMu sync.RWMutex
 	// order maps relation ID to its global insertion rank; the router's
 	// merge tie-breaks on it so the federated ranking matches the
 	// single-engine ranking exactly for exact methods.
-	order     map[string]int
+	order map[string]int
+	// owner maps a live relation ID to the shard holding it — required for
+	// Delete/Update, whose ID may not route to its build-time shard under
+	// round-robin.
+	owner     map[string]int
 	nextOrder int
 }
 
@@ -139,6 +148,7 @@ func NewCluster(fed *Federation, cfg ClusterConfig) (*Cluster, error) {
 		parts[i] = NewFederation()
 	}
 	order := make(map[string]int, fed.Len())
+	owner := make(map[string]int, fed.Len())
 	for i, r := range fed.Relations() {
 		var shard int
 		switch cfg.Policy {
@@ -151,6 +161,7 @@ func NewCluster(fed *Federation, cfg ClusterConfig) (*Cluster, error) {
 			return nil, fmt.Errorf("semdisco: partitioning: %w", err)
 		}
 		order[r.ID] = i
+		owner[r.ID] = shard
 	}
 	for i, p := range parts {
 		if p.Len() == 0 {
@@ -167,6 +178,7 @@ func NewCluster(fed *Federation, cfg ClusterConfig) (*Cluster, error) {
 		workload:  newWorkload(cfg.Shards, reg),
 		slo:       newSLOEngine(cfg.SLO, reg),
 		order:     order,
+		owner:     owner,
 		nextOrder: fed.Len(),
 	}
 	relCounts := make([]int, cfg.Shards)
@@ -178,7 +190,7 @@ func NewCluster(fed *Federation, cfg ClusterConfig) (*Cluster, error) {
 		}
 		c.shards = append(c.shards, sh)
 		relCounts[i] = p.Len()
-		routerShards[i] = sh.searcher
+		routerShards[i] = sh.store
 	}
 	router, err := cluster.NewRouter(routerShards, relCounts, c.routerOptions())
 	if err != nil {
@@ -188,8 +200,9 @@ func NewCluster(fed *Federation, cfg ClusterConfig) (*Cluster, error) {
 	return c, nil
 }
 
-// buildClusterShard embeds one partition with the shared model and builds
-// its engine.
+// buildClusterShard embeds one partition with the shared model and wraps
+// it in a segment store, so every shard supports mutation and background
+// compaction independently.
 func buildClusterShard(cfg Config, part *Federation, model *embed.Model, reg *obs.Registry) (clusterShard, error) {
 	emb := core.EmbedFederation(part, model)
 	emb.Obs = reg
@@ -197,11 +210,7 @@ func buildClusterShard(cfg Config, part *Federation, model *embed.Model, reg *ob
 	if err != nil {
 		return clusterShard{}, err
 	}
-	es, ok := s.(core.EncodedSearcher)
-	if !ok {
-		return clusterShard{}, fmt.Errorf("method %v does not support encoded search", cfg.Method)
-	}
-	return clusterShard{emb: emb, searcher: es}, nil
+	return clusterShard{store: core.NewSegmentStore(emb, s, segmentStoreOptions(cfg))}, nil
 }
 
 // routerOptions translates the public config into the router's options.
@@ -216,7 +225,10 @@ func (c *Cluster) routerOptions() cluster.Options {
 		Method:        c.cfg.Method.String(),
 		Encode:        c.model.Encode,
 		Order: func(relID string) int {
-			if o, ok := c.order[relID]; ok {
+			c.orderMu.RLock()
+			o, ok := c.order[relID]
+			c.orderMu.RUnlock()
+			if ok {
 				return o
 			}
 			return int(^uint(0) >> 1) // unknown IDs tie-break last
@@ -224,6 +236,10 @@ func (c *Cluster) routerOptions() cluster.Options {
 		CacheSize: c.cfg.CacheSize,
 		Registry:  c.reg,
 		Workload:  c.workload,
+		SegmentInfo: func(shard int) (int, int) {
+			st := c.shards[shard].store.Stats()
+			return st.Segments, st.DeadRelations
+		},
 	}
 }
 
@@ -325,35 +341,102 @@ func (c *Cluster) ConfigureTracing(tc TracingConfig) {
 }
 
 // Add routes one new relation to a shard — its hash bucket under
-// ShardByHash, the currently smallest shard under ShardRoundRobin — and
-// indexes it there incrementally. The query-result cache is invalidated.
-// Add must not race with Search.
+// ShardByHash, the currently smallest shard under ShardRoundRobin — where
+// it lands in the shard store's mutable segment. The router's result cache
+// and coalescer are fenced. Safe for concurrent use with Search.
 func (c *Cluster) Add(r *Relation) error {
-	shard := c.router.Route(r.ID)
-	app, ok := c.shards[shard].searcher.(core.Appender)
-	if !ok {
-		return fmt.Errorf("semdisco: %v does not support incremental adds", c.cfg.Method)
-	}
-	if _, dup := c.order[r.ID]; dup {
+	c.orderMu.Lock()
+	if _, dup := c.owner[r.ID]; dup {
+		c.orderMu.Unlock()
 		return fmt.Errorf("semdisco: relation %q already indexed", r.ID)
 	}
-	if err := app.AddRelation(r); err != nil {
+	shard := c.router.Route(r.ID)
+	if err := c.shards[shard].store.Add(r); err != nil {
+		c.orderMu.Unlock()
+		return err
+	}
+	c.order[r.ID] = c.nextOrder
+	c.owner[r.ID] = shard
+	c.nextOrder++
+	c.orderMu.Unlock()
+	c.router.NoteAdd(shard)
+	return nil
+}
+
+// Delete tombstones a relation on its owning shard: it stops appearing in
+// federated results immediately, the router's result cache and coalescer
+// are fenced, and the shard's next compaction reclaims the space. Safe
+// for concurrent use with Search.
+func (c *Cluster) Delete(relationName string) error {
+	c.orderMu.Lock()
+	shard, ok := c.owner[relationName]
+	if !ok {
+		c.orderMu.Unlock()
+		return fmt.Errorf("semdisco: relation %q not found", relationName)
+	}
+	if err := c.shards[shard].store.Delete(relationName); err != nil {
+		c.orderMu.Unlock()
+		return err
+	}
+	delete(c.owner, relationName)
+	delete(c.order, relationName)
+	c.orderMu.Unlock()
+	c.router.NoteDelete(shard)
+	return nil
+}
+
+// Update replaces a relation's contents on its owning shard (the relation
+// does not migrate shards) and moves it to the end of the global merge
+// order, matching single-engine Update semantics. Safe for concurrent use
+// with Search.
+func (c *Cluster) Update(r *Relation) error {
+	c.orderMu.Lock()
+	shard, ok := c.owner[r.ID]
+	if !ok {
+		c.orderMu.Unlock()
+		return fmt.Errorf("semdisco: relation %q not found", r.ID)
+	}
+	if err := c.shards[shard].store.Update(r); err != nil {
+		c.orderMu.Unlock()
 		return err
 	}
 	c.order[r.ID] = c.nextOrder
 	c.nextOrder++
-	c.router.NoteAdd(shard)
+	c.orderMu.Unlock()
+	c.router.NoteUpdate(shard)
+	return nil
+}
+
+// Compact forces a full compaction on every shard, sequentially.
+func (c *Cluster) Compact() error {
+	for i := range c.shards {
+		if err := c.shards[i].store.Compact(); err != nil {
+			return fmt.Errorf("semdisco: compacting shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CompactionCheck runs one maintenance pass on every shard: seal
+// over-threshold mutable segments, build pending indexes, compact where a
+// policy trigger fires.
+func (c *Cluster) CompactionCheck() error {
+	for i := range c.shards {
+		if err := c.shards[i].store.Maintain(); err != nil {
+			return fmt.Errorf("semdisco: maintaining shard %d: %w", i, err)
+		}
+	}
 	return nil
 }
 
 // NumShards reports the cluster's shard count.
 func (c *Cluster) NumShards() int { return len(c.shards) }
 
-// NumRelations reports the total relation count across shards.
+// NumRelations reports the total live relation count across shards.
 func (c *Cluster) NumRelations() int {
 	n := 0
 	for _, sh := range c.shards {
-		n += sh.emb.NumRelations()
+		n += sh.store.NumLiveRelations()
 	}
 	return n
 }
@@ -393,7 +476,13 @@ type clusterPersist struct {
 	CacheSize     int
 	Order         map[string]int
 	NextOrder     int
-	EmbBlobs      [][]byte
+	// EmbBlobs carries one monolithic embedding per shard; version 1 only.
+	EmbBlobs [][]byte
+	// StoreBlobs carries one segment-store image per shard (version 2),
+	// and Owner the live relation → shard map.
+	StoreBlobs [][]byte
+	Owner      map[string]int
+	Segments   SegmentsConfig
 }
 
 // Save writes the cluster so LoadCluster can restore it without
@@ -408,13 +497,24 @@ func (c *Cluster) Save(w io.Writer) error {
 	blobs := make([][]byte, len(c.shards))
 	for i, sh := range c.shards {
 		var buf bytes.Buffer
-		if err := sh.emb.Persist(&buf); err != nil {
+		if err := sh.store.Persist(&buf); err != nil {
 			return fmt.Errorf("semdisco: save shard %d: %w", i, err)
 		}
 		blobs[i] = buf.Bytes()
 	}
+	c.orderMu.RLock()
+	order := make(map[string]int, len(c.order))
+	for k, v := range c.order {
+		order[k] = v
+	}
+	owner := make(map[string]int, len(c.owner))
+	for k, v := range c.owner {
+		owner[k] = v
+	}
+	nextOrder := c.nextOrder
+	c.orderMu.RUnlock()
 	return gob.NewEncoder(w).Encode(clusterPersist{
-		Version:       1,
+		Version:       2,
 		Method:        c.cfg.Method,
 		Dim:           c.cfg.Dim,
 		Seed:          c.cfg.Seed,
@@ -431,9 +531,11 @@ func (c *Cluster) Save(w io.Writer) error {
 		MinHedgeDelay: c.cfg.MinHedgeDelay,
 		HedgeAfter:    c.cfg.HedgeAfter,
 		CacheSize:     c.cfg.CacheSize,
-		Order:         c.order,
-		NextOrder:     c.nextOrder,
-		EmbBlobs:      blobs,
+		Order:         order,
+		NextOrder:     nextOrder,
+		StoreBlobs:    blobs,
+		Owner:         owner,
+		Segments:      c.cfg.Segments,
 	})
 }
 
@@ -444,8 +546,12 @@ func LoadCluster(r io.Reader) (*Cluster, error) {
 	if err := gob.NewDecoder(r).Decode(&p); err != nil {
 		return nil, fmt.Errorf("semdisco: load cluster: %w", err)
 	}
-	if p.Version != 1 {
+	if p.Version != 1 && p.Version != 2 {
 		return nil, fmt.Errorf("semdisco: unsupported cluster version %d", p.Version)
+	}
+	blobs := p.StoreBlobs
+	if p.Version == 1 {
+		blobs = p.EmbBlobs
 	}
 	cfg := ClusterConfig{
 		Config: Config{
@@ -457,8 +563,9 @@ func LoadCluster(r io.Reader) (*Cluster, error) {
 			ANNS:      p.ANNS,
 			CTS:       p.CTS,
 			Lexicon:   p.Lexicon,
+			Segments:  p.Segments,
 		},
-		Shards:        len(p.EmbBlobs),
+		Shards:        len(blobs),
 		Policy:        ShardPolicy(p.Policy),
 		Slack:         p.Slack,
 		ShardTimeout:  p.ShardTimeout,
@@ -483,36 +590,53 @@ func LoadCluster(r io.Reader) (*Cluster, error) {
 	if p.Order == nil {
 		p.Order = make(map[string]int)
 	}
+	if p.Owner == nil {
+		p.Owner = make(map[string]int)
+	}
 	c := &Cluster{
 		cfg:       cfg,
 		model:     model,
 		stats:     p.Stats,
 		reg:       reg,
 		traces:    newTraceStore(TracingConfig{}),
-		workload:  newWorkload(len(p.EmbBlobs), reg),
+		workload:  newWorkload(len(blobs), reg),
 		slo:       newSLOEngine(SLOConfig{}, reg),
 		order:     p.Order,
+		owner:     p.Owner,
 		nextOrder: p.NextOrder,
 	}
-	relCounts := make([]int, len(p.EmbBlobs))
-	routerShards := make([]cluster.Shard, len(p.EmbBlobs))
-	for i, blob := range p.EmbBlobs {
-		emb, err := core.RestoreEmbedded(bytes.NewReader(blob), model)
-		if err != nil {
-			return nil, fmt.Errorf("semdisco: restore shard %d: %w", i, err)
+	relCounts := make([]int, len(blobs))
+	routerShards := make([]cluster.Shard, len(blobs))
+	for i, blob := range blobs {
+		var store *core.SegmentStore
+		if p.Version == 1 {
+			emb, err := core.RestoreEmbedded(bytes.NewReader(blob), model)
+			if err != nil {
+				return nil, fmt.Errorf("semdisco: restore shard %d: %w", i, err)
+			}
+			emb.Obs = reg
+			s, err := buildSearcher(cfg.Config, emb)
+			if err != nil {
+				return nil, fmt.Errorf("semdisco: rebuild shard %d: %w", i, err)
+			}
+			store = core.NewSegmentStore(emb, s, segmentStoreOptions(cfg.Config))
+		} else {
+			var err error
+			store, err = core.RestoreSegmentStore(bytes.NewReader(blob), model, reg, segmentStoreOptions(cfg.Config))
+			if err != nil {
+				return nil, fmt.Errorf("semdisco: restore shard %d: %w", i, err)
+			}
 		}
-		emb.Obs = reg
-		s, err := buildSearcher(cfg.Config, emb)
-		if err != nil {
-			return nil, fmt.Errorf("semdisco: rebuild shard %d: %w", i, err)
+		// v1 images predate the owner map; rebuild it from the shard's
+		// live relations.
+		if p.Version == 1 {
+			for _, id := range store.LiveRelations() {
+				c.owner[id] = i
+			}
 		}
-		es, ok := s.(core.EncodedSearcher)
-		if !ok {
-			return nil, fmt.Errorf("semdisco: method %v does not support encoded search", cfg.Method)
-		}
-		c.shards = append(c.shards, clusterShard{emb: emb, searcher: es})
-		relCounts[i] = emb.NumRelations()
-		routerShards[i] = es
+		c.shards = append(c.shards, clusterShard{store: store})
+		relCounts[i] = store.NumLiveRelations()
+		routerShards[i] = store
 	}
 	router, err := cluster.NewRouter(routerShards, relCounts, c.routerOptions())
 	if err != nil {

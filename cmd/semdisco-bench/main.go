@@ -45,6 +45,7 @@ func main() {
 		tracingOH  = flag.Bool("tracing-overhead", false, "also measure span-tree tracing overhead on ExS p50 (adds a tracing section to -json)")
 		costOut    = flag.Bool("cost", false, "also report per-method cost-model numbers (distance comps per query) and accounting overhead (adds a cost section to -json)")
 		batchOut   = flag.Bool("batch", false, "also benchmark batched execution: 64-query fused batch vs sequential loop per method (adds a batch section to -json)")
+		churnOut   = flag.Bool("churn", false, "also benchmark the mutable segment store: write throughput, search latency under churn, compaction pause (adds a churn section to -json)")
 	)
 	flag.Parse()
 
@@ -203,6 +204,19 @@ func main() {
 				fmt.Printf("batch %s: %d queries, %.0f qps sequential -> %.0f qps batched (%.2fx), identical=%v\n",
 					mb.Method, mb.Queries, mb.SequentialQPS, mb.BatchQPS, mb.Speedup, mb.Identical)
 			}
+		}
+		if *churnOut {
+			report.Churn, err = bench.ChurnReport(20)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				os.Exit(1)
+			}
+			c := report.Churn
+			fmt.Printf("churn: %d rels, %d deleted / %d updated / %d added (%.0f%% churn), %.0f write ops/s\n",
+				c.Relations, c.Deleted, c.Updated, c.Added, c.ChurnFraction*100, c.WriteOpsPerSec)
+			fmt.Printf("churn search p95: %.3fms quiet -> %.3fms under churn (%d samples); compaction pause %.1fms (%d seals, %d compactions), fresh-equivalent=%v\n",
+				c.QuietLatency.P95MS, c.ChurnLatency.P95MS, c.ChurnSamples,
+				c.CompactionPauseMS, c.Seals, c.Compactions, c.EquivalentToFresh)
 		}
 		var out io.Writer = os.Stdout
 		if *jsonOut != "-" {

@@ -185,12 +185,7 @@ type IndexHealth = core.IndexHealth
 // diagnostic cadence, not per query. The headline figures are also
 // exported as gauges on the metrics registry. Must not race with Add.
 func (e *Engine) IndexHealth() IndexHealth {
-	var h core.IndexHealth
-	if hr, ok := e.searcher.(core.HealthReporter); ok {
-		h = hr.IndexHealth()
-	} else {
-		h = core.IndexHealth{Method: e.Method().String(), Values: e.emb.NumValues()}
-	}
+	h := e.store.IndexHealth()
 	if h.Graph != nil {
 		e.obs.Gauge(core.MetricReachableFraction).Set(h.Graph.ReachableFraction)
 	}
@@ -233,11 +228,16 @@ func (e *Engine) RecallProbe(k int) (RecallResult, error) {
 	if e.diag != nil {
 		queries = e.diag.recent.Items(recallProbeQueries)
 	}
+	baseSearcher, baseEmb := e.store.Base()
 	if len(queries) == 0 {
-		queries = e.emb.SampleValueTexts(recallProbeQueries)
+		queries = baseEmb.SampleValueTexts(recallProbeQueries)
 		source = "value_sample"
 	}
-	res, err := core.ProbeRecall(e.searcher, e.emb, queries, k, e.cfg.Threshold)
+	// The probe pits the base segment's (approximate) index against an
+	// exhaustive scan of the same embeddings — the structure whose recall
+	// can silently rot. Younger segments are exhaustively scanned anyway,
+	// so they have nothing to probe.
+	res, err := core.ProbeRecall(baseSearcher, baseEmb, queries, k, e.cfg.Threshold)
 	if err != nil {
 		return res, err
 	}

@@ -13,19 +13,18 @@ import (
 	"semdisco/internal/text"
 )
 
-// Add indexes one more relation without rebuilding the engine. For CTS the
-// relation's values join existing clusters (nearest medoid); after heavy
-// growth, rebuild with Open to re-optimize the clustering. Add must not
-// race with Search.
+// Add indexes one more relation without rebuilding the engine: the
+// relation lands in the store's mutable segment (encode and append — no
+// index build on the write path) and is served at exhaustive-scan quality
+// until background maintenance seals the segment and builds the method's
+// index over it. Safe for concurrent use with Search.
 func (e *Engine) Add(r *Relation) error {
-	app, ok := e.searcher.(core.Appender)
-	if !ok {
-		return fmt.Errorf("semdisco: %v does not support incremental adds", e.Method())
-	}
-	if err := app.AddRelation(r); err != nil {
+	if err := e.store.Add(r); err != nil {
 		return err
 	}
+	e.relMu.Lock()
 	e.relSource[r.ID] = r.Source
+	e.relMu.Unlock()
 	return nil
 }
 
@@ -40,7 +39,7 @@ type Explanation = core.Explanation
 // a direct benefit of value-level embedding — table-level embeddings
 // cannot attribute a match to specific cells.
 func (e *Engine) Explain(query, relationID string, topN int) (*Explanation, error) {
-	return e.emb.Explain(query, relationID, topN)
+	return e.store.Explain(query, relationID, topN)
 }
 
 // SearchWithFeedback runs pseudo-relevance feedback (Rocchio): an initial
@@ -48,23 +47,26 @@ func (e *Engine) Explain(query, relationID string, topN int) (*Explanation, erro
 // the query, and the expanded query is searched. Useful for very short
 // queries that lack context on their own.
 func (e *Engine) SearchWithFeedback(query string, k int) ([]Match, error) {
-	return core.SearchPRF(e.searcher, e.emb, query, k, core.PRFOptions{})
+	// Feedback centroids come from the base segment's embedding; matches
+	// that live in younger segments still rank, they just contribute no
+	// centroid until compaction folds them into the base.
+	_, baseEmb := e.store.Base()
+	return core.SearchPRF(e.store, baseEmb, query, k, core.PRFOptions{})
 }
 
 // SearchSources restricts a search to relations belonging to any of the
 // named federation members — "find COVID tables, but only from WHO or
 // ECDC". An empty source list returns no matches.
 func (e *Engine) SearchSources(query string, k int, sources ...string) ([]Match, error) {
-	fs, ok := e.searcher.(core.FilteredSearcher)
-	if !ok {
-		return nil, fmt.Errorf("semdisco: %v does not support filtered search", e.Method())
-	}
 	allowed := make(map[string]struct{}, len(sources))
 	for _, s := range sources {
 		allowed[s] = struct{}{}
 	}
-	return fs.SearchFiltered(query, k, func(relID string) bool {
-		_, ok := allowed[e.relSource[relID]]
+	return e.store.SearchFiltered(query, k, func(relID string) bool {
+		e.relMu.RLock()
+		src := e.relSource[relID]
+		e.relMu.RUnlock()
+		_, ok := allowed[src]
 		return ok
 	})
 }
@@ -87,7 +89,7 @@ func (e *Engine) SearchDatasets(query string, k int) ([]DatasetMatch, error) {
 		return nil, nil
 	}
 	fetch := 4 * k
-	if n := len(e.emb.RelIDs); fetch > n {
+	if n := e.store.NumLiveRelations(); fetch > n {
 		fetch = n
 	}
 	matches, err := e.Search(query, fetch)
@@ -96,6 +98,8 @@ func (e *Engine) SearchDatasets(query string, k int) ([]DatasetMatch, error) {
 	}
 	grouped := make(map[string]*DatasetMatch)
 	var order []string
+	e.relMu.RLock()
+	defer e.relMu.RUnlock()
 	for _, m := range matches {
 		src := e.relSource[m.RelationID]
 		g, ok := grouped[src]
@@ -135,8 +139,14 @@ type enginePersist struct {
 	Lexicon   *Lexicon
 	Stats     *text.CorpusStats
 	RelSource map[string]string
-	// EmbBlob carries the embedded federation (core.Embedded.Persist).
+	// EmbBlob carries the embedded federation (core.Embedded.Persist);
+	// version 1 images only.
 	EmbBlob []byte
+	// StoreBlob carries the whole segment store (core.SegmentStore.Persist):
+	// every segment's vectors, insertion orders and tombstones. Version 2.
+	StoreBlob []byte
+	// Segments preserves the store policy across the roundtrip.
+	Segments SegmentsConfig
 }
 
 // Save writes the engine so LoadEngine can restore it without re-encoding
@@ -147,12 +157,18 @@ func (e *Engine) Save(w io.Writer) error {
 	if e.cfg.IDF != nil {
 		return fmt.Errorf("semdisco: engines with a custom IDF function cannot be saved")
 	}
-	var embBlob bytes.Buffer
-	if err := e.emb.Persist(&embBlob); err != nil {
+	var storeBlob bytes.Buffer
+	if err := e.store.Persist(&storeBlob); err != nil {
 		return fmt.Errorf("semdisco: save: %w", err)
 	}
+	e.relMu.RLock()
+	relSource := make(map[string]string, len(e.relSource))
+	for k, v := range e.relSource {
+		relSource[k] = v
+	}
+	e.relMu.RUnlock()
 	return gob.NewEncoder(w).Encode(enginePersist{
-		Version:   1,
+		Version:   2,
 		Method:    e.cfg.Method,
 		Dim:       e.cfg.Dim,
 		Seed:      e.cfg.Seed,
@@ -162,8 +178,9 @@ func (e *Engine) Save(w io.Writer) error {
 		CTS:       e.cfg.CTS,
 		Lexicon:   e.cfg.Lexicon,
 		Stats:     e.stats,
-		RelSource: e.relSource,
-		EmbBlob:   embBlob.Bytes(),
+		RelSource: relSource,
+		StoreBlob: storeBlob.Bytes(),
+		Segments:  e.cfg.Segments,
 	})
 }
 
@@ -174,7 +191,7 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 	if err := gob.NewDecoder(r).Decode(&p); err != nil {
 		return nil, fmt.Errorf("semdisco: load: %w", err)
 	}
-	if p.Version != 1 {
+	if p.Version != 1 && p.Version != 2 {
 		return nil, fmt.Errorf("semdisco: unsupported engine version %d", p.Version)
 	}
 	cfg := Config{
@@ -186,6 +203,7 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		ANNS:      p.ANNS,
 		CTS:       p.CTS,
 		Lexicon:   p.Lexicon,
+		Segments:  p.Segments,
 	}
 	var idf func(string) float64
 	if p.Stats != nil {
@@ -200,19 +218,31 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 	reg := obs.NewRegistry()
 	reg.SetHelps(core.MetricHelp)
 	model.SetObserver(reg)
-	emb, err := core.RestoreEmbedded(bytes.NewReader(p.EmbBlob), model)
-	if err != nil {
-		return nil, err
-	}
-	emb.Obs = reg
-	s, err := buildSearcher(cfg, emb)
-	if err != nil {
-		return nil, err
+	var store *core.SegmentStore
+	if p.Version == 1 {
+		// v1 images carry a single monolithic embedding; wrap it as the
+		// store's base segment, exactly as Open does for a fresh build.
+		emb, err := core.RestoreEmbedded(bytes.NewReader(p.EmbBlob), model)
+		if err != nil {
+			return nil, err
+		}
+		emb.Obs = reg
+		s, err := buildSearcher(cfg, emb)
+		if err != nil {
+			return nil, err
+		}
+		store = core.NewSegmentStore(emb, s, segmentStoreOptions(cfg))
+	} else {
+		var err error
+		store, err = core.RestoreSegmentStore(bytes.NewReader(p.StoreBlob), model, reg, segmentStoreOptions(cfg))
+		if err != nil {
+			return nil, err
+		}
 	}
 	if p.RelSource == nil {
 		p.RelSource = make(map[string]string)
 	}
-	return &Engine{cfg: cfg, model: model, emb: emb, searcher: s, obs: reg,
+	return &Engine{cfg: cfg, model: model, store: store, obs: reg,
 		diag:   newDiagnostics(DiagnosticsConfig{}, reg),
 		traces: newTraceStore(TracingConfig{}),
 		stats:  p.Stats, relSource: p.RelSource}, nil

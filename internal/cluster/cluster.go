@@ -177,6 +177,9 @@ type Options struct {
 	// Workload, when non-nil, receives one per-shard load observation per
 	// shard attempt, feeding the load-skew (Gini) gauge.
 	Workload *obs.Workload
+	// SegmentInfo, when non-nil, reports a shard's segment count and
+	// tombstoned-relation count for Stats.
+	SegmentInfo func(shard int) (segments, tombstoned int)
 }
 
 // ShardError is one shard's failure during a scatter-gather query.
@@ -243,6 +246,10 @@ type inflightCall struct {
 	done chan struct{}
 	res  *Result
 	err  error
+	// gen is the router's mutation generation when the leader scattered. A
+	// follower arriving after a mutation must not ride this call: the
+	// leader's answer may predate a delete.
+	gen uint64
 	// waiters counts followers parked on done; tests use it to pin the
 	// exactly-one-scan contract without sleeping.
 	waiters atomic.Int64
@@ -266,6 +273,12 @@ type Router struct {
 	relCount []atomic.Int64
 	searches atomic.Int64
 	degraded atomic.Int64
+	// mutGen counts corpus mutations (add, delete, update). It fences both
+	// staleness channels a mutation opens: the result cache (purged, and a
+	// scatter that started before the mutation refuses to populate it) and
+	// the singleflight coalescer (a follower never rides a leader that
+	// scattered under an older generation).
+	mutGen atomic.Uint64
 }
 
 // NewRouter builds a Router over pre-built shards. relCounts mirrors each
@@ -331,10 +344,30 @@ func (r *Router) Route(relID string) int {
 	return best
 }
 
-// NoteAdd records that one relation landed on shard i and invalidates the
-// query-result cache: any cached ranking may now be stale.
+// NoteAdd records that one relation landed on shard i and fences both
+// staleness channels (result cache, coalescer).
 func (r *Router) NoteAdd(i int) {
 	r.relCount[i].Add(1)
+	r.NoteMutation()
+}
+
+// NoteDelete records that one relation left shard i and fences both
+// staleness channels (result cache, coalescer).
+func (r *Router) NoteDelete(i int) {
+	r.relCount[i].Add(-1)
+	r.NoteMutation()
+}
+
+// NoteUpdate records an in-place replacement on shard i: counts are
+// unchanged, but every cached or in-flight ranking is stale.
+func (r *Router) NoteUpdate(i int) { r.NoteMutation() }
+
+// NoteMutation advances the mutation generation and purges the result
+// cache. Scatters already in flight see the generation change and refuse
+// to (a) serve followers or (b) repopulate the cache with pre-mutation
+// rankings.
+func (r *Router) NoteMutation() {
+	r.mutGen.Add(1)
 	if r.cache != nil {
 		r.cache.Purge()
 	}
@@ -373,6 +406,13 @@ func (r *Router) SearchTraced(ctx context.Context, query string, k int, tr *obs.
 	for {
 		r.inflightMu.Lock()
 		if c, ok := r.inflight[key]; ok {
+			if c.gen != r.mutGen.Load() {
+				// The corpus mutated after the leader scattered; its answer
+				// would resurrect a deleted relation or miss a new one.
+				// Scatter independently against the current state.
+				r.inflightMu.Unlock()
+				return r.searchScatter(ctx, query, k, tr, start, key)
+			}
 			c.waiters.Add(1)
 			r.inflightMu.Unlock()
 			select {
@@ -394,7 +434,7 @@ func (r *Router) SearchTraced(ctx context.Context, query string, k int, tr *obs.
 			}
 			continue
 		}
-		c := &inflightCall{done: make(chan struct{})}
+		c := &inflightCall{done: make(chan struct{}), gen: r.mutGen.Load()}
 		r.inflight[key] = c
 		r.inflightMu.Unlock()
 
@@ -434,6 +474,7 @@ func (r *Router) cacheLookup(ctx context.Context, key cacheKey, start time.Time)
 // searchScatter is the uncached, uncoalesced scatter-gather body of one
 // federated query: encode → fan out → merge → record.
 func (r *Router) searchScatter(ctx context.Context, query string, k int, tr *obs.Trace, start time.Time, key cacheKey) (*Result, error) {
+	startGen := r.mutGen.Load()
 	sp := tr.StartSpan("encode")
 	q := r.opts.Encode(query)
 	sp.End()
@@ -494,9 +535,10 @@ func (r *Router) searchScatter(ctx context.Context, query string, k int, tr *obs
 	if res.Degraded {
 		r.degraded.Add(1)
 		r.reg.Counter(MetricDegraded).Inc()
-	} else if r.cache != nil {
-		// Only complete answers are worth remembering: a degraded result
-		// would outlive the failure that caused it.
+	} else if r.cache != nil && r.mutGen.Load() == startGen {
+		// Only complete answers are worth remembering — and only if no
+		// mutation landed while we scattered, else the entry would outlive
+		// the purge that should have killed it.
 		r.cache.Put(key, cloneMatches(res.Matches))
 	}
 	return res, nil
@@ -668,6 +710,10 @@ type ShardStats struct {
 	Hedges    int64   `json:"hedges"`
 	P50MS     float64 `json:"p50_ms"`
 	P95MS     float64 `json:"p95_ms"`
+	// Segments and TombstonedRelations describe the shard's segment store
+	// (populated when Options.SegmentInfo is set).
+	Segments            int `json:"segments,omitempty"`
+	TombstonedRelations int `json:"tombstoned_relations,omitempty"`
 }
 
 // Stats is the router's point-in-time health snapshot.
@@ -695,7 +741,7 @@ func (r *Router) Stats() Stats {
 	for i, st := range r.state {
 		p50 := st.lat.quantile(0.50)
 		p95 := st.lat.quantile(0.95)
-		s.Shards = append(s.Shards, ShardStats{
+		ss := ShardStats{
 			Shard:     i,
 			Relations: int(r.relCount[i].Load()),
 			Searches:  st.searches.Load(),
@@ -704,7 +750,11 @@ func (r *Router) Stats() Stats {
 			Hedges:    st.hedges.Load(),
 			P50MS:     float64(p50) / float64(time.Millisecond),
 			P95MS:     float64(p95) / float64(time.Millisecond),
-		})
+		}
+		if r.opts.SegmentInfo != nil {
+			ss.Segments, ss.TombstonedRelations = r.opts.SegmentInfo(i)
+		}
+		s.Shards = append(s.Shards, ss)
 	}
 	return s
 }

@@ -263,6 +263,78 @@ func TestCacheHitAndInvalidation(t *testing.T) {
 	}
 }
 
+func TestCachePurgedOnDeleteAndUpdate(t *testing.T) {
+	shard := &stubShard{matches: []core.Match{m(0, 1), m(1, 0.5)}}
+	opts := testOpts()
+	opts.CacheSize = 8
+	r := mustRouter(t, []Shard{shard}, opts)
+
+	note := map[string]func(){
+		"NoteDelete": func() { r.NoteDelete(0) },
+		"NoteUpdate": func() { r.NoteUpdate(0) },
+	}
+	for name, fence := range note {
+		if _, err := r.Search(context.Background(), "q", 2); err != nil {
+			t.Fatalf("%s warmup: %v", name, err)
+		}
+		if res, _ := r.Search(context.Background(), "q", 2); !res.CacheHit {
+			t.Fatalf("%s: warmup did not cache", name)
+		}
+		fence()
+		res, err := r.Search(context.Background(), "q", 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.CacheHit {
+			t.Fatalf("cache must be purged after %s", name)
+		}
+	}
+}
+
+// TestMutationFencesInflightScatter: a scatter that started before a
+// mutation must neither populate the result cache with its pre-mutation
+// ranking nor serve as a coalescing leader for post-mutation followers.
+func TestMutationFencesInflightScatter(t *testing.T) {
+	shard := &stubShard{matches: []core.Match{m(0, 1)}, delay: 100 * time.Millisecond}
+	opts := testOpts()
+	opts.CacheSize = 8
+	r := mustRouter(t, []Shard{shard}, opts)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Search(context.Background(), "q", 1)
+		done <- err
+	}()
+	// Let the leader's scatter get in flight, then mutate.
+	time.Sleep(20 * time.Millisecond)
+	r.NoteDelete(0)
+
+	// A follower arriving after the mutation must not ride the stale
+	// leader: it scatters on its own.
+	if _, err := r.Search(context.Background(), "q", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if c := shard.callCount(); c != 2 {
+		t.Fatalf("shard calls = %d, want 2 (follower must bypass a pre-mutation leader)", c)
+	}
+	// Neither scatter may have cached a ranking that predates... the leader
+	// started pre-mutation, the follower post-mutation: only the follower's
+	// answer is cacheable.
+	res, err := r.Search(context.Background(), "q", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Fatal("post-mutation scatter should have repopulated the cache")
+	}
+	if c := shard.callCount(); c != 2 {
+		t.Fatalf("shard calls = %d after cached search, want 2", c)
+	}
+}
+
 func TestDegradedResultNotCached(t *testing.T) {
 	healthy := &stubShard{matches: []core.Match{m(0, 1)}}
 	failing := &stubShard{err: errors.New("down")}

@@ -147,7 +147,7 @@ func (s *ANNS) SearchTracedContext(ctx context.Context, query string, k int, tr 
 		ef = fanout
 	}
 	sp = o.stage("retrieve").AnnotateInt("fanout", fanout).AnnotateInt("ef", ef)
-	hits, err := s.coll.SearchContext(ctx, q, fanout, ef, nil)
+	hits, err := s.coll.SearchContext(ctx, q, fanout, ef, liveFilter(s.emb))
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +177,7 @@ func (s *ANNS) SearchEncoded(ctx context.Context, q []float32, k int) ([]Match, 
 	if ef < fanout {
 		ef = fanout
 	}
-	hits, err := s.coll.SearchContext(ctx, q, fanout, ef, nil)
+	hits, err := s.coll.SearchContext(ctx, q, fanout, ef, liveFilter(s.emb))
 	if err != nil {
 		return nil, err
 	}

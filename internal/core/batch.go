@@ -85,6 +85,10 @@ func (s *ExS) SearchEncodedBatch(ctx context.Context, qs [][]float32, ks []int, 
 	var stop atomic.Bool
 	cancellable := ctx.Done() != nil
 	vecBytes := int64(s.emb.Enc.Dim()) * 4
+	// Same tombstone discipline as the sequential scan: dead relations get
+	// the −Inf sentinel in every query's row and are never scored.
+	tombs := s.emb.Tombs
+	hasDead := tombs.Count() > 0
 	scoreRange := func(lo, hi int) {
 		var scanned int64
 		sc := s.newBatchScratch(nq)
@@ -97,6 +101,12 @@ func (s *ExS) SearchEncodedBatch(ctx context.Context, qs [][]float32, ks []int, 
 					stop.Store(true)
 					break
 				}
+			}
+			if hasDead && tombs.Dead(rel) {
+				for qi := 0; qi < nq; qi++ {
+					scores[qi*n+rel] = negInf
+				}
+				continue
 			}
 			s.scoreRelationBatch(qs, rel, n, scores, sc)
 			scanned += int64(len(s.emb.PerRel[rel]))
@@ -277,7 +287,7 @@ func (s *ANNS) SearchEncodedBatch(ctx context.Context, qs [][]float32, ks []int,
 		}
 		fanouts[i], efs[i] = fanout, ef
 	}
-	hitsPerQuery, err := s.coll.SearchBatch(ctx, qs, fanouts, efs, nil, costs)
+	hitsPerQuery, err := s.coll.SearchBatch(ctx, qs, fanouts, efs, liveFilter(s.emb), costs)
 	if err != nil {
 		return nil, err
 	}
@@ -404,7 +414,7 @@ func (s *CTS) SearchEncodedBatch(ctx context.Context, qs [][]float32, ks []int, 
 				subCosts[j] = costs[pr.qi]
 			}
 		}
-		hits, err := coll.SearchBatch(ctx, subQs, subKs, subEfs, nil, subCosts)
+		hits, err := coll.SearchBatch(ctx, subQs, subKs, subEfs, liveFilter(s.emb), subCosts)
 		if err != nil {
 			return nil, err
 		}
@@ -436,7 +446,7 @@ func (s *CTS) SearchEncodedBatch(ctx context.Context, qs [][]float32, ks []int, 
 				hitCount[v.Rel]++
 			}
 		}
-		out[qi] = rankRelations(s.emb.RelIDs, sums, hitCount, s.emb.TotalWeight, s.threshold, ks[qi])
+		out[qi] = s.emb.rankRelations(sums, hitCount, s.threshold, ks[qi])
 	}
 	return out, nil
 }

@@ -13,6 +13,7 @@ import (
 
 	"semdisco/internal/embed"
 	"semdisco/internal/obs"
+	"semdisco/internal/segment"
 	"semdisco/internal/table"
 	"semdisco/internal/vec"
 )
@@ -86,11 +87,39 @@ type Embedded struct {
 	// index-build phase timings). May be nil: all instrumentation is then a
 	// no-op. Set it before building a searcher to capture build phases.
 	Obs *obs.Registry
+	// Tombs is the segment's tombstone set: relation slots marked here are
+	// logically deleted and must not surface from any search path. May be
+	// nil (every slot alive) — all checks go through DeadRel, which treats
+	// a nil set as empty. Shared across RCU snapshots of a mutable segment
+	// so a delete is visible to every snapshot at once.
+	Tombs *segment.Tombstones
+	// RelOrder[i] is relation i's store-global insertion rank. Segment
+	// merges tie-break equal scores on it so a multi-segment store ranks
+	// exactly like a monolithic index built in insertion order. Nil means
+	// the identity order 0..n-1 (the build-time layout).
+	RelOrder []int
 	// valueTexts[i] is the original text of Values[i], kept for Explain.
 	valueTexts []string
 	// relIdx maps relation ID -> index in RelIDs, so lookups by ID are O(1)
 	// instead of a linear scan over the federation.
 	relIdx map[string]int
+}
+
+// DeadRel reports whether relation rel is tombstoned. Nil tombstone sets
+// report alive, so indexes without mutation history pay only this check.
+func (e *Embedded) DeadRel(rel int) bool {
+	return e.Tombs != nil && e.Tombs.Dead(rel)
+}
+
+// deadCount returns the number of tombstoned relations.
+func (e *Embedded) deadCount() int { return e.Tombs.Count() }
+
+// orderOf returns relation rel's store-global insertion rank.
+func (e *Embedded) orderOf(rel int) int {
+	if e.RelOrder == nil {
+		return rel
+	}
+	return e.RelOrder[rel]
 }
 
 // RelIndex returns the index of a relation ID in RelIDs.
@@ -181,6 +210,64 @@ func EmbedFederation(fed *table.Federation, enc embed.Encoder) *Embedded {
 	return e
 }
 
+// NewEmptyEmbedded returns an embedded federation with no relations: the
+// starting state of a mutable segment. It shares the store's encoder and
+// metrics registry and owns a fresh tombstone set.
+func NewEmptyEmbedded(enc embed.Encoder, reg *obs.Registry) *Embedded {
+	return &Embedded{
+		Enc:    enc,
+		Obs:    reg,
+		Tombs:  segment.NewTombstones(),
+		relIdx: make(map[string]int),
+	}
+}
+
+// cloneForAppend returns an RCU snapshot suitable for appending one more
+// relation: slice headers are shared (appends only ever extend, and readers
+// of an older snapshot never look past their own lengths), the relIdx map
+// is deep-copied because map writes are not snapshot-safe, and the
+// tombstone set is shared so deletes reach every snapshot. Callers must
+// serialize clone+append+publish externally — in the segment store, under
+// its mutation mutex.
+func (e *Embedded) cloneForAppend() *Embedded {
+	ne := &Embedded{
+		Enc:         e.Enc,
+		RelIDs:      e.RelIDs,
+		Values:      e.Values,
+		PerRel:      e.PerRel,
+		TotalWeight: e.TotalWeight,
+		Obs:         e.Obs,
+		Tombs:       e.Tombs,
+		RelOrder:    e.RelOrder,
+		valueTexts:  e.valueTexts,
+		relIdx:      make(map[string]int, len(e.relIdx)+1),
+	}
+	for k, v := range e.relIdx {
+		ne.relIdx[k] = v
+	}
+	return ne
+}
+
+// appendFrom copies relation slot src of other into e, reusing the stored
+// value vectors (compaction never re-encodes). The relation keeps its
+// store-global order rank.
+func (e *Embedded) appendFrom(other *Embedded, src int) {
+	id := other.RelIDs[src]
+	dst := len(e.RelIDs)
+	e.RelIDs = append(e.RelIDs, id)
+	e.relIdx[id] = dst
+	e.RelOrder = append(e.RelOrder, other.orderOf(src))
+	e.PerRel = append(e.PerRel, nil)
+	for _, vi := range other.PerRel[src] {
+		v := other.Values[vi]
+		idx := int32(len(e.Values))
+		e.Values = append(e.Values, valueRef{Rel: int32(dst), Weight: v.Weight, Vec: v.Vec})
+		e.valueTexts = append(e.valueTexts, other.valueTexts[vi])
+		e.PerRel[dst] = append(e.PerRel[dst], idx)
+	}
+	e.TotalWeight = append(e.TotalWeight, other.TotalWeight[src])
+}
+
 // NumValues returns the number of embedded (deduplicated) values.
 func (e *Embedded) NumValues() int { return len(e.Values) }
 
@@ -195,11 +282,19 @@ func (e *Embedded) NumRelations() int { return len(e.RelIDs) }
 // relation" with the long tail truncated at zero — which is also what
 // keeps a relation that surfaced on one lucky hit from outranking a
 // relation with broad topical evidence. Relations with no hits at all are
-// omitted.
-func rankRelations(ids []string, sums, hits, totalWeight []float32, threshold float32, k int) []Match {
+// omitted, and so are tombstoned ones: this is the common emission point
+// of every retrieval-based path (ANNS and CTS search, filtered and
+// batched), so the dead filter here guarantees a deleted relation never
+// ranks even if the index structure still holds its vectors.
+func (e *Embedded) rankRelations(sums, hits []float32, threshold float32, k int) []Match {
+	ids, totalWeight := e.RelIDs, e.TotalWeight
+	hasDead := e.deadCount() > 0
 	scored := make([]vec.Scored, 0, len(ids))
 	for i := range ids {
 		if hits[i] <= 0 || totalWeight[i] <= 0 {
+			continue
+		}
+		if hasDead && e.Tombs.Dead(i) {
 			continue
 		}
 		scored = append(scored, vec.Scored{ID: i, Score: sums[i] / totalWeight[i]})

@@ -17,6 +17,40 @@ func newRelation(id, topic string) *table.Relation {
 	}
 }
 
+// storeBuilders returns one SegmentBuilder per method, with small
+// deterministic settings.
+func storeBuilders() map[string]SegmentBuilder {
+	return map[string]SegmentBuilder{
+		"ExS": func(e *Embedded) (EncodedSearcher, error) { return NewExS(e, ExSOptions{}), nil },
+		"ANNS": func(e *Embedded) (EncodedSearcher, error) {
+			return NewANNS(e, ANNSOptions{Seed: 1, DisablePQ: true})
+		},
+		"CTS": func(e *Embedded) (EncodedSearcher, error) {
+			return NewCTS(e, CTSOptions{Seed: 1, MinClusterSize: 4, UMAPEpochs: 30})
+		},
+	}
+}
+
+// newStore builds a segment store for one method over fed.
+func newStore(t *testing.T, method string, build SegmentBuilder, fed *table.Federation, model *embed.Model, policy ...SegmentStoreOptions) *SegmentStore {
+	t.Helper()
+	emb := EmbedFederation(fed, model)
+	base, err := build(emb)
+	if err != nil {
+		t.Fatalf("%s: base build: %v", method, err)
+	}
+	opt := SegmentStoreOptions{Build: build, Method: method}
+	if len(policy) > 0 {
+		opt = policy[0]
+		opt.Build = build
+		opt.Method = method
+	}
+	return NewSegmentStore(emb, base, opt)
+}
+
+// TestAddRelationAllMethods: a relation added through the segment store
+// lands in the mutable segment and is immediately searchable under every
+// method, with no index rebuild on the write path.
 func TestAddRelationAllMethods(t *testing.T) {
 	fed := table.NewFederation()
 	for i := 0; i < 10; i++ {
@@ -24,45 +58,107 @@ func TestAddRelationAllMethods(t *testing.T) {
 	}
 	model := embed.New(embed.Config{Dim: 64, Seed: 1})
 
-	build := func() []Searcher {
-		emb := EmbedFederation(fed, model)
-		anns, err := NewANNS(emb, ANNSOptions{Seed: 1, DisablePQ: true})
+	for method, build := range storeBuilders() {
+		st := newStore(t, method, build, fed, model)
+		if err := st.Add(newRelation("new-zebra", "zebra savanna wildlife")); err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		got, err := st.Search("zebra wildlife", 3)
 		if err != nil {
-			t.Fatal(err)
-		}
-		// Separate embeddings per searcher so Adds do not interfere.
-		emb2 := EmbedFederation(fed, model)
-		cts, err := NewCTS(emb2, CTSOptions{Seed: 1, MinClusterSize: 4, UMAPEpochs: 30})
-		if err != nil {
-			t.Fatal(err)
-		}
-		emb3 := EmbedFederation(fed, model)
-		return []Searcher{NewExS(emb3, ExSOptions{}), anns, cts}
-	}
-
-	for _, s := range build() {
-		app, ok := s.(Appender)
-		if !ok {
-			t.Fatalf("%s does not implement Appender", s.Name())
-		}
-		if err := app.AddRelation(newRelation("new-zebra", "zebra savanna wildlife")); err != nil {
-			t.Fatalf("%s: %v", s.Name(), err)
-		}
-		got, err := s.Search("zebra wildlife", 3)
-		if err != nil {
-			t.Fatalf("%s: %v", s.Name(), err)
+			t.Fatalf("%s: %v", method, err)
 		}
 		if len(got) == 0 || got[0].RelationID != "new-zebra" {
-			t.Fatalf("%s: added relation not found: %v", s.Name(), got)
+			t.Fatalf("%s: added relation not found: %v", method, got)
 		}
 		// Duplicate IDs must be rejected.
-		if err := app.AddRelation(newRelation("new-zebra", "x")); err == nil {
-			t.Fatalf("%s: duplicate id accepted", s.Name())
+		if err := st.Add(newRelation("new-zebra", "x")); err == nil {
+			t.Fatalf("%s: duplicate id accepted", method)
 		}
 		// Invalid relations must be rejected.
-		if err := app.AddRelation(&table.Relation{}); err == nil {
-			t.Fatalf("%s: invalid relation accepted", s.Name())
+		if err := st.Add(&table.Relation{}); err == nil {
+			t.Fatalf("%s: invalid relation accepted", method)
 		}
+	}
+}
+
+// TestDeleteAllMethods: a tombstoned relation disappears from every
+// method's results immediately, whether it lives in the base segment or
+// the mutable one; unknown IDs error.
+func TestDeleteAllMethods(t *testing.T) {
+	fed := table.NewFederation()
+	for i := 0; i < 10; i++ {
+		fed.Add(newRelation(string(rune('a'+i)), "filler"))
+	}
+	fed.Add(newRelation("base-zebra", "zebra savanna wildlife"))
+	model := embed.New(embed.Config{Dim: 64, Seed: 1})
+
+	for method, build := range storeBuilders() {
+		st := newStore(t, method, build, fed, model)
+		if err := st.Add(newRelation("mut-zebra", "zebra stripes herd")); err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		for _, id := range []string{"base-zebra", "mut-zebra"} {
+			if err := st.Delete(id); err != nil {
+				t.Fatalf("%s: delete %s: %v", method, id, err)
+			}
+		}
+		got, err := st.Search("zebra wildlife", 5)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		for _, m := range got {
+			if m.RelationID == "base-zebra" || m.RelationID == "mut-zebra" {
+				t.Fatalf("%s: deleted relation still ranked: %v", method, got)
+			}
+		}
+		if err := st.Delete("base-zebra"); err == nil {
+			t.Fatalf("%s: double delete accepted", method)
+		}
+		if err := st.Delete("never-existed"); err == nil {
+			t.Fatalf("%s: unknown delete accepted", method)
+		}
+		// A deleted ID may be reused.
+		if err := st.Add(newRelation("base-zebra", "zebra reborn")); err != nil {
+			t.Fatalf("%s: re-add after delete: %v", method, err)
+		}
+	}
+}
+
+// TestUpdateReplacesContent: Update tombstones the old copy and the new
+// content answers queries; the old content stops matching.
+func TestUpdateReplacesContent(t *testing.T) {
+	fed := table.NewFederation()
+	for i := 0; i < 10; i++ {
+		fed.Add(newRelation(string(rune('a'+i)), "filler"))
+	}
+	fed.Add(newRelation("subject", "zebra savanna wildlife"))
+	fed.Add(newRelation("other-zebra", "zebra plains grazing"))
+	model := embed.New(embed.Config{Dim: 64, Seed: 1})
+	build := storeBuilders()["ExS"]
+	st := newStore(t, "ExS", build, fed, model)
+
+	if err := st.Update(newRelation("subject", "volcano magma eruption")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Search("volcano eruption", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || got[0].RelationID != "subject" {
+		t.Fatalf("updated content not found: %v", got)
+	}
+	got, err = st.Search("zebra wildlife", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || got[0].RelationID != "other-zebra" {
+		t.Fatalf("stale content still outranks the live zebra: %v", got)
+	}
+	if err := st.Update(newRelation("never-existed", "x")); err == nil {
+		t.Fatal("update of unknown relation accepted")
+	}
+	if st.NumLiveRelations() != 12 {
+		t.Fatalf("live relations = %d, want 12", st.NumLiveRelations())
 	}
 }
 

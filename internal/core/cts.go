@@ -373,7 +373,7 @@ func (s *CTS) searchObserved(ctx context.Context, q []float32, k int, o *searchO
 				pcEf = l
 			}
 		}
-		hits, err := coll.SearchContext(ctx, q, pc, pcEf, nil)
+		hits, err := coll.SearchContext(ctx, q, pc, pcEf, liveFilter(s.emb))
 		if err != nil {
 			return nil, err
 		}
@@ -393,7 +393,7 @@ func (s *CTS) searchObserved(ctx context.Context, q []float32, k int, o *searchO
 	o.endStage(sp.AnnotateInt("hits", totalHits))
 
 	sp = o.stage("rank")
-	matches := rankRelations(s.emb.RelIDs, sums, hitCount, s.emb.TotalWeight, s.threshold, k)
+	matches := s.emb.rankRelations(sums, hitCount, s.threshold, k)
 	o.endStage(sp.AnnotateInt("matches", len(matches)))
 	return matches, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,12 @@ import (
 	"semdisco/internal/obs"
 	"semdisco/internal/vec"
 )
+
+// negInf is the scan score of a tombstoned relation: it sorts after every
+// real score, and no finite threshold admits it, so dead relations fall out
+// of the ranked prefix without the selection needing to over-request — even
+// when fewer than k live relations remain.
+var negInf = float32(math.Inf(-1))
 
 // ExS is the Exhaustive Search of §4.1 / Algorithm 1: every value vector of
 // every relation is compared against the query vector; per-relation scores
@@ -132,6 +139,11 @@ func (s *ExS) searchObserved(ctx context.Context, q []float32, k int, o *searchO
 	cancellable := ctx.Done() != nil
 	cost := obs.CostFrom(ctx)
 	vecBytes := int64(s.emb.Enc.Dim()) * 4
+	// Tombstoned relations are not scored at all: their slots get the −Inf
+	// sentinel, which the ranked prefix can never admit. hasDead snapshots
+	// the set once, so churn-free scans pay one branch on a local bool.
+	tombs := s.emb.Tombs
+	hasDead := tombs.Count() > 0
 	scoreRange := func(lo, hi int) {
 		// Each worker counts its scanned values in a plain local and flushes
 		// once at the end, so cost accounting adds no atomics to the scan.
@@ -146,6 +158,10 @@ func (s *ExS) searchObserved(ctx context.Context, q []float32, k int, o *searchO
 					stop.Store(true)
 					break
 				}
+			}
+			if hasDead && tombs.Dead(rel) {
+				scores[rel] = negInf
+				continue
 			}
 			scores[rel] = s.scoreRelation(q, rel, topm)
 			scanned += int64(len(s.emb.PerRel[rel]))

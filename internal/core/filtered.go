@@ -18,12 +18,18 @@ type FilteredSearcher interface {
 }
 
 // allowedSet precomputes the relation indices accepted by allow.
+// Tombstoned relations never enter the set, which makes the dead filter a
+// single check shared by every SearchFiltered implementation.
 func (e *Embedded) allowedSet(allow func(string) bool) map[int32]struct{} {
 	if allow == nil {
 		return nil
 	}
+	hasDead := e.deadCount() > 0
 	set := make(map[int32]struct{})
 	for i, id := range e.RelIDs {
+		if hasDead && e.Tombs.Dead(i) {
+			continue
+		}
 		if allow(id) {
 			set[int32(i)] = struct{}{}
 		}
@@ -70,6 +76,26 @@ func payloadRelFilter(emb *Embedded, set map[int32]struct{}) vectordb.Filter {
 		}
 		_, ok := set[emb.Values[vi].Rel]
 		return ok
+	}
+}
+
+// liveFilter returns a vectordb payload filter rejecting values of
+// tombstoned relations, or nil when the segment has no tombstones — the
+// common case, which keeps churn-free searches on the exact pre-mutation
+// code path. Pushing the filter into the index means the graph walk still
+// routes through dead points but replaces them in the result beam, so a
+// heavily tombstoned segment keeps returning k live values until
+// compaction reclaims the space.
+func liveFilter(emb *Embedded) vectordb.Filter {
+	if emb.deadCount() == 0 {
+		return nil
+	}
+	return func(p map[string]string) bool {
+		vi, err := strconv.Atoi(p["vi"])
+		if err != nil || vi < 0 || vi >= len(emb.Values) {
+			return false
+		}
+		return !emb.Tombs.Dead(int(emb.Values[vi].Rel))
 	}
 }
 
@@ -120,7 +146,7 @@ func (s *ANNS) foldHits(hits []vectordb.Result, k int) ([]Match, error) {
 		}
 		hitCount[v.Rel]++
 	}
-	return rankRelations(s.emb.RelIDs, sums, hitCount, s.emb.TotalWeight, s.threshold, k), nil
+	return s.emb.rankRelations(sums, hitCount, s.threshold, k), nil
 }
 
 // SearchFiltered implements FilteredSearcher for CTS: cluster selection is
@@ -186,5 +212,5 @@ func (s *CTS) SearchFiltered(query string, k int, allow func(string) bool) ([]Ma
 			hitCount[v.Rel]++
 		}
 	}
-	return rankRelations(s.emb.RelIDs, sums, hitCount, s.emb.TotalWeight, s.threshold, k), nil
+	return s.emb.rankRelations(sums, hitCount, s.threshold, k), nil
 }

@@ -99,7 +99,11 @@ func (s *ANNS) IndexHealth() IndexHealth {
 	}
 	if q := s.coll.Quantizer(); q != nil {
 		// Reconstruction error against the unit-normalized originals the
-		// collection indexed (embeddings are already unit vectors).
+		// collection indexed (embeddings are already unit vectors). Only
+		// live values are sampled: as tombstones accumulate, the sample
+		// drifts away from the distribution the codebook was trained on, so
+		// the distortion gauge grows — the signal the compaction policy
+		// turns into a PQ re-train.
 		sample := sampleVectors(s.emb, healthSampleCap)
 		h.PQ = &PQHealth{Trained: true, M: q.CodeLen(), K: q.K(), Distortion: q.Distortion(sample)}
 	} else {
@@ -133,16 +137,24 @@ func (s *CTS) IndexHealth() IndexHealth {
 	agg.MeanReachable = reachSum / float64(nc)
 	h.Graphs = agg
 
-	// Cluster sizes and fresh centroids in the original embedding space.
+	// Cluster sizes and fresh centroids in the original embedding space,
+	// over live values only: deleting a cluster's values pulls its live
+	// centroid away from the build-time medoid, so the drift gauges grow
+	// with churn — the signal the compaction policy turns into a
+	// re-clustering rebuild.
 	dim := s.emb.Enc.Dim()
 	sizes := make([]int, nc)
 	centroids := make([][]float32, nc)
 	for c := range centroids {
 		centroids[c] = make([]float32, dim)
 	}
+	hasDead := s.emb.deadCount() > 0
 	for i := range s.emb.Values {
 		c := s.clusterOf[i]
 		if c < 0 || c >= nc {
+			continue
+		}
+		if hasDead && s.emb.Tombs.Dead(int(s.emb.Values[i].Rel)) {
 			continue
 		}
 		sizes[c]++
@@ -194,12 +206,27 @@ func (s *CTS) IndexHealth() IndexHealth {
 	return h
 }
 
-// sampleVectors returns a stride sample of up to cap stored value vectors.
+// sampleVectors returns a stride sample of up to cap stored value vectors,
+// drawn from live values only when the segment carries tombstones.
 func sampleVectors(emb *Embedded, cap int) [][]float32 {
-	idx := strideSample(len(emb.Values), cap)
+	if emb.deadCount() == 0 {
+		idx := strideSample(len(emb.Values), cap)
+		out := make([][]float32, len(idx))
+		for i, gi := range idx {
+			out[i] = emb.Values[gi].Vec
+		}
+		return out
+	}
+	live := make([]int, 0, len(emb.Values))
+	for i := range emb.Values {
+		if !emb.Tombs.Dead(int(emb.Values[i].Rel)) {
+			live = append(live, i)
+		}
+	}
+	idx := strideSample(len(live), cap)
 	out := make([][]float32, len(idx))
-	for i, gi := range idx {
-		out[i] = emb.Values[gi].Vec
+	for i, li := range idx {
+		out[i] = emb.Values[live[li]].Vec
 	}
 	return out
 }

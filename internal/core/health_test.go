@@ -2,6 +2,8 @@ package core
 
 import (
 	"testing"
+
+	"semdisco/internal/segment"
 )
 
 func TestIndexHealthAllMethods(t *testing.T) {
@@ -69,36 +71,44 @@ func TestIndexHealthPQDistortion(t *testing.T) {
 	}
 }
 
-// TestMedoidDriftGrowsAfterAdds: incrementally adding off-topic relations
-// must not shrink CTS medoid drift to zero — the signal IndexHealth exists
-// to surface.
-func TestMedoidDriftAfterIncrementalAdds(t *testing.T) {
+// TestMedoidDriftAfterDeletes: IndexHealth walks live values only, so
+// tombstoning relations must shrink the reported cluster sizes and move
+// the live centroids relative to the build-time medoids — the
+// medoid-drift signal the compaction trigger turns into a re-clustering
+// rebuild.
+func TestMedoidDriftAfterDeletes(t *testing.T) {
 	fed, model := covidFederation(t)
 	emb := EmbedFederation(fed, model)
+	emb.Tombs = segment.NewTombstones()
 	cts, err := NewCTS(emb, CTSOptions{Seed: 1, MinClusterSize: 4, UMAPEpochs: 60})
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := cts.IndexHealth().Clusters
-	for i := 0; i < 4; i++ {
-		if err := cts.AddRelation(newRelation(
-			[]string{"wine", "cheese", "trains", "planets"}[i]+"-rel",
-			[]string{"wine", "cheese", "trains", "planets"}[i])); err != nil {
-			t.Fatal(err)
-		}
+	// Tombstone every third relation — enough churn that at least one
+	// cluster loses members.
+	deleted := 0
+	for i := 0; i < emb.NumRelations(); i += 3 {
+		emb.Tombs.Mark(i)
+		deleted++
+	}
+	if deleted == 0 {
+		t.Fatal("nothing deleted")
 	}
 	after := cts.IndexHealth().Clusters
 	if after.Clusters != before.Clusters {
-		t.Fatalf("cluster count changed on incremental add: %d -> %d", before.Clusters, after.Clusters)
+		t.Fatalf("cluster count changed on delete: %d -> %d", before.Clusters, after.Clusters)
 	}
-	if after.MaxSize <= before.MaxSize && after.MeanSize <= before.MeanSize {
-		t.Fatalf("adds not reflected in sizes: before=%+v after=%+v", before, after)
+	if after.MeanSize >= before.MeanSize {
+		t.Fatalf("deletes not reflected in live sizes: before=%+v after=%+v", before, after)
 	}
-	// Off-topic adds must keep drift substantial — the exact maximum may
-	// wobble a little (which cluster is maximal depends on float rounding
-	// in the embedding pipeline), but it must not collapse toward zero.
-	if after.MaxMedoidDrift < 0.75*before.MaxMedoidDrift {
-		t.Fatalf("drift collapsed after off-topic adds: before=%+v after=%+v", before, after)
+	if after.MeanMedoidDrift < 0 || after.MaxMedoidDrift < after.MeanMedoidDrift {
+		t.Fatalf("inconsistent drift after deletes: %+v", after)
+	}
+	// Removing a third of the corpus must perturb the live centroids: the
+	// drift reading has to move off the fresh-build baseline.
+	if after.MeanMedoidDrift == before.MeanMedoidDrift {
+		t.Fatalf("drift unchanged after deletes: before=%+v after=%+v", before, after)
 	}
 }
 

@@ -5,19 +5,20 @@ import (
 	"sort"
 
 	"semdisco/internal/table"
-	"semdisco/internal/vec"
 )
-
-// Appender is implemented by searchers that support adding relations after
-// the index is built. All three methods implement it; CTS assigns new
-// values to existing clusters rather than re-clustering (see
-// CTS.AddRelation). Adding must not race with Search.
-type Appender interface {
-	AddRelation(r *table.Relation) error
-}
 
 // AddRelation embeds one more relation into the federation and returns its
 // internal index. The relation's ID must be new.
+//
+// This is the write path of the segment store's mutable segment: the
+// relation's values are encoded and appended, nothing else — no HNSW
+// insert, no cluster assignment, no index maintenance of any kind. The
+// historical per-method AddRelation implementations (graft into the ANNS
+// graph, nearest-medoid assignment for CTS) are gone: new relations land in
+// the mutable segment, are found by its exhaustive scan at full ExS
+// quality, and enter real index structures only when the segment is sealed
+// and built in the background — so incremental adds no longer degrade ANNS
+// recall or CTS cluster assignment quality.
 func (e *Embedded) AddRelation(r *table.Relation) (int, error) {
 	if err := r.Validate(); err != nil {
 		return 0, err
@@ -61,55 +62,4 @@ func (e *Embedded) AddRelation(r *table.Relation) (int, error) {
 		e.TotalWeight[relIdx] += counts[t]
 	}
 	return relIdx, nil
-}
-
-// AddRelation implements Appender: ExS needs no index maintenance beyond
-// the shared embedding.
-func (s *ExS) AddRelation(r *table.Relation) error {
-	_, err := s.emb.AddRelation(r)
-	return err
-}
-
-// AddRelation implements Appender: new value vectors are inserted into the
-// vector database, extending the HNSW graph (and encoding through the
-// trained quantizer when PQ is active).
-func (s *ANNS) AddRelation(r *table.Relation) error {
-	before := len(s.emb.Values)
-	if _, err := s.emb.AddRelation(r); err != nil {
-		return err
-	}
-	for i := before; i < len(s.emb.Values); i++ {
-		payload := map[string]string{"vi": fmt.Sprint(i)}
-		if _, err := s.coll.Insert(s.emb.Values[i].Vec, payload); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// AddRelation implements Appender: each new value joins the cluster whose
-// medoid it is closest to in the original embedding space. This is the
-// standard approximate-predict compromise — the UMAP+HDBSCAN structure is
-// not recomputed, so after heavy growth a rebuild (NewCTS) re-optimizes
-// the clustering.
-func (s *CTS) AddRelation(r *table.Relation) error {
-	before := len(s.emb.Values)
-	if _, err := s.emb.AddRelation(r); err != nil {
-		return err
-	}
-	for i := before; i < len(s.emb.Values); i++ {
-		v := s.emb.Values[i].Vec
-		best, bestSim := 0, float32(-2)
-		for c, m := range s.medoidVecs {
-			if sim := vec.Dot(v, m); sim > bestSim {
-				best, bestSim = c, sim
-			}
-		}
-		s.clusterOf = append(s.clusterOf, best)
-		payload := map[string]string{"vi": fmt.Sprint(i)}
-		if _, err := s.clusterColl[best].Insert(v, payload); err != nil {
-			return err
-		}
-	}
-	return nil
 }

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"semdisco/internal/embed"
+	"semdisco/internal/obs"
+	"semdisco/internal/segment"
+)
+
+// segmentImage is the gob shadow of one segment: the embedded federation
+// blob plus the segment-level bookkeeping Embedded.Persist does not carry
+// (global insertion orders and tombstoned slots).
+type segmentImage struct {
+	ID      uint64
+	Sealed  bool
+	EmbBlob []byte
+	Orders  []int
+	Dead    []int
+}
+
+// storeImage is the gob envelope of a whole segment store. Index
+// structures are not serialized: sealed segments rebuild their index
+// deterministically on restore, exactly like the monolithic path.
+type storeImage struct {
+	Version   int
+	NextOrder int
+	NextSegID uint64
+	Segs      []segmentImage
+	Mut       segmentImage
+}
+
+func imageOf(emb *Embedded, id uint64, sealed bool) (segmentImage, error) {
+	var blob bytes.Buffer
+	if err := emb.Persist(&blob); err != nil {
+		return segmentImage{}, err
+	}
+	img := segmentImage{ID: id, Sealed: sealed, EmbBlob: blob.Bytes()}
+	if emb.RelOrder != nil {
+		img.Orders = append([]int(nil), emb.RelOrder...)
+	}
+	img.Dead = emb.Tombs.Slots()
+	return img, nil
+}
+
+// Persist writes the store — every segment's vectors, orders and
+// tombstones — so RestoreSegmentStore can bring it back without
+// re-encoding a value. Mutations are locked out for the duration so the
+// image is a consistent cut; searches proceed.
+func (st *SegmentStore) Persist(w io.Writer) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	v := st.view()
+	img := storeImage{Version: 1, NextOrder: st.nextOrder, NextSegID: st.nextSegID}
+	for _, sg := range v.segs {
+		si, err := imageOf(sg.emb, sg.id, sg.sealed)
+		if err != nil {
+			return fmt.Errorf("core: persist segment %d: %w", sg.id, err)
+		}
+		img.Segs = append(img.Segs, si)
+	}
+	mi, err := imageOf(v.mut.emb.Load(), v.mut.id, false)
+	if err != nil {
+		return fmt.Errorf("core: persist mutable segment: %w", err)
+	}
+	img.Mut = mi
+	return gob.NewEncoder(w).Encode(img)
+}
+
+// restoreSegEmbedded rebuilds one segment's Embedded from its image.
+func restoreSegEmbedded(img segmentImage, enc embed.Encoder, reg *obs.Registry) (*Embedded, error) {
+	emb, err := RestoreEmbedded(bytes.NewReader(img.EmbBlob), enc)
+	if err != nil {
+		return nil, err
+	}
+	emb.Obs = reg
+	emb.Tombs = segment.NewTombstones()
+	for _, slot := range img.Dead {
+		if slot < 0 || slot >= len(emb.RelIDs) {
+			return nil, fmt.Errorf("core: tombstone slot %d of %d relations", slot, len(emb.RelIDs))
+		}
+		emb.Tombs.Mark(slot)
+	}
+	if img.Orders != nil {
+		if len(img.Orders) != len(emb.RelIDs) {
+			return nil, fmt.Errorf("core: %d orders for %d relations", len(img.Orders), len(emb.RelIDs))
+		}
+		emb.RelOrder = img.Orders
+	}
+	return emb, nil
+}
+
+// RestoreSegmentStore reads a Persist image and rebuilds the store: value
+// embeddings verbatim, sealed segments' index structures rebuilt with
+// opt.Build, frozen and mutable segments back on their exhaustive scans.
+func RestoreSegmentStore(r io.Reader, enc embed.Encoder, reg *obs.Registry, opt SegmentStoreOptions) (*SegmentStore, error) {
+	var img storeImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("core: restore store: %w", err)
+	}
+	if img.Version != 1 {
+		return nil, fmt.Errorf("core: unsupported store version %d", img.Version)
+	}
+	if len(img.Segs) == 0 {
+		return nil, fmt.Errorf("core: store image has no segments")
+	}
+	st := &SegmentStore{
+		build:     opt.Build,
+		exsOpt:    opt.ExS,
+		policy:    opt.Policy.WithDefaults(),
+		method:    opt.Method,
+		auto:      opt.AutoMaintain,
+		reg:       reg,
+		enc:       enc,
+		owner:     make(map[string]relLoc),
+		nextOrder: img.NextOrder,
+		nextSegID: img.NextSegID,
+	}
+	segs := make([]*seg, 0, len(img.Segs))
+	for _, si := range img.Segs {
+		emb, err := restoreSegEmbedded(si, enc, reg)
+		if err != nil {
+			return nil, fmt.Errorf("core: restore segment %d: %w", si.ID, err)
+		}
+		sg := &seg{id: si.ID, sealed: si.Sealed, emb: emb}
+		if !si.Sealed || emb.NumValues() == 0 {
+			sg.searcher = NewExS(emb, st.exsOpt)
+			sg.sealed = si.Sealed && emb.NumValues() == 0
+		} else {
+			sg.searcher, err = st.build(emb)
+			if err != nil {
+				return nil, fmt.Errorf("core: rebuild segment %d: %w", si.ID, err)
+			}
+			st.recordBaselines(sg)
+		}
+		segs = append(segs, sg)
+	}
+	memb, err := restoreSegEmbedded(img.Mut, enc, reg)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore mutable segment: %w", err)
+	}
+	mut := &mutableSeg{id: img.Mut.ID}
+	mut.emb.Store(memb)
+	st.man = segment.NewManifest(&storeView{segs: segs, mut: mut})
+
+	index := func(emb *Embedded, segID uint64) {
+		for i, id := range emb.RelIDs {
+			n := int64(len(emb.PerRel[i]))
+			if emb.Tombs.Dead(i) {
+				st.deadRels.Add(1)
+				st.deadVals.Add(n)
+				continue
+			}
+			st.owner[id] = relLoc{segID: segID, tombs: emb.Tombs, slot: i, values: int(n)}
+			st.liveRels.Add(1)
+			st.liveVals.Add(n)
+		}
+	}
+	for _, sg := range segs {
+		index(sg.emb, sg.id)
+	}
+	index(memb, mut.id)
+	st.publishGauges()
+	return st, nil
+}

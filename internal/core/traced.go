@@ -47,6 +47,22 @@ const (
 	// MetricMedoidDrift is the mean CTS medoid drift (1 - cosine between a
 	// cluster's build-time medoid and its current centroid).
 	MetricMedoidDrift = "semdisco_index_medoid_drift_mean"
+	// MetricSegments is the number of segments in the store (sealed plus a
+	// non-empty mutable one).
+	MetricSegments = "semdisco_index_segments"
+	// MetricTombstonedRels is the number of tombstoned relations awaiting
+	// compaction.
+	MetricTombstonedRels = "semdisco_index_tombstoned_relations"
+	// MetricSeals counts mutable-segment seals (freeze + background index
+	// build).
+	MetricSeals = "semdisco_segment_seals_total"
+	// MetricCompactions counts completed compactions, labelled by trigger
+	// (segment_count, dead_fraction, medoid_drift, pq_distortion, manual,
+	// interval).
+	MetricCompactions = "semdisco_compactions_total"
+	// MetricCompactionSeconds is compaction wall clock (merge + rebuild +
+	// swap), a histogram.
+	MetricCompactionSeconds = "semdisco_compaction_seconds"
 )
 
 // MetricHelp maps the engine's metric base names to their Prometheus
@@ -66,6 +82,11 @@ var MetricHelp = map[string]string{
 	MetricPQDistortion:      "Mean sampled PQ reconstruction error.",
 	MetricClusterSizeCV:     "Coefficient of variation of CTS cluster sizes.",
 	MetricMedoidDrift:       "Mean CTS medoid drift since build.",
+	MetricSegments:          "Number of segments in the store.",
+	MetricTombstonedRels:    "Tombstoned relations awaiting compaction.",
+	MetricSeals:             "Mutable-segment seals.",
+	MetricCompactions:       "Completed compactions by trigger.",
+	MetricCompactionSeconds: "Compaction wall-clock seconds.",
 	"semdisco_embed_cache_hits_total":   "Encoder token-cache hits.",
 	"semdisco_embed_cache_misses_total": "Encoder token-cache misses.",
 }

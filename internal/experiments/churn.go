@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"semdisco/internal/core"
+	"semdisco/internal/corpus"
+	"semdisco/internal/segment"
+	"semdisco/internal/table"
+)
+
+// ChurnReportJSON is the mutable-storage section of the benchmark report:
+// sustained write throughput against the segment store, search latency with
+// and without concurrent churn, the compaction pause, and the equivalence
+// check against an engine freshly built from the surviving corpus.
+type ChurnReportJSON struct {
+	Relations int `json:"relations"`
+	Deleted   int `json:"deleted"`
+	Updated   int `json:"updated"`
+	Added     int `json:"added"`
+	// ChurnFraction is (deleted+updated)/starting relations.
+	ChurnFraction float64 `json:"churn_fraction"`
+	Seals         int64   `json:"seals"`
+	Compactions   int64   `json:"compactions"`
+	SegmentsAfter int     `json:"segments_after"`
+	// WriteOpsPerSec is mutation throughput (adds, deletes, updates and the
+	// maintenance passes they kick) over the timed churn phase.
+	WriteOpsPerSec float64 `json:"write_ops_per_sec"`
+	// QuietLatency times searches over the multi-segment store with no
+	// concurrent writers; ChurnLatency times them while a writer goroutine
+	// deletes and re-adds relations. Both use the moderate query class.
+	QuietLatency LatencyJSON `json:"quiet_latency"`
+	ChurnLatency LatencyJSON `json:"churn_latency"`
+	// ChurnSamples counts the searches behind ChurnLatency.
+	ChurnSamples int `json:"churn_samples"`
+	// CompactionPauseMS is the wall clock of the final full compaction —
+	// the window a naive (non-RCU) design would block searches for.
+	CompactionPauseMS float64 `json:"compaction_pause_ms"`
+	// EquivalentToFresh reports whether, after the churn and compaction,
+	// every moderate and long query returned results bit-identical to a
+	// fresh ExS engine built from the surviving corpus — the storage
+	// engine's correctness invariant.
+	EquivalentToFresh bool `json:"equivalent_to_fresh"`
+}
+
+func latencyFrom(durations []float64) LatencyJSON {
+	if len(durations) == 0 {
+		return LatencyJSON{}
+	}
+	var total float64
+	for _, d := range durations {
+		total += d
+	}
+	sort.Float64s(durations)
+	p95 := len(durations) * 95 / 100
+	if p95 >= len(durations) {
+		p95 = len(durations) - 1
+	}
+	return LatencyJSON{
+		MeanMS: total / float64(len(durations)),
+		P50MS:  durations[len(durations)/2],
+		P95MS:  durations[p95],
+	}
+}
+
+// ChurnReport wraps the LD partition's ExS index in a segment store (sharing
+// the partition's encoder, so vectors are identical), churns it — deletes,
+// content updates, fresh adds, seals — and measures write throughput, search
+// latency under concurrent writes, and the compaction pause. It then
+// verifies the churned, compacted store ranks bit-identically to an index
+// built from scratch over the surviving corpus.
+func (b *Bench) ChurnReport(k int) (*ChurnReportJSON, error) {
+	if k <= 0 {
+		k = 20
+	}
+	sb := b.PerSize["LD"]
+	rels := sb.Fed.Relations()
+	if len(rels) < 8 {
+		return nil, fmt.Errorf("experiments: LD partition too small for churn (%d relations)", len(rels))
+	}
+
+	// Embed afresh rather than reusing sb.Emb: the segment store takes
+	// ownership of its base Embedded (tombstones, relation order) and the
+	// bench's copy backs the other report sections.
+	build := func(e *core.Embedded) (core.EncodedSearcher, error) {
+		return core.NewExS(e, core.ExSOptions{}), nil
+	}
+	emb := core.EmbedFederation(sb.Fed, sb.Model)
+	st := core.NewSegmentStore(emb, core.NewExS(emb, core.ExSOptions{}), core.SegmentStoreOptions{
+		Build:  build,
+		Method: "ExS",
+		Policy: segment.Policy{
+			// Small mutable segment so the churn produces real seals, and
+			// only manual/segment-count compaction so the timed phases are
+			// deterministic.
+			MaxMutableValues: 64,
+			MaxSegments:      8,
+			MaxDeadFraction:  -1,
+			MaxMedoidDrift:   -1,
+			MaxPQDistortion:  -1,
+		},
+	})
+
+	// live tracks the content each live relation should have at the end,
+	// for the fresh rebuild.
+	live := make(map[string]*table.Relation, len(rels))
+	for _, r := range rels {
+		live[r.ID] = r
+	}
+	queries := b.Corpus.QueriesOf(corpus.Moderate)
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("experiments: no moderate queries")
+	}
+
+	report := &ChurnReportJSON{Relations: len(rels)}
+
+	// Quiet baseline: search latency over the untouched store.
+	if _, err := st.Search(queries[0].Text, k); err != nil { // warm-up
+		return nil, err
+	}
+	quiet := make([]float64, 0, len(queries))
+	for _, q := range queries {
+		start := time.Now()
+		if _, err := st.Search(q.Text, k); err != nil {
+			return nil, err
+		}
+		quiet = append(quiet, float64(time.Since(start).Microseconds())/1000)
+	}
+	report.QuietLatency = latencyFrom(quiet)
+
+	// Timed churn phase: delete a quarter, rewrite an eighth, add an
+	// eighth, with the seal-kicked maintenance passes the writes trigger.
+	ops := 0
+	churnStart := time.Now()
+	for i, r := range rels {
+		switch {
+		case i%4 == 0:
+			if err := st.Delete(r.ID); err != nil {
+				return nil, err
+			}
+			delete(live, r.ID)
+			report.Deleted++
+			ops++
+		case i%8 == 1:
+			up := *r
+			up.Caption = r.Caption + " churn rewrite"
+			if err := st.Update(&up); err != nil {
+				return nil, err
+			}
+			live[r.ID] = &up
+			report.Updated++
+			ops++
+		}
+		if ops > 0 && ops%32 == 0 {
+			if err := st.Maintain(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	added := len(rels) / 8
+	for i := 0; i < added; i++ {
+		src := rels[(i*4)%len(rels)] // a deleted slot's content, reborn
+		add := *src
+		add.ID = fmt.Sprintf("churn-add-%d", i)
+		add.Caption = src.Caption + " readmitted"
+		if err := st.Add(&add); err != nil {
+			return nil, err
+		}
+		live[add.ID] = &add
+		report.Added++
+		ops++
+	}
+	if err := st.Maintain(); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(churnStart).Seconds()
+	if elapsed > 0 {
+		report.WriteOpsPerSec = float64(ops) / elapsed
+	}
+	report.ChurnFraction = float64(report.Deleted+report.Updated) / float64(len(rels))
+
+	// Search latency under concurrent churn: a writer goroutine deletes and
+	// re-adds relations (net corpus unchanged) while we time searches.
+	victims := make([]*table.Relation, 0, len(rels)/4)
+	for i, r := range rels {
+		if i%4 == 2 {
+			victims = append(victims, r)
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		for _, r := range victims {
+			if err := st.Delete(r.ID); err != nil {
+				done <- err
+				return
+			}
+			if err := st.Add(r); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	churned := make([]float64, 0, 256)
+	var writerErr error
+measure:
+	for qi := 0; len(churned) < 512; qi++ {
+		start := time.Now()
+		if _, err := st.Search(queries[qi%len(queries)].Text, k); err != nil {
+			<-done
+			return nil, err
+		}
+		churned = append(churned, float64(time.Since(start).Microseconds())/1000)
+		select {
+		case writerErr = <-done:
+			break measure
+		default:
+		}
+	}
+	if writerErr == nil && len(churned) >= 512 {
+		writerErr = <-done
+	}
+	if writerErr != nil {
+		return nil, writerErr
+	}
+	report.ChurnLatency = latencyFrom(churned)
+	report.ChurnSamples = len(churned)
+
+	// Compaction pause: the wall clock of folding everything back into one
+	// sealed segment. Searches keep running against the old manifest during
+	// this window; the measurement is what a stop-the-world design would pay.
+	start := time.Now()
+	if err := st.Compact(); err != nil {
+		return nil, err
+	}
+	report.CompactionPauseMS = float64(time.Since(start).Microseconds()) / 1000
+
+	stats := st.Stats()
+	report.Seals = stats.Seals
+	report.Compactions = stats.Compactions
+	report.SegmentsAfter = stats.Segments
+
+	// Rebuild from scratch over the survivors, in the store's insertion
+	// order, and demand bit-identical rankings on every moderate and long
+	// query.
+	fed := table.NewFederation()
+	for _, id := range st.LiveRelations() {
+		r, ok := live[id]
+		if !ok {
+			return nil, fmt.Errorf("experiments: live relation %q missing from churn ledger", id)
+		}
+		if err := fed.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	fresh := core.NewExS(core.EmbedFederation(fed, sb.Model), core.ExSOptions{})
+	report.EquivalentToFresh = true
+	check := append(append([]corpus.Query{}, queries...), b.Corpus.QueriesOf(corpus.Long)...)
+	for _, q := range check {
+		got, err := st.Search(q.Text, k)
+		if err != nil {
+			return nil, err
+		}
+		want, err := fresh.Search(q.Text, k)
+		if err != nil {
+			return nil, err
+		}
+		if !matchesEqual(got, want) {
+			report.EquivalentToFresh = false
+		}
+	}
+	return report, nil
+}

@@ -71,6 +71,10 @@ type Report struct {
 	// sequential vs fused-batch throughput per method, absent when not
 	// requested.
 	Batch *BatchReportJSON `json:"batch,omitempty"`
+	// Churn is the mutable-storage section (semdisco-bench -churn): write
+	// throughput, search latency under concurrent churn, compaction pause
+	// and the fresh-rebuild equivalence check, absent when not requested.
+	Churn *ChurnReportJSON `json:"churn,omitempty"`
 }
 
 // classes maps the report's JSON keys to the corpus query classes.

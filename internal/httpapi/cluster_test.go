@@ -133,6 +133,41 @@ func TestClusterAddRelationEndpoint(t *testing.T) {
 	}
 }
 
+func TestClusterDeleteRelationEndpoint(t *testing.T) {
+	srv := testClusterServer(t)
+	// Warm the router's result cache with a query the victim answers.
+	rec, body := do(t, srv, "POST", "/v1/search", `{"query":"common","k":8}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search=%d %s", rec.Code, body)
+	}
+	rec, body = do(t, srv, "DELETE", "/v1/relations/rel-3", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete=%d %s", rec.Code, body)
+	}
+	// The delete must have purged the cache: the same query is answered
+	// fresh and no longer serves the tombstoned relation.
+	rec, body = do(t, srv, "POST", "/v1/search", `{"query":"common","k":8}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search=%d %s", rec.Code, body)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.CacheHit {
+		t.Fatal("stale cache entry served after delete")
+	}
+	for _, m := range resp.Matches {
+		if m.RelationID == "rel-3" {
+			t.Fatalf("deleted relation still served: %+v", resp.Matches)
+		}
+	}
+	rec, _ = do(t, srv, "DELETE", "/v1/relations/rel-3", "")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("double delete=%d, want 404", rec.Code)
+	}
+}
+
 func TestClusterEngineOnlyEndpoints(t *testing.T) {
 	srv := testClusterServer(t)
 	for _, path := range []string{"/v1/debug/slow", "/v1/debug/index", "/v1/debug/recall", "/v1/debug/journal"} {

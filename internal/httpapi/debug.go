@@ -78,15 +78,27 @@ func (s *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// IndexDebugResponse is the body of /v1/debug/index: the engine's index
+// health plus the segment store's shape (segment counts, tombstoned
+// volume, seal and compaction counters).
+type IndexDebugResponse struct {
+	semdisco.IndexHealth
+	Segments semdisco.SegmentStats `json:"segments"`
+}
+
 // handleDebugIndex serves the engine's index-health introspection: HNSW
-// graph shape and reachability, PQ distortion, CTS cluster balance.
+// graph shape and reachability, PQ distortion, CTS cluster balance, and
+// the segment store's compaction state.
 func (s *Server) handleDebugIndex(w http.ResponseWriter, _ *http.Request) {
 	if !s.requireEngine(w) {
 		return
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, s.eng.IndexHealth())
+	writeJSON(w, http.StatusOK, IndexDebugResponse{
+		IndexHealth: s.eng.IndexHealth(),
+		Segments:    s.eng.SegmentStats(),
+	})
 }
 
 // handleDebugRecall runs one online recall probe at ?k (default 10,

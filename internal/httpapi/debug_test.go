@@ -84,7 +84,7 @@ func TestDebugIndexEndpoint(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("debug/index=%d %s", rec.Code, body)
 	}
-	var h semdisco.IndexHealth
+	var h IndexDebugResponse
 	if err := json.Unmarshal(body, &h); err != nil {
 		t.Fatal(err)
 	}
@@ -93,6 +93,20 @@ func TestDebugIndexEndpoint(t *testing.T) {
 	}
 	if h.Graph.ReachableFraction != 1 {
 		t.Fatalf("graph=%+v", h.Graph)
+	}
+	if h.Segments.Segments != 1 || h.Segments.LiveRelations == 0 {
+		t.Fatalf("segments=%+v", h.Segments)
+	}
+	// A delete shows up in the debug segment stats.
+	if rec, _ := do(t, srv, "DELETE", "/v1/relations/minerals", ""); rec.Code != http.StatusOK {
+		t.Fatalf("delete=%d", rec.Code)
+	}
+	_, body = do(t, srv, "GET", "/v1/debug/index", "")
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Segments.DeadRelations != 1 {
+		t.Fatalf("segments after delete=%+v", h.Segments)
 	}
 }
 

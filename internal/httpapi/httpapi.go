@@ -12,6 +12,7 @@
 //	POST /v1/search/batch       {"queries": [{"query": "...", "k": 10}, ...]} — fused batched execution
 //	POST /v1/datasets           {"query": "...", "k": 5}
 //	POST /v1/relations          a Relation to index incrementally
+//	DELETE /v1/relations/{id}   tombstone a relation (404 when unknown)
 //	GET  /v1/debug/slow         slow-query log with per-stage traces (?n=20, max 100)
 //	GET  /v1/debug/index        index health: HNSW graphs, PQ distortion, cluster balance
 //	GET  /v1/debug/recall       online recall probe vs exhaustive scan (?k=10, max 50)
@@ -120,6 +121,7 @@ func (s *Server) init(opts []Option) {
 	route("POST", "/v1/search/batch", s.handleSearchBatch)
 	route("POST", "/v1/datasets", s.handleDatasets)
 	route("POST", "/v1/relations", s.handleAddRelation)
+	route("DELETE", "/v1/relations/{id}", s.handleDeleteRelation)
 	route("GET", "/v1/debug/slow", s.handleDebugSlow)
 	route("GET", "/v1/debug/index", s.handleDebugIndex)
 	route("GET", "/v1/debug/recall", s.handleDebugRecall)
@@ -453,6 +455,27 @@ func (s *Server) handleAddRelation(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"status": "indexed", "id": rel.ID})
+}
+
+// handleDeleteRelation tombstones one relation by ID. The slot's vectors
+// stay in place until background compaction reclaims them, but the
+// relation stops appearing in results immediately. Unknown IDs get 404.
+func (s *Server) handleDeleteRelation(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	annotate(r, slog.String("relation", id))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.cluster != nil {
+		err = s.cluster.Delete(id)
+	} else {
+		err = s.eng.Delete(id)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted", "id": id})
 }
 
 func (s *Server) methodNotAllowed(allow string) http.HandlerFunc {

@@ -161,6 +161,50 @@ func TestAddRelationEndpoint(t *testing.T) {
 	}
 }
 
+func TestDeleteRelationEndpoint(t *testing.T) {
+	srv := testServer(t)
+	rec, body := do(t, srv, "DELETE", "/v1/relations/minerals", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete=%d %s", rec.Code, body)
+	}
+	// The tombstoned relation stops matching.
+	rec, body = do(t, srv, "POST", "/v1/search", `{"query":"mineral hardness","k":5}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search=%d", rec.Code)
+	}
+	var resp SearchResponse
+	json.Unmarshal(body, &resp)
+	for _, m := range resp.Matches {
+		if m.RelationID == "minerals" {
+			t.Fatalf("deleted relation still served: %+v", resp.Matches)
+		}
+	}
+	// Stats report the tombstone.
+	rec, body = do(t, srv, "GET", "/v1/stats", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats=%d", rec.Code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Segments.DeadRelations != 1 || stats.NumRelations != 1 {
+		t.Fatalf("segment stats after delete: %+v", stats.Segments)
+	}
+	// Unknown and repeated deletes get 404.
+	for _, path := range []string{"/v1/relations/minerals", "/v1/relations/nope"} {
+		rec, _ = do(t, srv, "DELETE", path, "")
+		if rec.Code != http.StatusNotFound {
+			t.Fatalf("delete %s=%d, want 404", path, rec.Code)
+		}
+	}
+	// Wrong method on the delete route.
+	rec, _ = do(t, srv, "POST", "/v1/relations/minerals", "")
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("wrong method=%d", rec.Code)
+	}
+}
+
 func TestMetricsEndpoint(t *testing.T) {
 	srv := testServer(t)
 	// Run a search first so the search metrics exist.

@@ -1,0 +1,76 @@
+package segment
+
+import (
+	"sync"
+	"time"
+)
+
+// Compactor runs a maintenance function in the background, woken either by
+// an explicit Kick (the mutation path trips a threshold) or by a periodic
+// ticker (for triggers that advance without mutations being the last word,
+// like drift re-checks). Kicks are non-blocking and collapse: any number of
+// kicks while a pass is running result in at most one follow-up pass.
+// The run function itself decides whether anything needs doing.
+type Compactor struct {
+	interval time.Duration
+	run      func(trigger string)
+
+	kick chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewCompactor returns a compactor that calls run on every wake-up with the
+// trigger that woke it (TriggerManual for kicks, TriggerInterval for
+// ticks). interval ≤ 0 disables the ticker. Call Start to begin.
+func NewCompactor(interval time.Duration, run func(trigger string)) *Compactor {
+	return &Compactor{
+		interval: interval,
+		run:      run,
+		kick:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the background loop. Safe to call once; Stop terminates.
+func (c *Compactor) Start() {
+	c.wg.Add(1)
+	go c.loop()
+}
+
+func (c *Compactor) loop() {
+	defer c.wg.Done()
+	var tick <-chan time.Time
+	if c.interval > 0 {
+		t := time.NewTicker(c.interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-c.kick:
+			c.run(TriggerManual)
+		case <-tick:
+			c.run(TriggerInterval)
+		}
+	}
+}
+
+// Kick requests a maintenance pass without blocking. Kicks issued while a
+// pass is pending coalesce into one.
+func (c *Compactor) Kick() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Stop terminates the loop and waits for any in-flight pass to finish.
+// Safe to call more than once.
+func (c *Compactor) Stop() {
+	c.once.Do(func() { close(c.done) })
+	c.wg.Wait()
+}

@@ -1,0 +1,41 @@
+package segment
+
+import "sync/atomic"
+
+// Manifest publishes the current segment set to readers through one atomic
+// pointer, RCU-style: a reader loads the view once and works against that
+// immutable snapshot for the rest of its operation, so a concurrent swap
+// never blocks or tears a search. Each swap advances the epoch, which lets
+// stats and tests observe that a reconfiguration (seal, upgrade, compaction)
+// became visible. Writers must serialize swaps externally — in the store
+// that owns the manifest, the mutation mutex plays that role.
+type Manifest[V any] struct {
+	cur atomic.Pointer[versioned[V]]
+}
+
+type versioned[V any] struct {
+	epoch uint64
+	view  V
+}
+
+// NewManifest returns a manifest publishing the initial view at epoch 0.
+func NewManifest[V any](initial V) *Manifest[V] {
+	m := &Manifest[V]{}
+	m.cur.Store(&versioned[V]{view: initial})
+	return m
+}
+
+// Load returns the current view and its epoch. The view must be treated as
+// immutable by the caller.
+func (m *Manifest[V]) Load() (V, uint64) {
+	v := m.cur.Load()
+	return v.view, v.epoch
+}
+
+// Swap publishes a new view and returns its epoch. Callers must serialize
+// swaps; concurrent readers keep operating on whichever view they loaded.
+func (m *Manifest[V]) Swap(view V) uint64 {
+	next := &versioned[V]{epoch: m.cur.Load().epoch + 1, view: view}
+	m.cur.Store(next)
+	return next.epoch
+}

@@ -1,0 +1,92 @@
+package segment
+
+import "time"
+
+// Compaction and seal triggers, recorded on the compaction counter's
+// "trigger" label and in segment stats so operators can see why maintenance
+// ran.
+const (
+	// TriggerSegmentCount fires when the number of sealed segments exceeds
+	// Policy.MaxSegments — the read-amplification bound.
+	TriggerSegmentCount = "segment_count"
+	// TriggerDeadFraction fires when tombstoned relations exceed
+	// Policy.MaxDeadFraction of the corpus — the space/filter-cost bound.
+	TriggerDeadFraction = "dead_fraction"
+	// TriggerMedoidDrift fires when a sealed CTS segment's medoid drift
+	// (1 − cos(medoid, live centroid)) grew past Policy.MaxMedoidDrift
+	// beyond its build-time baseline: deletes shifted the live distribution
+	// enough that the clustering should be re-fit.
+	TriggerMedoidDrift = "medoid_drift"
+	// TriggerPQDistortion fires when a sealed ANNS segment's mean PQ
+	// reconstruction error over live values grew past Policy.MaxPQDistortion
+	// beyond its build-time baseline: the codebook should be re-trained.
+	TriggerPQDistortion = "pq_distortion"
+	// TriggerManual marks an explicitly requested compaction.
+	TriggerManual = "manual"
+	// TriggerInterval marks a compaction started by the periodic ticker.
+	TriggerInterval = "interval"
+)
+
+// Policy bounds the segment store's shape and decides when background
+// maintenance runs. The zero value means "use the defaults"; a negative
+// threshold disables that trigger.
+type Policy struct {
+	// MaxMutableValues seals the mutable segment once it holds at least
+	// this many embedded values. Default 4096.
+	MaxMutableValues int
+	// MaxSegments compacts once more than this many sealed segments exist.
+	// Default 4.
+	MaxSegments int
+	// MaxDeadFraction compacts once tombstoned relations exceed this
+	// fraction of all relations. Default 0.2.
+	MaxDeadFraction float64
+	// MaxMedoidDrift compacts (re-clustering CTS) once a sealed segment's
+	// mean medoid drift exceeds its build baseline by this much.
+	// Default 0.15.
+	MaxMedoidDrift float64
+	// MaxPQDistortion compacts (re-training PQ) once a sealed segment's
+	// mean PQ distortion exceeds its build baseline by this much.
+	// Default 0.25.
+	MaxPQDistortion float64
+	// DriftCheckEvery evaluates the drift/distortion triggers only every
+	// N mutations — IndexHealth walks the index, so it is not free.
+	// Default 64.
+	DriftCheckEvery int
+	// Interval is the background compactor's periodic wake-up; 0 disables
+	// the ticker (mutation-kicked maintenance still runs).
+	Interval time.Duration
+}
+
+// Default thresholds; see the field docs on Policy.
+const (
+	DefaultMaxMutableValues = 4096
+	DefaultMaxSegments      = 4
+	DefaultMaxDeadFraction  = 0.2
+	DefaultMaxMedoidDrift   = 0.15
+	DefaultMaxPQDistortion  = 0.25
+	DefaultDriftCheckEvery  = 64
+)
+
+// WithDefaults fills zero fields with the default thresholds. Negative
+// fields pass through (the trigger stays disabled).
+func (p Policy) WithDefaults() Policy {
+	if p.MaxMutableValues == 0 {
+		p.MaxMutableValues = DefaultMaxMutableValues
+	}
+	if p.MaxSegments == 0 {
+		p.MaxSegments = DefaultMaxSegments
+	}
+	if p.MaxDeadFraction == 0 {
+		p.MaxDeadFraction = DefaultMaxDeadFraction
+	}
+	if p.MaxMedoidDrift == 0 {
+		p.MaxMedoidDrift = DefaultMaxMedoidDrift
+	}
+	if p.MaxPQDistortion == 0 {
+		p.MaxPQDistortion = DefaultMaxPQDistortion
+	}
+	if p.DriftCheckEvery == 0 {
+		p.DriftCheckEvery = DefaultDriftCheckEvery
+	}
+	return p
+}

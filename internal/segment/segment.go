@@ -1,0 +1,121 @@
+// Package segment provides the storage-engine primitives of the LSM-like
+// index architecture: copy-on-write tombstone sets for logical deletes, an
+// epoch-versioned manifest that atomically swaps segment sets under
+// concurrent readers, the maintenance policy that decides when to seal the
+// mutable segment or compact the sealed ones, and the background compactor
+// loop that runs those decisions.
+//
+// The package is deliberately free of any index or embedding types: it only
+// knows about slots (dense integer positions inside a segment) and views
+// (opaque values swapped through the manifest). The core package composes
+// these primitives with its searchers to form the actual segment store.
+package segment
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Meta describes one segment for stats and persistence: its identity within
+// the store, whether it carries a full built index (sealed) or is an
+// append-log scanned exhaustively (mutable/frozen), and its slot counts.
+type Meta struct {
+	// ID is the store-unique segment identifier, assigned monotonically.
+	ID uint64
+	// Sealed reports the segment is immutable and carries a built index.
+	Sealed bool
+	// Relations is the number of relation slots, tombstoned ones included.
+	Relations int
+	// Values is the number of embedded values across all slots.
+	Values int
+	// Dead is the number of tombstoned relation slots.
+	Dead int
+}
+
+// Tombstones is a copy-on-write bitmap of logically deleted slots. Reads
+// (Dead) are lock-free — they load an immutable word slice through an
+// atomic pointer — so search scan loops can consult the set without
+// synchronizing with writers. Marks copy the bitmap, set the bit and
+// publish the new slice; concurrent marks are serialized by a mutex that
+// readers never touch. A slot beyond the bitmap's length is alive, so the
+// zero-allocation empty bitmap covers any segment size.
+type Tombstones struct {
+	mu    sync.Mutex
+	bits  atomic.Pointer[[]uint64]
+	count atomic.Int64
+}
+
+// NewTombstones returns an empty tombstone set.
+func NewTombstones() *Tombstones {
+	t := &Tombstones{}
+	empty := make([]uint64, 0)
+	t.bits.Store(&empty)
+	return t
+}
+
+// Dead reports whether slot is tombstoned. Safe for concurrent use with
+// Mark; nil receivers and out-of-range slots report alive.
+func (t *Tombstones) Dead(slot int) bool {
+	if t == nil || slot < 0 {
+		return false
+	}
+	bits := *t.bits.Load()
+	w := slot >> 6
+	if w >= len(bits) {
+		return false
+	}
+	return bits[w]&(1<<(uint(slot)&63)) != 0
+}
+
+// Mark tombstones slot, growing the bitmap as needed. It returns true when
+// the slot was newly marked, false when it was already dead or negative.
+func (t *Tombstones) Mark(slot int) bool {
+	if slot < 0 {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := *t.bits.Load()
+	w := slot >> 6
+	n := len(old)
+	if w >= n {
+		n = w + 1
+	}
+	bit := uint64(1) << (uint(slot) & 63)
+	if w < len(old) && old[w]&bit != 0 {
+		return false
+	}
+	next := make([]uint64, n)
+	copy(next, old)
+	next[w] |= bit
+	t.bits.Store(&next)
+	t.count.Add(1)
+	return true
+}
+
+// Count returns the number of tombstoned slots. Nil receivers report zero.
+func (t *Tombstones) Count() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.count.Load())
+}
+
+// Slots returns the tombstoned slot numbers in ascending order — the
+// persistence image of the set.
+func (t *Tombstones) Slots() []int {
+	if t == nil {
+		return nil
+	}
+	bits := *t.bits.Load()
+	out := make([]int, 0, t.Count())
+	for w, word := range bits {
+		for b := 0; word != 0; b++ {
+			if word&1 != 0 {
+				out = append(out, w<<6|b)
+			}
+			word >>= 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package segment
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTombstonesBasic(t *testing.T) {
+	ts := NewTombstones()
+	if ts.Dead(0) || ts.Dead(1000) {
+		t.Fatal("fresh set reports dead slots")
+	}
+	if ts.Count() != 0 {
+		t.Fatalf("count = %d, want 0", ts.Count())
+	}
+	if !ts.Mark(3) {
+		t.Fatal("first Mark(3) = false")
+	}
+	if ts.Mark(3) {
+		t.Fatal("second Mark(3) = true")
+	}
+	if !ts.Dead(3) || ts.Dead(2) || ts.Dead(4) {
+		t.Fatal("wrong slots dead after Mark(3)")
+	}
+	if !ts.Mark(200) { // forces bitmap growth across words
+		t.Fatal("Mark(200) = false")
+	}
+	if !ts.Dead(200) || ts.Dead(199) {
+		t.Fatal("wrong slots dead after Mark(200)")
+	}
+	if ts.Count() != 2 {
+		t.Fatalf("count = %d, want 2", ts.Count())
+	}
+	got := ts.Slots()
+	if len(got) != 2 || got[0] != 3 || got[1] != 200 {
+		t.Fatalf("Slots() = %v, want [3 200]", got)
+	}
+	if ts.Mark(-1) {
+		t.Fatal("Mark(-1) = true")
+	}
+	var nilT *Tombstones
+	if nilT.Dead(0) || nilT.Count() != 0 || nilT.Slots() != nil {
+		t.Fatal("nil tombstones not inert")
+	}
+}
+
+// TestTombstonesConcurrent hammers Mark from many goroutines while readers
+// spin on Dead — the COW discipline must keep every read tear-free and
+// every mark exactly-once (run with -race).
+func TestTombstonesConcurrent(t *testing.T) {
+	ts := NewTombstones()
+	const slots = 512
+	var marked atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for s := 0; s < slots; s++ {
+					ts.Dead(s)
+				}
+			}
+		}()
+	}
+	var mw sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		mw.Add(1)
+		go func(w int) {
+			defer mw.Done()
+			for s := w; s < slots; s += 8 {
+				if ts.Mark(s) {
+					marked.Add(1)
+				}
+				// Every writer also tries a shared slot; only one wins.
+				if ts.Mark(0) {
+					marked.Add(1)
+				}
+			}
+		}(w)
+	}
+	mw.Wait()
+	close(stop)
+	wg.Wait()
+	if got := ts.Count(); got != slots {
+		t.Fatalf("count = %d, want %d", got, slots)
+	}
+	if marked.Load() != slots {
+		t.Fatalf("marked = %d, want %d", marked.Load(), slots)
+	}
+	for s := 0; s < slots; s++ {
+		if !ts.Dead(s) {
+			t.Fatalf("slot %d not dead", s)
+		}
+	}
+}
+
+func TestManifestSwapEpochs(t *testing.T) {
+	m := NewManifest([]int{1})
+	v, ep := m.Load()
+	if ep != 0 || len(v) != 1 {
+		t.Fatalf("initial Load = %v epoch %d", v, ep)
+	}
+	if got := m.Swap([]int{1, 2}); got != 1 {
+		t.Fatalf("first swap epoch = %d, want 1", got)
+	}
+	if got := m.Swap([]int{1, 2, 3}); got != 2 {
+		t.Fatalf("second swap epoch = %d, want 2", got)
+	}
+	v, ep = m.Load()
+	if ep != 2 || len(v) != 3 {
+		t.Fatalf("Load after swaps = %v epoch %d", v, ep)
+	}
+}
+
+// TestManifestConcurrentReaders swaps views under spinning readers; each
+// reader must always observe a self-consistent snapshot (length equals the
+// value stamped into every element).
+func TestManifestConcurrentReaders(t *testing.T) {
+	mk := func(n int) []int {
+		v := make([]int, n)
+		for i := range v {
+			v[i] = n
+		}
+		return v
+	}
+	m := NewManifest(mk(1))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, _ := m.Load()
+				for _, x := range v {
+					if x != len(v) {
+						t.Error("torn view")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for n := 2; n < 200; n++ {
+		m.Swap(mk(n))
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestPolicyWithDefaults(t *testing.T) {
+	p := Policy{}.WithDefaults()
+	if p.MaxMutableValues != DefaultMaxMutableValues ||
+		p.MaxSegments != DefaultMaxSegments ||
+		p.MaxDeadFraction != DefaultMaxDeadFraction ||
+		p.MaxMedoidDrift != DefaultMaxMedoidDrift ||
+		p.MaxPQDistortion != DefaultMaxPQDistortion ||
+		p.DriftCheckEvery != DefaultDriftCheckEvery {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+	// Explicit and disabled values pass through untouched.
+	q := Policy{MaxMutableValues: 7, MaxSegments: -1, MaxDeadFraction: 0.5}.WithDefaults()
+	if q.MaxMutableValues != 7 || q.MaxSegments != -1 || q.MaxDeadFraction != 0.5 {
+		t.Fatalf("explicit values overwritten: %+v", q)
+	}
+}
+
+func TestCompactorKickAndStop(t *testing.T) {
+	var runs atomic.Int64
+	ran := make(chan string, 16)
+	c := NewCompactor(0, func(trigger string) {
+		runs.Add(1)
+		ran <- trigger
+	})
+	c.Start()
+	c.Kick()
+	select {
+	case trig := <-ran:
+		if trig != TriggerManual {
+			t.Fatalf("trigger = %q, want manual", trig)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("kick did not run")
+	}
+	c.Stop()
+	c.Stop() // idempotent
+	before := runs.Load()
+	c.Kick() // after Stop: must not run
+	time.Sleep(20 * time.Millisecond)
+	if runs.Load() != before {
+		t.Fatal("compactor ran after Stop")
+	}
+}
+
+func TestCompactorTicker(t *testing.T) {
+	ran := make(chan string, 16)
+	c := NewCompactor(5*time.Millisecond, func(trigger string) {
+		select {
+		case ran <- trigger:
+		default:
+		}
+	})
+	c.Start()
+	defer c.Stop()
+	select {
+	case trig := <-ran:
+		if trig != TriggerInterval {
+			t.Fatalf("trigger = %q, want interval", trig)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("ticker did not fire")
+	}
+}

@@ -59,13 +59,7 @@ func (e *Engine) searchWithTrace(ctx context.Context, query string, k int) ([]Ma
 		matches []Match
 		err     error
 	)
-	if cs, ok := e.searcher.(core.ContextSearcher); ok {
-		matches, err = cs.SearchTracedContext(ctx, query, k, tr)
-	} else if ts, ok := e.searcher.(core.TracedSearcher); ok {
-		matches, err = ts.SearchTraced(query, k, tr)
-	} else {
-		matches, err = e.searcher.Search(query, k)
-	}
+	matches, err = e.store.SearchTracedContext(ctx, query, k, tr)
 	rep := cost.Report()
 	root.AnnotateInt("matches", len(matches)).
 		AnnotateInt("distance_comps", int(rep.DistanceComps)).
@@ -136,6 +130,9 @@ type EngineStats struct {
 	NumValues    int    `json:"num_values"`
 	// NumClusters is 0 unless the method is CTS.
 	NumClusters int `json:"num_clusters,omitempty"`
+	// Segments describes the segment store: segment counts, tombstoned
+	// volume, seal/compaction counters.
+	Segments SegmentStats `json:"segments"`
 	// Searches counts completed queries by method name.
 	Searches map[string]int64 `json:"searches,omitempty"`
 	// SearchLatency maps method name to end-to-end query latency.
@@ -156,11 +153,14 @@ type EngineStats struct {
 func (e *Engine) Stats() EngineStats {
 	st := EngineStats{
 		Method:       e.Method().String(),
-		NumRelations: e.emb.NumRelations(),
-		NumValues:    e.emb.NumValues(),
+		NumRelations: e.store.NumLiveRelations(),
+		NumValues:    e.store.NumLiveValues(),
+		Segments:     e.store.Stats(),
 	}
-	if cts, ok := e.searcher.(*core.CTS); ok {
-		st.NumClusters = cts.NumClusters()
+	if base, _ := e.store.Base(); base != nil {
+		if cts, ok := base.(*core.CTS); ok {
+			st.NumClusters = cts.NumClusters()
+		}
 	}
 	if e.obs == nil {
 		return st

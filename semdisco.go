@@ -26,6 +26,7 @@ package semdisco
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"semdisco/internal/core"
@@ -108,6 +109,11 @@ type Config struct {
 	// and latency objectives over rolling 5m/1h/6h windows). The zero value
 	// enables it with defaults. See SLOConfig.
 	SLO SLOConfig
+	// Segments tunes the mutable segment store: when the in-memory write
+	// segment seals, when background compaction triggers, and whether
+	// maintenance runs automatically. The zero value enables automatic
+	// maintenance with defaults. See SegmentsConfig.
+	Segments SegmentsConfig
 
 	// ExS tuning.
 	ExS ExSOptions
@@ -117,19 +123,25 @@ type Config struct {
 	CTS CTSOptions
 }
 
-// Engine is a built discovery index over one federation. It is safe for
-// concurrent Search calls; Add must not race with Search.
+// Engine is a built discovery index over one federation, backed by a
+// segment store: a mutable in-memory segment absorbs Add/Update, Delete
+// tombstones in place, and background compaction merges segments and
+// re-trains index structures when churn warrants it. Search, Add, Delete
+// and Update are all safe for concurrent use — searches run against an
+// atomically swapped segment snapshot and never block on writers.
 type Engine struct {
-	cfg       Config
-	model     *embed.Model
-	emb       *core.Embedded
-	searcher  core.Searcher
-	obs       *obs.Registry     // nil when Config.DisableMetrics
-	diag      *diagnostics      // nil when Config.Diagnostics.Disable
-	traces    *obs.TraceStore   // nil when Config.Tracing.Disable
-	workload  *obs.Workload     // heavy hitters, costliest queries
-	slo       *obs.SLOEngine    // nil when Config.SLO.Disable
-	stats     *text.CorpusStats // nil when Config.IDF was supplied
+	cfg      Config
+	model    *embed.Model
+	store    *core.SegmentStore
+	obs      *obs.Registry     // nil when Config.DisableMetrics
+	diag     *diagnostics      // nil when Config.Diagnostics.Disable
+	traces   *obs.TraceStore   // nil when Config.Tracing.Disable
+	workload *obs.Workload     // heavy hitters, costliest queries
+	slo      *obs.SLOEngine    // nil when Config.SLO.Disable
+	stats    *text.CorpusStats // nil when Config.IDF was supplied
+	// relMu guards relSource: mutations write it, filtered searches and
+	// dataset grouping read it.
+	relMu     sync.RWMutex
 	relSource map[string]string // relation ID -> source (dataset)
 }
 
@@ -167,11 +179,12 @@ func Open(fed *Federation, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	store := core.NewSegmentStore(emb, s, segmentStoreOptions(cfg))
 	relSource := make(map[string]string, fed.Len())
 	for _, r := range fed.Relations() {
 		relSource[r.ID] = r.Source
 	}
-	return &Engine{cfg: cfg, model: model, emb: emb, searcher: s, obs: reg,
+	return &Engine{cfg: cfg, model: model, store: store, obs: reg,
 		diag:     newDiagnostics(cfg.Diagnostics, reg),
 		traces:   newTraceStore(cfg.Tracing),
 		workload: newWorkload(1, reg),
@@ -180,10 +193,12 @@ func Open(fed *Federation, cfg Config) (*Engine, error) {
 }
 
 // buildSearcher constructs the configured method's index over an embedded
-// federation.
-func buildSearcher(cfg Config, emb *core.Embedded) (core.Searcher, error) {
+// federation. It is also the segment store's SegmentBuilder: sealing a
+// mutable segment and compacting both rebuild through here, so a merged
+// segment gets a freshly trained PQ codebook / fresh clustering.
+func buildSearcher(cfg Config, emb *core.Embedded) (core.EncodedSearcher, error) {
 	var (
-		s   core.Searcher
+		s   core.EncodedSearcher
 		err error
 	)
 	switch cfg.Method {
@@ -237,10 +252,7 @@ func (e *Engine) Search(query string, k int) ([]Match, error) {
 // than merely abandoning its result.
 func (e *Engine) SearchContext(ctx context.Context, query string, k int) ([]Match, error) {
 	if e.diag == nil && e.traces == nil {
-		if cs, ok := e.searcher.(core.ContextSearcher); ok {
-			return cs.SearchTracedContext(ctx, query, k, nil)
-		}
-		return e.searcher.Search(query, k)
+		return e.store.SearchTracedContext(ctx, query, k, nil)
 	}
 	matches, _, _, err := e.searchWithTrace(ctx, query, k)
 	return matches, err
@@ -249,11 +261,12 @@ func (e *Engine) SearchContext(ctx context.Context, query string, k int) ([]Matc
 // Method reports the engine's search strategy.
 func (e *Engine) Method() Method { return e.cfg.Method }
 
-// NumValues reports how many distinct attribute values are indexed.
-func (e *Engine) NumValues() int { return e.emb.NumValues() }
+// NumValues reports how many distinct attribute values are live (indexed
+// and not tombstoned).
+func (e *Engine) NumValues() int { return e.store.NumLiveValues() }
 
-// NumRelations reports how many relations are indexed.
-func (e *Engine) NumRelations() int { return e.emb.NumRelations() }
+// NumRelations reports how many relations are live.
+func (e *Engine) NumRelations() int { return e.store.NumLiveRelations() }
 
 // Embed exposes the engine's encoder: the unit-norm embedding of any text,
 // in the same space the index lives in. Useful for building custom
