@@ -1,7 +1,7 @@
 GO ?= go
 CORPUS ?= wikitables
 
-.PHONY: build vet lint test race race-cluster check bench-smoke bench-json bench-kernels trace-smoke segment-churn-smoke
+.PHONY: build vet lint test race race-cluster check bench-smoke bench-json bench-kernels trace-smoke segment-churn-smoke netcluster-smoke
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,17 @@ bench-kernels:
 segment-churn-smoke:
 	$(GO) test -race -run 'TestEngineChurnEquivalence|TestEngineSearchNonBlockingDuringCompaction|TestClusterDeleteUpdate' .
 	$(GO) test -race -run 'TestSegmentStoreChurnEquivalence|TestSegmentStoreSearchDuringCompaction|TestSegmentStoreConcurrentChurn' ./internal/core/
+
+# Networked-cluster smoke: replica sets of shard servers on loopback HTTP
+# behind a replicated coordinator, race-checked end to end. Pins the wire
+# protocol and replica failover (hung replica, whole set down, malformed
+# responses), the bit-identical-to-single-engine merge over the wire, a
+# replica killed mid-run leaving every query answered, and the coordinator
+# mode of the HTTP API.
+netcluster-smoke:
+	$(GO) test -race ./internal/netcluster/
+	$(GO) test -race -run 'TestNetShard|TestNetCluster' .
+	$(GO) test -race -run 'TestCoordinatorServer' ./internal/httpapi/
 
 # End-to-end tracing smoke: serve a freshly generated corpus as a 4-shard
 # hedged cluster with every trace retained, run one search, and assert the

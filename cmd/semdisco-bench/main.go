@@ -46,6 +46,9 @@ func main() {
 		costOut    = flag.Bool("cost", false, "also report per-method cost-model numbers (distance comps per query) and accounting overhead (adds a cost section to -json)")
 		batchOut   = flag.Bool("batch", false, "also benchmark batched execution: 64-query fused batch vs sequential loop per method (adds a batch section to -json)")
 		churnOut   = flag.Bool("churn", false, "also benchmark the mutable segment store: write throughput, search latency under churn, compaction pause (adds a churn section to -json)")
+		netOut     = flag.Bool("netcluster", false, "also benchmark the networked cluster: loopback shard servers behind a replicated coordinator, equivalence + tail latency under stragglers and a killed replica (adds a netcluster section to -json)")
+		netSets    = flag.Int("netcluster-sets", 2, "replica-set count for -netcluster")
+		netReps    = flag.Int("netcluster-replicas", 2, "replicas per set for -netcluster")
 	)
 	flag.Parse()
 
@@ -217,6 +220,21 @@ func main() {
 			fmt.Printf("churn search p95: %.3fms quiet -> %.3fms under churn (%d samples); compaction pause %.1fms (%d seals, %d compactions), fresh-equivalent=%v\n",
 				c.QuietLatency.P95MS, c.ChurnLatency.P95MS, c.ChurnSamples,
 				c.CompactionPauseMS, c.Seals, c.Compactions, c.EquivalentToFresh)
+		}
+		if *netOut {
+			report.Netcluster, err = bench.NetclusterReport(*netSets, *netReps, 20)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				os.Exit(1)
+			}
+			nr := report.Netcluster
+			fmt.Printf("netcluster: %d sets x %d replicas, exs-equivalent=%v router-equivalent=%v\n",
+				nr.Sets, nr.Replicas, nr.EquivalentToExS, nr.EquivalentToRouter)
+			fmt.Printf("netcluster p99: %.3fms in-process -> %.3fms wire -> %.3fms straggler (%d hedges, %d retries)\n",
+				nr.InProcess.P99MS, nr.Healthy.P99MS, nr.Straggler.P99MS,
+				nr.StragglerHedges, nr.StragglerRetries)
+			fmt.Printf("netcluster replica kill: %d/%d answered (degraded=%d), all_answered=%v\n",
+				nr.KilledAnswered, nr.KilledQueries, nr.KilledDegraded, nr.AllAnswered)
 		}
 		var out io.Writer = os.Stdout
 		if *jsonOut != "-" {

@@ -75,6 +75,10 @@ type Report struct {
 	// throughput, search latency under concurrent churn, compaction pause
 	// and the fresh-rebuild equivalence check, absent when not requested.
 	Churn *ChurnReportJSON `json:"churn,omitempty"`
+	// Netcluster is the networked-cluster section (semdisco-bench
+	// -netcluster): wire-level deployment equivalence and tail latency under
+	// induced stragglers and a killed replica, absent when not requested.
+	Netcluster *NetclusterReportJSON `json:"netcluster,omitempty"`
 }
 
 // classes maps the report's JSON keys to the corpus query classes.

@@ -53,23 +53,21 @@ type BatchSearchResponse struct {
 func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchSearchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{fmt.Sprintf("bad body: %v", err)})
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad body: %v", err))
 		return
 	}
 	if len(req.Queries) == 0 {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{"queries is required"})
+		writeError(w, http.StatusBadRequest, "queries is required")
 		return
 	}
 	if len(req.Queries) > maxBatchQueries {
-		writeJSON(w, http.StatusBadRequest,
-			ErrorResponse{fmt.Sprintf("batch of %d exceeds the %d-query limit", len(req.Queries), maxBatchQueries)})
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d exceeds the %d-query limit", len(req.Queries), maxBatchQueries))
 		return
 	}
 	queries := make([]semdisco.Query, len(req.Queries))
 	for i, q := range req.Queries {
 		if q.Query == "" {
-			writeJSON(w, http.StatusBadRequest,
-				ErrorResponse{fmt.Sprintf("queries[%d].query is required", i)})
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("queries[%d].query is required", i))
 			return
 		}
 		k := q.K
@@ -86,10 +84,18 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	resp := BatchSearchResponse{Results: make([]BatchItemJSON, len(queries))}
-	if s.cluster != nil {
-		results, err := s.cluster.SearchBatch(r.Context(), queries)
+	if s.cluster != nil || s.coord != nil {
+		var (
+			results []*semdisco.ClusterResult
+			err     error
+		)
+		if s.coord != nil {
+			results, err = s.coord.SearchBatch(r.Context(), queries)
+		} else {
+			results, err = s.cluster.SearchBatch(r.Context(), queries)
+		}
 		if err != nil {
-			writeJSON(w, http.StatusInternalServerError, ErrorResponse{err.Error()})
+			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
 		for i, res := range results {
@@ -111,7 +117,7 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	results, err := s.eng.SearchBatch(r.Context(), queries)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, ErrorResponse{err.Error()})
+		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	for i, res := range results {

@@ -1,27 +1,34 @@
 package httpapi
 
 import (
+	"context"
 	"net/http"
 
 	"semdisco"
 )
 
 // requireEngine gates engine-only surfaces (datasets, debug endpoints):
-// in cluster mode they respond 501 rather than pretending a monolithic
-// engine exists behind the router.
+// in cluster and coordinator modes they respond 501 rather than pretending
+// a monolithic engine exists behind the router.
 func (s *Server) requireEngine(w http.ResponseWriter) bool {
 	if s.eng != nil {
 		return true
 	}
-	writeJSON(w, http.StatusNotImplemented,
-		ErrorResponse{"endpoint not available in cluster mode"})
+	mode := "cluster"
+	if s.coord != nil {
+		mode = "coordinator"
+	}
+	writeError(w, http.StatusNotImplemented, "endpoint not available in "+mode+" mode")
 	return false
 }
 
 // add routes an ingest to whichever backend the server fronts. Caller
 // holds the write lock.
-func (s *Server) add(rel *semdisco.Relation) error {
-	if s.cluster != nil {
+func (s *Server) add(ctx context.Context, rel *semdisco.Relation) error {
+	switch {
+	case s.coord != nil:
+		return s.coord.Add(ctx, rel)
+	case s.cluster != nil:
 		return s.cluster.Add(rel)
 	}
 	return s.eng.Add(rel)
@@ -33,8 +40,7 @@ func (s *Server) add(rel *semdisco.Relation) error {
 // failing the query. Caller holds the read lock.
 func (s *Server) clusterSearch(w http.ResponseWriter, r *http.Request, req SearchRequest) {
 	if len(req.Sources) > 0 {
-		writeJSON(w, http.StatusNotImplemented,
-			ErrorResponse{"source-filtered search not available in cluster mode"})
+		writeError(w, http.StatusNotImplemented, "source-filtered search not available in cluster mode")
 		return
 	}
 	var (
@@ -48,7 +54,7 @@ func (s *Server) clusterSearch(w http.ResponseWriter, r *http.Request, req Searc
 		res, err = s.cluster.SearchContext(r.Context(), req.Query, req.K)
 	}
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, ErrorResponse{err.Error()})
+		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	cost := res.Cost

@@ -67,7 +67,7 @@ func (s *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
 	}
 	n, ok := limitParam(r, "n", defaultSlowN, maxSlowN)
 	if !ok {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{"n must be a non-negative integer"})
+		writeError(w, http.StatusBadRequest, "n must be a non-negative integer")
 		return
 	}
 	s.mu.RLock()
@@ -111,12 +111,12 @@ func (s *Server) handleDebugRecall(w http.ResponseWriter, r *http.Request) {
 	}
 	k, ok := limitParam(r, "k", defaultProbeK, maxProbeK)
 	if !ok {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{"k must be a positive integer"})
+		writeError(w, http.StatusBadRequest, "k must be a positive integer")
 		return
 	}
 	if !s.probeMu.TryLock() {
 		w.Header().Set("Retry-After", "5")
-		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{"a recall probe is already running"})
+		writeError(w, http.StatusTooManyRequests, "a recall probe is already running")
 		return
 	}
 	defer s.probeMu.Unlock()
@@ -124,7 +124,7 @@ func (s *Server) handleDebugRecall(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.RUnlock()
 	res, err := s.eng.RecallProbe(k)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, ErrorResponse{err.Error()})
+		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -141,12 +141,12 @@ func (s *Server) handleDebugJournal(w http.ResponseWriter, r *http.Request) {
 	}
 	n, ok := limitParam(r, "n", 0, maxJournalN)
 	if !ok {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{"n must be a non-negative integer"})
+		writeError(w, http.StatusBadRequest, "n must be a non-negative integer")
 		return
 	}
 	j := s.eng.Journal()
 	if j == nil {
-		writeJSON(w, http.StatusNotFound, ErrorResponse{"diagnostics are disabled on this engine"})
+		writeError(w, http.StatusNotFound, "diagnostics are disabled on this engine")
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")

@@ -13,6 +13,7 @@
 //	POST /v1/datasets           {"query": "...", "k": 5}
 //	POST /v1/relations          a Relation to index incrementally
 //	DELETE /v1/relations/{id}   tombstone a relation (404 when unknown)
+//	PUT  /v1/relations/{id}     replace a relation's contents in place
 //	GET  /v1/debug/slow         slow-query log with per-stage traces (?n=20, max 100)
 //	GET  /v1/debug/index        index health: HNSW graphs, PQ distortion, cluster balance
 //	GET  /v1/debug/recall       online recall probe vs exhaustive scan (?k=10, max 50)
@@ -22,6 +23,13 @@
 //	GET  /v1/debug/workload     workload analytics: heavy hitters, shard load skew, costliest queries
 //	GET  /v1/debug/slo          SLO burn rates per objective and window, with alert states
 //	GET  /debug/pprof/          runtime profiles (only with WithPprof)
+//
+// Engine-mode servers additionally mount the internal encoded-search
+// endpoints (POST /internal/v1/search/encoded and .../encoded/batch): a
+// networked-cluster coordinator that already embedded the query posts the
+// raw vector, so shards never re-encode. Coordinator-mode servers
+// (NewCoordinator) answer the public API by wire-level scatter-gather over
+// replica sets.
 //
 // Every request runs under a W3C trace context: an inbound traceparent
 // header is continued, otherwise a trace ID is minted; the ID is stamped
@@ -49,6 +57,7 @@ import (
 	"time"
 
 	"semdisco"
+	"semdisco/internal/netcluster"
 	"semdisco/internal/obs"
 )
 
@@ -63,7 +72,11 @@ type Server struct {
 	// federation (NewCluster). Engine-only surfaces (datasets, the debug
 	// endpoints) respond 501 in cluster mode.
 	cluster *semdisco.Cluster
-	mux     *http.ServeMux
+	// coord is set instead when the server is a networked-cluster
+	// coordinator (NewCoordinator): searches fan out over the wire to
+	// replica sets, writes route to the ring-owning set's replicas.
+	coord *semdisco.NetCoordinator
+	mux   *http.ServeMux
 	log     *slog.Logger  // nil: request logging off
 	reg     *obs.Registry // engine registry; nil when metrics are disabled
 	start   time.Time
@@ -89,10 +102,18 @@ func WithPprof() Option {
 	}
 }
 
-// New builds a Server around an engine.
+// New builds a Server around an engine. Alongside the public API the
+// server mounts the internal encoded-search endpoints (see
+// semdisco/internal/netcluster): a coordinator that has already embedded a
+// query POSTs the raw vector here, so the shard never re-encodes. They are
+// what make an ordinary engine server usable as one shard of a networked
+// cluster.
 func New(eng *semdisco.Engine, opts ...Option) *Server {
 	s := &Server{eng: eng, reg: eng.MetricsRegistry()}
 	s.init(opts)
+	sh := netcluster.NewShardHandler(eng.EncodedBackend(), eng.Traces(), eng.Dim())
+	s.mux.Handle(netcluster.PathEncodedSearch, sh)
+	s.mux.Handle(netcluster.PathEncodedSearchBatch, sh)
 	return s
 }
 
@@ -121,7 +142,9 @@ func (s *Server) init(opts []Option) {
 	route("POST", "/v1/search/batch", s.handleSearchBatch)
 	route("POST", "/v1/datasets", s.handleDatasets)
 	route("POST", "/v1/relations", s.handleAddRelation)
-	route("DELETE", "/v1/relations/{id}", s.handleDeleteRelation)
+	s.mux.HandleFunc("DELETE /v1/relations/{id}", s.handleDeleteRelation)
+	s.mux.HandleFunc("PUT /v1/relations/{id}", s.handleUpdateRelation)
+	s.mux.HandleFunc("/v1/relations/{id}", s.methodNotAllowed("DELETE, PUT"))
 	route("GET", "/v1/debug/slow", s.handleDebugSlow)
 	route("GET", "/v1/debug/index", s.handleDebugIndex)
 	route("GET", "/v1/debug/recall", s.handleDebugRecall)
@@ -300,13 +323,51 @@ type DatasetsResponse struct {
 // hedges, latency quantiles) and the query-cache counters.
 type StatsResponse struct {
 	semdisco.EngineStats
-	Cluster       *semdisco.ClusterStats `json:"cluster,omitempty"`
-	UptimeSeconds float64                `json:"uptime_seconds"`
+	Cluster *semdisco.ClusterStats `json:"cluster,omitempty"`
+	// Netcluster carries coordinator-mode health: the federated router view
+	// plus each replica set's failover counters and ring share.
+	Netcluster    *netcluster.CoordinatorStats `json:"netcluster,omitempty"`
+	UptimeSeconds float64                      `json:"uptime_seconds"`
 }
 
-// ErrorResponse is returned with every non-2xx status.
+// ErrorResponse is the unified error shape every non-2xx response on this
+// server carries: {"error": <human detail>, "code": <machine class>}. The
+// code is derived from the status (bad_request, not_found,
+// method_not_allowed, too_many_requests, not_implemented, internal,
+// unavailable) and matches the internal wire protocol's error bodies, so a
+// coordinator classifies local and remote failures identically.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// codeForStatus maps an HTTP status to the unified machine-readable error
+// code (netcluster.Code*).
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return netcluster.CodeBadRequest
+	case http.StatusNotFound:
+		return netcluster.CodeNotFound
+	case http.StatusMethodNotAllowed:
+		return netcluster.CodeMethodNotAllowed
+	case http.StatusTooManyRequests:
+		return netcluster.CodeTooManyRequests
+	case http.StatusNotImplemented:
+		return netcluster.CodeNotImplemented
+	case http.StatusServiceUnavailable:
+		return netcluster.CodeUnavailable
+	default:
+		if status >= 500 {
+			return netcluster.CodeInternal
+		}
+		return netcluster.CodeBadRequest
+	}
+}
+
+// writeError writes the unified error body for a non-2xx status.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: codeForStatus(status)})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -333,12 +394,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	resp := StatsResponse{UptimeSeconds: time.Since(s.start).Seconds()}
-	if s.cluster != nil {
+	switch {
+	case s.cluster != nil:
 		cs := s.cluster.Stats()
 		resp.Cluster = &cs
 		resp.Method = s.cluster.Method().String()
 		resp.NumRelations = s.cluster.NumRelations()
-	} else {
+	case s.coord != nil:
+		ns := s.coord.Stats()
+		resp.Netcluster = &ns
+		resp.Method = s.coord.Method().String()
+		resp.NumRelations = s.coord.NumRelations()
+	default:
 		resp.EngineStats = s.eng.Stats()
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -353,6 +420,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.RUnlock()
 	if s.cluster != nil {
 		s.clusterSearch(w, r, req)
+		return
+	}
+	if s.coord != nil {
+		s.coordSearch(w, r, req)
 		return
 	}
 	var (
@@ -372,7 +443,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		cost = &rep
 	}
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, ErrorResponse{err.Error()})
+		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	resp := SearchResponse{Matches: make([]MatchJSON, len(matches)), Cost: cost}
@@ -407,7 +478,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.RUnlock()
 	datasets, err := s.eng.SearchDatasets(req.Query, req.K)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, ErrorResponse{err.Error()})
+		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	resp := DatasetsResponse{Datasets: make([]DatasetJSON, len(datasets))}
@@ -435,13 +506,13 @@ type RelationJSON struct {
 func (s *Server) handleAddRelation(w http.ResponseWriter, r *http.Request) {
 	var rel RelationJSON
 	if err := json.NewDecoder(r.Body).Decode(&rel); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{fmt.Sprintf("bad body: %v", err)})
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad body: %v", err))
 		return
 	}
 	annotate(r, slog.String("relation", rel.ID))
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	err := s.add(&semdisco.Relation{
+	err := s.add(r.Context(), &semdisco.Relation{
 		ID:           rel.ID,
 		Source:       rel.Source,
 		PageTitle:    rel.PageTitle,
@@ -451,7 +522,7 @@ func (s *Server) handleAddRelation(w http.ResponseWriter, r *http.Request) {
 		Rows:         rel.Rows,
 	})
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{err.Error()})
+		writeBackendError(w, err, http.StatusBadRequest)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"status": "indexed", "id": rel.ID})
@@ -466,13 +537,16 @@ func (s *Server) handleDeleteRelation(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var err error
-	if s.cluster != nil {
+	switch {
+	case s.coord != nil:
+		err = s.coord.Delete(r.Context(), id)
+	case s.cluster != nil:
 		err = s.cluster.Delete(id)
-	} else {
+	default:
 		err = s.eng.Delete(id)
 	}
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, ErrorResponse{err.Error()})
+		writeBackendError(w, err, http.StatusNotFound)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted", "id": id})
@@ -481,23 +555,22 @@ func (s *Server) handleDeleteRelation(w http.ResponseWriter, r *http.Request) {
 func (s *Server) methodNotAllowed(allow string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Allow", allow)
-		writeJSON(w, http.StatusMethodNotAllowed,
-			ErrorResponse{fmt.Sprintf("method %s not allowed; use %s", r.Method, allow)})
+		writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("method %s not allowed; use %s", r.Method, allow))
 	}
 }
 
 func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusNotFound, ErrorResponse{fmt.Sprintf("no such route %s", r.URL.Path)})
+	writeError(w, http.StatusNotFound, fmt.Sprintf("no such route %s", r.URL.Path))
 }
 
 func decodeSearch(w http.ResponseWriter, r *http.Request) (SearchRequest, bool) {
 	var req SearchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{fmt.Sprintf("bad body: %v", err)})
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad body: %v", err))
 		return req, false
 	}
 	if req.Query == "" {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{"query is required"})
+		writeError(w, http.StatusBadRequest, "query is required")
 		return req, false
 	}
 	if req.K <= 0 {

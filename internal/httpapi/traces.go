@@ -18,7 +18,10 @@ const (
 // when tracing is disabled (a nil *obs.TraceStore is a valid no-op, but
 // the handlers distinguish it to answer 404 honestly).
 func (s *Server) traces() *obs.TraceStore {
-	if s.cluster != nil {
+	switch {
+	case s.coord != nil:
+		return s.coord.Traces()
+	case s.cluster != nil:
 		return s.cluster.Traces()
 	}
 	return s.eng.Traces()
@@ -102,7 +105,7 @@ func SpanTree(spans []obs.StoredSpan) []*SpanTreeJSON {
 func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 	store := s.traces()
 	if store == nil {
-		writeJSON(w, http.StatusNotFound, ErrorResponse{"tracing is disabled on this server"})
+		writeError(w, http.StatusNotFound, "tracing is disabled on this server")
 		return
 	}
 	if r.URL.Query().Get("format") == "jsonl" {
@@ -113,7 +116,7 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 	}
 	n, ok := limitParam(r, "n", defaultTracesN, maxTracesN)
 	if !ok {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{"n must be a non-negative integer"})
+		writeError(w, http.StatusBadRequest, "n must be a non-negative integer")
 		return
 	}
 	writeJSON(w, http.StatusOK, TracesResponse{
@@ -129,13 +132,13 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	store := s.traces()
 	if store == nil {
-		writeJSON(w, http.StatusNotFound, ErrorResponse{"tracing is disabled on this server"})
+		writeError(w, http.StatusNotFound, "tracing is disabled on this server")
 		return
 	}
 	id := r.PathValue("id")
 	st, ok := store.Get(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, ErrorResponse{"no retained trace " + id + "; only interesting or head-sampled traces are stored"})
+		writeError(w, http.StatusNotFound, "no retained trace " + id + "; only interesting or head-sampled traces are stored")
 		return
 	}
 	writeJSON(w, http.StatusOK, TraceResponse{StoredTrace: st, Tree: SpanTree(st.Spans)})

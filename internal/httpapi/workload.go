@@ -10,7 +10,12 @@ import (
 // fronts: heavy-hitter queries, per-shard load counters and the
 // costliest-queries board.
 func (s *Server) workload() *obs.Workload {
-	if s.cluster != nil {
+	switch {
+	case s.coord != nil:
+		// The coordinator does not run workload analytics; the handler
+		// answers 404 honestly.
+		return nil
+	case s.cluster != nil:
 		return s.cluster.Workload()
 	}
 	return s.eng.Workload()
@@ -19,7 +24,10 @@ func (s *Server) workload() *obs.Workload {
 // slo returns whichever backend's SLO burn-rate engine the server fronts;
 // nil when Config.SLO.Disable was set.
 func (s *Server) slo() *obs.SLOEngine {
-	if s.cluster != nil {
+	switch {
+	case s.coord != nil:
+		return s.coord.SLO()
+	case s.cluster != nil:
 		return s.cluster.SLO()
 	}
 	return s.eng.SLO()
@@ -32,7 +40,7 @@ func (s *Server) slo() *obs.SLOEngine {
 func (s *Server) handleDebugWorkload(w http.ResponseWriter, _ *http.Request) {
 	wl := s.workload()
 	if wl == nil {
-		writeJSON(w, http.StatusNotFound, ErrorResponse{"workload analytics are disabled on this server"})
+		writeError(w, http.StatusNotFound, "workload analytics are disabled on this server")
 		return
 	}
 	writeJSON(w, http.StatusOK, wl.Snapshot())
@@ -44,7 +52,7 @@ func (s *Server) handleDebugWorkload(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleDebugSLO(w http.ResponseWriter, _ *http.Request) {
 	e := s.slo()
 	if e == nil {
-		writeJSON(w, http.StatusNotFound, ErrorResponse{"the SLO engine is disabled on this server"})
+		writeError(w, http.StatusNotFound, "the SLO engine is disabled on this server")
 		return
 	}
 	writeJSON(w, http.StatusOK, e.Snapshot())

@@ -1,0 +1,326 @@
+package netcluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"semdisco/internal/cluster"
+	"semdisco/internal/obs"
+)
+
+// CoordinatorOptions configures a Coordinator.
+type CoordinatorOptions struct {
+	// Encode embeds a query string once; the raw vector fans out to the
+	// replica sets, which never re-encode. Required.
+	Encode func(query string) []float32
+	// Order maps a relation ID to its global insertion rank; the merge
+	// tie-breaks on it, keeping the networked ranking bit-identical to the
+	// in-process Router's and the single engine's for exact search.
+	// Required.
+	Order func(relID string) int
+	// Method labels stats and trace outcomes ("ExS", …).
+	Method string
+	// Slack widens each set's fetch to k+Slack before the merge; default 8.
+	Slack int
+	// CacheSize bounds the coordinator's (query, k) result LRU; 0 disables.
+	CacheSize int
+	// Vnodes is the consistent-hash ring's virtual-node count per set;
+	// default DefaultVnodes.
+	Vnodes int
+	// AttemptTimeout bounds each replica attempt (see GroupOptions).
+	AttemptTimeout time.Duration
+	// Hedge enables cross-replica hedging inside each set.
+	Hedge bool
+	// MinHedgeDelay / HedgeAfter tune the hedge trigger (see GroupOptions).
+	MinHedgeDelay time.Duration
+	HedgeAfter    int
+	// BackoffBase / BackoffMax tune sequential failover retries.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Transport carries every coordinator→shard request; nil means
+	// http.DefaultTransport. Tests and the bench pass a *FaultInjector.
+	Transport http.RoundTripper
+	// Registry receives coordinator, router and group metrics; nil
+	// disables them.
+	Registry *obs.Registry
+	// Traces receives the span trees of interesting federated queries
+	// (remote shard spans grafted in); nil disables retention.
+	Traces *obs.TraceStore
+}
+
+// Coordinator is the client-facing node of a networked cluster: it owns
+// the consistent-hash ring mapping relations to replica sets, encodes each
+// query once, fans raw vectors out to one replica per set (with failover
+// and hedging inside each set), and merges per-set answers with the same
+// deterministic comparator the in-process Router uses — so the networked
+// ranking is bit-identical to the monolith's for exact search. The Router
+// underneath also contributes its result cache, request coalescing, cost
+// aggregation and batch fan-out unchanged; netcluster adds the wire, not a
+// second query engine.
+type Coordinator struct {
+	ring   *Ring
+	groups []*Group
+	router *cluster.Router
+	opts   CoordinatorOptions
+	reg    *obs.Registry
+	traces *obs.TraceStore
+}
+
+// NewCoordinator builds a coordinator over replica sets: replicaSets[i]
+// lists the base URLs of set i's members, each holding an identical copy
+// of partition i. At least one set with at least one member is required.
+func NewCoordinator(replicaSets [][]string, opts CoordinatorOptions) (*Coordinator, error) {
+	if len(replicaSets) == 0 {
+		return nil, errors.New("netcluster: at least one replica set required")
+	}
+	if opts.Encode == nil {
+		return nil, errors.New("netcluster: CoordinatorOptions.Encode is required")
+	}
+	if opts.Order == nil {
+		return nil, errors.New("netcluster: CoordinatorOptions.Order is required")
+	}
+	if opts.Vnodes == 0 {
+		opts.Vnodes = DefaultVnodes
+	}
+	ring, err := NewRing(len(replicaSets), opts.Vnodes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		ring:   ring,
+		opts:   opts,
+		reg:    opts.Registry,
+		traces: opts.Traces,
+	}
+	c.reg.SetHelps(MetricHelp)
+	newClient := func(u string) *Client { return NewClient(u, opts.Transport) }
+	routerShards := make([]cluster.Shard, len(replicaSets))
+	relCounts := make([]int, len(replicaSets))
+	for i, urls := range replicaSets {
+		g, err := NewGroup(i, urls, newClient, GroupOptions{
+			AttemptTimeout: opts.AttemptTimeout,
+			Hedge:          opts.Hedge,
+			MinHedgeDelay:  opts.MinHedgeDelay,
+			HedgeAfter:     opts.HedgeAfter,
+			BackoffBase:    opts.BackoffBase,
+			BackoffMax:     opts.BackoffMax,
+			Registry:       opts.Registry,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.groups = append(c.groups, g)
+		routerShards[i] = g
+	}
+	// The Router sees one logical shard per replica set. Its own per-shard
+	// timeout and same-shard hedging stay off: the group already bounds
+	// each attempt and hedges across replicas, which a same-shard retry
+	// could never do for a wedged server.
+	router, err := cluster.NewRouter(routerShards, relCounts, cluster.Options{
+		Slack:     opts.Slack,
+		Method:    opts.Method,
+		Encode:    opts.Encode,
+		Order:     opts.Order,
+		CacheSize: opts.CacheSize,
+		Registry:  opts.Registry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.router = router
+	return c, nil
+}
+
+// NumSets reports the replica-set (partition) count.
+func (c *Coordinator) NumSets() int { return len(c.groups) }
+
+// Ring exposes the placement ring, so a shard bootstrapping its partition
+// applies the identical assignment by construction.
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// Traces exposes the coordinator's trace store; nil when disabled.
+func (c *Coordinator) Traces() *obs.TraceStore { return c.traces }
+
+// Search answers one query by networked scatter-gather, traced end to
+// end: the federated query runs under a root span, every replica attempt
+// carries its traceparent over the wire, and the winning replicas' remote
+// span trees come back grafted under this trace. Partial failure (a whole
+// replica set down) degrades the Result; only every set failing — or the
+// caller's context expiring — is an error.
+func (c *Coordinator) Search(ctx context.Context, query string, k int) (*cluster.Result, error) {
+	tr := obs.NewTraceFrom(ctx)
+	root := tr.StartRoot("coordinator_search").AnnotateInt("k", k).AnnotateInt("sets", len(c.groups))
+	ctx = c.propagate(ctx, tr, root)
+	res, err := c.router.SearchTraced(ctx, query, k, tr)
+	if res != nil {
+		root.AnnotateInt("matches", len(res.Matches)).
+			AnnotateInt("distance_comps", int(res.Cost.DistanceComps))
+		res.TraceID = tr.ID().String()
+	}
+	dur := root.End()
+	c.offer(tr, dur, query, k, res, err)
+	return res, err
+}
+
+// SearchBatch answers a block of queries with one networked fan-out per
+// replica set (one failover race per set for the whole block), under one
+// batch-level trace.
+func (c *Coordinator) SearchBatch(ctx context.Context, items []cluster.BatchQuery) ([]*cluster.Result, error) {
+	tr := obs.NewTraceFrom(ctx)
+	root := tr.StartRoot("coordinator_search_batch").
+		AnnotateInt("queries", len(items)).
+		AnnotateInt("sets", len(c.groups))
+	ctx = c.propagate(ctx, tr, root)
+	results, err := c.router.SearchBatch(ctx, items)
+	dur := root.End()
+	o := obs.TraceOutcome{Duration: dur, Method: c.opts.Method + "_batch", K: len(items),
+		RequestID: obs.RequestIDFrom(ctx)}
+	if err != nil {
+		o.Err = err.Error()
+	}
+	for _, res := range results {
+		if res != nil {
+			res.TraceID = tr.ID().String()
+			if res.Degraded {
+				o.Degraded = true
+			}
+			o.Hedged += res.Hedged
+		}
+	}
+	c.offerOutcome(tr, o)
+	return results, err
+}
+
+// propagate threads the trace down the stack: the live *Trace so replica
+// groups can graft remote spans, and the root's span context so every
+// wire request carries a traceparent parenting the shard's spans here.
+func (c *Coordinator) propagate(ctx context.Context, tr *obs.Trace, root *obs.Span) context.Context {
+	ctx = obs.ContextWithTrace(ctx, tr)
+	return obs.ContextWithSpan(ctx, obs.SpanContext{TraceID: tr.ID(), SpanID: root.ID(), Flags: tr.Flags()})
+}
+
+func (c *Coordinator) offer(tr *obs.Trace, dur time.Duration, query string, k int, res *cluster.Result, err error) {
+	o := obs.TraceOutcome{Duration: dur, Query: query, Method: c.opts.Method, K: k}
+	if err != nil {
+		o.Err = err.Error()
+	}
+	if res != nil {
+		o.Matches = len(res.Matches)
+		o.Degraded = res.Degraded
+		o.Hedged = res.Hedged
+		for _, se := range res.ShardErrors {
+			o.ShardErrors = append(o.ShardErrors, se.Error())
+		}
+	}
+	c.offerOutcome(tr, o)
+}
+
+func (c *Coordinator) offerOutcome(tr *obs.Trace, o obs.TraceOutcome) {
+	if c.traces == nil {
+		return
+	}
+	if kept, _ := c.traces.Offer(tr, o); kept {
+		c.reg.Histogram(cluster.MetricSearchSeconds).SetExemplar(o.Duration, tr.ID().String())
+	}
+}
+
+// WriteError is a partial write-path failure: some replicas of the owning
+// set applied the mutation and others did not. The mutation is durable on
+// the replicas that took it; the listed ones need repair (or a retry of
+// the same idempotent call).
+type WriteError struct {
+	Op       string
+	ID       string
+	Set      int
+	Failed   []string // replica URLs that failed
+	Applied  int      // replicas that applied the write
+	LastErr  error
+	Replicas int
+}
+
+func (e *WriteError) Error() string {
+	return fmt.Sprintf("netcluster: %s %q on set %d applied on %d/%d replicas (failed: %s): %v",
+		e.Op, e.ID, e.Set, e.Applied, e.Replicas, strings.Join(e.Failed, ", "), e.LastErr)
+}
+
+// Unwrap exposes the last replica error to errors.Is/As.
+func (e *WriteError) Unwrap() error { return e.LastErr }
+
+// writeAll applies one mutation to every replica of the owning set. The
+// result cache and coalescer are fenced as soon as any replica applied it
+// (the federation's answer may already have changed); a partial
+// application returns *WriteError naming the replicas needing repair.
+func (c *Coordinator) writeAll(ctx context.Context, op, id string, fence func(set int), apply func(context.Context, *Client) error) error {
+	set := c.ring.Owner(id)
+	g := c.groups[set]
+	var (
+		failed  []string
+		lastErr error
+		applied int
+	)
+	for _, cl := range g.clients {
+		if err := apply(ctx, cl); err != nil {
+			failed = append(failed, cl.URL())
+			lastErr = err
+			continue
+		}
+		applied++
+	}
+	if applied > 0 {
+		fence(set)
+	}
+	if lastErr == nil {
+		return nil
+	}
+	if applied == 0 {
+		return fmt.Errorf("netcluster: %s %q failed on every replica of set %d: %w", op, id, set, lastErr)
+	}
+	return &WriteError{Op: op, ID: id, Set: set, Failed: failed, Applied: applied,
+		LastErr: lastErr, Replicas: g.Replicas()}
+}
+
+// Add routes one new relation to its ring-owning set and ingests it on
+// every replica of that set.
+func (c *Coordinator) Add(ctx context.Context, rel Relation) error {
+	return c.writeAll(ctx, "add", rel.ID, c.router.NoteAdd, func(ctx context.Context, cl *Client) error {
+		return cl.AddRelation(ctx, rel)
+	})
+}
+
+// Delete tombstones a relation on every replica of its owning set.
+func (c *Coordinator) Delete(ctx context.Context, id string) error {
+	return c.writeAll(ctx, "delete", id, c.router.NoteDelete, func(ctx context.Context, cl *Client) error {
+		return cl.DeleteRelation(ctx, id)
+	})
+}
+
+// Update replaces a relation's contents on every replica of its owning
+// set.
+func (c *Coordinator) Update(ctx context.Context, rel Relation) error {
+	return c.writeAll(ctx, "update", rel.ID, c.router.NoteUpdate, func(ctx context.Context, cl *Client) error {
+		return cl.UpdateRelation(ctx, rel)
+	})
+}
+
+// CoordinatorStats is the coordinator's health snapshot: the Router's
+// federated view (per-set latency, cache, degradation) plus each replica
+// set's failover counters.
+type CoordinatorStats struct {
+	Sets   int                `json:"sets"`
+	Router cluster.Stats      `json:"router"`
+	Groups []GroupStats       `json:"groups"`
+	Ring   map[string]float64 `json:"ring_share,omitempty"`
+}
+
+// Stats snapshots router and replica-set health.
+func (c *Coordinator) Stats() CoordinatorStats {
+	s := CoordinatorStats{Sets: len(c.groups), Router: c.router.Stats()}
+	for _, g := range c.groups {
+		s.Groups = append(s.Groups, g.Stats())
+	}
+	return s
+}

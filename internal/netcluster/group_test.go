@@ -1,0 +1,293 @@
+package netcluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"semdisco/internal/core"
+	"semdisco/internal/obs"
+)
+
+// fakeBackend is a deterministic ShardBackend: it answers every encoded
+// query with a fixed descending ranking, so wire round-trips and failover
+// races can be checked for exact equality without building an index.
+type fakeBackend struct {
+	matches []core.Match
+	calls   atomic.Int64
+}
+
+func (f *fakeBackend) SearchEncoded(ctx context.Context, q []float32, k int) ([]core.Match, error) {
+	f.calls.Add(1)
+	if k > len(f.matches) {
+		k = len(f.matches)
+	}
+	out := make([]core.Match, k)
+	copy(out, f.matches[:k])
+	return out, nil
+}
+
+func (f *fakeBackend) SearchEncodedBatch(ctx context.Context, qs [][]float32, ks []int, costs []*obs.Cost) ([][]core.Match, error) {
+	out := make([][]core.Match, len(qs))
+	for i := range qs {
+		ms, err := f.SearchEncoded(ctx, qs[i], ks[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ms
+	}
+	return out, nil
+}
+
+// rankedMatches builds n matches with strictly descending, awkward float32
+// scores — fractions without short decimal forms, so JSON round-trip
+// equality is a real check, not a formatting accident.
+func rankedMatches(set, n int) []core.Match {
+	out := make([]core.Match, n)
+	for i := range out {
+		out[i] = core.Match{
+			RelationID: fmt.Sprintf("rel-%d-%02d", set, i),
+			Score:      float32(1 / (1.1 + 0.37*float64(set*n+i))),
+		}
+	}
+	return out
+}
+
+var testVec = []float32{0.25, -0.5, 1}
+
+type groupFixture struct {
+	group   *Group
+	inj     *FaultInjector
+	urls    []string
+	backend *fakeBackend
+}
+
+// newGroupFixture stands up one replica set: `replicas` loopback servers
+// all serving the same fake backend, a shared fault-injecting transport,
+// and a Group over them. Fresh per test, so the rotating primary always
+// starts at replica 0.
+func newGroupFixture(t *testing.T, replicas int, opts GroupOptions) *groupFixture {
+	t.Helper()
+	backend := &fakeBackend{matches: rankedMatches(0, 8)}
+	h := NewShardHandler(backend, nil, 0)
+	inj := NewFaultInjector(nil)
+	urls := make([]string, replicas)
+	for i := range urls {
+		srv := httptest.NewServer(h)
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	g, err := NewGroup(0, urls, func(u string) *Client { return NewClient(u, inj) }, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &groupFixture{group: g, inj: inj, urls: urls, backend: backend}
+}
+
+func TestGroupHealthySearch(t *testing.T) {
+	fx := newGroupFixture(t, 2, GroupOptions{})
+	ms, err := fx.group.SearchEncoded(context.Background(), testVec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fx.backend.matches[:4]; !reflect.DeepEqual(ms, want) {
+		t.Fatalf("matches = %+v, want %+v", ms, want)
+	}
+}
+
+// TestGroupHungReplicaFailsOver is the wedged-server case: the replica
+// accepted the connection and went silent, so only the per-attempt timeout
+// can unblock the search, and the next replica must answer.
+func TestGroupHungReplicaFailsOver(t *testing.T) {
+	fx := newGroupFixture(t, 2, GroupOptions{AttemptTimeout: 75 * time.Millisecond})
+	fx.inj.Set(fx.urls[0], Fault{Hang: true, Remaining: -1})
+	ms, err := fx.group.SearchEncoded(context.Background(), testVec, 3)
+	if err != nil {
+		t.Fatalf("failover search: %v", err)
+	}
+	if !reflect.DeepEqual(ms, fx.backend.matches[:3]) {
+		t.Fatalf("failover answer wrong: %+v", ms)
+	}
+	st := fx.group.Stats()
+	if st.Replicas[0].Errors == 0 {
+		t.Error("hung replica recorded no error")
+	}
+	if st.Retries == 0 {
+		t.Error("failover recorded no retry")
+	}
+}
+
+// TestGroupMalformedResponseFailsOver: a replica answering 200 with a
+// truncated body is broken, not the request — the search must fail over.
+func TestGroupMalformedResponseFailsOver(t *testing.T) {
+	fx := newGroupFixture(t, 2, GroupOptions{})
+	fx.inj.Set(fx.urls[0], Fault{Truncate: true, Remaining: -1})
+	ms, err := fx.group.SearchEncoded(context.Background(), testVec, 3)
+	if err != nil {
+		t.Fatalf("failover search: %v", err)
+	}
+	if !reflect.DeepEqual(ms, fx.backend.matches[:3]) {
+		t.Fatalf("failover answer wrong: %+v", ms)
+	}
+	if st := fx.group.Stats(); st.Replicas[0].Errors == 0 {
+		t.Error("malformed replica recorded no error")
+	}
+}
+
+func TestGroupWholeSetDown(t *testing.T) {
+	fx := newGroupFixture(t, 2, GroupOptions{})
+	for _, u := range fx.urls {
+		fx.inj.Set(u, Fault{Drop: true, Remaining: -1})
+	}
+	_, err := fx.group.SearchEncoded(context.Background(), testVec, 3)
+	if err == nil {
+		t.Fatal("want error with every replica down")
+	}
+	if !strings.Contains(err.Error(), "replica set 0 down") {
+		t.Fatalf("error %q does not name the downed set", err)
+	}
+	if st := fx.group.Stats(); st.SetDown != 1 {
+		t.Errorf("SetDown = %d, want 1", st.SetDown)
+	}
+	// Recovery: clearing the faults restores the set without rebuilding it.
+	for _, u := range fx.urls {
+		fx.inj.Clear(u)
+	}
+	if _, err := fx.group.SearchEncoded(context.Background(), testVec, 3); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+}
+
+// TestGroupNonRetryableFailsFast: a 4xx means the request itself is bad;
+// trying the next replica would just answer the same, so the race must
+// return immediately without a retry.
+func TestGroupNonRetryableFailsFast(t *testing.T) {
+	fx := newGroupFixture(t, 2, GroupOptions{})
+	fx.inj.Set(fx.urls[0], Fault{Status: 400, Remaining: -1})
+	_, err := fx.group.SearchEncoded(context.Background(), testVec, 3)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Status != 400 {
+		t.Fatalf("want a 400 *RemoteError, got %v", err)
+	}
+	st := fx.group.Stats()
+	if st.Retries != 0 {
+		t.Errorf("Retries = %d, want 0 (fail fast)", st.Retries)
+	}
+	if st.Replicas[1].Attempts != 0 {
+		t.Errorf("replica 1 saw %d attempts, want 0", st.Replicas[1].Attempts)
+	}
+}
+
+// TestGroupHedgesPastStraggler: once the latency window is warm, an
+// attempt running past the set's p95 races a second replica; a healthy
+// sibling must win against a straggler without the query erroring.
+func TestGroupHedgesPastStraggler(t *testing.T) {
+	fx := newGroupFixture(t, 2, GroupOptions{
+		AttemptTimeout: 2 * time.Second,
+		Hedge:          true,
+	})
+	ctx := context.Background()
+	for i := 0; i < 20; i++ { // warm the p95 window past HedgeAfter
+		if _, err := fx.group.SearchEncoded(ctx, testVec, 3); err != nil {
+			t.Fatalf("warm-up %d: %v", i, err)
+		}
+	}
+	fx.inj.Set(fx.urls[0], Fault{Latency: 150 * time.Millisecond, Remaining: -1})
+	for i := 0; i < 20; i++ {
+		ms, err := fx.group.SearchEncoded(ctx, testVec, 3)
+		if err != nil {
+			t.Fatalf("straggler query %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(ms, fx.backend.matches[:3]) {
+			t.Fatalf("straggler query %d answer wrong: %+v", i, ms)
+		}
+	}
+	st := fx.group.Stats()
+	if st.Hedges == 0 {
+		t.Error("no hedges launched against a 150ms straggler")
+	}
+	if st.HedgeWins == 0 {
+		t.Error("no hedge won against a 150ms straggler")
+	}
+}
+
+func TestGroupBatchFailover(t *testing.T) {
+	fx := newGroupFixture(t, 2, GroupOptions{})
+	fx.inj.Set(fx.urls[0], Fault{Drop: true, Remaining: -1})
+	qs := [][]float32{testVec, testVec, testVec}
+	ks := []int{1, 3, 5}
+	costs := []*obs.Cost{{}, {}, {}}
+	out, err := fx.group.SearchEncodedBatch(context.Background(), qs, ks, costs)
+	if err != nil {
+		t.Fatalf("batch failover: %v", err)
+	}
+	if len(out) != len(qs) {
+		t.Fatalf("%d results for %d queries", len(out), len(qs))
+	}
+	for i, k := range ks {
+		if !reflect.DeepEqual(out[i], fx.backend.matches[:k]) {
+			t.Fatalf("batch item %d wrong: %+v", i, out[i])
+		}
+	}
+}
+
+// TestGroupTraceGrafting: the winning replica's shard-side span tree must
+// come back over the wire and land in the trace the context carries, under
+// the same trace ID the coordinator propagated.
+func TestGroupTraceGrafting(t *testing.T) {
+	fx := newGroupFixture(t, 2, GroupOptions{})
+	tr := obs.NewTrace()
+	root := tr.StartRoot("test_root")
+	ctx := obs.ContextWithTrace(context.Background(), tr)
+	ctx = obs.ContextWithSpan(ctx, obs.SpanContext{TraceID: tr.ID(), SpanID: root.ID(), Flags: tr.Flags()})
+	if _, err := fx.group.SearchEncoded(ctx, testVec, 3); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	var found bool
+	for _, sp := range tr.Spans() {
+		if sp.Name == "shard_encoded_search" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no shard_encoded_search span grafted; spans: %+v", tr.Spans())
+	}
+}
+
+// TestGroupConcurrentSearches drives the failover state machine from many
+// goroutines with a straggling replica — the -race run of this test is the
+// point, not the assertions.
+func TestGroupConcurrentSearches(t *testing.T) {
+	fx := newGroupFixture(t, 3, GroupOptions{
+		AttemptTimeout: 2 * time.Second,
+		Hedge:          true,
+	})
+	fx.inj.Set(fx.urls[1], Fault{Latency: 10 * time.Millisecond, Remaining: -1})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if _, err := fx.group.SearchEncoded(context.Background(), testVec, 3); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent search: %v", err)
+	}
+}

@@ -1,0 +1,94 @@
+package netcluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(0, 0); err == nil {
+		t.Error("NewRing(0, 0): want error for zero sets")
+	}
+	if _, err := NewRing(-2, 0); err == nil {
+		t.Error("NewRing(-2, 0): want error for negative sets")
+	}
+	if _, err := NewRing(2, -3); err == nil {
+		t.Error("NewRing(2, -3): want error for negative vnodes")
+	}
+	r, err := NewRing(1, 0)
+	if err != nil {
+		t.Fatalf("NewRing(1, 0): %v", err)
+	}
+	if r.Sets() != 1 {
+		t.Errorf("Sets() = %d, want 1", r.Sets())
+	}
+	if got := r.Owner("anything"); got != 0 {
+		t.Errorf("single-set ring owns %d, want 0", got)
+	}
+}
+
+// TestRingAgreement is the placement contract: a shard server and the
+// coordinator build their rings independently from the same (sets, vnodes)
+// pair, so two rings with equal parameters must place every key
+// identically.
+func TestRingAgreement(t *testing.T) {
+	a, err := NewRing(5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("rel-%04d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("rings disagree on %q: %d vs %d", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingCoverageAndBalance(t *testing.T) {
+	const sets, keys = 4, 2000
+	r, err := NewRing(sets, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, sets)
+	for i := 0; i < keys; i++ {
+		s := r.Owner(fmt.Sprintf("rel-%05d", i))
+		if s < 0 || s >= sets {
+			t.Fatalf("owner %d out of range [0,%d)", s, sets)
+		}
+		counts[s]++
+	}
+	// DefaultVnodes smooths skew to a few percent; the bound here is loose
+	// enough to never flake, tight enough to catch a broken hash or sort.
+	for s, c := range counts {
+		share := float64(c) / keys
+		if share < 0.05 || share > 0.60 {
+			t.Errorf("set %d owns %.1f%% of keys, want 5%%-60%%", s, share*100)
+		}
+	}
+}
+
+// TestRingOwnerStableUnderRepeats guards the binary search: repeated
+// lookups of the same key must not depend on call order or prior lookups.
+func TestRingOwnerStableUnderRepeats(t *testing.T) {
+	r, err := NewRing(3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"", "a", "rel-000", "rel-999", "the same long key repeated many times"}
+	first := make([]int, len(keys))
+	for i, k := range keys {
+		first[i] = r.Owner(k)
+	}
+	for round := 0; round < 10; round++ {
+		for i, k := range keys {
+			if got := r.Owner(k); got != first[i] {
+				t.Fatalf("Owner(%q) changed: %d then %d", k, first[i], got)
+			}
+		}
+	}
+}

@@ -124,6 +124,21 @@ func isLowerHex(s string) bool {
 
 type spanContextKey struct{}
 type requestIDKey struct{}
+type traceKey struct{}
+
+// ContextWithTrace attaches the live *Trace collecting this request's
+// spans, so layers that receive only a context (a networked replica group
+// deep under the router) can graft remote span records into it.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom extracts the context's live trace; nil when none — and a nil
+// *Trace is a valid no-op for Adopt and StartSpan alike.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
 
 // ContextWithSpan attaches a propagated span context; searches started
 // under the returned context join that trace instead of minting a new ID.

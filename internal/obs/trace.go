@@ -128,6 +128,21 @@ func (t *Trace) add(rec SpanRecord) {
 	t.mu.Unlock()
 }
 
+// Adopt grafts remote span records into the trace — how a coordinator
+// folds the shard-side spans a wire response carried into its own tree.
+// The records keep their IDs and parent links; because the shard
+// continued the coordinator's propagated trace context, its root span is
+// already parented under a local span and the trees join. No-op on a nil
+// receiver or empty input.
+func (t *Trace) Adopt(recs []SpanRecord) {
+	if t == nil || len(recs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, recs...)
+	t.mu.Unlock()
+}
+
 // Spans returns a copy of every completed span in completion order,
 // including the root.
 func (t *Trace) Spans() []SpanRecord {
